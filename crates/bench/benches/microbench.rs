@@ -1,0 +1,250 @@
+//! Criterion microbenchmarks for PayLess's hot paths: the geometry kernel,
+//! Algorithm 1 rewriting (with and without pruning), greedy set cover,
+//! the feedback histogram, the DP optimizer (left-deep vs. bushy), SQL
+//! parsing, and the market call path.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use payless_geometry::{decompose, QuerySpace, Region};
+use payless_market::{DataMarket, Dataset, MarketTable, Request};
+use payless_optimizer::{optimize, OptimizerConfig};
+use payless_semantic::{greedy_cover, rewrite, CoverSet, RewriteConfig, SemanticStore};
+use payless_sql::{analyze, parse, MapCatalog, TableLocation};
+use payless_stats::{StatsRegistry, TableStats};
+use payless_types::{row, Column, Constraint, Domain, Schema};
+
+fn region_1d(lo: i64, hi: i64) -> Region {
+    Region::new(vec![payless_geometry::Interval::new(lo, hi)])
+}
+
+fn scattered_views(n: usize) -> Vec<Region> {
+    (0..n)
+        .map(|i| {
+            let lo = (i as i64) * 97 % 900;
+            region_1d(lo, lo + 40)
+        })
+        .collect()
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometry");
+    let q = region_1d(0, 999);
+    for n in [4usize, 16, 64] {
+        let views = scattered_views(n);
+        g.bench_with_input(BenchmarkId::new("subtract_all", n), &views, |b, views| {
+            b.iter(|| black_box(q.subtract_all(views)))
+        });
+        g.bench_with_input(BenchmarkId::new("decompose", n), &views, |b, views| {
+            b.iter(|| black_box(decompose(&q, views)))
+        });
+    }
+    g.finish();
+}
+
+fn stats_1d() -> TableStats {
+    let schema = Schema::new("R", vec![Column::free("A", Domain::int(0, 999))]);
+    TableStats::new(QuerySpace::of(&schema), 100_000)
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1_rewrite");
+    let stats = stats_1d();
+    let q = region_1d(0, 999);
+    for n in [2usize, 8, 24] {
+        let views = scattered_views(n);
+        g.bench_with_input(BenchmarkId::new("pruned", n), &views, |b, views| {
+            b.iter(|| black_box(rewrite(&stats, 100, &q, views, &RewriteConfig::default())))
+        });
+        g.bench_with_input(BenchmarkId::new("no_pruning", n), &views, |b, views| {
+            b.iter(|| {
+                black_box(rewrite(
+                    &stats,
+                    100,
+                    &q,
+                    views,
+                    &RewriteConfig::no_pruning(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_set_cover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_cover");
+    for (elements, sets) in [(16usize, 64usize), (64, 512)] {
+        let cover_sets: Vec<CoverSet> = (0..sets)
+            .map(|i| {
+                let start = i % elements;
+                let span = 1 + i % 7;
+                CoverSet::new(
+                    1.0 + (i % 5) as f64,
+                    (start..(start + span).min(elements)).collect(),
+                )
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("greedy", format!("{elements}e_{sets}s")),
+            &cover_sets,
+            |b, cs| b.iter(|| black_box(greedy_cover(elements, cs))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("feedback_histogram");
+    g.bench_function("feedback_100", |b| {
+        b.iter(|| {
+            let mut s = stats_1d();
+            for i in 0..100i64 {
+                let lo = (i * 37) % 900;
+                s.feedback(&region_1d(lo, lo + 50), 500);
+            }
+            black_box(s.bucket_count())
+        })
+    });
+    let mut trained = stats_1d();
+    for i in 0..100i64 {
+        let lo = (i * 37) % 900;
+        trained.feedback(&region_1d(lo, lo + 50), 500);
+    }
+    g.bench_function("estimate_after_100_feedbacks", |b| {
+        b.iter(|| black_box(trained.estimate(&region_1d(100, 600))))
+    });
+    g.finish();
+}
+
+#[allow(clippy::type_complexity)]
+fn chain_query(
+    n: usize,
+) -> (
+    payless_sql::AnalyzedQuery,
+    StatsRegistry,
+    SemanticStore,
+    HashMap<String, u64>,
+) {
+    let mut catalog = MapCatalog::new();
+    let mut stats = StatsRegistry::new();
+    let mut store = SemanticStore::new();
+    let mut meta = HashMap::new();
+    for i in 0..n {
+        let schema = Schema::new(
+            format!("C{i}"),
+            vec![
+                Column::free("a", Domain::int(0, 999)),
+                Column::free("b", Domain::int(0, 999)),
+            ],
+        );
+        catalog.add(schema.clone(), TableLocation::Market);
+        stats.register(&schema, 10_000);
+        store.register(QuerySpace::of(&schema));
+        meta.insert(schema.table.to_string(), 100u64);
+    }
+    let tables: Vec<String> = (0..n).map(|i| format!("C{i}")).collect();
+    let joins: Vec<String> = (0..n - 1)
+        .map(|i| format!("C{i}.b = C{}.a", i + 1))
+        .collect();
+    let sql = format!(
+        "SELECT * FROM {} WHERE {}",
+        tables.join(", "),
+        joins.join(" AND ")
+    );
+    let q = analyze(&parse(&sql).unwrap(), &catalog).unwrap();
+    (q, stats, store, meta)
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_dp");
+    for n in [3usize, 5, 7] {
+        let (q, stats, store, meta) = chain_query(n);
+        g.bench_with_input(BenchmarkId::new("left_deep", n), &q, |b, q| {
+            b.iter(|| {
+                black_box(
+                    optimize(
+                        q,
+                        &stats,
+                        &store,
+                        &meta,
+                        &OptimizerConfig::payless_no_sqr(),
+                        0,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bushy", n), &q, |b, q| {
+            b.iter(|| {
+                black_box(
+                    optimize(q, &stats, &store, &meta, &OptimizerConfig::disable_all(), 0).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_frontend");
+    let sql = "SELECT City, AVG(Temperature) FROM Pollution, Station, Weather, ZipMap \
+               WHERE Station.Country = Weather.Country = ? AND \
+               Weather.Date >= ? AND Weather.Date <= ? AND Pollution.Rank <= ? AND \
+               Pollution.ZipCode = ZipMap.ZipCode AND ZipMap.City = Station.City AND \
+               Station.StationID = Weather.StationID GROUP BY City";
+    g.bench_function("parse_q5_style", |b| {
+        b.iter(|| black_box(parse(sql).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_market(c: &mut Criterion) {
+    let mut g = c.benchmark_group("market");
+    let schema = Schema::new(
+        "T",
+        vec![
+            Column::free("k", Domain::int(0, 9_999)),
+            Column::free("c", Domain::categorical(["a", "b", "c", "d"])),
+            Column::output("v", Domain::int(0, 1_000_000)),
+        ],
+    );
+    let rows = (0..50_000i64)
+        .map(|i| row!(i % 10_000, ["a", "b", "c", "d"][(i % 4) as usize], i))
+        .collect();
+    let market = DataMarket::new(vec![Dataset::new("DS")
+        .with_page_size(100)
+        .with_table(MarketTable::new(schema, rows))]);
+    g.bench_function("point_lookup", |b| {
+        b.iter(|| {
+            black_box(
+                market
+                    .get(&Request::to("T").with("k", Constraint::eq(1234)))
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("range_scan_10pct", |b| {
+        b.iter(|| {
+            black_box(
+                market
+                    .get(&Request::to("T").with("k", Constraint::range(0, 999)))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geometry,
+    bench_rewrite,
+    bench_set_cover,
+    bench_histogram,
+    bench_optimizer,
+    bench_sql,
+    bench_market
+);
+criterion_main!(benches);

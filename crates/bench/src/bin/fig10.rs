@@ -1,0 +1,67 @@
+//! Figure 10 — overall effectiveness: cumulative data-market transactions
+//! vs. number of issued queries, for PayLess, PayLess w/o SQR, Minimizing
+//! Calls, and Download All, on (a) real data, (b) TPC-H, (c) TPC-H skew.
+//!
+//! Scale knobs (env): `PAYLESS_REPS` (default 5), `PAYLESS_Q_REAL`
+//! (instances per real template, paper: 200), `PAYLESS_Q_TPCH` (paper: 10),
+//! `PAYLESS_SCALE_REAL`, `PAYLESS_SCALE_TPCH`.
+
+use payless_bench::{env_f64, env_usize, print_cumulative, run_mode, RunConfig};
+use payless_core::Mode;
+use payless_workload::{RealWorkload, Tpch, TpchConfig, WhwConfig};
+
+fn main() {
+    let reps = env_usize("PAYLESS_REPS", 5);
+    let modes = [
+        (Mode::PayLess, "PayLess"),
+        (Mode::PayLessNoSqr, "PayLess w/o SQR"),
+        (Mode::MinCalls, "Minimizing Calls"),
+        (Mode::DownloadAll, "Download All"),
+    ];
+
+    // (a) Real data.
+    {
+        let scale = env_f64("PAYLESS_SCALE_REAL", 0.05);
+        let q = env_usize("PAYLESS_Q_REAL", 40);
+        let workload = RealWorkload::generate(&WhwConfig::scaled(scale));
+        let cfg = RunConfig {
+            queries_per_template: q,
+            repetitions: reps,
+            ..Default::default()
+        };
+        let runs: Vec<_> = modes
+            .iter()
+            .map(|(m, name)| run_mode(&workload, *m, name, &cfg))
+            .collect();
+        print_cumulative(
+            &format!("Figure 10a: real data (scale {scale}, q = {q}, {reps} reps)"),
+            &runs,
+        );
+    }
+
+    // (b) TPC-H uniform and (c) TPC-H skew.
+    let scale = env_f64("PAYLESS_SCALE_TPCH", 0.001);
+    let q = env_usize("PAYLESS_Q_TPCH", 10);
+    for (label, tc) in [
+        ("Figure 10b: TPC-H", TpchConfig::uniform(scale)),
+        (
+            "Figure 10c: TPC-H skew (zipf = 1)",
+            TpchConfig::skewed(scale),
+        ),
+    ] {
+        let workload = Tpch::generate(&tc);
+        let cfg = RunConfig {
+            queries_per_template: q,
+            repetitions: reps,
+            ..Default::default()
+        };
+        let runs: Vec<_> = modes
+            .iter()
+            .map(|(m, name)| run_mode(&workload, *m, name, &cfg))
+            .collect();
+        print_cumulative(
+            &format!("{label} (scale {scale}, q = {q}, {reps} reps)"),
+            &runs,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 11 — influence of the number of tuples per transaction `t`:
+//! PayLess vs. Download All at t ∈ {50, 100, 500}, on real data, TPC-H, and
+//! TPC-H skew.
+
+use payless_bench::{env_f64, env_usize, print_cumulative, run_mode, RunConfig};
+use payless_core::Mode;
+use payless_workload::{QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig};
+
+fn sweep(label: &str, workload: &(dyn QueryWorkload + Sync), q: usize, reps: usize) {
+    for t in [50u64, 100, 500] {
+        let cfg = RunConfig {
+            page_size: t,
+            queries_per_template: q,
+            repetitions: reps,
+            ..Default::default()
+        };
+        let runs = vec![
+            run_mode(workload, Mode::PayLess, &format!("PayLess t={t}"), &cfg),
+            run_mode(
+                workload,
+                Mode::DownloadAll,
+                &format!("DownloadAll t={t}"),
+                &cfg,
+            ),
+        ];
+        print_cumulative(&format!("{label}, t = {t} (q = {q}, {reps} reps)"), &runs);
+    }
+}
+
+fn main() {
+    let reps = env_usize("PAYLESS_REPS", 5);
+    let real = RealWorkload::generate(&WhwConfig::scaled(env_f64("PAYLESS_SCALE_REAL", 0.05)));
+    sweep(
+        "Figure 11a: real data",
+        &real,
+        env_usize("PAYLESS_Q_REAL", 40),
+        reps,
+    );
+    let scale = env_f64("PAYLESS_SCALE_TPCH", 0.001);
+    let tpch = Tpch::generate(&TpchConfig::uniform(scale));
+    sweep(
+        "Figure 11b: TPC-H",
+        &tpch,
+        env_usize("PAYLESS_Q_TPCH", 10),
+        reps,
+    );
+    let skew = Tpch::generate(&TpchConfig::skewed(scale));
+    sweep(
+        "Figure 11c: TPC-H skew",
+        &skew,
+        env_usize("PAYLESS_Q_TPCH", 10),
+        reps,
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 13 — influence of data size: PayLess vs. Download All on TPC-H
+//! and TPC-H skew at D ∈ {0.5G, 1G, 2G}.
+//!
+//! The paper's absolute sizes don't fit a unit-test-speed harness; we map
+//! `D = 1G` to a base scale factor (`PAYLESS_SCALE_TPCH`, default 0.001)
+//! and sweep {0.5x, 1x, 2x}, which preserves the figure's shape: Download
+//! All's upfront cost scales with D while PayLess's curve scales with what
+//! the queries touch.
+
+use payless_bench::{env_f64, env_usize, print_cumulative, run_mode, RunConfig};
+use payless_core::Mode;
+use payless_workload::{Tpch, TpchConfig};
+
+fn main() {
+    let reps = env_usize("PAYLESS_REPS", 5);
+    let q = env_usize("PAYLESS_Q_TPCH", 10);
+    let base = env_f64("PAYLESS_SCALE_TPCH", 0.001);
+    for skewed in [false, true] {
+        for mult in [0.5, 1.0, 2.0] {
+            let scale = base * mult;
+            let tc = if skewed {
+                TpchConfig::skewed(scale)
+            } else {
+                TpchConfig::uniform(scale)
+            };
+            let workload = Tpch::generate(&tc);
+            let cfg = RunConfig {
+                queries_per_template: q,
+                repetitions: reps,
+                ..Default::default()
+            };
+            let runs = vec![
+                run_mode(
+                    &workload,
+                    Mode::PayLess,
+                    &format!("PayLess D={mult}G"),
+                    &cfg,
+                ),
+                run_mode(
+                    &workload,
+                    Mode::DownloadAll,
+                    &format!("DownloadAll D={mult}G"),
+                    &cfg,
+                ),
+            ];
+            let label = if skewed {
+                format!("Figure 13b: TPC-H skew, D = {mult}x base")
+            } else {
+                format!("Figure 13a: TPC-H, D = {mult}x base")
+            };
+            print_cumulative(&format!("{label} (q = {q}, {reps} reps)"), &runs);
+        }
+    }
+}

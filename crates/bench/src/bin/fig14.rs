@@ -1,0 +1,56 @@
+//! Figure 14 — effectiveness of the search-space reduction techniques:
+//! average number of candidate (sub)plans evaluated per query, for PayLess,
+//! Disable SQR, and Disable All (SQR + Theorems 1-3 all off), as the number
+//! of query instances per template varies.
+
+use payless_bench::{env_f64, env_usize, run_mode, RunConfig};
+use payless_core::Mode;
+use payless_workload::{QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig};
+
+fn sweep(label: &str, workload: &(dyn QueryWorkload + Sync), qs: &[usize], reps: usize) {
+    println!("\n==== {label} ====");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "q", "PayLess", "Disable SQR", "Disable All"
+    );
+    for &q in qs {
+        let cfg = RunConfig {
+            queries_per_template: q,
+            repetitions: reps,
+            ..Default::default()
+        };
+        let payless = run_mode(workload, Mode::PayLess, "PayLess", &cfg);
+        let no_sqr = run_mode(workload, Mode::PayLessNoSqr, "Disable SQR", &cfg);
+        let all = run_mode(workload, Mode::DisableAll, "Disable All", &cfg);
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>14.2}",
+            q, payless.avg_plans, no_sqr.avg_plans, all.avg_plans
+        );
+    }
+}
+
+fn main() {
+    let reps = env_usize("PAYLESS_REPS", 5);
+    let real = RealWorkload::generate(&WhwConfig::scaled(env_f64("PAYLESS_SCALE_REAL", 0.05)));
+    sweep(
+        "Figure 14a: avg # evaluated (sub)plans, real data",
+        &real,
+        &[20, 40, 60],
+        reps,
+    );
+    let scale = env_f64("PAYLESS_SCALE_TPCH", 0.001);
+    let tpch = Tpch::generate(&TpchConfig::uniform(scale));
+    sweep(
+        "Figure 14b: avg # evaluated (sub)plans, TPC-H",
+        &tpch,
+        &[5, 10, 20],
+        reps,
+    );
+    let skew = Tpch::generate(&TpchConfig::skewed(scale));
+    sweep(
+        "Figure 14c: avg # evaluated (sub)plans, TPC-H skew",
+        &skew,
+        &[5, 10, 20],
+        reps,
+    );
+}

@@ -1,0 +1,334 @@
+//! The shell's command dispatcher (testable, no I/O).
+
+use std::sync::Arc;
+
+use payless_core::{build_market, DataMarket, PayLess, PayLessConfig};
+use payless_workload::{
+    Finance, FinanceConfig, QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig,
+};
+
+use crate::args::{CliArgs, WorkloadKind};
+use crate::render::render_table;
+
+/// What the shell should do with a command's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Print this text and continue.
+    Text(String),
+    /// Print (maybe) and exit the loop.
+    Quit(String),
+}
+
+/// One interactive session.
+pub struct App {
+    market: Arc<DataMarket>,
+    session: PayLess,
+    session_file: Option<String>,
+}
+
+impl App {
+    /// Build a session from parsed arguments: generate the workload, stand
+    /// up the market, install PayLess, register local tables, and load a
+    /// saved session when present.
+    pub fn new(args: &CliArgs) -> Result<App, String> {
+        let (market, local_tables): (Arc<DataMarket>, Vec<payless_storage::LocalTable>) =
+            match args.workload {
+                WorkloadKind::Whw => {
+                    let w = RealWorkload::generate(&WhwConfig::scaled(args.scale));
+                    (
+                        Arc::new(build_market(&w, args.page_size)),
+                        w.local_tables().to_vec(),
+                    )
+                }
+                WorkloadKind::Tpch => {
+                    let w = Tpch::generate(&TpchConfig::uniform(args.scale));
+                    (
+                        Arc::new(build_market(&w, args.page_size)),
+                        w.local_tables().to_vec(),
+                    )
+                }
+                WorkloadKind::TpchSkew => {
+                    let w = Tpch::generate(&TpchConfig::skewed(args.scale));
+                    (
+                        Arc::new(build_market(&w, args.page_size)),
+                        w.local_tables().to_vec(),
+                    )
+                }
+                WorkloadKind::Finance => {
+                    let w = Finance::generate(&FinanceConfig::default());
+                    (
+                        Arc::new(build_market(&w, args.page_size)),
+                        w.local_tables().to_vec(),
+                    )
+                }
+            };
+        let cfg = PayLessConfig::mode(args.mode);
+        let mut session = match &args.session_file {
+            Some(path) if std::path::Path::new(path).exists() => {
+                let json = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading session `{path}`: {e}"))?;
+                PayLess::from_json(market.clone(), cfg, &json)
+                    .map_err(|e| format!("loading session `{path}`: {e}"))?
+            }
+            _ => PayLess::new(market.clone(), cfg),
+        };
+        for t in local_tables {
+            session.register_local(t);
+        }
+        Ok(App {
+            market,
+            session,
+            session_file: args.session_file.clone(),
+        })
+    }
+
+    /// Greeting shown when the shell starts.
+    pub fn banner(&self) -> String {
+        let mut s = String::from("PayLess shell — type SQL, or \\help for commands.\n\n");
+        s.push_str(&self.tables_text());
+        s
+    }
+
+    fn tables_text(&self) -> String {
+        let mut s = String::from("Market tables:\n");
+        for name in self.market.table_names() {
+            s.push_str(&format!(
+                "  {:<10} {:>9} rows   {}\n",
+                name,
+                self.market.cardinality(&name).unwrap_or(0),
+                self.market
+                    .schema(&name)
+                    .map(|sc| sc.binding_pattern().to_string())
+                    .unwrap_or_default(),
+            ));
+        }
+        s
+    }
+
+    fn bill_text(&self) -> String {
+        let bill = self.market.bill();
+        let mut s = format!(
+            "Total: {} transactions over {} calls ({} records)\n",
+            bill.transactions(),
+            bill.calls(),
+            bill.records()
+        );
+        let mut names: Vec<_> = bill.by_table.keys().cloned().collect();
+        names.sort();
+        for n in names {
+            let t = &bill.by_table[&n];
+            s.push_str(&format!(
+                "  {:<10} {:>8} txns  {:>6} calls  {:>9} records\n",
+                n, t.transactions, t.calls, t.records
+            ));
+        }
+        s
+    }
+
+    fn save(&self, path: &str) -> Result<String, String> {
+        let json = self
+            .session
+            .to_json()
+            .map_err(|e| format!("serializing session: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("writing `{path}`: {e}"))?;
+        Ok(format!("session saved to {path} ({} bytes)", json.len()))
+    }
+
+    /// Handle one input line; `Reply::Quit` ends the loop.
+    pub fn handle(&mut self, line: &str) -> Reply {
+        let line = line.trim();
+        if line.is_empty() {
+            return Reply::Text(String::new());
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            let (head, rest) = match cmd.split_once(char::is_whitespace) {
+                Some((h, r)) => (h, r.trim()),
+                None => (cmd, ""),
+            };
+            return match head {
+                "q" | "quit" | "exit" => {
+                    let msg = match &self.session_file {
+                        Some(path) => self.save(path).unwrap_or_else(|e| format!("warning: {e}")),
+                        None => String::new(),
+                    };
+                    Reply::Quit(msg)
+                }
+                "help" => Reply::Text(crate::args::USAGE.to_string()),
+                "tables" => Reply::Text(self.tables_text()),
+                "bill" => Reply::Text(self.bill_text()),
+                "history" => {
+                    let mut s = String::new();
+                    for h in self.session.history().iter().rev().take(20) {
+                        s.push_str(&format!(
+                            "t{:<4} paid {:>5} (est {:>7.1}) rows {:>6}  {}\n",
+                            h.at,
+                            h.paid,
+                            h.est_cost,
+                            h.rows,
+                            truncate(&h.summary, 70),
+                        ));
+                    }
+                    if s.is_empty() {
+                        s = "no queries yet\n".into();
+                    }
+                    Reply::Text(s)
+                }
+                "coverage" => {
+                    let mut s = String::from("Semantic-store coverage:\n");
+                    for name in self.market.table_names() {
+                        s.push_str(&format!(
+                            "  {:<10} {:>6.1}%  ({} stored view boxes)\n",
+                            name,
+                            self.session.store().coverage_fraction(&name) * 100.0,
+                            self.session.store().view_count(&name),
+                        ));
+                    }
+                    Reply::Text(s)
+                }
+                "explain" => {
+                    if rest.is_empty() {
+                        return Reply::Text("usage: \\explain <SQL>".into());
+                    }
+                    match self.session.explain(rest) {
+                        Ok((plan, cost)) => {
+                            Reply::Text(format!("plan: {plan}\nestimated cost: {cost:.1}"))
+                        }
+                        Err(e) => Reply::Text(format!("error: {e}")),
+                    }
+                }
+                "save" => {
+                    if rest.is_empty() {
+                        return Reply::Text("usage: \\save <file>".into());
+                    }
+                    Reply::Text(self.save(rest).unwrap_or_else(|e| format!("error: {e}")))
+                }
+                other => Reply::Text(format!("unknown command `\\{other}` (try \\help)")),
+            };
+        }
+        // Plain SQL.
+        let before = self.market.bill().transactions();
+        match self.session.query(line) {
+            Ok(out) => {
+                let mut s = render_table(&out.result);
+                let paid = self.market.bill().transactions() - before;
+                s.push_str(&format!(
+                    "paid {paid} transactions (estimated {:.1}); plan: {}\n",
+                    out.est_cost,
+                    out.plan.as_deref().unwrap_or("-")
+                ));
+                Reply::Text(s)
+            }
+            Err(e) => Reply::Text(format!("error: {e}")),
+        }
+    }
+}
+
+/// Clip a string for one-line display.
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> App {
+        App::new(&CliArgs {
+            scale: 0.01,
+            ..CliArgs::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn banner_lists_tables() {
+        let a = app();
+        let b = a.banner();
+        assert!(b.contains("Station"));
+        assert!(b.contains("Weather"));
+        assert!(b.contains("Pollution"));
+    }
+
+    #[test]
+    fn sql_round_trip_and_bill() {
+        let mut a = app();
+        let r = a.handle("SELECT COUNT(*) FROM Station WHERE Country = 'Country0'");
+        match r {
+            Reply::Text(s) => {
+                assert!(s.contains("COUNT(*)"), "{s}");
+                assert!(s.contains("paid"), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match a.handle("\\bill") {
+            Reply::Text(s) => assert!(s.contains("transactions over"), "{s}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_does_not_charge() {
+        let mut a = app();
+        let before = a.market.bill().transactions();
+        match a.handle("\\explain SELECT * FROM Weather WHERE Weather.Country = 'Country0'") {
+            Reply::Text(s) => assert!(s.contains("plan:"), "{s}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a.market.bill().transactions(), before);
+    }
+
+    #[test]
+    fn sql_errors_are_reported_not_fatal() {
+        let mut a = app();
+        match a.handle("SELEKT oops") {
+            Reply::Text(s) => assert!(s.starts_with("error:"), "{s}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_quit() {
+        let mut a = app();
+        assert!(matches!(a.handle("\\frobnicate"), Reply::Text(_)));
+        assert!(matches!(a.handle("\\quit"), Reply::Quit(_)));
+        assert!(matches!(a.handle("   "), Reply::Text(ref s) if s.is_empty()));
+    }
+
+    #[test]
+    fn save_and_reload_session_file() {
+        let dir = std::env::temp_dir().join(format!("payless-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.json");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut a = App::new(&CliArgs {
+            scale: 0.01,
+            session_file: Some(path_str.clone()),
+            ..CliArgs::default()
+        })
+        .unwrap();
+        a.handle("SELECT * FROM Weather WHERE Weather.Country = 'Country0' AND Weather.Date >= 1 AND Weather.Date <= 3");
+        let paid = a.market.bill().transactions();
+        assert!(paid > 0);
+        match a.handle("\\quit") {
+            Reply::Quit(msg) => assert!(msg.contains("session saved"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+
+        // Reload: same query must be answered from the restored store.
+        let mut b = App::new(&CliArgs {
+            scale: 0.01,
+            session_file: Some(path_str),
+            ..CliArgs::default()
+        })
+        .unwrap();
+        let before = b.market.bill().transactions();
+        b.handle("SELECT * FROM Weather WHERE Weather.Country = 'Country0' AND Weather.Date >= 1 AND Weather.Date <= 3");
+        assert_eq!(b.market.bill().transactions(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

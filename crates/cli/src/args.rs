@@ -1,0 +1,192 @@
+//! Hand-rolled argument parsing (no external CLI crates).
+
+use payless_core::Mode;
+
+/// Which demo workload backs the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Synthetic WHW/EHR weather data (the paper's "real data").
+    Whw,
+    /// TPC-H shaped, uniform values.
+    Tpch,
+    /// TPC-H shaped, zipf(1) skew.
+    TpchSkew,
+    /// Quote-reseller data with a mandatory-bound Symbol attribute.
+    Finance,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Backing workload.
+    pub workload: WorkloadKind,
+    /// Generator scale.
+    pub scale: f64,
+    /// Tuples per transaction.
+    pub page_size: u64,
+    /// System variant.
+    pub mode: Mode,
+    /// Session file to load on start (if it exists) and save on exit.
+    pub session_file: Option<String>,
+    /// One-shot SQL; when `None` the shell goes interactive.
+    pub sql: Option<String>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            workload: WorkloadKind::Whw,
+            scale: 0.02,
+            page_size: 100,
+            mode: Mode::PayLess,
+            session_file: None,
+            sql: None,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+payless — pay-less SQL over a simulated cloud data market
+
+USAGE:
+    payless [OPTIONS] [SQL]
+
+OPTIONS:
+    --workload <whw|tpch|tpch-skew|finance>
+                                      demo dataset (default: whw)
+    --scale <float>                   generator scale (default: 0.02)
+    --page <int>                      tuples per transaction t (default: 100)
+    --mode <payless|no-sqr|min-calls|download-all>
+                                      system variant (default: payless)
+    --session <file>                  load/save session state as JSON
+    -h, --help                        this text
+
+Without SQL, an interactive shell starts. Shell commands:
+    \\tables          list tables, access patterns, cardinalities
+    \\bill            the cumulative bill
+    \\coverage        per-table semantic-store coverage
+    \\history         recent queries with estimated vs actual cost
+    \\explain <SQL>   plan + estimated cost without executing
+    \\save <file>     persist the session
+    \\quit            exit (saving the session if --session was given)";
+
+/// Parse argv (excluding the program name).
+pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs::default();
+    let mut i = 0;
+    let mut positional: Vec<String> = Vec::new();
+    while i < argv.len() {
+        let arg = &argv[i];
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after `{arg}`"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--workload" => {
+                out.workload = match take_value(&mut i)?.as_str() {
+                    "whw" => WorkloadKind::Whw,
+                    "tpch" => WorkloadKind::Tpch,
+                    "tpch-skew" => WorkloadKind::TpchSkew,
+                    "finance" => WorkloadKind::Finance,
+                    other => return Err(format!("unknown workload `{other}`")),
+                };
+            }
+            "--scale" => {
+                out.scale = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if out.scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--page" => {
+                out.page_size = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --page: {e}"))?;
+                if out.page_size == 0 {
+                    return Err("--page must be positive".into());
+                }
+            }
+            "--mode" => {
+                out.mode = match take_value(&mut i)?.as_str() {
+                    "payless" => Mode::PayLess,
+                    "no-sqr" => Mode::PayLessNoSqr,
+                    "min-calls" => Mode::MinCalls,
+                    "download-all" => Mode::DownloadAll,
+                    other => return Err(format!("unknown mode `{other}`")),
+                };
+            }
+            "--session" => out.session_file = Some(take_value(&mut i)?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"))
+            }
+            _ => positional.push(arg.clone()),
+        }
+        i += 1;
+    }
+    if !positional.is_empty() {
+        out.sql = Some(positional.join(" "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a, CliArgs::default());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse_args(&argv(&[
+            "--workload",
+            "tpch-skew",
+            "--scale",
+            "0.5",
+            "--page",
+            "50",
+            "--mode",
+            "min-calls",
+            "--session",
+            "state.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.workload, WorkloadKind::TpchSkew);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.page_size, 50);
+        assert_eq!(a.mode, Mode::MinCalls);
+        assert_eq!(a.session_file.as_deref(), Some("state.json"));
+        assert!(a.sql.is_none());
+    }
+
+    #[test]
+    fn positional_sql_joins_words() {
+        let a = parse_args(&argv(&["SELECT", "*", "FROM", "Station"])).unwrap();
+        assert_eq!(a.sql.as_deref(), Some("SELECT * FROM Station"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_args(&argv(&["--workload"])).is_err());
+        assert!(parse_args(&argv(&["--workload", "excel"])).is_err());
+        assert!(parse_args(&argv(&["--scale", "-2"])).is_err());
+        assert!(parse_args(&argv(&["--page", "0"])).is_err());
+        assert!(parse_args(&argv(&["--mode", "turbo"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+        // --help "errors" with the usage text.
+        let err = parse_args(&argv(&["--help"])).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

@@ -1,0 +1,22 @@
+//! The PayLess shell: an interactive SQL console over a simulated data
+//! market — the "web form" front end of the paper's Figure 2, for humans.
+//!
+//! ```text
+//! $ payless --workload whw --scale 0.05
+//! payless> SELECT COUNT(*) FROM Station WHERE Country = 'Country3'
+//! ...
+//! payless> \bill
+//! ```
+//!
+//! The binary lives in `main.rs`; everything here is library code so the
+//! argument parser, command dispatcher and table renderer are unit-testable.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod args;
+pub mod render;
+
+pub use app::{App, Reply};
+pub use args::{CliArgs, WorkloadKind};
+pub use render::render_table;

@@ -1,0 +1,61 @@
+//! The `payless` binary: parse arguments, run one-shot SQL or the REPL.
+
+use std::io::{BufRead, Write};
+
+use payless_cli::{App, CliArgs, Reply};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args: CliArgs = match payless_cli::args::parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.contains("USAGE") { 0 } else { 2 });
+        }
+    };
+    let mut app = match App::new(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // One-shot mode.
+    if let Some(sql) = &args.sql {
+        match app.handle(sql) {
+            Reply::Text(s) | Reply::Quit(s) => println!("{s}"),
+        }
+        return;
+    }
+
+    // Interactive shell.
+    println!("{}", app.banner());
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("payless> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match app.handle(&line) {
+                Reply::Text(s) => {
+                    if !s.is_empty() {
+                        println!("{s}");
+                    }
+                }
+                Reply::Quit(s) => {
+                    if !s.is_empty() {
+                        println!("{s}");
+                    }
+                    break;
+                }
+            },
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+    }
+}

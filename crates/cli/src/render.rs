@@ -1,0 +1,93 @@
+//! Plain-text table rendering.
+
+use payless_core::QueryResult;
+
+/// Maximum rows printed before truncation.
+pub const MAX_ROWS: usize = 40;
+
+/// Render a result as an aligned text table, truncating long results.
+pub fn render_table(result: &QueryResult) -> String {
+    let mut widths: Vec<usize> = result.columns.iter().map(|c| c.len()).collect();
+    let shown = result.rows.iter().take(MAX_ROWS);
+    let cells: Vec<Vec<String>> = shown
+        .map(|r| r.values().iter().map(|v| v.render().into_owned()).collect())
+        .collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() && c.len() > widths[i] {
+                widths[i] = c.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (c, w) in result.columns.iter().zip(&widths) {
+        out.push_str(&format!(" {c:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &cells {
+        out.push('|');
+        for (c, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    if result.rows.len() > MAX_ROWS {
+        out.push_str(&format!(
+            "({} rows, showing first {MAX_ROWS})\n",
+            result.rows.len()
+        ));
+    } else {
+        out.push_str(&format!("({} rows)\n", result.rows.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_types::row;
+
+    #[test]
+    fn renders_aligned_table() {
+        let r = QueryResult {
+            columns: vec!["City".into(), "AVG(Temperature)".into()],
+            rows: vec![row!("Seattle", 12), row!("B", 7)],
+        };
+        let s = render_table(&r);
+        assert!(s.contains("| City    | AVG(Temperature) |"), "{s}");
+        assert!(s.contains("| Seattle | 12               |"), "{s}");
+        assert!(s.ends_with("(2 rows)\n"), "{s}");
+    }
+
+    #[test]
+    fn truncates_long_results() {
+        let r = QueryResult {
+            columns: vec!["n".into()],
+            rows: (0..100).map(|i| row!(i)).collect(),
+        };
+        let s = render_table(&r);
+        assert!(s.contains("(100 rows, showing first 40)"), "{s}");
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![],
+        };
+        let s = render_table(&r);
+        assert!(s.contains("(0 rows)"));
+    }
+}

@@ -1,0 +1,807 @@
+//! The PayLess session: parser + optimizer + executor + stores, wired
+//! together exactly as in the paper's Figure 3.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use payless_exec::{ensure_downloaded, ExecConfig, Executor, QueryResult};
+use payless_geometry::QuerySpace;
+use payless_market::DataMarket;
+use payless_optimizer::{optimize, OptimizerConfig, PlanCounters, PlanNode};
+use payless_semantic::{Consistency, RewriteConfig, SemanticStore};
+use payless_sql::{analyze, parse, AnalyzedQuery, Catalog, MapCatalog, SelectStmt, TableLocation};
+use payless_stats::{StatsBackend, StatsRegistry};
+use payless_storage::{Database, LocalTable};
+use payless_types::{Result, Value};
+use payless_workload::QueryWorkload;
+
+/// Which system variant a session runs — the four lines of the paper's
+/// Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full PayLess: theorems + semantic query rewriting.
+    PayLess,
+    /// PayLess with semantic query rewriting disabled.
+    PayLessNoSqr,
+    /// The calls-minimizing optimizer of prior work (bushy plans, no SQR).
+    MinCalls,
+    /// Download every referenced market table up front, answer locally.
+    DownloadAll,
+    /// Ablation for Figure 14: SQR off *and* search-space pruning off
+    /// (exhaustive bushy enumeration).
+    DisableAll,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct PayLessConfig {
+    /// System variant.
+    pub mode: Mode,
+    /// Store-freshness policy (Section 4.3's consistency levels).
+    pub consistency: Consistency,
+    /// Algorithm 1 knobs.
+    pub rewrite: RewriteConfig,
+    /// Which updatable statistic backs cardinality estimation (the paper's
+    /// "amenable for any updatable statistic" knob).
+    pub stats_backend: StatsBackend,
+}
+
+impl Default for PayLessConfig {
+    fn default() -> Self {
+        PayLessConfig {
+            mode: Mode::PayLess,
+            consistency: Consistency::Weak,
+            rewrite: RewriteConfig::default(),
+            stats_backend: StatsBackend::default(),
+        }
+    }
+}
+
+impl PayLessConfig {
+    /// Configuration for a given mode with defaults elsewhere.
+    pub fn mode(mode: Mode) -> Self {
+        PayLessConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a query run reports besides its rows.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result relation.
+    pub result: QueryResult,
+    /// Rendered plan (`None` for unsatisfiable queries and Download All).
+    pub plan: Option<String>,
+    /// The optimizer's estimated cost (transactions or calls by mode).
+    pub est_cost: f64,
+    /// Search-effort counters for this query.
+    pub counters: PlanCounters,
+    /// Optimization wall time in nanoseconds.
+    pub optimize_nanos: u64,
+    /// Execution wall time in nanoseconds.
+    pub execute_nanos: u64,
+}
+
+/// The result of a batch run: per-query outcomes (original order) plus the
+/// execution order the scheduler chose.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One outcome per submitted query, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The order the queries were actually executed in.
+    pub execution_order: Vec<usize>,
+}
+
+/// One line of the session's query log.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// Logical time the query ran at.
+    pub at: u64,
+    /// The SQL (as rendered by the template; parameter-bound).
+    pub summary: String,
+    /// Rendered plan, if one was produced.
+    pub plan: Option<String>,
+    /// Estimated cost at optimization time.
+    pub est_cost: f64,
+    /// Actual transactions this query added to the bill.
+    pub paid: u64,
+    /// Rows returned.
+    pub rows: usize,
+}
+
+/// Everything a session has learned, for persistence across restarts.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SessionSnapshot {
+    /// Logical clock at capture time.
+    pub now: u64,
+    /// Local tables plus the mirror of every retrieved market tuple.
+    pub db: Database,
+    /// Semantic-store coverage (regions + freshness).
+    pub store: SemanticStore,
+    /// Refined statistics.
+    pub stats: StatsRegistry,
+}
+
+/// A PayLess installation at one data buyer.
+pub struct PayLess {
+    market: Arc<DataMarket>,
+    catalog: MapCatalog,
+    db: Database,
+    store: SemanticStore,
+    stats: StatsRegistry,
+    cfg: PayLessConfig,
+    /// Logical clock: advanced once per executed query; drives X-week
+    /// consistency windows.
+    now: u64,
+    /// Per-query log (not persisted in snapshots).
+    history: Vec<HistoryEntry>,
+}
+
+impl PayLess {
+    /// Install PayLess over a market: registers every hosted table's schema,
+    /// cardinality and query space (the "basic statistics" of Section 2.1).
+    pub fn new(market: Arc<DataMarket>, cfg: PayLessConfig) -> Self {
+        let mut catalog = MapCatalog::new();
+        let mut stats = StatsRegistry::new().with_backend(cfg.stats_backend);
+        let mut store = SemanticStore::new();
+        for name in market.table_names() {
+            let schema = market.schema(&name).expect("listed table").clone();
+            let cardinality = market.cardinality(&name).expect("listed table");
+            catalog.add(schema.clone(), TableLocation::Market);
+            stats.register(&schema, cardinality);
+            store.register(QuerySpace::of(&schema));
+        }
+        PayLess {
+            market,
+            catalog,
+            db: Database::new(),
+            store,
+            stats,
+            cfg,
+            now: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Register a table in the buyer's local DBMS.
+    pub fn register_local(&mut self, table: LocalTable) {
+        self.catalog.add(table.schema.clone(), TableLocation::Local);
+        self.stats.register(&table.schema, table.len() as u64);
+        self.db.register(table);
+    }
+
+    /// The market this session fronts.
+    pub fn market(&self) -> &DataMarket {
+        &self.market
+    }
+
+    /// Cumulative bill so far (the paper's headline metric).
+    pub fn bill(&self) -> payless_market::BillingReport {
+        self.market.bill()
+    }
+
+    /// The session's logical clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Read-only view of the refined statistics (for tooling and
+    /// experiments).
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Read-only view of the semantic store.
+    pub fn store(&self) -> &SemanticStore {
+        &self.store
+    }
+
+    /// The session's query log, oldest first.
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// Advance the logical clock by `ticks` (e.g. to simulate weeks passing
+    /// for X-week consistency experiments).
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.now += ticks;
+    }
+
+    /// Parse a (possibly parameterized) statement into a reusable template.
+    pub fn prepare(&self, sql: &str) -> Result<SelectStmt> {
+        parse(sql)
+    }
+
+    /// Parse, optimize, and execute a parameter-free SQL string.
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome> {
+        let stmt = self.prepare(sql)?;
+        self.execute_template(&stmt, &[])
+    }
+
+    /// Optimize a parameter-free SQL string *without executing it*: returns
+    /// the rendered plan and its estimated cost (transactions, or calls in
+    /// MinCalls mode). Nothing is fetched and nothing is charged.
+    pub fn explain(&self, sql: &str) -> Result<(String, f64)> {
+        let stmt = self.prepare(sql)?;
+        let bound = stmt.bind(&[])?;
+        let query = analyze(&bound, &self.catalog)?;
+        if query.unsatisfiable {
+            return Ok(("<unsatisfiable: empty result, no plan needed>".into(), 0.0));
+        }
+        let optimized = optimize(
+            &query,
+            &self.stats,
+            &self.store,
+            self.market.as_ref(),
+            &self.optimizer_config(),
+            self.now,
+        )?;
+        let names = |t: usize| query.tables[t].name.to_string();
+        Ok((optimized.plan.render(&names), optimized.cost.primary))
+    }
+
+    /// Bind `params` into a template, then optimize and execute it.
+    pub fn execute_template(
+        &mut self,
+        template: &SelectStmt,
+        params: &[Value],
+    ) -> Result<QueryOutcome> {
+        let bound = template.bind(params)?;
+        let query = analyze(&bound, &self.catalog)?;
+        let paid_before = self.market.bill().transactions();
+        let out = self.run(&query)?;
+        self.history.push(HistoryEntry {
+            at: self.now,
+            summary: bound.to_string(),
+            plan: out.plan.clone(),
+            est_cost: out.est_cost,
+            paid: self.market.bill().transactions() - paid_before,
+            rows: out.result.rows.len(),
+        });
+        Ok(out)
+    }
+
+    fn run(&mut self, query: &AnalyzedQuery) -> Result<QueryOutcome> {
+        self.now += 1;
+        let exec_cfg = ExecConfig {
+            sqr: matches!(self.cfg.mode, Mode::PayLess | Mode::DownloadAll),
+            rewrite: self.cfg.rewrite.clone(),
+            consistency: self.cfg.consistency,
+        };
+
+        // Unsatisfiable queries cost nothing.
+        if query.unsatisfiable {
+            let executor = Executor::new(
+                query,
+                &self.market,
+                &mut self.db,
+                &mut self.store,
+                &mut self.stats,
+                &exec_cfg,
+                self.now,
+            );
+            return Ok(QueryOutcome {
+                result: executor.empty_result()?,
+                plan: None,
+                est_cost: 0.0,
+                counters: PlanCounters::default(),
+                optimize_nanos: 0,
+                execute_nanos: 0,
+            });
+        }
+
+        // Download All: make every referenced market table local-complete
+        // first; the optimizer then finds a zero-cost plan.
+        if self.cfg.mode == Mode::DownloadAll {
+            for t in &query.tables {
+                if t.location == TableLocation::Market {
+                    ensure_downloaded(
+                        &t.schema,
+                        &self.market,
+                        &mut self.db,
+                        &mut self.store,
+                        &mut self.stats,
+                        self.now,
+                    )?;
+                }
+            }
+        }
+
+        let opt_cfg = self.optimizer_config();
+        let t0 = Instant::now();
+        let optimized = optimize(
+            query,
+            &self.stats,
+            &self.store,
+            self.market.as_ref(),
+            &opt_cfg,
+            self.now,
+        )?;
+        let optimize_nanos = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let mut executor = Executor::new(
+            query,
+            &self.market,
+            &mut self.db,
+            &mut self.store,
+            &mut self.stats,
+            &exec_cfg,
+            self.now,
+        );
+        let result = executor.execute(&optimized.plan)?;
+        let execute_nanos = t1.elapsed().as_nanos() as u64;
+
+        let names = |t: usize| query.tables[t].name.to_string();
+        Ok(QueryOutcome {
+            result,
+            plan: Some(render_plan(&optimized.plan, &names)),
+            est_cost: optimized.cost.primary,
+            counters: optimized.counters,
+            optimize_nanos,
+            execute_nanos,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-query (batch) optimization — the paper's future work
+    // ------------------------------------------------------------------
+
+    /// Execute a batch of queries in a cost-aware order.
+    ///
+    /// The paper's conclusion sketches this: "we will incorporate
+    /// multi-query optimization in PayLess if users are willing to defer
+    /// theirs to become a batch". The total money for a batch is the price
+    /// of the *union* of regions fetched plus per-call page-rounding
+    /// overhead; fetching large regions first lets smaller overlapping
+    /// queries ride for free instead of pre-fragmenting the space into many
+    /// partially-filled transactions. The scheduler therefore runs queries
+    /// in descending order of estimated retrieval volume (estimated cost as
+    /// tiebreak), re-using everything earlier queries stored.
+    ///
+    /// Results are returned in the *original* batch order, along with the
+    /// execution order chosen.
+    pub fn query_batch(&mut self, batch: &[(&SelectStmt, Vec<Value>)]) -> Result<BatchOutcome> {
+        // Estimate each query against the current store: (idx, records, cost).
+        let mut keyed: Vec<(usize, f64, f64)> = Vec::with_capacity(batch.len());
+        for (i, (stmt, params)) in batch.iter().enumerate() {
+            let bound = stmt.bind(params)?;
+            let query = analyze(&bound, &self.catalog)?;
+            if query.unsatisfiable {
+                keyed.push((i, 0.0, 0.0));
+                continue;
+            }
+            let opt = optimize(
+                &query,
+                &self.stats,
+                &self.store,
+                self.market.as_ref(),
+                &self.optimizer_config(),
+                self.now,
+            )?;
+            keyed.push((i, opt.cost.secondary, opt.cost.primary));
+        }
+        // Descending volume, then descending cost, then original order.
+        keyed.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.0.cmp(&b.0))
+        });
+        let execution_order: Vec<usize> = keyed.iter().map(|(i, _, _)| *i).collect();
+
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..batch.len()).map(|_| None).collect();
+        for &i in &execution_order {
+            let (stmt, params) = &batch[i];
+            outcomes[i] = Some(self.execute_template(stmt, params)?);
+        }
+        Ok(BatchOutcome {
+            outcomes: outcomes.into_iter().map(|o| o.expect("all ran")).collect(),
+            execution_order,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Session persistence
+    // ------------------------------------------------------------------
+
+    /// Capture everything the session has learned and retrieved: the local
+    /// mirror (all rows ever fetched), the semantic-store coverage, the
+    /// refined statistics, and the logical clock.
+    ///
+    /// PayLess "deliberately uses cheap storage space to store all
+    /// intermediate results" (Section 3) — a real installation persists this
+    /// state across restarts so the organization keeps the data it paid for.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            now: self.now,
+            db: self.db.clone(),
+            store: self.store.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuild a session from a snapshot. Tables present in the snapshot's
+    /// database but not hosted by the market are re-registered as local.
+    pub fn restore(market: Arc<DataMarket>, cfg: PayLessConfig, snapshot: SessionSnapshot) -> Self {
+        let mut pl = PayLess::new(market, cfg);
+        for name in snapshot.db.table_names() {
+            if pl.catalog.schema(&name).is_none() {
+                let table = snapshot.db.table(&name).expect("listed table");
+                pl.catalog.add(table.schema.clone(), TableLocation::Local);
+                pl.stats.register(&table.schema, table.len() as u64);
+            }
+        }
+        pl.db = snapshot.db;
+        pl.store = snapshot.store;
+        pl.stats = snapshot.stats;
+        pl.now = snapshot.now;
+        pl
+    }
+
+    /// Serialize the session state to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(&self.snapshot())
+            .map_err(|e| payless_types::PaylessError::Internal(format!("serialize: {e}")))
+    }
+
+    /// Restore a session from [`PayLess::to_json`] output.
+    pub fn from_json(market: Arc<DataMarket>, cfg: PayLessConfig, json: &str) -> Result<Self> {
+        let snapshot: SessionSnapshot = serde_json::from_str(json)
+            .map_err(|e| payless_types::PaylessError::Internal(format!("deserialize: {e}")))?;
+        Ok(Self::restore(market, cfg, snapshot))
+    }
+
+    fn optimizer_config(&self) -> OptimizerConfig {
+        let mut cfg = match self.cfg.mode {
+            Mode::PayLess | Mode::DownloadAll => OptimizerConfig::payless(),
+            Mode::PayLessNoSqr => OptimizerConfig::payless_no_sqr(),
+            Mode::MinCalls => OptimizerConfig::min_calls(),
+            Mode::DisableAll => OptimizerConfig::disable_all(),
+        };
+        cfg.rewrite = self.cfg.rewrite.clone();
+        cfg.consistency = self.cfg.consistency;
+        cfg
+    }
+}
+
+fn render_plan(plan: &PlanNode, names: &dyn Fn(usize) -> String) -> String {
+    plan.render(names)
+}
+
+/// Bundle a workload's market tables into a single-dataset [`DataMarket`]
+/// with the given page size `t` (tuples per transaction).
+pub fn build_market(workload: &(dyn QueryWorkload + '_), page_size: u64) -> DataMarket {
+    let mut dataset = payless_market::Dataset::new("market").with_page_size(page_size);
+    for t in workload.market_tables() {
+        dataset = dataset.with_table(t.clone());
+    }
+    DataMarket::new(vec![dataset])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_workload::{RealWorkload, WhwConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(mode: Mode) -> (Arc<DataMarket>, PayLess, RealWorkload) {
+        let workload = RealWorkload::generate(&WhwConfig {
+            stations: 48,
+            countries: 4,
+            cities_per_country: 3,
+            days: 60,
+            zips: 60,
+            ranks: 100,
+            seed: 3,
+        });
+        let market = Arc::new(build_market(&workload, 100));
+        let mut pl = PayLess::new(market.clone(), PayLessConfig::mode(mode));
+        for t in QueryWorkload::local_tables(&workload) {
+            pl.register_local(t.clone());
+        }
+        (market, pl, workload)
+    }
+
+    #[test]
+    fn simple_select_returns_rows_and_charges() {
+        let (market, mut pl, _) = session(Mode::PayLess);
+        let out = pl
+            .query(
+                "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                 Weather.Date >= 5 AND Weather.Date <= 9",
+            )
+            .unwrap();
+        // 12 stations per country x 5 days.
+        assert_eq!(out.result.rows.len(), 60);
+        assert!(market.bill().transactions() > 0);
+        assert!(out.plan.is_some());
+    }
+
+    #[test]
+    fn repeat_query_is_free_with_sqr() {
+        let (market, mut pl, _) = session(Mode::PayLess);
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                   Weather.Date >= 5 AND Weather.Date <= 9";
+        let first = pl.query(sql).unwrap();
+        let after_first = market.bill().transactions();
+        let second = pl.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), after_first);
+        assert_eq!(first.result, second.result);
+    }
+
+    #[test]
+    fn overlapping_query_fetches_only_remainder() {
+        let (market, mut pl, _) = session(Mode::PayLess);
+        pl.query(
+            "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+             Weather.Date >= 10 AND Weather.Date <= 29",
+        )
+        .unwrap();
+        let mid = market.bill();
+        // Extend the window on both sides: only days 5-9 and 30-34 are new.
+        let out = pl
+            .query(
+                "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                 Weather.Date >= 5 AND Weather.Date <= 34",
+            )
+            .unwrap();
+        assert_eq!(out.result.rows.len(), 12 * 30);
+        let added_records = market.bill().records() - mid.records();
+        assert_eq!(added_records, 12 * 10); // only the two remainder slices
+    }
+
+    #[test]
+    fn no_sqr_mode_pays_again() {
+        let (market, mut pl, _) = session(Mode::PayLessNoSqr);
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                   Weather.Date >= 5 AND Weather.Date <= 9";
+        pl.query(sql).unwrap();
+        let after_first = market.bill().transactions();
+        pl.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), 2 * after_first);
+    }
+
+    #[test]
+    fn download_all_pays_once_per_table() {
+        let (market, mut pl, _) = session(Mode::DownloadAll);
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                   Weather.Date >= 5 AND Weather.Date <= 9";
+        let out = pl.query(sql).unwrap();
+        assert_eq!(out.result.rows.len(), 60);
+        let full = market.bill().transactions();
+        // Whole Weather table: 48 stations x 60 days / page 100.
+        assert_eq!(full, (48u64 * 60).div_ceil(100));
+        pl.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), full);
+    }
+
+    #[test]
+    fn templates_and_params() {
+        let (_, mut pl, workload) = session(Mode::PayLess);
+        let mut rng = StdRng::seed_from_u64(1);
+        for (i, tmpl) in workload.templates().iter().enumerate() {
+            let stmt = pl.prepare(tmpl).unwrap();
+            let params = workload.sample_params(i, &mut rng);
+            let out = pl.execute_template(&stmt, &params).unwrap();
+            assert!(
+                !out.result.rows.is_empty(),
+                "template {i} returned empty for {params:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_query_shapes() {
+        let (_, mut pl, _) = session(Mode::PayLess);
+        let out = pl
+            .query(
+                "SELECT AVG(Temperature) FROM Station, Weather WHERE \
+                 Station.Country = Weather.Country = 'Country2' AND \
+                 Weather.Date >= 1 AND Weather.Date <= 10 AND \
+                 Station.StationID = Weather.StationID GROUP BY City",
+            )
+            .unwrap();
+        assert_eq!(out.result.columns, vec!["AVG(Temperature)".to_string()]);
+        // Country2 has 3 cities.
+        assert_eq!(out.result.rows.len(), 3);
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_free_and_empty() {
+        let (market, mut pl, _) = session(Mode::PayLess);
+        let out = pl
+            .query("SELECT * FROM Station WHERE City = 'City0' AND City = 'City1'")
+            .unwrap();
+        assert!(out.result.rows.is_empty());
+        assert!(out.plan.is_none());
+        assert_eq!(market.bill().transactions(), 0);
+    }
+
+    #[test]
+    fn min_calls_mode_runs_and_costs_more() {
+        let (mc_market, mut mc, workload) = session(Mode::MinCalls);
+        let (pl_market, mut pl, _) = session(Mode::PayLess);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        for (i, tmpl) in workload.templates().iter().enumerate() {
+            let stmt = mc.prepare(tmpl).unwrap();
+            for _ in 0..3 {
+                let p1 = workload.sample_params(i, &mut rng);
+                let p2 = workload.sample_params(i, &mut rng2);
+                assert_eq!(p1, p2);
+                let a = mc.execute_template(&stmt, &p1).unwrap();
+                let b = pl.execute_template(&stmt, &p2).unwrap();
+                // Same answers from both systems.
+                let mut ra = a.result.rows.clone();
+                let mut rb = b.result.rows.clone();
+                ra.sort();
+                rb.sort();
+                assert_eq!(ra, rb, "template {i} result mismatch");
+            }
+        }
+        assert!(
+            pl_market.bill().transactions() <= mc_market.bill().transactions(),
+            "PayLess {} should not exceed MinCalls {}",
+            pl_market.bill().transactions(),
+            mc_market.bill().transactions()
+        );
+    }
+
+    #[test]
+    fn strong_consistency_disables_reuse() {
+        let workload = RealWorkload::generate(&WhwConfig {
+            stations: 24,
+            countries: 2,
+            cities_per_country: 3,
+            days: 30,
+            zips: 40,
+            ranks: 100,
+            seed: 3,
+        });
+        let market = Arc::new(build_market(&workload, 100));
+        let cfg = PayLessConfig {
+            consistency: Consistency::Strong,
+            ..Default::default()
+        };
+        let mut pl = PayLess::new(market.clone(), cfg);
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country0' AND \
+                   Weather.Date >= 1 AND Weather.Date <= 5";
+        pl.query(sql).unwrap();
+        let first = market.bill().transactions();
+        pl.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), 2 * first);
+    }
+
+    #[test]
+    fn batch_runs_big_queries_first_and_saves_transactions() {
+        // Small ⊂ big with page rounding: small-first costs two partially
+        // filled transactions; big-first costs one full call, and the small
+        // query rides for free.
+        use payless_market::MarketTable;
+        use payless_types::{row, Column, Domain, Row, Schema};
+        let schema = Schema::new(
+            "R",
+            vec![
+                Column::free("a", Domain::int(0, 99)),
+                Column::output("v", Domain::int(0, 10_000)),
+            ],
+        );
+        let rows: Vec<Row> = (0..100).map(|i| row!(i as i64, i as i64)).collect();
+        let build = || {
+            Arc::new(DataMarket::new(vec![payless_market::Dataset::new("DS")
+                .with_page_size(100)
+                .with_table(MarketTable::new(schema.clone(), rows.clone()))]))
+        };
+        let small = "SELECT * FROM R WHERE a >= 0 AND a <= 49";
+        let big = "SELECT * FROM R WHERE a >= 0 AND a <= 99";
+
+        // Sequential in submission order (small first): 1 + 1 transactions.
+        let market_seq = build();
+        let mut seq = PayLess::new(market_seq.clone(), PayLessConfig::default());
+        seq.query(small).unwrap();
+        seq.query(big).unwrap();
+        assert_eq!(market_seq.bill().transactions(), 2);
+
+        // Batched: the scheduler runs `big` first; total is 1 transaction.
+        let market_batch = build();
+        let mut batch = PayLess::new(market_batch.clone(), PayLessConfig::default());
+        let s_small = batch.prepare(small).unwrap();
+        let s_big = batch.prepare(big).unwrap();
+        let out = batch
+            .query_batch(&[(&s_small, vec![]), (&s_big, vec![])])
+            .unwrap();
+        assert_eq!(out.execution_order, vec![1, 0]);
+        assert_eq!(market_batch.bill().transactions(), 1);
+        // Results come back in submission order.
+        assert_eq!(out.outcomes[0].result.rows.len(), 50);
+        assert_eq!(out.outcomes[1].result.rows.len(), 100);
+    }
+
+    #[test]
+    fn session_round_trips_through_json() {
+        let (market, mut pl, workload) = session(Mode::PayLess);
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                   Weather.Date >= 5 AND Weather.Date <= 9";
+        let first = pl.query(sql).unwrap();
+        let paid = market.bill().transactions();
+        let json = pl.to_json().unwrap();
+        drop(pl);
+
+        // A restored session reuses everything the old one paid for.
+        let mut restored =
+            PayLess::from_json(market.clone(), PayLessConfig::default(), &json).unwrap();
+        let again = restored.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), paid);
+        assert_eq!(first.result, again.result);
+        // Local tables survive too.
+        let zips = restored
+            .query("SELECT * FROM ZipMap WHERE City = 'City0'")
+            .unwrap();
+        let direct = workload.local_tables()[0]
+            .rows()
+            .iter()
+            .filter(|r| r.get(1).as_str() == Some("City0"))
+            .count();
+        assert_eq!(zips.result.rows.len(), direct);
+        assert_eq!(market.bill().transactions(), paid);
+    }
+
+    #[test]
+    fn snapshot_preserves_clock_for_window_consistency() {
+        let (market, _, workload) = session(Mode::PayLess);
+        let cfg = PayLessConfig {
+            consistency: Consistency::Window(3),
+            ..Default::default()
+        };
+        let mut pl = PayLess::new(market.clone(), cfg.clone());
+        for t in QueryWorkload::local_tables(&workload) {
+            pl.register_local(t.clone());
+        }
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country2' AND \
+                   Weather.Date >= 1 AND Weather.Date <= 5";
+        pl.query(sql).unwrap();
+        pl.advance_clock(10);
+        let snap = pl.snapshot();
+        assert!(snap.now >= 10);
+        let mut restored = PayLess::restore(market.clone(), cfg, snap);
+        // The stored view is stale relative to the restored clock; the query
+        // must pay again.
+        let before = market.bill().transactions();
+        restored.query(sql).unwrap();
+        assert!(market.bill().transactions() > before);
+    }
+
+    #[test]
+    fn window_consistency_expires_coverage() {
+        let workload = RealWorkload::generate(&WhwConfig {
+            stations: 24,
+            countries: 2,
+            cities_per_country: 3,
+            days: 30,
+            zips: 40,
+            ranks: 100,
+            seed: 3,
+        });
+        let market = Arc::new(build_market(&workload, 100));
+        let cfg = PayLessConfig {
+            consistency: Consistency::Window(5),
+            ..Default::default()
+        };
+        let mut pl = PayLess::new(market.clone(), cfg);
+        let sql = "SELECT * FROM Weather WHERE Weather.Country = 'Country0' AND \
+                   Weather.Date >= 1 AND Weather.Date <= 5";
+        pl.query(sql).unwrap();
+        let first = market.bill().transactions();
+        // Within the window: free.
+        pl.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), first);
+        // After the window: refetch.
+        pl.advance_clock(10);
+        pl.query(sql).unwrap();
+        assert_eq!(market.bill().transactions(), 2 * first);
+    }
+}

@@ -1,0 +1,198 @@
+//! The "Download All" baseline: fetch whole tables up front, answer locally.
+
+use payless_geometry::{Interval, QuerySpace, Region};
+use payless_market::{DataMarket, Request};
+use payless_semantic::SemanticStore;
+use payless_stats::StatsRegistry;
+use payless_storage::Database;
+use payless_types::{PaylessError, Result, Schema};
+
+/// Ensure `table` is fully downloaded into the local mirror.
+///
+/// Tables without mandatory bound attributes are fetched with one
+/// unconstrained call. Tables with bound attributes cannot be downloaded in
+/// one call: the downloader enumerates the bound attribute's domain, one
+/// call per value (the only way the access interface permits).
+///
+/// Idempotent: a table whose full region the store already covers is
+/// skipped, so the download is paid exactly once.
+pub fn ensure_downloaded(
+    table: &Schema,
+    market: &DataMarket,
+    db: &mut Database,
+    store: &mut SemanticStore,
+    stats: &mut StatsRegistry,
+    now: u64,
+) -> Result<()> {
+    let name = &table.table;
+    let space = stats
+        .table(name)
+        .map(|s| s.space().clone())
+        .ok_or_else(|| PaylessError::Internal(format!("no stats for `{name}`")))?;
+    let full = space.full_region();
+    if !store
+        .views(name, payless_semantic::Consistency::Weak, now)
+        .is_empty()
+        && full
+            .subtract_all(&store.views(name, payless_semantic::Consistency::Weak, now))
+            .is_empty()
+    {
+        return Ok(()); // already complete
+    }
+
+    // One call per combination of mandatory-bound attribute values.
+    let mandatory: Vec<usize> = table.mandatory_bindings().collect();
+    let pieces = enumerate_bound(&space, &full, &mandatory)?;
+    for piece in pieces {
+        let mut req = Request::to(name.clone());
+        let mut constrained: Vec<usize> = Vec::new();
+        for (col, c) in space.constraints_of(&piece) {
+            constrained.push(col);
+            req = req.with(table.columns[col].name.clone(), c);
+        }
+        // A numeric bound attribute spanning its whole domain still needs an
+        // explicit range constraint — the binding pattern demands a value.
+        for &col in &mandatory {
+            if !constrained.contains(&col) {
+                let d = space.dim_of_col(col).expect("bound column has a dim");
+                let iv = piece.dim(d);
+                req = req.with(
+                    table.columns[col].name.clone(),
+                    payless_types::Constraint::range(iv.lo, iv.hi),
+                );
+            }
+        }
+        let resp = market.get(&req)?;
+        let records = resp.records();
+        db.table_or_create(table).insert_all(resp.rows);
+        if let Some(ts) = stats.table_mut(name) {
+            ts.feedback(&piece, records);
+        }
+        store.record(name, piece, now);
+    }
+    Ok(())
+}
+
+/// Split the full region along mandatory dims, one point per value.
+///
+/// The access interface accepts a *range* for a numeric bound attribute, so
+/// numeric mandatory dims are satisfied by their full range in one piece;
+/// only categorical bound attributes force per-value calls.
+fn enumerate_bound(
+    space: &QuerySpace,
+    full: &Region,
+    mandatory_cols: &[usize],
+) -> Result<Vec<Region>> {
+    let mut pieces = vec![full.clone()];
+    for &col in mandatory_cols {
+        let d = space
+            .dim_of_col(col)
+            .ok_or_else(|| PaylessError::Internal("bound column without dim".into()))?;
+        if !space.dims()[d].is_categorical() {
+            // A numeric bound attribute can be bound with its whole range in
+            // a single call; nothing to split.
+            continue;
+        }
+        let mut next = Vec::new();
+        for piece in pieces {
+            let iv = piece.dim(d);
+            for v in iv.lo..=iv.hi {
+                let mut dims = piece.dims().to_vec();
+                dims[d] = Interval::point(v);
+                next.push(Region::new(dims));
+            }
+        }
+        pieces = next;
+        if pieces.len() > 100_000 {
+            return Err(PaylessError::Unsupported(
+                "bound-attribute domain too large to enumerate for Download All".into(),
+            ));
+        }
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_market::{Dataset, MarketTable};
+    use payless_types::{row, Column, Domain};
+
+    fn setup() -> (
+        DataMarket,
+        Database,
+        SemanticStore,
+        StatsRegistry,
+        Schema,
+        Schema,
+    ) {
+        let free_schema = Schema::new(
+            "Free",
+            vec![
+                Column::free("a", Domain::int(0, 9)),
+                Column::output("v", Domain::int(0, 99)),
+            ],
+        );
+        let bound_schema = Schema::new(
+            "Bound",
+            vec![
+                Column::bound("k", Domain::categorical(["x", "y", "z"])),
+                Column::output("v", Domain::int(0, 99)),
+            ],
+        );
+        let market = DataMarket::new(vec![Dataset::new("DS")
+            .with_page_size(10)
+            .with_table(MarketTable::new(
+                free_schema.clone(),
+                (0..30).map(|i| row!(i % 10, i)).collect(),
+            ))
+            .with_table(MarketTable::new(
+                bound_schema.clone(),
+                vec![row!("x", 1), row!("y", 2), row!("y", 3), row!("z", 4)],
+            ))]);
+        let db = Database::new();
+        let mut store = SemanticStore::new();
+        let mut stats = StatsRegistry::new();
+        for s in [&free_schema, &bound_schema] {
+            store.register(QuerySpace::of(s));
+            stats.register(s, market.cardinality(&s.table).unwrap());
+        }
+        (market, db, store, stats, free_schema, bound_schema)
+    }
+
+    #[test]
+    fn downloads_free_table_in_one_call() {
+        let (market, mut db, mut store, mut stats, free, _) = setup();
+        ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, 0).unwrap();
+        let bill = market.bill();
+        assert_eq!(bill.calls(), 1);
+        assert_eq!(bill.transactions(), 3); // 30 rows / page 10
+        assert_eq!(db.table("Free").unwrap().len(), 30);
+    }
+
+    #[test]
+    fn download_is_idempotent() {
+        let (market, mut db, mut store, mut stats, free, _) = setup();
+        for t in 0..3 {
+            ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, t).unwrap();
+        }
+        assert_eq!(market.bill().calls(), 1);
+    }
+
+    #[test]
+    fn bound_categorical_table_downloads_per_value() {
+        let (market, mut db, mut store, mut stats, _, bound) = setup();
+        ensure_downloaded(&bound, &market, &mut db, &mut store, &mut stats, 0).unwrap();
+        let bill = market.bill();
+        assert_eq!(bill.calls(), 3); // one per category
+        assert_eq!(db.table("Bound").unwrap().len(), 4);
+        // Store records full coverage.
+        let space = store.space("Bound").unwrap().clone();
+        assert!(store.covers(
+            "Bound",
+            &space.full_region(),
+            payless_semantic::Consistency::Weak,
+            1
+        ));
+    }
+}

@@ -1,0 +1,815 @@
+//! Plan interpretation.
+
+use std::collections::HashSet;
+
+use payless_geometry::{QuerySpace, Region};
+use payless_market::{DataMarket, Request};
+use payless_optimizer::cost::required_regions;
+use payless_optimizer::plan::{AccessMethod, PlanNode};
+use payless_semantic::{rewrite, Consistency, RewriteConfig, SemanticStore};
+use payless_sql::{AccessConstraint, AnalyzedQuery, OutputItem, ResidualPred, TableLocation};
+use payless_stats::StatsRegistry;
+use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec, Database};
+use payless_types::{PaylessError, Result, Row, Value};
+
+/// Execution-time configuration (mirrors the optimizer's).
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Reuse stored results (semantic query rewriting)?
+    pub sqr: bool,
+    /// Algorithm 1 knobs for execution-time rewriting.
+    pub rewrite: RewriteConfig,
+    /// Store-freshness policy.
+    pub consistency: Consistency,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            sqr: true,
+            rewrite: RewriteConfig::default(),
+            consistency: Consistency::Weak,
+        }
+    }
+}
+
+/// A query result: column headers plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+/// Executes one plan for one analyzed query.
+pub struct Executor<'a> {
+    query: &'a AnalyzedQuery,
+    market: &'a DataMarket,
+    db: &'a mut Database,
+    store: &'a mut SemanticStore,
+    stats: &'a mut StatsRegistry,
+    cfg: &'a ExecConfig,
+    now: u64,
+}
+
+impl<'a> Executor<'a> {
+    /// Assemble an executor. The same `db`/`store`/`stats` should be reused
+    /// across queries — that accumulation is what makes PayLess pay less.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        query: &'a AnalyzedQuery,
+        market: &'a DataMarket,
+        db: &'a mut Database,
+        store: &'a mut SemanticStore,
+        stats: &'a mut StatsRegistry,
+        cfg: &'a ExecConfig,
+        now: u64,
+    ) -> Self {
+        Executor {
+            query,
+            market,
+            db,
+            store,
+            stats,
+            cfg,
+            now,
+        }
+    }
+
+    /// Run the plan and produce the final result.
+    pub fn execute(&mut self, plan: &PlanNode) -> Result<QueryResult> {
+        let (rows, layout) = self.run(plan)?;
+        self.finish(rows, &layout)
+    }
+
+    /// The correct (empty) result of an unsatisfiable query, produced
+    /// without touching the market.
+    pub fn empty_result(&self) -> Result<QueryResult> {
+        let layout: Vec<usize> = (0..self.query.tables.len()).collect();
+        self.finish(Vec::new(), &layout)
+    }
+
+    // ------------------------------------------------------------------
+    // Plan interpretation
+    // ------------------------------------------------------------------
+
+    fn run(&mut self, node: &PlanNode) -> Result<(Vec<Row>, Vec<usize>)> {
+        match node {
+            PlanNode::Access { table, method } => self.run_access(*table, *method),
+            PlanNode::Join { left, right } => {
+                let (lrows, llay) = self.run(left)?;
+                let (rrows, rlay) = self.run(right)?;
+                let (lk, rk) = self.join_keys(&llay, &rlay);
+                let rows = hash_join(&lrows, &rrows, &lk, &rk);
+                let mut layout = llay;
+                layout.extend(rlay);
+                Ok((rows, layout))
+            }
+            PlanNode::BindJoin { left, table, binds } => {
+                let (lrows, llay) = self.run(left)?;
+                let rrows = self.run_bind_probe(*table, binds, &lrows, &llay)?;
+                let rlay = vec![*table];
+                let (lk, rk) = self.join_keys(&llay, &rlay);
+                debug_assert!(!lk.is_empty(), "bind join without join keys");
+                let rows = hash_join(&lrows, &rrows, &lk, &rk);
+                let mut layout = llay;
+                layout.push(*table);
+                Ok((rows, layout))
+            }
+        }
+    }
+
+    fn run_access(&mut self, tid: usize, method: AccessMethod) -> Result<(Vec<Row>, Vec<usize>)> {
+        let t = &self.query.tables[tid];
+        match method {
+            AccessMethod::Local => {
+                debug_assert_eq!(t.location, TableLocation::Local);
+                let rows = self
+                    .db
+                    .table(&t.name)?
+                    .rows()
+                    .iter()
+                    .filter(|r| satisfies_access(r, &t.access))
+                    .cloned()
+                    .collect();
+                Ok((rows, vec![tid]))
+            }
+            AccessMethod::Fetch => {
+                let space = self.space_of(tid)?;
+                let regions = required_regions(&space, &t.access)?;
+                for region in &regions {
+                    self.ensure_region(tid, &space, region)?;
+                }
+                let rows = self.mirror_rows_in(tid, &space, &regions)?;
+                Ok((rows, vec![tid]))
+            }
+        }
+    }
+
+    /// Make `region` of table `tid` locally complete: rewrite against the
+    /// store, issue the remainder calls, and do all bookkeeping.
+    fn ensure_region(&mut self, tid: usize, space: &QuerySpace, region: &Region) -> Result<()> {
+        let t = &self.query.tables[tid];
+        let page = self
+            .market
+            .page_size(&t.name)
+            .ok_or_else(|| PaylessError::UnknownTable(t.name.clone()))?;
+        let remainders: Vec<Region> = if self.cfg.sqr {
+            let views = self.store.views(&t.name, self.cfg.consistency, self.now);
+            let ts = self
+                .stats
+                .table(&t.name)
+                .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
+            rewrite(ts, page, region, &views, &self.cfg.rewrite).remainders
+        } else {
+            vec![region.clone()]
+        };
+        for rem in remainders {
+            let mut req = Request::to(t.name.clone());
+            for (col, c) in space.constraints_of(&rem) {
+                req = req.with(t.schema.columns[col].name.clone(), c);
+            }
+            let resp = self.market.get(&req)?;
+            let records = resp.records();
+            self.db.table_or_create(&t.schema).insert_all(resp.rows);
+            if let Some(ts) = self.stats.table_mut(&t.name) {
+                ts.feedback(&rem, records);
+            }
+            // Coverage is only ever *read* when rewriting is on; without SQR
+            // the store would grow unboundedly (one region per bind probe)
+            // for nothing.
+            if self.cfg.sqr {
+                self.store.record(&t.name, rem, self.now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Probe the market once per distinct binding combination and return the
+    /// matching right-side rows.
+    fn run_bind_probe(
+        &mut self,
+        tid: usize,
+        binds: &[payless_optimizer::plan::BindPair],
+        left_rows: &[Row],
+        left_layout: &[usize],
+    ) -> Result<Vec<Row>> {
+        let t = &self.query.tables[tid];
+        let space = self.space_of(tid)?;
+        let base_regions = required_regions(&space, &t.access)?;
+        let bind_dims: Vec<usize> = binds
+            .iter()
+            .map(|b| {
+                space.dim_of_col(b.right_col).ok_or_else(|| {
+                    PaylessError::Internal(format!(
+                        "bind column {} of `{}` is not constrainable",
+                        b.right_col, t.name
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let left_offsets: Vec<usize> = binds
+            .iter()
+            .map(|b| self.offset_of(left_layout, b.left.0, b.left.1))
+            .collect::<Result<Vec<_>>>()?;
+
+        // Distinct binding combinations, in first-seen order (determinism).
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        let mut combos: Vec<Vec<Value>> = Vec::new();
+        for row in left_rows {
+            let combo: Vec<Value> = left_offsets.iter().map(|&o| row.get(o).clone()).collect();
+            if seen.insert(combo.clone()) {
+                combos.push(combo);
+            }
+        }
+
+        for combo in &combos {
+            // Map the combo to coordinates; values outside the domain can
+            // never match, so no call is issued for them.
+            let mut coords = Vec::with_capacity(combo.len());
+            let mut valid = true;
+            for (v, &d) in combo.iter().zip(&bind_dims) {
+                match coord_of(&space, d, v) {
+                    Some(c) => coords.push(c),
+                    None => {
+                        valid = false;
+                        break;
+                    }
+                }
+            }
+            if !valid {
+                continue;
+            }
+            for base in &base_regions {
+                let mut dims = base.dims().to_vec();
+                let mut inside = true;
+                for (&d, &c) in bind_dims.iter().zip(&coords) {
+                    if !dims[d].contains_point(c) {
+                        inside = false;
+                        break;
+                    }
+                    dims[d] = payless_geometry::Interval::point(c);
+                }
+                if !inside {
+                    continue;
+                }
+                let probe = Region::new(dims);
+                self.ensure_region(tid, &space, &probe)?;
+            }
+        }
+
+        // Matching rows: bind values among the probed combos, inside a base
+        // region.
+        let rows = self
+            .db
+            .table(&t.name)
+            .map(|t| t.rows().to_vec())
+            .unwrap_or_default();
+        let bind_cols: Vec<usize> = binds.iter().map(|b| b.right_col).collect();
+        let out = rows
+            .into_iter()
+            .filter(|row| {
+                let combo: Vec<Value> = bind_cols.iter().map(|&c| row.get(c).clone()).collect();
+                seen.contains(&combo) && base_regions.iter().any(|r| row_in_region(&space, row, r))
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Rows of the table mirror inside any of `regions`.
+    fn mirror_rows_in(
+        &self,
+        tid: usize,
+        space: &QuerySpace,
+        regions: &[Region],
+    ) -> Result<Vec<Row>> {
+        let t = &self.query.tables[tid];
+        let Ok(table) = self.db.table(&t.name) else {
+            return Ok(Vec::new()); // nothing fetched (e.g. empty remainder)
+        };
+        Ok(table
+            .rows()
+            .iter()
+            .filter(|row| regions.iter().any(|r| row_in_region(space, row, r)))
+            .cloned()
+            .collect())
+    }
+
+    fn space_of(&self, tid: usize) -> Result<QuerySpace> {
+        let t = &self.query.tables[tid];
+        self.stats
+            .table(&t.name)
+            .map(|s| s.space().clone())
+            .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))
+    }
+
+    /// All equi-join keys between two layouts.
+    fn join_keys(&self, left: &[usize], right: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let mut lk = Vec::new();
+        let mut rk = Vec::new();
+        for e in &self.query.joins {
+            let (l, r) = if left.contains(&e.left.0) && right.contains(&e.right.0) {
+                (e.left, e.right)
+            } else if left.contains(&e.right.0) && right.contains(&e.left.0) {
+                (e.right, e.left)
+            } else {
+                continue;
+            };
+            lk.push(
+                self.offset_of(left, l.0, l.1)
+                    .expect("layout contains table"),
+            );
+            rk.push(
+                self.offset_of(right, r.0, r.1)
+                    .expect("layout contains table"),
+            );
+        }
+        (lk, rk)
+    }
+
+    /// Offset of `(tid, col)` within a concatenated-row layout.
+    fn offset_of(&self, layout: &[usize], tid: usize, col: usize) -> Result<usize> {
+        let mut off = 0;
+        for &t in layout {
+            if t == tid {
+                return Ok(off + col);
+            }
+            off += self.query.tables[t].schema.arity();
+        }
+        Err(PaylessError::Internal(format!(
+            "table {tid} not in layout {layout:?}"
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // Output shaping
+    // ------------------------------------------------------------------
+
+    fn finish(&self, rows: Vec<Row>, layout: &[usize]) -> Result<QueryResult> {
+        // Residual predicates.
+        let mut rows = rows;
+        for p in &self.query.residuals {
+            match p {
+                ResidualPred::CmpValue {
+                    table,
+                    col,
+                    op,
+                    value,
+                } => {
+                    let off = self.offset_of(layout, *table, *col)?;
+                    rows.retain(|r| op.eval(r.get(off), value));
+                }
+                ResidualPred::CmpCols {
+                    table,
+                    left,
+                    op,
+                    right,
+                } => {
+                    let lo = self.offset_of(layout, *table, *left)?;
+                    let ro = self.offset_of(layout, *table, *right)?;
+                    rows.retain(|r| op.eval(r.get(lo), r.get(ro)));
+                }
+            }
+        }
+
+        let columns = self.column_names();
+        let grouped = !self.query.group_by.is_empty() || self.query.has_aggregates();
+        let mut out_rows;
+        if grouped {
+            let keys: Vec<usize> = self
+                .query
+                .group_by
+                .iter()
+                .map(|&(t, c)| self.offset_of(layout, t, c))
+                .collect::<Result<Vec<_>>>()?;
+            let mut aggs = Vec::new();
+            for item in &self.query.output {
+                if let OutputItem::Agg { func, arg } = item {
+                    let col = match arg {
+                        Some((t, c)) => Some(self.offset_of(layout, *t, *c)?),
+                        None => None,
+                    };
+                    aggs.push(AggSpec { func: *func, col });
+                }
+            }
+            let mut agg_rows = aggregate(&rows, &keys, &aggs);
+            // ORDER BY must reference grouped columns.
+            if !self.query.order_by.is_empty() {
+                let order_keys: Vec<usize> = self
+                    .query
+                    .order_by
+                    .iter()
+                    .map(|tc| {
+                        self.query
+                            .group_by
+                            .iter()
+                            .position(|g| g == tc)
+                            .ok_or_else(|| {
+                                PaylessError::Unsupported(
+                                    "ORDER BY on a non-grouped column alongside aggregates".into(),
+                                )
+                            })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                sort_by(&mut agg_rows, &order_keys);
+            }
+            // Project output items from the `keys ++ aggs` shape.
+            let mut positions = Vec::with_capacity(self.query.output.len());
+            let mut agg_idx = 0usize;
+            for item in &self.query.output {
+                match item {
+                    OutputItem::Column { table, col } => {
+                        let pos = self
+                            .query
+                            .group_by
+                            .iter()
+                            .position(|g| g == &(*table, *col))
+                            .expect("analyzer enforced grouping");
+                        positions.push(pos);
+                    }
+                    OutputItem::Agg { .. } => {
+                        positions.push(keys.len() + agg_idx);
+                        agg_idx += 1;
+                    }
+                }
+            }
+            out_rows = project(&agg_rows, &positions);
+        } else {
+            if !self.query.order_by.is_empty() {
+                let order: Vec<usize> = self
+                    .query
+                    .order_by
+                    .iter()
+                    .map(|&(t, c)| self.offset_of(layout, t, c))
+                    .collect::<Result<Vec<_>>>()?;
+                sort_by(&mut rows, &order);
+            }
+            let positions: Vec<usize> = self
+                .query
+                .output
+                .iter()
+                .map(|item| match item {
+                    OutputItem::Column { table, col } => self.offset_of(layout, *table, *col),
+                    OutputItem::Agg { .. } => unreachable!("grouped path handles aggregates"),
+                })
+                .collect::<Result<Vec<_>>>()?;
+            out_rows = project(&rows, &positions);
+        }
+        if self.query.distinct {
+            out_rows = distinct(&out_rows);
+        }
+        Ok(QueryResult {
+            columns,
+            rows: out_rows,
+        })
+    }
+
+    fn column_names(&self) -> Vec<String> {
+        self.query
+            .output
+            .iter()
+            .map(|item| match item {
+                OutputItem::Column { table, col } => self.query.tables[*table].schema.columns[*col]
+                    .name
+                    .to_string(),
+                OutputItem::Agg { func, arg } => match arg {
+                    Some((t, c)) => format!(
+                        "{}({})",
+                        func.name(),
+                        self.query.tables[*t].schema.columns[*c].name
+                    ),
+                    None => format!("{}(*)", func.name()),
+                },
+            })
+            .collect()
+    }
+}
+
+/// Does a row satisfy a table's access constraints?
+fn satisfies_access(row: &Row, access: &payless_sql::TableAccess) -> bool {
+    access.constraints.iter().all(|(col, ac)| match ac {
+        AccessConstraint::One(c) => c.matches(row.get(*col)),
+        AccessConstraint::AnyOf(values) => values.contains(row.get(*col)),
+    })
+}
+
+/// Allocation-free check: does a full-width mirror row fall inside `region`
+/// of the table's query space?
+fn row_in_region(space: &QuerySpace, row: &Row, region: &Region) -> bool {
+    space.dims().iter().enumerate().all(|(i, dim)| {
+        let iv = region.dim(i);
+        match row.get(dim.col) {
+            Value::Int(x) => !dim.is_categorical() && iv.contains_point(*x),
+            Value::Str(s) => match dim.cat_index(s) {
+                Some(c) => iv.contains_point(c),
+                None => false,
+            },
+            Value::Float(_) => false,
+        }
+    })
+}
+
+/// Map a binding value to a coordinate on dimension `d`, if in-domain.
+fn coord_of(space: &QuerySpace, d: usize, v: &Value) -> Option<i64> {
+    let dim = &space.dims()[d];
+    match v {
+        Value::Int(x) => {
+            if dim.is_categorical() {
+                None
+            } else {
+                dim.full().contains_point(*x).then_some(*x)
+            }
+        }
+        Value::Str(s) => dim.cat_index(s),
+        Value::Float(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_market::{Dataset, MarketTable};
+    use payless_optimizer::plan::BindPair;
+    use payless_sql::{analyze, parse, MapCatalog};
+    use payless_types::{row, Column, Domain, Schema};
+
+    /// A two-table market: Users (local) and Events (market, page 10).
+    struct Fixture {
+        market: DataMarket,
+        db: Database,
+        store: SemanticStore,
+        stats: StatsRegistry,
+        catalog: MapCatalog,
+    }
+
+    fn fixture() -> Fixture {
+        let users_schema = Schema::new(
+            "Users",
+            vec![
+                Column::free("uid", Domain::int(1, 20)),
+                Column::free("city", Domain::categorical(["A", "B"])),
+            ],
+        );
+        let events_schema = Schema::new(
+            "Events",
+            vec![
+                Column::free("uid", Domain::int(1, 20)),
+                Column::free("day", Domain::int(1, 10)),
+                Column::output("amount", Domain::int(0, 1000)),
+            ],
+        );
+        let users: Vec<Row> = (1..=20)
+            .map(|u| row!(u as i64, if u % 2 == 0 { "A" } else { "B" }))
+            .collect();
+        let mut events = Vec::new();
+        for u in 1..=20i64 {
+            for d in 1..=10i64 {
+                events.push(row!(u, d, u * 10 + d));
+            }
+        }
+        let market = DataMarket::new(vec![Dataset::new("DS")
+            .with_page_size(10)
+            .with_table(MarketTable::new(events_schema.clone(), events))]);
+        let mut db = Database::new();
+        db.register(payless_storage::LocalTable::with_rows(
+            users_schema.clone(),
+            users,
+        ));
+        let mut store = SemanticStore::new();
+        store.register(QuerySpace::of(&events_schema));
+        let mut stats = StatsRegistry::new();
+        stats.register(&users_schema, 20);
+        stats.register(&events_schema, 200);
+        let catalog = MapCatalog::new()
+            .with(users_schema, TableLocation::Local)
+            .with(events_schema, TableLocation::Market);
+        Fixture {
+            market,
+            db,
+            store,
+            stats,
+            catalog,
+        }
+    }
+
+    fn analyzed(f: &Fixture, sql: &str) -> AnalyzedQuery {
+        analyze(&parse(sql).unwrap(), &f.catalog).unwrap()
+    }
+
+    fn exec(f: &mut Fixture, query: &AnalyzedQuery, plan: &PlanNode, sqr: bool) -> QueryResult {
+        let cfg = ExecConfig {
+            sqr,
+            ..Default::default()
+        };
+        let mut ex = Executor::new(
+            query,
+            &f.market,
+            &mut f.db,
+            &mut f.store,
+            &mut f.stats,
+            &cfg,
+            1,
+        );
+        ex.execute(plan).unwrap()
+    }
+
+    #[test]
+    fn local_access_applies_constraints() {
+        let mut f = fixture();
+        let q = analyzed(&f, "SELECT uid FROM Users WHERE city = 'A'");
+        let plan = PlanNode::access(0, AccessMethod::Local);
+        let out = exec(&mut f, &q, &plan, true);
+        assert_eq!(out.rows.len(), 10);
+        assert_eq!(f.market.bill().calls(), 0);
+    }
+
+    #[test]
+    fn fetch_pulls_remainder_and_mirrors() {
+        let mut f = fixture();
+        let q = analyzed(&f, "SELECT * FROM Events WHERE day >= 3 AND day <= 4");
+        let plan = PlanNode::access(0, AccessMethod::Fetch);
+        let out = exec(&mut f, &q, &plan, true);
+        assert_eq!(out.rows.len(), 40);
+        // Mirrored and covered.
+        assert_eq!(f.db.table("Events").unwrap().len(), 40);
+        assert_eq!(f.market.bill().records(), 40);
+        // A second executor run over the same region issues no new calls.
+        let calls_before = f.market.bill().calls();
+        let out2 = exec(&mut f, &q, &plan, true);
+        assert_eq!(out2.rows.len(), 40);
+        assert_eq!(f.market.bill().calls(), calls_before);
+    }
+
+    #[test]
+    fn fetch_without_sqr_refetches() {
+        let mut f = fixture();
+        let q = analyzed(&f, "SELECT * FROM Events WHERE day >= 3 AND day <= 4");
+        let plan = PlanNode::access(0, AccessMethod::Fetch);
+        exec(&mut f, &q, &plan, false);
+        exec(&mut f, &q, &plan, false);
+        assert_eq!(f.market.bill().calls(), 2);
+        assert_eq!(f.market.bill().records(), 80);
+        // The mirror deduplicates, though.
+        assert_eq!(f.db.table("Events").unwrap().len(), 40);
+    }
+
+    #[test]
+    fn bind_join_probes_distinct_values_only() {
+        let mut f = fixture();
+        let q = analyzed(
+            &f,
+            "SELECT * FROM Users, Events WHERE city = 'A' AND \
+             Users.uid = Events.uid AND day >= 1 AND day <= 2",
+        );
+        let plan = PlanNode::bind_join(
+            PlanNode::access(0, AccessMethod::Local),
+            1,
+            vec![BindPair {
+                left: (0, 0),
+                right_col: 0,
+            }],
+        );
+        let out = exec(&mut f, &q, &plan, true);
+        // 10 even uids x 2 days.
+        assert_eq!(out.rows.len(), 20);
+        // One probe per distinct uid.
+        assert_eq!(f.market.bill().calls(), 10);
+        assert_eq!(f.market.bill().records(), 20);
+    }
+
+    #[test]
+    fn bind_join_skips_out_of_domain_values() {
+        let mut f = fixture();
+        // A local table with uids beyond Events' domain.
+        let wide_schema = Schema::new("Wide", vec![Column::free("uid", Domain::int(1, 100))]);
+        f.catalog.add(wide_schema.clone(), TableLocation::Local);
+        f.stats.register(&wide_schema, 3);
+        f.db.register(payless_storage::LocalTable::with_rows(
+            wide_schema,
+            vec![row!(5), row!(50), row!(99)],
+        ));
+        let q = analyzed(
+            &f,
+            "SELECT * FROM Wide, Events WHERE Wide.uid = Events.uid AND day >= 1 AND day <= 1",
+        );
+        let plan = PlanNode::bind_join(
+            PlanNode::access(0, AccessMethod::Local),
+            1,
+            vec![BindPair {
+                left: (0, 0),
+                right_col: 0,
+            }],
+        );
+        let out = exec(&mut f, &q, &plan, true);
+        // Only uid 5 matches; uids 50 and 99 are outside Events' domain and
+        // must not generate calls.
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(f.market.bill().calls(), 1);
+    }
+
+    #[test]
+    fn bind_join_probes_covered_regions_for_free() {
+        let mut f = fixture();
+        // Cover all of Events first.
+        let full_q = analyzed(&f, "SELECT * FROM Events");
+        exec(
+            &mut f,
+            &full_q,
+            &PlanNode::access(0, AccessMethod::Fetch),
+            true,
+        );
+        let calls_after_download = f.market.bill().calls();
+        let q = analyzed(
+            &f,
+            "SELECT * FROM Users, Events WHERE city = 'B' AND \
+             Users.uid = Events.uid",
+        );
+        let plan = PlanNode::bind_join(
+            PlanNode::access(0, AccessMethod::Local),
+            1,
+            vec![BindPair {
+                left: (0, 0),
+                right_col: 0,
+            }],
+        );
+        let out = exec(&mut f, &q, &plan, true);
+        assert_eq!(out.rows.len(), 10 * 10);
+        assert_eq!(f.market.bill().calls(), calls_after_download);
+    }
+
+    #[test]
+    fn cross_join_plan_when_no_edges() {
+        let mut f = fixture();
+        let q = analyzed(
+            &f,
+            "SELECT * FROM Users, Events WHERE city = 'A' AND day >= 1 AND day <= 1 AND uid >= 1 AND uid <= 2",
+        );
+        // NOTE: bare `uid` applies to BOTH tables (dialect rule), so this is
+        // uids {1,2} on both sides with no join edge -> Cartesian product.
+        let plan = PlanNode::join(
+            PlanNode::access(0, AccessMethod::Local),
+            PlanNode::access(1, AccessMethod::Fetch),
+        );
+        let out = exec(&mut f, &q, &plan, true);
+        // Users: uid in {1,2} and city A -> uid 2 only. Events: uids {1,2},
+        // day 1 -> 2 rows. Cross product: 2.
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_shapes_columns() {
+        let f = fixture();
+        let mut f = f;
+        let q = analyzed(
+            &f,
+            "SELECT COUNT(*) FROM Events WHERE day >= 9 AND day <= 2",
+        );
+        assert!(q.unsatisfiable);
+        let cfg = ExecConfig::default();
+        let ex = Executor::new(
+            &q,
+            &f.market,
+            &mut f.db,
+            &mut f.store,
+            &mut f.stats,
+            &cfg,
+            1,
+        );
+        let out = ex.empty_result().unwrap();
+        assert_eq!(out.columns, vec!["COUNT(*)".to_string()]);
+        // Global COUNT over the empty set is 0.
+        assert_eq!(out.rows, vec![row!(0)]);
+    }
+
+    #[test]
+    fn order_by_sorts_output() {
+        let mut f = fixture();
+        let q = analyzed(
+            &f,
+            "SELECT uid, day FROM Events WHERE day >= 1 AND day <= 2 ORDER BY day, uid",
+        );
+        let plan = PlanNode::access(0, AccessMethod::Fetch);
+        let out = exec(&mut f, &q, &plan, true);
+        assert_eq!(out.rows.len(), 40);
+        assert_eq!(out.rows[0], row!(1, 1));
+        assert_eq!(out.rows[19], row!(20, 1));
+        assert_eq!(out.rows[20], row!(1, 2));
+        assert_eq!(out.rows[39], row!(20, 2));
+    }
+
+    #[test]
+    fn residual_on_output_column_filters_locally() {
+        let mut f = fixture();
+        let q = analyzed(
+            &f,
+            "SELECT * FROM Events WHERE day >= 1 AND day <= 1 AND amount >= 100",
+        );
+        let plan = PlanNode::access(0, AccessMethod::Fetch);
+        let out = exec(&mut f, &q, &plan, true);
+        // amount = uid*10 + day; day 1 -> uid >= 10.
+        assert_eq!(out.rows.len(), 11);
+        // But the market returned the full day slice (residuals are local).
+        assert_eq!(f.market.bill().records(), 20);
+    }
+}

@@ -1,0 +1,28 @@
+//! The PayLess execution engine (steps 4–9 of the paper's architecture).
+//!
+//! The engine interprets a [`payless_optimizer::PlanNode`]:
+//!
+//! * **Fetch** leaves re-run semantic rewriting against the *current* store
+//!   state, issue the remainder RESTful calls, mirror every retrieved tuple
+//!   into the local DBMS, mark the retrieved regions in the semantic store
+//!   (step 5.3), and feed actual cardinalities back to the statistics (step
+//!   5.4);
+//! * **bind-join** nodes probe the market once per distinct binding
+//!   combination flowing from the left subplan, with each probe itself
+//!   semantically rewritten (a probe into covered territory is free);
+//! * **joins**, residual predicates, grouping, aggregation, `DISTINCT` and
+//!   `ORDER BY` are evaluated locally on the buyer's engine
+//!   ([`payless_storage`]), because "joins cannot be done at the data
+//!   market".
+//!
+//! The crate also implements the **Download All** baseline
+//! ([`download::ensure_downloaded`]): fetch whole tables up front, then
+//! answer everything locally.
+
+#![warn(missing_docs)]
+
+pub mod download;
+pub mod engine;
+
+pub use download::ensure_downloaded;
+pub use engine::{ExecConfig, Executor, QueryResult};

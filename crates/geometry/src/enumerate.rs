@@ -1,0 +1,140 @@
+//! Exhaustive candidate bounding-box enumeration over separator sets
+//! (the enumeration step of Algorithm 1).
+
+use crate::interval::Interval;
+use crate::region::Region;
+
+/// Iterator over every bounding box whose extent on dimension `i` is
+/// `[a, b-1]` for two boundaries `a < b` drawn from the separator set `Sᵢ`.
+///
+/// Produces `Π C(|Sᵢ|, 2)` boxes; callers should consult
+/// [`Decomposition::enumeration_size`](crate::Decomposition::enumeration_size)
+/// and cap or fall back before iterating a combinatorial explosion.
+pub struct BoundingBoxes<'a> {
+    separators: &'a [Vec<i64>],
+    /// Per-dimension (lo_index, hi_index) cursor, `lo < hi` into `Sᵢ`.
+    cursor: Vec<(usize, usize)>,
+    done: bool,
+}
+
+impl<'a> BoundingBoxes<'a> {
+    /// Create the enumeration. Yields nothing if any separator set has fewer
+    /// than two boundaries (no extent can be formed).
+    pub fn new(separators: &'a [Vec<i64>]) -> Self {
+        let done = separators.is_empty() || separators.iter().any(|s| s.len() < 2);
+        BoundingBoxes {
+            separators,
+            cursor: separators.iter().map(|_| (0, 1)).collect(),
+            done,
+        }
+    }
+
+    fn current(&self) -> Region {
+        Region::new(
+            self.cursor
+                .iter()
+                .zip(self.separators)
+                .map(|(&(a, b), s)| Interval::new(s[a], s[b] - 1))
+                .collect(),
+        )
+    }
+
+    /// Advance the cursor on dimension `d`; returns false on wrap-around.
+    fn bump(&mut self, d: usize) -> bool {
+        let n = self.separators[d].len();
+        let (a, b) = self.cursor[d];
+        if b + 1 < n {
+            self.cursor[d] = (a, b + 1);
+            true
+        } else if a + 2 < n {
+            self.cursor[d] = (a + 1, a + 2);
+            true
+        } else {
+            self.cursor[d] = (0, 1);
+            false
+        }
+    }
+}
+
+impl Iterator for BoundingBoxes<'_> {
+    type Item = Region;
+
+    fn next(&mut self) -> Option<Region> {
+        if self.done {
+            return None;
+        }
+        let out = self.current();
+        // Odometer increment across dimensions.
+        let mut d = 0;
+        loop {
+            if self.bump(d) {
+                break;
+            }
+            d += 1;
+            if d == self.cursor.len() {
+                self.done = true;
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_dimension_counts_pairs() {
+        let seps = vec![vec![0, 10, 20, 101]];
+        let boxes: Vec<Region> = BoundingBoxes::new(&seps).collect();
+        // C(4,2) = 6 extents.
+        assert_eq!(boxes.len(), 6);
+        let set: HashSet<Region> = boxes.into_iter().collect();
+        assert!(set.contains(&region![(0, 9)]));
+        assert!(set.contains(&region![(0, 19)]));
+        assert!(set.contains(&region![(0, 100)]));
+        assert!(set.contains(&region![(10, 19)]));
+        assert!(set.contains(&region![(10, 100)]));
+        assert!(set.contains(&region![(20, 100)]));
+    }
+
+    #[test]
+    fn two_dimensions_product() {
+        let seps = vec![vec![0, 5, 10], vec![0, 3]];
+        let boxes: Vec<Region> = BoundingBoxes::new(&seps).collect();
+        // C(3,2) * C(2,2) = 3 * 1.
+        assert_eq!(boxes.len(), 3);
+        for b in &boxes {
+            assert_eq!(b.dim(1), Interval::new(0, 2));
+        }
+    }
+
+    #[test]
+    fn all_boxes_distinct() {
+        let seps = vec![vec![0, 2, 4, 6], vec![0, 1, 3]];
+        let boxes: Vec<Region> = BoundingBoxes::new(&seps).collect();
+        assert_eq!(boxes.len(), 6 * 3);
+        let set: HashSet<Region> = boxes.iter().cloned().collect();
+        assert_eq!(set.len(), boxes.len());
+    }
+
+    #[test]
+    fn degenerate_separators_yield_nothing() {
+        assert_eq!(BoundingBoxes::new(&[]).count(), 0);
+        assert_eq!(BoundingBoxes::new(&[vec![5]]).count(), 0);
+        assert_eq!(BoundingBoxes::new(&[vec![0, 1], vec![]]).count(), 0);
+    }
+
+    #[test]
+    fn matches_enumeration_size_formula() {
+        use crate::decompose::decompose;
+        let q = region![(0, 9), (0, 9)];
+        let views = [region![(0, 4), (0, 4)], region![(6, 9), (6, 9)]];
+        let d = decompose(&q, &views);
+        let n = BoundingBoxes::new(&d.separators).count() as u128;
+        assert_eq!(n, d.enumeration_size());
+    }
+}

@@ -1,0 +1,234 @@
+//! Closed integer intervals `[lo, hi]`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-empty closed integer interval `[lo, hi]` (`lo <= hi`).
+///
+/// Integer closedness keeps the remainder arithmetic of the paper's Figure 6
+/// exact: the complement of `[10, 20]` within `[0, 100]` is `[0, 9] ∪
+/// [21, 100]`, with no half-open bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Construct `[lo, hi]`. Panics if the interval would be empty.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Number of integer points covered.
+    pub fn width(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+
+    /// `true` iff `v ∈ [lo, hi]`.
+    pub fn contains_point(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` iff `other ⊆ self`.
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` iff the intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// `self ∖ other` as zero, one, or two disjoint intervals.
+    pub fn subtract(&self, other: &Interval) -> Vec<Interval> {
+        let Some(cut) = self.intersect(other) else {
+            return vec![*self];
+        };
+        let mut out = Vec::with_capacity(2);
+        if self.lo < cut.lo {
+            out.push(Interval::new(self.lo, cut.lo - 1));
+        }
+        if cut.hi < self.hi {
+            out.push(Interval::new(cut.hi + 1, self.hi));
+        }
+        out
+    }
+
+    /// `true` iff `self` and `other` are adjacent or overlapping, i.e. their
+    /// union is a single interval.
+    pub fn mergeable(&self, other: &Interval) -> bool {
+        // Adjacent: hi + 1 == other.lo (guard against overflow at i64::MAX).
+        if self.overlaps(other) {
+            return true;
+        }
+        let (a, b) = if self.lo <= other.lo {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        a.hi != i64::MAX && a.hi + 1 == b.lo
+    }
+
+    /// Union with a mergeable interval. Panics otherwise.
+    pub fn merge(&self, other: &Interval) -> Interval {
+        assert!(self.mergeable(other), "merging disjoint intervals");
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let i = Interval::new(10, 20);
+        assert_eq!(i.width(), 11);
+        assert!(i.contains_point(10) && i.contains_point(20));
+        assert!(!i.contains_point(9) && !i.contains_point(21));
+        assert_eq!(Interval::point(5), Interval::new(5, 5));
+        assert_eq!(Interval::point(5).width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_panics() {
+        let _ = Interval::new(1, 0);
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let outer = Interval::new(0, 100);
+        let inner = Interval::new(10, 20);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(inner.contains(&inner));
+        assert!(Interval::new(0, 10).overlaps(&Interval::new(10, 20)));
+        assert!(!Interval::new(0, 9).overlaps(&Interval::new(10, 20)));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(
+            Interval::new(0, 15).intersect(&Interval::new(10, 20)),
+            Some(Interval::new(10, 15))
+        );
+        assert_eq!(Interval::new(0, 9).intersect(&Interval::new(10, 20)), None);
+    }
+
+    #[test]
+    fn subtraction_cases() {
+        let base = Interval::new(0, 100);
+        // Middle cut -> two pieces (the paper's Figure 6 shape).
+        assert_eq!(
+            base.subtract(&Interval::new(10, 20)),
+            vec![Interval::new(0, 9), Interval::new(21, 100)]
+        );
+        // Left cut.
+        assert_eq!(
+            base.subtract(&Interval::new(-5, 20)),
+            vec![Interval::new(21, 100)]
+        );
+        // Right cut.
+        assert_eq!(
+            base.subtract(&Interval::new(90, 200)),
+            vec![Interval::new(0, 89)]
+        );
+        // Full cover -> empty.
+        assert_eq!(base.subtract(&Interval::new(0, 100)), vec![]);
+        // Disjoint -> unchanged.
+        assert_eq!(base.subtract(&Interval::new(200, 300)), vec![base]);
+    }
+
+    #[test]
+    fn merge_adjacent_and_overlapping() {
+        let a = Interval::new(0, 9);
+        let b = Interval::new(10, 20);
+        assert!(a.mergeable(&b));
+        assert!(b.mergeable(&a));
+        assert_eq!(a.merge(&b), Interval::new(0, 20));
+        assert!(!a.mergeable(&Interval::new(11, 20)));
+        assert!(Interval::new(0, 15).mergeable(&Interval::new(10, 20)));
+    }
+
+    #[test]
+    fn mergeable_at_i64_max_does_not_overflow() {
+        let a = Interval::new(0, i64::MAX);
+        let b = Interval::new(5, 6);
+        assert!(a.mergeable(&b)); // overlaps path
+        let c = Interval::new(i64::MAX, i64::MAX);
+        let d = Interval::new(0, 0);
+        assert!(!c.mergeable(&d));
+    }
+
+    proptest! {
+        #[test]
+        fn subtract_partitions(
+            (blo, bhi) in (-1000i64..1000).prop_flat_map(|a| (Just(a), a..1000)),
+            (clo, chi) in (-1000i64..1000).prop_flat_map(|a| (Just(a), a..1000)),
+        ) {
+            let base = Interval::new(blo, bhi);
+            let cut = Interval::new(clo, chi);
+            let pieces = base.subtract(&cut);
+            // Pieces are disjoint from the cut and from each other, and
+            // pieces + (base ∩ cut) exactly tile base (checked by width).
+            let mut total = 0u64;
+            for p in &pieces {
+                prop_assert!(base.contains(p));
+                prop_assert!(!p.overlaps(&cut));
+                total += p.width();
+            }
+            if pieces.len() == 2 {
+                prop_assert!(!pieces[0].overlaps(&pieces[1]));
+            }
+            let cut_width = base.intersect(&cut).map_or(0, |i| i.width());
+            prop_assert_eq!(total + cut_width, base.width());
+        }
+
+        #[test]
+        fn merge_is_union_when_mergeable(
+            (alo, ahi) in (-100i64..100).prop_flat_map(|a| (Just(a), a..100)),
+            (blo, bhi) in (-100i64..100).prop_flat_map(|a| (Just(a), a..100)),
+        ) {
+            let a = Interval::new(alo, ahi);
+            let b = Interval::new(blo, bhi);
+            if a.mergeable(&b) {
+                let m = a.merge(&b);
+                prop_assert!(m.contains(&a) && m.contains(&b));
+                // No point in m outside a ∪ b.
+                let overlap = a.intersect(&b).map_or(0, |i| i.width());
+                prop_assert_eq!(m.width(), a.width() + b.width() - overlap);
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Axis-aligned boxes over the query space of a table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::interval::Interval;
+
+/// A non-empty axis-aligned box: one [`Interval`] per dimension.
+///
+/// The dimension order is fixed by the caller (one dimension per
+/// constrainable attribute of the table) and must agree across all regions
+/// that are combined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    dims: Vec<Interval>,
+}
+
+impl Region {
+    /// Build a region from per-dimension intervals. Panics on zero dims.
+    pub fn new(dims: Vec<Interval>) -> Self {
+        assert!(!dims.is_empty(), "a region needs at least one dimension");
+        Region { dims }
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension intervals.
+    pub fn dims(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    /// The interval on dimension `d`.
+    pub fn dim(&self, d: usize) -> Interval {
+        self.dims[d]
+    }
+
+    /// Number of lattice points covered, saturating at `u128::MAX`.
+    pub fn volume(&self) -> u128 {
+        self.dims
+            .iter()
+            .fold(1u128, |acc, i| acc.saturating_mul(i.width() as u128))
+    }
+
+    /// `true` iff `point` (one coordinate per dimension) lies inside.
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims.len());
+        self.dims
+            .iter()
+            .zip(point)
+            .all(|(i, &p)| i.contains_point(p))
+    }
+
+    /// `true` iff `other ⊆ self`.
+    pub fn contains(&self, other: &Region) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.contains(b))
+    }
+
+    /// `true` iff the regions share at least one point.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.overlaps(b))
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        debug_assert_eq!(self.arity(), other.arity());
+        let mut dims = Vec::with_capacity(self.dims.len());
+        for (a, b) in self.dims.iter().zip(&other.dims) {
+            dims.push(a.intersect(b)?);
+        }
+        Some(Region { dims })
+    }
+
+    /// `self ∖ other` as a set of disjoint boxes.
+    ///
+    /// Uses the standard axis sweep: for each dimension in turn, slice off the
+    /// parts of `self` outside `other` on that dimension, then continue with
+    /// the clipped core. Produces at most `2·d` boxes.
+    pub fn subtract(&self, other: &Region) -> Vec<Region> {
+        if !self.overlaps(other) {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::new();
+        let mut core = self.dims.clone();
+        for d in 0..self.dims.len() {
+            let cur = core[d];
+            // The slice outside `other` on dimension d, with other dims as in
+            // the current core.
+            for piece in cur.subtract(&other.dims[d]) {
+                let mut dims = core.clone();
+                dims[d] = piece;
+                out.push(Region { dims });
+            }
+            // Clip dimension d to the overlap and continue.
+            match cur.intersect(&other.dims[d]) {
+                Some(i) => core[d] = i,
+                None => return out, // unreachable: overlaps() held
+            }
+        }
+        out
+    }
+
+    /// `self ∖ ⋃ others` as a set of disjoint boxes.
+    pub fn subtract_all(&self, others: &[Region]) -> Vec<Region> {
+        let mut remaining = vec![self.clone()];
+        for v in others {
+            let mut next = Vec::with_capacity(remaining.len());
+            for r in remaining {
+                next.extend(r.subtract(v));
+            }
+            remaining = next;
+            if remaining.is_empty() {
+                break;
+            }
+        }
+        remaining
+    }
+
+    /// The tight bounding box of a non-empty set of regions.
+    pub fn hull<'a>(mut regions: impl Iterator<Item = &'a Region>) -> Option<Region> {
+        let first = regions.next()?;
+        let mut dims = first.dims.clone();
+        for r in regions {
+            for (d, i) in r.dims.iter().enumerate() {
+                dims[d] = Interval::new(dims[d].lo.min(i.lo), dims[d].hi.max(i.hi));
+            }
+        }
+        Some(Region { dims })
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Convenience macro for building regions in tests: `region![(0,10), (5,5)]`.
+#[macro_export]
+macro_rules! region {
+    ($(($lo:expr, $hi:expr)),* $(,)?) => {
+        $crate::Region::new(vec![$($crate::Interval::new($lo, $hi)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn volume_and_point_containment() {
+        let r = region![(0, 9), (10, 19)];
+        assert_eq!(r.volume(), 100);
+        assert!(r.contains_point(&[0, 10]));
+        assert!(r.contains_point(&[9, 19]));
+        assert!(!r.contains_point(&[10, 10]));
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn region_containment_overlap_intersection() {
+        let q = region![(0, 100), (0, 50)];
+        let v = region![(10, 20), (0, 50)];
+        assert!(q.contains(&v));
+        assert!(q.overlaps(&v));
+        assert_eq!(q.intersect(&v), Some(v.clone()));
+        let w = region![(200, 300), (0, 50)];
+        assert!(!q.overlaps(&w));
+        assert_eq!(q.intersect(&w), None);
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let q = region![(0, 10)];
+        let v = region![(20, 30)];
+        assert_eq!(q.subtract(&v), vec![q]);
+    }
+
+    #[test]
+    fn subtract_covered_returns_empty() {
+        let q = region![(5, 10), (5, 10)];
+        let v = region![(0, 20), (0, 20)];
+        assert!(q.subtract(&v).is_empty());
+    }
+
+    #[test]
+    fn paper_figure6_remainders() {
+        // Q = R(A[0,100]); V1 covers [10,20), V2 covers [30,60) — in our
+        // closed-interval encoding [10,19] and [30,59].
+        let q = region![(0, 100)];
+        let rem = q.subtract_all(&[region![(10, 19)], region![(30, 59)]]);
+        assert_eq!(
+            rem,
+            vec![region![(0, 9)], region![(20, 29)], region![(60, 100)]]
+        );
+    }
+
+    #[test]
+    fn subtract_2d_cross() {
+        // Q = [0,9]^2 minus center [3,6]^2 -> 4 boxes tiling the frame.
+        let q = region![(0, 9), (0, 9)];
+        let v = region![(3, 6), (3, 6)];
+        let pieces = q.subtract(&v);
+        let total: u128 = pieces.iter().map(|p| p.volume()).sum();
+        assert_eq!(total, 100 - 16);
+        for (i, a) in pieces.iter().enumerate() {
+            assert!(!a.overlaps(&v));
+            for b in &pieces[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn hull_of_regions() {
+        let a = region![(0, 5), (10, 12)];
+        let b = region![(3, 9), (0, 4)];
+        assert_eq!(
+            Region::hull([&a, &b].into_iter()),
+            Some(region![(0, 9), (0, 12)])
+        );
+        assert_eq!(Region::hull(std::iter::empty()), None);
+    }
+
+    fn arb_region(d: usize, span: i64) -> impl Strategy<Value = Region> {
+        proptest::collection::vec(
+            (-span..span).prop_flat_map(move |lo| (Just(lo), lo..span)),
+            d,
+        )
+        .prop_map(|dims| Region::new(dims.into_iter().map(|(l, h)| Interval::new(l, h)).collect()))
+    }
+
+    proptest! {
+        /// subtract(v) ∪ (self ∩ v) tiles self exactly (volume check +
+        /// disjointness), in up to 3 dimensions.
+        #[test]
+        fn subtract_tiles_self(q in arb_region(3, 12), v in arb_region(3, 12)) {
+            let pieces = q.subtract(&v);
+            let overlap = q.intersect(&v).map_or(0, |r| r.volume());
+            let total: u128 = pieces.iter().map(|p| p.volume()).sum();
+            prop_assert_eq!(total + overlap, q.volume());
+            for (i, a) in pieces.iter().enumerate() {
+                prop_assert!(q.contains(a));
+                prop_assert!(!a.overlaps(&v));
+                for b in &pieces[i + 1..] {
+                    prop_assert!(!a.overlaps(b));
+                }
+            }
+        }
+
+        /// subtract_all leaves exactly the points in q not covered by any v,
+        /// verified pointwise on small regions.
+        #[test]
+        fn subtract_all_pointwise(
+            q in arb_region(2, 6),
+            views in proptest::collection::vec(arb_region(2, 6), 0..4),
+        ) {
+            let rem = q.subtract_all(&views);
+            for x in q.dim(0).lo..=q.dim(0).hi {
+                for y in q.dim(1).lo..=q.dim(1).hi {
+                    let p = [x, y];
+                    let in_view = views.iter().any(|v| v.contains_point(&p));
+                    let in_rem = rem.iter().filter(|r| r.contains_point(&p)).count();
+                    if in_view {
+                        prop_assert_eq!(in_rem, 0);
+                    } else {
+                        prop_assert_eq!(in_rem, 1); // disjoint cover
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Total number of lattice points covered by a union of (possibly
+/// overlapping) regions, computed exactly by disjointing the set with
+/// [`Region::subtract_all`]. Cost grows with fragmentation, not with the
+/// coordinate ranges.
+pub fn union_volume(regions: &[Region]) -> u128 {
+    let mut total: u128 = 0;
+    for (i, r) in regions.iter().enumerate() {
+        // Count the part of `r` not covered by earlier regions.
+        for piece in r.subtract_all(&regions[..i]) {
+            total = total.saturating_add(piece.volume());
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod union_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_volume_handles_overlap() {
+        assert_eq!(union_volume(&[]), 0);
+        assert_eq!(union_volume(&[region![(0, 9)]]), 10);
+        // Overlapping pair counts once.
+        assert_eq!(union_volume(&[region![(0, 9)], region![(5, 14)]]), 15);
+        // Contained region adds nothing.
+        assert_eq!(union_volume(&[region![(0, 9)], region![(2, 3)]]), 10);
+        // 2-D cross shape.
+        let v = union_volume(&[region![(0, 9), (4, 5)], region![(4, 5), (0, 9)]]);
+        assert_eq!(v, 20 + 20 - 4);
+    }
+
+    proptest! {
+        /// Exact agreement with pointwise counting on small 2-D cases.
+        #[test]
+        fn union_volume_matches_pointwise(
+            raw in proptest::collection::vec(
+                ((0i64..8).prop_flat_map(|a| (Just(a), a..8)),
+                 (0i64..8).prop_flat_map(|a| (Just(a), a..8))),
+                0..5,
+            )
+        ) {
+            let regions: Vec<Region> = raw
+                .iter()
+                .map(|((al, ah), (bl, bh))| region![(*al, *ah), (*bl, *bh)])
+                .collect();
+            let mut count = 0u128;
+            for x in 0..8i64 {
+                for y in 0..8i64 {
+                    if regions.iter().any(|r| r.contains_point(&[x, y])) {
+                        count += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(union_volume(&regions), count);
+        }
+    }
+}

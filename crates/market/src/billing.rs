@@ -1,0 +1,115 @@
+//! Billing: the transaction meter every experiment reads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use payless_types::Transactions;
+
+/// Per-table billing counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableBilling {
+    /// Number of RESTful calls issued.
+    pub calls: u64,
+    /// Records returned across all calls.
+    pub records: u64,
+    /// Transactions charged across all calls.
+    pub transactions: Transactions,
+}
+
+/// An immutable snapshot of the meter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BillingReport {
+    /// Per-table counters.
+    pub by_table: HashMap<Arc<str>, TableBilling>,
+}
+
+impl BillingReport {
+    /// Total RESTful calls across all tables.
+    pub fn calls(&self) -> u64 {
+        self.by_table.values().map(|t| t.calls).sum()
+    }
+
+    /// Total transactions across all tables — the paper's headline metric.
+    pub fn transactions(&self) -> Transactions {
+        self.by_table.values().map(|t| t.transactions).sum()
+    }
+
+    /// Total records retrieved across all tables.
+    pub fn records(&self) -> u64 {
+        self.by_table.values().map(|t| t.records).sum()
+    }
+}
+
+/// Thread-safe cumulative meter. The market charges it on every call; the
+/// bench harness snapshots it after each query to build the cumulative
+/// curves of Figures 10-13.
+#[derive(Debug, Default)]
+pub struct BillingMeter {
+    inner: Mutex<BillingReport>,
+}
+
+impl BillingMeter {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one call against `table`.
+    pub fn charge(&self, table: &Arc<str>, records: u64, transactions: Transactions) {
+        let mut inner = self.inner.lock();
+        let entry = inner.by_table.entry(table.clone()).or_default();
+        entry.calls += 1;
+        entry.records += records;
+        entry.transactions += transactions;
+    }
+
+    /// Snapshot the counters.
+    pub fn report(&self) -> BillingReport {
+        self.inner.lock().clone()
+    }
+
+    /// Reset all counters (used between experiment repetitions).
+    pub fn reset(&self) {
+        *self.inner.lock() = BillingReport::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_table() {
+        let meter = BillingMeter::new();
+        let weather: Arc<str> = "Weather".into();
+        let station: Arc<str> = "Station".into();
+        meter.charge(&weather, 23640, 237);
+        meter.charge(&station, 1, 1);
+        meter.charge(&weather, 30, 1);
+        let report = meter.report();
+        assert_eq!(report.calls(), 3);
+        assert_eq!(report.transactions(), 239);
+        assert_eq!(report.records(), 23671);
+        assert_eq!(report.by_table[&weather].calls, 2);
+        assert_eq!(report.by_table[&weather].transactions, 238);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let meter = BillingMeter::new();
+        meter.charge(&"T".into(), 10, 1);
+        meter.reset();
+        assert_eq!(meter.report(), BillingReport::default());
+        assert_eq!(meter.report().transactions(), 0);
+    }
+
+    #[test]
+    fn zero_record_call_counts_as_call() {
+        let meter = BillingMeter::new();
+        meter.charge(&"T".into(), 0, 0);
+        let r = meter.report();
+        assert_eq!(r.calls(), 1);
+        assert_eq!(r.transactions(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Datasets hosted in the market: tables, rows, and point-lookup indexes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use payless_types::{Constraint, PricePerTransaction, Row, Schema, Value};
+
+/// One table hosted in the market.
+#[derive(Debug, Clone)]
+pub struct MarketTable {
+    /// Schema, including per-attribute binding kinds and domains.
+    pub schema: Schema,
+    rows: Arc<[Row]>,
+    /// Per-constrainable-column equality indexes (value → row ids), built at
+    /// load time. The simulator uses them so that bind-join heavy experiments
+    /// (thousands of point probes) stay fast; they model the seller-side
+    /// lookup structures, not anything the buyer can observe.
+    eq_index: HashMap<usize, HashMap<Value, Vec<u32>>>,
+}
+
+impl MarketTable {
+    /// Load a table. Row arity must match the schema.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        for r in &rows {
+            assert_eq!(
+                r.arity(),
+                schema.arity(),
+                "row arity mismatch loading `{}`",
+                schema.table
+            );
+        }
+        let mut eq_index: HashMap<usize, HashMap<Value, Vec<u32>>> = HashMap::new();
+        for (i, col) in schema.columns.iter().enumerate() {
+            if col.binding.constrainable() {
+                eq_index.insert(i, HashMap::new());
+            }
+        }
+        for (rid, row) in rows.iter().enumerate() {
+            for (&col, index) in eq_index.iter_mut() {
+                index
+                    .entry(row.get(col).clone())
+                    .or_default()
+                    .push(rid as u32);
+            }
+        }
+        MarketTable {
+            schema,
+            rows: rows.into(),
+            eq_index,
+        }
+    }
+
+    /// Table cardinality — one of the two basic statistics the market
+    /// publishes.
+    pub fn cardinality(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// All rows (seller side only; buyers must go through the market API).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Evaluate a conjunction of per-attribute constraints, returning the
+    /// matching rows. `constraints` pairs column indexes with constraints.
+    pub fn select(&self, constraints: &[(usize, Constraint)]) -> Vec<Row> {
+        // Use the most selective equality index available as the driver.
+        let driver = constraints.iter().find_map(|(col, c)| match c {
+            Constraint::Eq(v) => self
+                .eq_index
+                .get(col)
+                .map(|idx| (idx.get(v).map(Vec::as_slice).unwrap_or(&[]), *col)),
+            Constraint::IntRange { .. } => None,
+        });
+        let matches = |row: &Row| constraints.iter().all(|(col, c)| c.matches(row.get(*col)));
+        match driver {
+            Some((ids, _)) => ids
+                .iter()
+                .map(|&rid| &self.rows[rid as usize])
+                .filter(|r| matches(r))
+                .cloned()
+                .collect(),
+            None => self.rows.iter().filter(|r| matches(r)).cloned().collect(),
+        }
+    }
+}
+
+/// A priced dataset: a group of tables sold together with one page size and
+/// one per-transaction price (e.g. the paper's WHW or EHR datasets).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: Arc<str>,
+    /// Tuples per transaction (`t` in Eq. (1)); the paper's default is 100.
+    pub page_size: u64,
+    /// Price per transaction (`p`); the paper normalizes to $1.
+    pub price: PricePerTransaction,
+    /// Tables in the dataset, keyed by table name.
+    pub tables: HashMap<Arc<str>, MarketTable>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the paper's defaults (`t = 100`,
+    /// `p = $1`).
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Dataset {
+            name: name.into(),
+            page_size: 100,
+            price: PricePerTransaction::UNIT,
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Set the page size `t` (builder style).
+    pub fn with_page_size(mut self, t: u64) -> Self {
+        assert!(t > 0, "page size must be positive");
+        self.page_size = t;
+        self
+    }
+
+    /// Set the per-transaction price (builder style).
+    pub fn with_price(mut self, p: PricePerTransaction) -> Self {
+        self.price = p;
+        self
+    }
+
+    /// Add a table (builder style). Panics on duplicate table names.
+    pub fn with_table(mut self, table: MarketTable) -> Self {
+        let name = table.schema.table.clone();
+        let prev = self.tables.insert(name.clone(), table);
+        assert!(prev.is_none(), "duplicate table `{name}` in dataset");
+        self
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&MarketTable> {
+        self.tables.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_types::{row, Column, Domain};
+
+    fn toy_table() -> MarketTable {
+        let schema = Schema::new(
+            "T",
+            vec![
+                Column::free("country", Domain::categorical(["US", "CA"])),
+                Column::free("day", Domain::int(1, 31)),
+                Column::output("temp", Domain::int(-50, 60)),
+            ],
+        );
+        let rows = vec![
+            row!("US", 1, 10),
+            row!("US", 2, 12),
+            row!("CA", 1, -5),
+            row!("CA", 3, -2),
+        ];
+        MarketTable::new(schema, rows)
+    }
+
+    #[test]
+    fn cardinality_reported() {
+        assert_eq!(toy_table().cardinality(), 4);
+    }
+
+    #[test]
+    fn select_with_equality_uses_index() {
+        let t = toy_table();
+        let us = t.select(&[(0, Constraint::eq("US"))]);
+        assert_eq!(us.len(), 2);
+        let none = t.select(&[(0, Constraint::eq("DE"))]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn select_with_range() {
+        let t = toy_table();
+        let early = t.select(&[(1, Constraint::range(1, 2))]);
+        assert_eq!(early.len(), 3);
+    }
+
+    #[test]
+    fn select_conjunction() {
+        let t = toy_table();
+        let got = t.select(&[(0, Constraint::eq("CA")), (1, Constraint::range(2, 31))]);
+        assert_eq!(got, vec![row!("CA", 3, -2)]);
+    }
+
+    #[test]
+    fn select_empty_constraints_returns_all() {
+        assert_eq!(toy_table().select(&[]).len(), 4);
+    }
+
+    #[test]
+    fn dataset_builder() {
+        let ds = Dataset::new("WHW")
+            .with_page_size(50)
+            .with_table(toy_table());
+        assert_eq!(ds.page_size, 50);
+        assert!(ds.table("T").is_some());
+        assert!(ds.table("U").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_table_panics() {
+        let _ = Dataset::new("X")
+            .with_table(toy_table())
+            .with_table(toy_table());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let schema = Schema::new("T", vec![Column::free("a", Domain::int(0, 1))]);
+        let _ = MarketTable::new(schema, vec![row!(1, 2)]);
+    }
+
+    #[test]
+    fn select_output_column_not_indexed_but_filterable() {
+        // Output columns never receive constraints from the market API, but
+        // `select` is also the seller-side scan primitive; a range on an
+        // unindexed column falls back to a scan.
+        let t = toy_table();
+        let got = t.select(&[(2, Constraint::range(0, 20))]);
+        assert_eq!(got.len(), 2);
+    }
+}

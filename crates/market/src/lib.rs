@@ -1,0 +1,32 @@
+//! In-process simulator of a cloud data market.
+//!
+//! This crate stands in for Windows Azure Data Marketplace in the paper's
+//! experiments. It reproduces the three behaviours the optimizer can observe:
+//!
+//! 1. **Restricted access patterns** — every call to a table must satisfy the
+//!    table's binding pattern (`Aᵇ` attributes must be constrained, `Aᶠ` may
+//!    be, output attributes never). Numeric attributes accept a value or an
+//!    inclusive range; categorical attributes accept a single value.
+//!    Disjunctions are rejected at the interface, exactly as in the paper.
+//! 2. **Transaction pricing** — a call returning `n` records is charged
+//!    `ceil(n / t)` transactions (Eq. (1)); `t` is a per-dataset page size.
+//! 3. **Basic statistics only** — the market publishes each table's schema
+//!    (with attribute domains) and cardinality, nothing richer.
+//!
+//! A [`DataMarket`] owns any number of datasets and meters every call through
+//! a shared [`BillingMeter`], which the benchmark harness reads to produce the
+//! paper's cumulative-transaction curves.
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod dataset;
+pub mod market;
+pub mod request;
+pub mod wire;
+
+pub use billing::{BillingMeter, BillingReport, TableBilling};
+pub use dataset::{Dataset, MarketTable};
+pub use market::DataMarket;
+pub use request::{Request, Response};
+pub use wire::{decode_request, decode_rows, encode_request, encode_rows};

@@ -1,0 +1,111 @@
+//! RESTful GET requests and responses.
+
+use std::fmt;
+use std::sync::Arc;
+
+use payless_types::constraint::AttrConstraint;
+use payless_types::{Constraint, Row, Transactions};
+
+/// A RESTful GET call against one market table.
+///
+/// Mirrors the paper's `X → Y` interface: the request names the table and
+/// binds a subset of its constrainable attributes; the response carries every
+/// attribute of the matching tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Target table name.
+    pub table: Arc<str>,
+    /// One constraint per bound attribute (at most one per attribute; the
+    /// interface supports no disjunction).
+    pub constraints: Vec<AttrConstraint>,
+}
+
+impl Request {
+    /// A request with no constraints (a whole-table download, valid only for
+    /// tables whose pattern has no mandatory bound attribute).
+    pub fn download(table: impl Into<Arc<str>>) -> Self {
+        Request {
+            table: table.into(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Start building a request for `table`.
+    pub fn to(table: impl Into<Arc<str>>) -> Self {
+        Self::download(table)
+    }
+
+    /// Add an equality or range constraint (builder style).
+    pub fn with(mut self, attr: impl Into<Arc<str>>, constraint: Constraint) -> Self {
+        self.constraints.push(AttrConstraint::new(attr, constraint));
+        self
+    }
+
+    /// The constraint on `attr`, if any.
+    pub fn constraint_on(&self, attr: &str) -> Option<&Constraint> {
+        self.constraints
+            .iter()
+            .find(|c| &*c.attr == attr)
+            .map(|c| &c.constraint)
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GET {}(", self.table)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The market's answer to a [`Request`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Matching tuples, full schema width.
+    pub rows: Vec<Row>,
+    /// Transactions charged for this call: `ceil(rows / t)`.
+    pub transactions: Transactions,
+}
+
+impl Response {
+    /// Number of records returned.
+    pub fn records(&self) -> u64 {
+        self.rows.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let r = Request::to("Weather")
+            .with("Country", Constraint::eq("US"))
+            .with("Date", Constraint::range(20140601, 20140630));
+        assert_eq!(r.constraints.len(), 2);
+        assert_eq!(r.constraint_on("Country"), Some(&Constraint::eq("US")));
+        assert_eq!(
+            r.constraint_on("Date"),
+            Some(&Constraint::range(20140601, 20140630))
+        );
+        assert_eq!(r.constraint_on("Temperature"), None);
+    }
+
+    #[test]
+    fn download_has_no_constraints() {
+        let r = Request::download("Station");
+        assert!(r.constraints.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let r = Request::to("Weather").with("Country", Constraint::eq("US"));
+        assert_eq!(r.to_string(), "GET Weather(Country = 'US')");
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's comparison systems.
+//!
+//! * **Minimizing Calls** — the limited-access-pattern optimizer of Florescu
+//!   et al. (SIGMOD'99): bushy plans, bind joins, objective = number of
+//!   RESTful calls. [`min_calls_optimize`] is a thin wrapper over the shared
+//!   DP engine with [`CostModel::Calls`].
+//! * **Download All** — download every referenced market table wholesale,
+//!   then answer all queries locally. [`download_all_cost`] computes the
+//!   upfront price; actual downloading is performed by the execution crate.
+
+use payless_semantic::SemanticStore;
+use payless_sql::AnalyzedQuery;
+use payless_stats::StatsRegistry;
+use payless_types::{transactions, Result, Transactions};
+
+use crate::cost::{CostModel, MarketMeta};
+use crate::dp::{optimize, Optimized, OptimizerConfig};
+
+/// Optimize with the calls-minimizing baseline model.
+pub fn min_calls_optimize(
+    query: &AnalyzedQuery,
+    stats: &StatsRegistry,
+    store: &SemanticStore,
+    meta: &dyn MarketMeta,
+    now: u64,
+) -> Result<Optimized> {
+    let cfg = OptimizerConfig::min_calls();
+    debug_assert_eq!(cfg.model, CostModel::Calls);
+    optimize(query, stats, store, meta, &cfg, now)
+}
+
+/// Transactions needed to download a whole table of `cardinality` rows at
+/// `page_size` tuples per transaction.
+///
+/// When the table's binding pattern has mandatory bound attributes it cannot
+/// be downloaded in one call; the downloader enumerates the bound domain
+/// (one call per value), which costs at least the same number of
+/// transactions and possibly more due to per-call rounding. The pessimistic
+/// per-value rounding is the caller's concern (the executor reports actuals);
+/// this helper returns the ideal single-scan price the paper uses.
+pub fn download_all_cost(cardinality: u64, page_size: u64) -> Transactions {
+    transactions(cardinality, page_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_cost_matches_eq1() {
+        assert_eq!(download_all_cost(19_549_140, 100), 195_492);
+        assert_eq!(download_all_cost(3962, 100), 40);
+        assert_eq!(download_all_cost(0, 100), 0);
+    }
+}

@@ -1,0 +1,578 @@
+//! Cost estimation: the money a plan is expected to cost.
+//!
+//! The primary cost is the paper's metric — estimated data-market
+//! transactions (Eq. (1)) — with estimated retrieved records as a
+//! deterministic tiebreak. The same machinery also evaluates the
+//! "Minimizing Calls" model of the Florescu-et-al. baseline by swapping the
+//! primary to RESTful-call count.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use payless_geometry::Region;
+use payless_semantic::rewrite::est_transactions;
+use payless_semantic::{rewrite, Consistency, RewriteConfig, SemanticStore};
+use payless_sql::{AccessConstraint, AnalyzedQuery, TableLocation};
+use payless_stats::StatsRegistry;
+use payless_types::{Constraint, PaylessError, Result};
+
+use crate::plan::BindPair;
+
+/// What the optimizer minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// Data-market transactions (PayLess).
+    Transactions,
+    /// Number of RESTful calls (the prior-work baseline).
+    Calls,
+}
+
+/// Page-size metadata the optimizer needs about the market.
+pub trait MarketMeta {
+    /// Tuples per transaction for `table`, if it is a market table.
+    fn page_size(&self, table: &str) -> Option<u64>;
+}
+
+impl MarketMeta for payless_market::DataMarket {
+    fn page_size(&self, table: &str) -> Option<u64> {
+        payless_market::DataMarket::page_size(self, table)
+    }
+}
+
+impl MarketMeta for HashMap<String, u64> {
+    fn page_size(&self, table: &str) -> Option<u64> {
+        self.get(table).copied()
+    }
+}
+
+/// Search-effort counters (Figures 14 and 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCounters {
+    /// Candidate (sub)plans costed during the search.
+    pub plans_considered: u64,
+    /// Bounding boxes enumerated by Algorithm 1 before pruning.
+    pub boxes_enumerated: u64,
+    /// Bounding boxes surviving both pruning rules.
+    pub boxes_kept: u64,
+}
+
+impl std::ops::AddAssign for PlanCounters {
+    fn add_assign(&mut self, o: Self) {
+        self.plans_considered += o.plans_considered;
+        self.boxes_enumerated += o.boxes_enumerated;
+        self.boxes_kept += o.boxes_kept;
+    }
+}
+
+/// A plan cost: primary objective plus a records tiebreak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Transactions or calls, depending on the model.
+    pub primary: f64,
+    /// Estimated retrieved records (tiebreak).
+    pub secondary: f64,
+}
+
+impl Cost {
+    /// The free plan.
+    pub const ZERO: Cost = Cost {
+        primary: 0.0,
+        secondary: 0.0,
+    };
+
+    /// Component-wise sum.
+    pub fn plus(self, o: Cost) -> Cost {
+        Cost {
+            primary: self.primary + o.primary,
+            secondary: self.secondary + o.secondary,
+        }
+    }
+
+    /// Strictly better: smaller primary, or equal primary and smaller
+    /// secondary (with an epsilon so float noise cannot flip decisions).
+    pub fn better_than(&self, o: &Cost) -> bool {
+        const EPS: f64 = 1e-9;
+        if self.primary < o.primary - EPS {
+            return true;
+        }
+        if self.primary > o.primary + EPS {
+            return false;
+        }
+        self.secondary < o.secondary - EPS
+    }
+}
+
+/// Everything cost estimation needs, prepared once per query.
+pub struct CostCtx<'a> {
+    /// The analyzed query.
+    pub query: &'a AnalyzedQuery,
+    stats: &'a StatsRegistry,
+    store: &'a SemanticStore,
+    consistency: Consistency,
+    now: u64,
+    /// Semantic query rewriting enabled?
+    pub sqr: bool,
+    rewrite_cfg: RewriteConfig,
+    /// The cost model in force.
+    pub model: CostModel,
+    pages: Vec<u64>,
+    /// Required regions per table (one per `AnyOf` alternative combination;
+    /// empty for unconstrained... never: at least the full region).
+    regions: Vec<Vec<Region>>,
+    counters: RefCell<PlanCounters>,
+    /// Per-table cache of the uncovered fraction of the required regions
+    /// (the SQR adjustment in `bind_cost`); computing it involves region
+    /// subtraction against every stored view, so it must not run once per
+    /// DP candidate.
+    uncovered_frac: RefCell<Vec<Option<f64>>>,
+}
+
+/// Cap on `AnyOf` alternative combinations per table.
+const MAX_DISJUNCTS: usize = 64;
+
+impl<'a> CostCtx<'a> {
+    /// Prepare a context. Every referenced table must be registered in
+    /// `stats` (which also carries its query space).
+    #[allow(clippy::too_many_arguments)] // one-shot constructor mirroring Algorithm 2's inputs
+    pub fn new(
+        query: &'a AnalyzedQuery,
+        stats: &'a StatsRegistry,
+        store: &'a SemanticStore,
+        meta: &dyn MarketMeta,
+        consistency: Consistency,
+        now: u64,
+        sqr: bool,
+        rewrite_cfg: RewriteConfig,
+        model: CostModel,
+    ) -> Result<Self> {
+        let mut pages = Vec::with_capacity(query.tables.len());
+        let mut regions = Vec::with_capacity(query.tables.len());
+        for t in &query.tables {
+            let page = match t.location {
+                TableLocation::Local => 1,
+                TableLocation::Market => meta.page_size(&t.name).ok_or_else(|| {
+                    PaylessError::Internal(format!("no page size for market table `{}`", t.name))
+                })?,
+            };
+            pages.push(page);
+            let ts = stats.table(&t.name).ok_or_else(|| {
+                PaylessError::Internal(format!("table `{}` missing from statistics", t.name))
+            })?;
+            regions.push(required_regions(ts.space(), &t.access)?);
+        }
+        let n = query.tables.len();
+        Ok(CostCtx {
+            query,
+            stats,
+            store,
+            consistency,
+            now,
+            sqr,
+            rewrite_cfg,
+            model,
+            pages,
+            regions,
+            counters: RefCell::new(PlanCounters::default()),
+            uncovered_frac: RefCell::new(vec![None; n]),
+        })
+    }
+
+    /// Required regions of table `tid`.
+    pub fn regions_of(&self, tid: usize) -> &[Region] {
+        &self.regions[tid]
+    }
+
+    /// Page size for table `tid`.
+    pub fn page(&self, tid: usize) -> u64 {
+        self.pages[tid]
+    }
+
+    /// Count one candidate plan.
+    pub fn count_plan(&self) {
+        self.counters.borrow_mut().plans_considered += 1;
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> PlanCounters {
+        *self.counters.borrow()
+    }
+
+    /// Usable stored views of table `tid` under the context's consistency.
+    pub fn views_of(&self, tid: usize) -> Vec<Region> {
+        if !self.sqr {
+            return Vec::new();
+        }
+        self.store
+            .views(&self.query.tables[tid].name, self.consistency, self.now)
+    }
+
+    /// Estimated tuples of table `tid` within its required regions.
+    pub fn table_rows(&self, tid: usize) -> f64 {
+        let ts = self
+            .stats
+            .table(&self.query.tables[tid].name)
+            .expect("validated in new()");
+        self.regions[tid].iter().map(|r| ts.estimate(r)).sum()
+    }
+
+    /// Estimated distinct values of column `col` of table `tid` within its
+    /// required regions.
+    pub fn col_distinct(&self, tid: usize, col: usize) -> f64 {
+        let t = &self.query.tables[tid];
+        let ts = self.stats.table(&t.name).expect("validated in new()");
+        let rows = self.table_rows(tid);
+        match ts.space().dim_of_col(col) {
+            Some(d) => {
+                let width: f64 = self.regions[tid]
+                    .iter()
+                    .map(|r| r.dim(d).width() as f64)
+                    .sum();
+                width.min(rows).max(0.0)
+            }
+            None => {
+                let dom = t.schema.columns[col].domain.size() as f64;
+                dom.min(rows).max(0.0)
+            }
+        }
+    }
+
+    /// Estimated join-result rows of a set of tables, using per-edge
+    /// `1/max(d_left, d_right)` selectivities.
+    pub fn est_join_rows(&self, tables: &[usize]) -> f64 {
+        if tables.is_empty() {
+            return 1.0;
+        }
+        let mut rows: f64 = tables.iter().map(|&t| self.table_rows(t)).product();
+        for e in &self.query.joins {
+            if tables.contains(&e.left.0) && tables.contains(&e.right.0) {
+                let dl = self.col_distinct(e.left.0, e.left.1).max(1.0);
+                let dr = self.col_distinct(e.right.0, e.right.1).max(1.0);
+                rows /= dl.max(dr);
+            }
+        }
+        rows.max(0.0)
+    }
+
+    /// `true` when accessing `tid` costs nothing: a local table, or (with
+    /// SQR) a market table whose required regions the store fully covers
+    /// (Theorem 2's zero-price relations).
+    pub fn zero_price(&self, tid: usize) -> bool {
+        let t = &self.query.tables[tid];
+        if t.location == TableLocation::Local {
+            return true;
+        }
+        if !self.sqr {
+            return false;
+        }
+        let views = self.views_of(tid);
+        self.regions[tid]
+            .iter()
+            .all(|r| r.subtract_all(&views).is_empty())
+    }
+
+    /// `true` when table `tid` can be fetched directly: every mandatory
+    /// (bound) attribute is constrained in all of its required regions.
+    pub fn fetch_feasible(&self, tid: usize) -> bool {
+        let t = &self.query.tables[tid];
+        if t.location == TableLocation::Local {
+            return true;
+        }
+        let ts = self.stats.table(&t.name).expect("validated in new()");
+        let space = ts.space();
+        for col in t.schema.mandatory_bindings() {
+            let d = space.dim_of_col(col).expect("bound columns have dims");
+            let full = space.dims()[d].full();
+            for r in &self.regions[tid] {
+                let iv = r.dim(d);
+                if iv == full && full.width() > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Cost of fetching `tid`'s required regions (semantic rewriting applied
+    /// when enabled). `None` when a direct fetch is infeasible.
+    pub fn fetch_cost(&self, tid: usize) -> Option<Cost> {
+        let t = &self.query.tables[tid];
+        if t.location == TableLocation::Local {
+            return Some(Cost::ZERO);
+        }
+        if !self.fetch_feasible(tid) {
+            return None;
+        }
+        let ts = self.stats.table(&t.name).expect("validated in new()");
+        let page = self.pages[tid];
+        let views = self.views_of(tid);
+        let mut tx = 0.0;
+        let mut calls = 0.0;
+        let mut records = 0.0;
+        for region in &self.regions[tid] {
+            if self.sqr {
+                let rw = rewrite(ts, page, region, &views, &self.rewrite_cfg);
+                {
+                    let mut c = self.counters.borrow_mut();
+                    c.boxes_enumerated += rw.boxes_enumerated;
+                    c.boxes_kept += rw.boxes_kept;
+                }
+                tx += rw.est_transactions;
+                calls += rw.remainders.len() as f64;
+                records += rw.remainders.iter().map(|r| ts.estimate(r)).sum::<f64>();
+            } else {
+                let est = ts.estimate(region);
+                tx += est_transactions(est, page);
+                calls += 1.0;
+                records += est;
+            }
+        }
+        Some(self.pack(tx, calls, records))
+    }
+
+    /// The bind pairs available for `tid` given `left_tables` on the left,
+    /// with feasibility checked (every mandatory attribute either constrained
+    /// or bound). `None` when no binding applies or feasibility fails.
+    pub fn bind_pairs(&self, tid: usize, left_tables: &[usize]) -> Option<Vec<BindPair>> {
+        let t = &self.query.tables[tid];
+        if t.location == TableLocation::Local {
+            return None; // local tables never need market bindings
+        }
+        let ts = self.stats.table(&t.name).expect("validated in new()");
+        let space = ts.space();
+        let mut binds: Vec<BindPair> = Vec::new();
+        for e in &self.query.joins {
+            let (this_end, other_end) = if e.left.0 == tid {
+                (e.left, e.right)
+            } else if e.right.0 == tid {
+                (e.right, e.left)
+            } else {
+                continue;
+            };
+            if !left_tables.contains(&other_end.0) {
+                continue;
+            }
+            if space.dim_of_col(this_end.1).is_none() {
+                continue; // output-only column: cannot bind at the market
+            }
+            if binds.iter().any(|b| b.right_col == this_end.1) {
+                continue;
+            }
+            binds.push(BindPair {
+                left: other_end,
+                right_col: this_end.1,
+            });
+        }
+        if binds.is_empty() {
+            return None;
+        }
+        // Mandatory attributes must be constrained or bound.
+        for col in t.schema.mandatory_bindings() {
+            let d = space.dim_of_col(col).expect("bound columns have dims");
+            let full = space.dims()[d].full();
+            let constrained = self.regions[tid]
+                .iter()
+                .all(|r| r.dim(d) != full || full.width() == 1);
+            if !constrained && !binds.iter().any(|b| b.right_col == col) {
+                return None;
+            }
+        }
+        Some(binds)
+    }
+
+    /// All useful binding-column combinations for `tid` given `left_tables`:
+    /// every subset of the available bind pairs that still covers the
+    /// mandatory attributes. Binding more columns makes each probe more
+    /// selective but multiplies the number of probes, so neither extreme
+    /// dominates — the DP costs each option (the paper's per-call "binding
+    /// choices").
+    pub fn bind_options(&self, tid: usize, left_tables: &[usize]) -> Vec<Vec<BindPair>> {
+        let Some(all) = self.bind_pairs(tid, left_tables) else {
+            return Vec::new();
+        };
+        let t = &self.query.tables[tid];
+        let ts = self.stats.table(&t.name).expect("validated in new()");
+        let space = ts.space();
+        // Columns that MUST be bound (mandatory and not constrained).
+        let mut required: Vec<BindPair> = Vec::new();
+        let mut optional: Vec<BindPair> = Vec::new();
+        for b in all {
+            let col = b.right_col;
+            let is_required = t.schema.columns[col].binding.mandatory() && {
+                let d = space.dim_of_col(col).expect("bound columns have dims");
+                let full = space.dims()[d].full();
+                !self.regions[tid]
+                    .iter()
+                    .all(|r| r.dim(d) != full || full.width() == 1)
+            };
+            if is_required {
+                required.push(b);
+            } else {
+                optional.push(b);
+            }
+        }
+        // Enumerate subsets of the optional columns (capped to keep the DP
+        // polynomial; beyond the cap, take all-or-nothing).
+        const MAX_OPTIONAL: usize = 4;
+        let mut options = Vec::new();
+        if optional.len() > MAX_OPTIONAL {
+            let mut with_all = required.clone();
+            with_all.extend(optional.iter().copied());
+            options.push(with_all);
+            if !required.is_empty() {
+                options.push(required);
+            }
+        } else {
+            for mask in 0..(1usize << optional.len()) {
+                let mut combo = required.clone();
+                for (i, b) in optional.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        combo.push(*b);
+                    }
+                }
+                if !combo.is_empty() {
+                    options.push(combo);
+                }
+            }
+        }
+        options
+    }
+
+    /// Cost of bind-joining `tid` with binding values flowing from a left
+    /// side estimated at `left_rows` rows over `left_tables`.
+    pub fn bind_cost(&self, tid: usize, binds: &[BindPair], left_rows: f64) -> Cost {
+        let page = self.pages[tid];
+        // Distinct binding combinations the left side emits.
+        let d_left: f64 = binds
+            .iter()
+            .map(|b| self.col_distinct(b.left.0, b.left.1).max(1.0))
+            .product();
+        let calls = left_rows
+            .min(d_left)
+            .ceil()
+            .max(if left_rows > 0.0 { 1.0 } else { 0.0 });
+        // Of those, how many can match tuples of tid's region.
+        let d_right: f64 = binds
+            .iter()
+            .map(|b| self.col_distinct(tid, b.right_col).max(1.0))
+            .product();
+        let paying = calls.min(d_right);
+        let total_rows = self.table_rows(tid);
+        let mut matched = if d_right > 0.0 {
+            (total_rows * paying / d_right).min(total_rows)
+        } else {
+            0.0
+        };
+        // Semantic rewriting: probes into covered parts of the region are
+        // free. Scale the expected retrieval by the uncovered fraction.
+        if self.sqr && matched > 0.0 {
+            matched *= self.uncovered_fraction(tid, total_rows);
+        }
+        let per_call = if paying > 0.0 { matched / paying } else { 0.0 };
+        let tx = if matched <= 0.0 {
+            0.0
+        } else if per_call < 1.0 {
+            // Sparse bindings: only ~`matched` probes return anything, one
+            // transaction each.
+            paying.min(matched.ceil())
+        } else {
+            paying * est_transactions(per_call, page)
+        };
+        self.pack(tx, calls, matched)
+    }
+
+    /// Fraction of `tid`'s required regions not covered by stored views
+    /// (1.0 when nothing is stored), cached per table.
+    fn uncovered_fraction(&self, tid: usize, total_rows: f64) -> f64 {
+        if let Some(f) = self.uncovered_frac.borrow()[tid] {
+            return f;
+        }
+        let views = self.views_of(tid);
+        let frac = if views.is_empty() || total_rows <= 0.0 {
+            1.0
+        } else {
+            let ts = self
+                .stats
+                .table(&self.query.tables[tid].name)
+                .expect("validated in new()");
+            let uncovered: f64 = self.regions[tid]
+                .iter()
+                .flat_map(|r| r.subtract_all(&views))
+                .map(|piece| ts.estimate(&piece))
+                .sum();
+            (uncovered / total_rows).clamp(0.0, 1.0)
+        };
+        self.uncovered_frac.borrow_mut()[tid] = Some(frac);
+        frac
+    }
+
+    fn pack(&self, tx: f64, calls: f64, records: f64) -> Cost {
+        match self.model {
+            CostModel::Transactions => Cost {
+                primary: tx,
+                secondary: records,
+            },
+            // The calls-minimizing baseline is *indifferent* to retrieved
+            // volume — that blindness is exactly the paper's critique of
+            // prior work. No volume tiebreak: among equal-call plans the
+            // first enumerated (the regular-join shape) wins.
+            CostModel::Calls => Cost {
+                primary: calls,
+                secondary: 0.0,
+            },
+        }
+    }
+}
+
+/// Expand a table's access constraints into required regions (one per
+/// combination of `AnyOf` alternatives).
+pub fn required_regions(
+    space: &payless_geometry::QuerySpace,
+    access: &payless_sql::TableAccess,
+) -> Result<Vec<Region>> {
+    let mut combos: Vec<Vec<(usize, Constraint)>> = vec![Vec::new()];
+    for (col, ac) in &access.constraints {
+        match ac {
+            AccessConstraint::One(c) => {
+                for combo in &mut combos {
+                    combo.push((*col, c.clone()));
+                }
+            }
+            AccessConstraint::AnyOf(values) => {
+                let mut next = Vec::with_capacity(combos.len() * values.len());
+                for combo in &combos {
+                    for v in values {
+                        let mut c = combo.clone();
+                        let constraint = match v {
+                            payless_types::Value::Int(x) => Constraint::range(*x, *x),
+                            other => Constraint::Eq(other.clone()),
+                        };
+                        c.push((*col, constraint));
+                        next.push(c);
+                    }
+                }
+                combos = next;
+                if combos.len() > MAX_DISJUNCTS {
+                    return Err(PaylessError::Unsupported(format!(
+                        "more than {MAX_DISJUNCTS} disjunctive alternatives on one table"
+                    )));
+                }
+            }
+        }
+    }
+    let mut regions = Vec::with_capacity(combos.len());
+    for combo in combos {
+        if let Some(r) = space.region_of(&combo) {
+            regions.push(r);
+        }
+    }
+    if regions.is_empty() {
+        // All alternatives empty: the analyzer normally catches this, but an
+        // empty region list would make downstream code divide by zero; treat
+        // as the (never-matching) full region with zero estimate handled by
+        // unsatisfiability upstream.
+        return Err(PaylessError::Internal(
+            "no valid required region for table access".into(),
+        ));
+    }
+    Ok(regions)
+}

@@ -1,0 +1,212 @@
+//! Physical plan representation.
+//!
+//! Plans are binary trees. PayLess's own optimizer emits left-deep spines
+//! (Theorem 1), but the representation is general so that the bushy baseline
+//! plans (Figure 4a shapes) execute through the same interpreter.
+
+use std::fmt;
+
+/// How a leaf relation is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMethod {
+    /// The table lives in the buyer's local DBMS: free.
+    Local,
+    /// Fetch the table's required region(s) from the market with range/point
+    /// RESTful calls, semantically rewritten against the store at execution
+    /// time.
+    Fetch,
+}
+
+/// One binding of a bind join: the left-side column supplying values and the
+/// bound column on the right table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindPair {
+    /// `(table index, column index)` on the plan's left side.
+    pub left: (usize, usize),
+    /// Column index on the bound (right) table.
+    pub right_col: usize,
+}
+
+/// A plan node. Table indices refer to the analyzed query's `FROM` order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Leaf access.
+    Access {
+        /// Table index.
+        table: usize,
+        /// Access method.
+        method: AccessMethod,
+    },
+    /// Local join of two subplans (hash equi-join on every join edge between
+    /// the two sides; Cartesian product when no edge connects them — which
+    /// is free in transactions, per Theorem 3).
+    Join {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+    },
+    /// Bind join: the left subplan's rows supply binding values; `table` is
+    /// accessed once per distinct binding combination.
+    BindJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// The bound table.
+        table: usize,
+        /// The binding columns (at least one).
+        binds: Vec<BindPair>,
+    },
+}
+
+impl PlanNode {
+    /// Leaf accessing `table` with `method`.
+    pub fn access(table: usize, method: AccessMethod) -> PlanNode {
+        PlanNode::Access { table, method }
+    }
+
+    /// Local join.
+    pub fn join(left: PlanNode, right: PlanNode) -> PlanNode {
+        PlanNode::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Bind join.
+    pub fn bind_join(left: PlanNode, table: usize, binds: Vec<BindPair>) -> PlanNode {
+        debug_assert!(!binds.is_empty());
+        PlanNode::BindJoin {
+            left: Box::new(left),
+            table,
+            binds,
+        }
+    }
+
+    /// Table indices in this subtree, in leaf order (left to right).
+    pub fn tables(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<usize>) {
+        match self {
+            PlanNode::Access { table, .. } => out.push(*table),
+            PlanNode::Join { left, right } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            PlanNode::BindJoin { left, table, .. } => {
+                left.collect_tables(out);
+                out.push(*table);
+            }
+        }
+    }
+
+    /// `true` when every join in the tree has a leaf (or bind-joined table)
+    /// as its right child — the left-deep shape of Theorem 1.
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            PlanNode::Access { .. } => true,
+            PlanNode::Join { left, right } => {
+                matches!(**right, PlanNode::Access { .. }) && left.is_left_deep()
+            }
+            PlanNode::BindJoin { left, .. } => left.is_left_deep(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PlanNode::Access { .. } => 1,
+            PlanNode::Join { left, right } => left.leaf_count() + right.leaf_count(),
+            PlanNode::BindJoin { left, .. } => left.leaf_count() + 1,
+        }
+    }
+
+    /// Render with table names resolved through `names`.
+    pub fn render(&self, names: &dyn Fn(usize) -> String) -> String {
+        match self {
+            PlanNode::Access { table, method } => match method {
+                AccessMethod::Local => format!("{}ˡ", names(*table)),
+                AccessMethod::Fetch => names(*table),
+            },
+            PlanNode::Join { left, right } => {
+                format!("({} ⋈ {})", left.render(names), right.render(names))
+            }
+            PlanNode::BindJoin { left, table, .. } => {
+                format!("({} ⋈→ {})", left.render(names), names(*table))
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(&|t| format!("T{t}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(t: usize) -> PlanNode {
+        PlanNode::access(t, AccessMethod::Fetch)
+    }
+
+    #[test]
+    fn tables_in_leaf_order() {
+        let p = PlanNode::join(
+            PlanNode::bind_join(
+                leaf(2),
+                0,
+                vec![BindPair {
+                    left: (2, 1),
+                    right_col: 0,
+                }],
+            ),
+            leaf(1),
+        );
+        assert_eq!(p.tables(), vec![2, 0, 1]);
+        assert_eq!(p.leaf_count(), 3);
+    }
+
+    #[test]
+    fn left_deep_recognition() {
+        // ((0 ⋈ 1) ⋈ 2) is left-deep.
+        let ld = PlanNode::join(PlanNode::join(leaf(0), leaf(1)), leaf(2));
+        assert!(ld.is_left_deep());
+        // (0 ⋈ (1 ⋈ 2)) is not.
+        let bushy = PlanNode::join(leaf(0), PlanNode::join(leaf(1), leaf(2)));
+        assert!(!bushy.is_left_deep());
+        // Bind joins extend the spine.
+        let bj = PlanNode::bind_join(
+            ld,
+            3,
+            vec![BindPair {
+                left: (2, 0),
+                right_col: 1,
+            }],
+        );
+        assert!(bj.is_left_deep());
+    }
+
+    #[test]
+    fn display_renders_shapes() {
+        let p = PlanNode::join(
+            PlanNode::access(0, AccessMethod::Local),
+            PlanNode::access(1, AccessMethod::Fetch),
+        );
+        assert_eq!(p.to_string(), "(T0ˡ ⋈ T1)");
+        let b = PlanNode::bind_join(
+            p,
+            2,
+            vec![BindPair {
+                left: (1, 0),
+                right_col: 0,
+            }],
+        );
+        assert_eq!(b.to_string(), "((T0ˡ ⋈ T1) ⋈→ T2)");
+    }
+}

@@ -1,0 +1,355 @@
+//! The semantic store: which regions of each table have been retrieved, and
+//! when.
+//!
+//! Row data itself lives in the buyer's local DBMS (the execution engine
+//! mirrors every retrieved tuple there); the store tracks *coverage* — the
+//! regions of each table's query space whose tuples are locally complete —
+//! plus a timestamp per region for the consistency levels of Section 4.3.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use payless_geometry::{QuerySpace, Region};
+use serde::{Deserialize, Serialize};
+
+/// Result-freshness policy (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// Reuse any stored result, however old. Semantic query rewriting is
+    /// always enabled.
+    Weak,
+    /// Reuse results retrieved within the last `n` time units (the paper
+    /// phrases it as "X-week consistency"; the unit is whatever clock the
+    /// caller advances).
+    Window(u64),
+    /// Never reuse stored results — semantic query rewriting is disabled and
+    /// every query goes to the market.
+    Strong,
+}
+
+impl Consistency {
+    /// The minimum `stored_at` timestamp a view must have to be reusable at
+    /// time `now`, or `None` when nothing is reusable.
+    pub fn min_stored_at(&self, now: u64) -> Option<u64> {
+        match self {
+            Consistency::Weak => Some(0),
+            Consistency::Window(w) => Some(now.saturating_sub(*w)),
+            Consistency::Strong => None,
+        }
+    }
+}
+
+/// One stored view: a retrieved region and when it was retrieved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredView {
+    /// The covered region of the table's query space.
+    pub region: Region,
+    /// Logical retrieval time.
+    pub stored_at: u64,
+}
+
+/// Cap on stored view boxes per table. Coverage is an optimization, not a
+/// correctness requirement: when a table's coverage fragments beyond this,
+/// the oldest views are forgotten (their data stays in the mirror; the
+/// affected regions may simply be re-fetched later).
+pub const MAX_VIEWS_PER_TABLE: usize = 256;
+
+/// Per-table coverage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TableStore {
+    space: QuerySpace,
+    views: Vec<StoredView>,
+}
+
+impl TableStore {
+    /// Insert a region, dropping views it contains and coalescing mergeable
+    /// neighbours (two views whose union is a single box and whose
+    /// timestamps may be conservatively merged to the older one).
+    fn insert(&mut self, region: Region, now: u64) {
+        // Already fully covered by a newer-or-equal view: nothing to do.
+        if self
+            .views
+            .iter()
+            .any(|v| v.stored_at >= now && v.region.contains(&region))
+        {
+            return;
+        }
+        // Drop older views that the new region swallows.
+        self.views
+            .retain(|v| !(region.contains(&v.region) && v.stored_at <= now));
+
+        let mut current = StoredView {
+            region,
+            stored_at: now,
+        };
+        // Coalesce until fixpoint.
+        loop {
+            let mut merged = false;
+            let mut i = 0;
+            while i < self.views.len() {
+                if let Some(union) = box_union(&self.views[i].region, &current.region) {
+                    let old = self.views.swap_remove(i);
+                    current = StoredView {
+                        region: union,
+                        // Conservative freshness: the union is only as fresh
+                        // as its stalest part.
+                        stored_at: old.stored_at.min(current.stored_at),
+                    };
+                    merged = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        self.views.push(current);
+        if self.views.len() > MAX_VIEWS_PER_TABLE {
+            // Forget the stalest views first.
+            self.views.sort_by_key(|v| std::cmp::Reverse(v.stored_at));
+            self.views.truncate(MAX_VIEWS_PER_TABLE / 2);
+        }
+    }
+
+    fn usable_views(&self, min_stored_at: u64) -> Vec<Region> {
+        self.views
+            .iter()
+            .filter(|v| v.stored_at >= min_stored_at)
+            .map(|v| v.region.clone())
+            .collect()
+    }
+}
+
+/// The union of two regions if it is exactly one box, else `None`.
+///
+/// True when one contains the other, or when they differ on a single
+/// dimension where their intervals are adjacent/overlapping and agree
+/// everywhere else.
+fn box_union(a: &Region, b: &Region) -> Option<Region> {
+    if a.contains(b) {
+        return Some(a.clone());
+    }
+    if b.contains(a) {
+        return Some(b.clone());
+    }
+    let mut differing = None;
+    for d in 0..a.arity() {
+        if a.dim(d) != b.dim(d) {
+            if differing.is_some() {
+                return None;
+            }
+            differing = Some(d);
+        }
+    }
+    let d = differing?;
+    let (ia, ib) = (a.dim(d), b.dim(d));
+    if !ia.mergeable(&ib) {
+        return None;
+    }
+    let mut dims = a.dims().to_vec();
+    dims[d] = ia.merge(&ib);
+    Some(Region::new(dims))
+}
+
+/// Coverage for every market table PayLess has touched.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SemanticStore {
+    tables: HashMap<Arc<str>, TableStore>,
+}
+
+impl SemanticStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table's query space (idempotent).
+    pub fn register(&mut self, space: QuerySpace) {
+        self.tables
+            .entry(space.table.clone())
+            .or_insert_with(|| TableStore {
+                space,
+                views: Vec::new(),
+            });
+    }
+
+    /// The query space of `table`, if registered.
+    pub fn space(&self, table: &str) -> Option<&QuerySpace> {
+        self.tables.get(table).map(|t| &t.space)
+    }
+
+    /// Record that `region` of `table` has been fully retrieved at time
+    /// `now`.
+    pub fn record(&mut self, table: &str, region: Region, now: u64) {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
+        entry.insert(region, now);
+    }
+
+    /// The stored regions of `table` usable under `consistency` at `now`.
+    /// Strong consistency yields no views (rewriting disabled).
+    pub fn views(&self, table: &str, consistency: Consistency, now: u64) -> Vec<Region> {
+        let Some(min) = consistency.min_stored_at(now) else {
+            return Vec::new();
+        };
+        self.tables
+            .get(table)
+            .map(|t| t.usable_views(min))
+            .unwrap_or_default()
+    }
+
+    /// Number of stored view boxes for `table` (after coalescing).
+    pub fn view_count(&self, table: &str) -> usize {
+        self.tables.get(table).map(|t| t.views.len()).unwrap_or(0)
+    }
+
+    /// Fraction of `table`'s whole query space covered by stored views
+    /// (freshness-agnostic). Diagnostic for the shell and experiments.
+    pub fn coverage_fraction(&self, table: &str) -> f64 {
+        let Some(t) = self.tables.get(table) else {
+            return 0.0;
+        };
+        let full = t.space.full_region().volume();
+        if full == 0 {
+            return 0.0;
+        }
+        let views: Vec<Region> = t.views.iter().map(|v| v.region.clone()).collect();
+        let covered = payless_geometry::union_volume(&views);
+        (covered as f64 / full as f64).clamp(0.0, 1.0)
+    }
+
+    /// `true` if `region` of `table` is fully covered by usable views.
+    pub fn covers(&self, table: &str, region: &Region, consistency: Consistency, now: u64) -> bool {
+        let views = self.views(table, consistency, now);
+        region.subtract_all(&views).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_geometry::region;
+    use payless_types::{Column, Domain, Schema};
+
+    fn space_1d() -> QuerySpace {
+        QuerySpace::of(&Schema::new(
+            "R",
+            vec![Column::free("A", Domain::int(0, 100))],
+        ))
+    }
+
+    fn store_1d() -> SemanticStore {
+        let mut s = SemanticStore::new();
+        s.register(space_1d());
+        s
+    }
+
+    #[test]
+    fn consistency_windows() {
+        assert_eq!(Consistency::Weak.min_stored_at(100), Some(0));
+        assert_eq!(Consistency::Window(10).min_stored_at(100), Some(90));
+        assert_eq!(Consistency::Window(200).min_stored_at(100), Some(0));
+        assert_eq!(Consistency::Strong.min_stored_at(100), None);
+    }
+
+    #[test]
+    fn record_and_cover() {
+        let mut s = store_1d();
+        s.record("R", region![(10, 20)], 1);
+        assert!(s.covers("R", &region![(12, 18)], Consistency::Weak, 2));
+        assert!(!s.covers("R", &region![(5, 15)], Consistency::Weak, 2));
+        assert!(!s.covers("R", &region![(12, 18)], Consistency::Strong, 2));
+    }
+
+    #[test]
+    fn window_consistency_expires_views() {
+        let mut s = store_1d();
+        s.record("R", region![(10, 20)], 1);
+        assert!(s.covers("R", &region![(10, 20)], Consistency::Window(5), 4));
+        assert!(!s.covers("R", &region![(10, 20)], Consistency::Window(5), 10));
+    }
+
+    #[test]
+    fn adjacent_views_coalesce() {
+        let mut s = store_1d();
+        s.record("R", region![(0, 9)], 1);
+        s.record("R", region![(10, 19)], 2);
+        assert_eq!(s.view_count("R"), 1);
+        assert!(s.covers("R", &region![(0, 19)], Consistency::Weak, 3));
+        // Conservative freshness: the union carries the older timestamp
+        // (1), so a window reaching back only to t=2 cannot use it.
+        assert!(!s.covers("R", &region![(0, 19)], Consistency::Window(1), 3));
+    }
+
+    #[test]
+    fn contained_views_are_absorbed() {
+        let mut s = store_1d();
+        s.record("R", region![(10, 20)], 1);
+        s.record("R", region![(0, 50)], 2);
+        assert_eq!(s.view_count("R"), 1);
+        assert_eq!(s.views("R", Consistency::Weak, 3), vec![region![(0, 50)]]);
+    }
+
+    #[test]
+    fn disjoint_views_stay_separate() {
+        let mut s = store_1d();
+        s.record("R", region![(0, 9)], 1);
+        s.record("R", region![(50, 59)], 2);
+        assert_eq!(s.view_count("R"), 2);
+    }
+
+    #[test]
+    fn chained_coalescing_reaches_fixpoint() {
+        let mut s = store_1d();
+        s.record("R", region![(0, 9)], 1);
+        s.record("R", region![(20, 29)], 1);
+        // The middle piece bridges both.
+        s.record("R", region![(10, 19)], 2);
+        assert_eq!(s.view_count("R"), 1);
+        assert!(s.covers("R", &region![(0, 29)], Consistency::Weak, 3));
+    }
+
+    #[test]
+    fn box_union_2d() {
+        // Same extent on dim 1, adjacent on dim 0 -> merges.
+        let a = region![(0, 4), (0, 9)];
+        let b = region![(5, 9), (0, 9)];
+        assert_eq!(box_union(&a, &b), Some(region![(0, 9), (0, 9)]));
+        // Differ on two dims -> no box union.
+        let c = region![(5, 9), (10, 19)];
+        assert_eq!(box_union(&a, &c), None);
+        // Disjoint on the differing dim -> none.
+        let d = region![(6, 9), (0, 9)];
+        assert_eq!(box_union(&a, &d), None);
+    }
+
+    #[test]
+    fn unregistered_table_has_no_views() {
+        let s = SemanticStore::new();
+        assert!(s.views("X", Consistency::Weak, 0).is_empty());
+        assert_eq!(s.view_count("X"), 0);
+        assert!(s.space("X").is_none());
+    }
+
+    #[test]
+    fn coverage_fraction_tracks_union() {
+        let mut s = store_1d();
+        assert_eq!(s.coverage_fraction("R"), 0.0);
+        s.record("R", region![(0, 49)], 1);
+        assert!((s.coverage_fraction("R") - 50.0 / 101.0).abs() < 1e-9);
+        // Overlapping view counts once.
+        s.record("R", region![(25, 74)], 2);
+        assert!((s.coverage_fraction("R") - 75.0 / 101.0).abs() < 1e-9);
+        assert_eq!(s.coverage_fraction("unknown"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn recording_unregistered_table_panics() {
+        let mut s = SemanticStore::new();
+        s.record("X", region![(0, 1)], 0);
+    }
+}

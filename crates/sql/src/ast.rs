@@ -1,0 +1,448 @@
+//! Abstract syntax for the PayLess SQL dialect.
+
+use std::fmt;
+
+use payless_types::{CmpOp, PaylessError, Result, Value};
+
+/// A possibly table-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Optional qualifying table name.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar operand: literal or `?` parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A literal value.
+    Lit(Value),
+    /// The `i`-th `?` placeholder (0-based, in source order).
+    Param(usize),
+}
+
+impl Scalar {
+    /// Resolve against bound parameter values.
+    pub fn resolve(&self, params: &[Value]) -> Result<Value> {
+        match self {
+            Scalar::Lit(v) => Ok(v.clone()),
+            Scalar::Param(i) => params.get(*i).cloned().ok_or_else(|| {
+                PaylessError::Unsupported(format!(
+                    "parameter ${i} unbound ({} values supplied)",
+                    params.len()
+                ))
+            }),
+        }
+    }
+}
+
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column.
+    Column(ColRef),
+    /// An aggregate: `COUNT(*)`, `AVG(col)`, …
+    Agg {
+        /// Function name, uppercased (`COUNT`, `SUM`, `AVG`, `MIN`, `MAX`).
+        func: String,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<ColRef>,
+    },
+}
+
+/// One operand of an equality chain (`a = b = ?`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EqOperand {
+    /// A column.
+    Col(ColRef),
+    /// A literal or parameter.
+    Value(Scalar),
+}
+
+/// A `WHERE` predicate (one conjunct).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredAst {
+    /// `col op scalar` (the parser normalizes `scalar op col` to this form).
+    Cmp {
+        /// The column.
+        col: ColRef,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand operand.
+        value: Scalar,
+    },
+    /// `col BETWEEN lo AND hi`.
+    Between {
+        /// The column.
+        col: ColRef,
+        /// Lower bound (inclusive).
+        lo: Scalar,
+        /// Upper bound (inclusive).
+        hi: Scalar,
+    },
+    /// `a = b` between two columns — a join edge (or a same-table filter).
+    JoinEq {
+        /// Left column.
+        left: ColRef,
+        /// Right column.
+        right: ColRef,
+    },
+    /// A non-equality comparison between two columns (e.g. TPC-H Q4's
+    /// `CommitDate < ReceiptDate`). Only supported within one table, where it
+    /// is evaluated locally as a residual.
+    ColCmp {
+        /// Left column.
+        left: ColRef,
+        /// Operator (never `Eq`; that is [`PredAst::JoinEq`]).
+        op: CmpOp,
+        /// Right column.
+        right: ColRef,
+    },
+    /// An equality chain of three or more operands, e.g.
+    /// `Station.Country = Weather.Country = ?` (paper Q3-Q5 syntax).
+    /// Semantically equivalent to pairwise equality of all operands.
+    EqChain(Vec<EqOperand>),
+    /// Same-column `OR` of equalities:
+    /// `col = v1 OR col = v2 OR …` (Section 1's decomposable disjunction).
+    OrEq {
+        /// The column all disjuncts constrain.
+        col: ColRef,
+        /// The alternative values.
+        values: Vec<Scalar>,
+    },
+}
+
+/// A parsed `SELECT` statement (a *query template* until parameters are
+/// bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `DISTINCT`?
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables, in source order.
+    pub tables: Vec<String>,
+    /// Conjunctive `WHERE` predicates.
+    pub predicates: Vec<PredAst>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<ColRef>,
+    /// `ORDER BY` columns (ascending).
+    pub order_by: Vec<ColRef>,
+    /// Number of `?` placeholders in source order.
+    pub param_count: usize,
+}
+
+impl SelectStmt {
+    /// Substitute parameter values, producing a parameter-free statement.
+    ///
+    /// Errors if the number of values does not match the template's
+    /// placeholder count.
+    pub fn bind(&self, params: &[Value]) -> Result<SelectStmt> {
+        if params.len() != self.param_count {
+            return Err(PaylessError::Unsupported(format!(
+                "template has {} parameters but {} values supplied",
+                self.param_count,
+                params.len()
+            )));
+        }
+        let bind_scalar = |s: &Scalar| -> Result<Scalar> { Ok(Scalar::Lit(s.resolve(params)?)) };
+        let mut predicates = Vec::with_capacity(self.predicates.len());
+        for p in &self.predicates {
+            predicates.push(match p {
+                PredAst::Cmp { col, op, value } => PredAst::Cmp {
+                    col: col.clone(),
+                    op: *op,
+                    value: bind_scalar(value)?,
+                },
+                PredAst::Between { col, lo, hi } => PredAst::Between {
+                    col: col.clone(),
+                    lo: bind_scalar(lo)?,
+                    hi: bind_scalar(hi)?,
+                },
+                PredAst::JoinEq { left, right } => PredAst::JoinEq {
+                    left: left.clone(),
+                    right: right.clone(),
+                },
+                PredAst::ColCmp { left, op, right } => PredAst::ColCmp {
+                    left: left.clone(),
+                    op: *op,
+                    right: right.clone(),
+                },
+                PredAst::EqChain(ops) => PredAst::EqChain(
+                    ops.iter()
+                        .map(|o| {
+                            Ok(match o {
+                                EqOperand::Col(c) => EqOperand::Col(c.clone()),
+                                EqOperand::Value(s) => EqOperand::Value(bind_scalar(s)?),
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                ),
+                PredAst::OrEq { col, values } => PredAst::OrEq {
+                    col: col.clone(),
+                    values: values.iter().map(bind_scalar).collect::<Result<Vec<_>>>()?,
+                },
+            });
+        }
+        Ok(SelectStmt {
+            distinct: self.distinct,
+            items: self.items.clone(),
+            tables: self.tables.clone(),
+            predicates,
+            group_by: self.group_by.clone(),
+            order_by: self.order_by.clone(),
+            param_count: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colref_display() {
+        assert_eq!(ColRef::bare("City").to_string(), "City");
+        assert_eq!(
+            ColRef::qualified("Station", "City").to_string(),
+            "Station.City"
+        );
+    }
+
+    #[test]
+    fn scalar_resolution() {
+        let params = vec![Value::int(7), Value::str("x")];
+        assert_eq!(
+            Scalar::Lit(Value::int(1)).resolve(&params).unwrap(),
+            Value::int(1)
+        );
+        assert_eq!(Scalar::Param(1).resolve(&params).unwrap(), Value::str("x"));
+        assert!(Scalar::Param(2).resolve(&params).is_err());
+    }
+
+    #[test]
+    fn bind_substitutes_everywhere() {
+        let stmt = SelectStmt {
+            distinct: false,
+            items: vec![SelectItem::Wildcard],
+            tables: vec!["T".into()],
+            predicates: vec![
+                PredAst::Cmp {
+                    col: ColRef::bare("a"),
+                    op: CmpOp::Ge,
+                    value: Scalar::Param(0),
+                },
+                PredAst::OrEq {
+                    col: ColRef::bare("b"),
+                    values: vec![Scalar::Param(1), Scalar::Lit(Value::str("k"))],
+                },
+            ],
+            group_by: vec![],
+            order_by: vec![],
+            param_count: 2,
+        };
+        let bound = stmt.bind(&[Value::int(10), Value::str("v")]).unwrap();
+        assert_eq!(bound.param_count, 0);
+        assert_eq!(
+            bound.predicates[0],
+            PredAst::Cmp {
+                col: ColRef::bare("a"),
+                op: CmpOp::Ge,
+                value: Scalar::Lit(Value::int(10)),
+            }
+        );
+        match &bound.predicates[1] {
+            PredAst::OrEq { values, .. } => {
+                assert_eq!(values[0], Scalar::Lit(Value::str("v")));
+                assert_eq!(values[1], Scalar::Lit(Value::str("k")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_arity_mismatch_errors() {
+        let stmt = SelectStmt {
+            distinct: false,
+            items: vec![SelectItem::Wildcard],
+            tables: vec!["T".into()],
+            predicates: vec![],
+            group_by: vec![],
+            order_by: vec![],
+            param_count: 1,
+        };
+        assert!(stmt.bind(&[]).is_err());
+        assert!(stmt.bind(&[Value::int(1), Value::int(2)]).is_err());
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Lit(v) => write!(f, "{v}"),
+            Scalar::Param(_) => write!(f, "?"),
+        }
+    }
+}
+
+impl fmt::Display for EqOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqOperand::Col(c) => write!(f, "{c}"),
+            EqOperand::Value(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for PredAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredAst::Cmp { col, op, value } => write!(f, "{col} {op} {value}"),
+            PredAst::Between { col, lo, hi } => {
+                write!(f, "{col} BETWEEN {lo} AND {hi}")
+            }
+            PredAst::JoinEq { left, right } => write!(f, "{left} = {right}"),
+            PredAst::ColCmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            PredAst::EqChain(ops) => {
+                for (i, o) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " = ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                Ok(())
+            }
+            PredAst::OrEq { col, values } => {
+                write!(f, "(")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{col} = {v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Agg { func, arg } => match arg {
+                Some(c) => write!(f, "{func}({c})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    /// Render back to parseable SQL (the un-parser). `parse(render(s))`
+    /// reproduces `s` up to parameter numbering, which is positional in both
+    /// directions — see the round-trip property test.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.tables.join(", "))?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            write!(f, " {} {p}", if i == 0 { "WHERE" } else { "AND" })?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, c) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn renders_parseable_sql() {
+        let cases = [
+            "SELECT * FROM T WHERE a >= 5 AND a <= 9",
+            "SELECT DISTINCT City FROM Station WHERE Country = 'X'",
+            "SELECT AVG(t) FROM A, B WHERE A.x = B.y GROUP BY A.c",
+            "SELECT a, COUNT(*) FROM T WHERE (a = 1 OR a = 2) GROUP BY a ORDER BY a",
+            "SELECT * FROM T WHERE x BETWEEN ? AND ? AND y = ?",
+            "SELECT * FROM T WHERE T.a = T.b = 5",
+        ];
+        for sql in cases {
+            let stmt = parse(sql).unwrap();
+            let rendered = stmt.to_string();
+            let reparsed = parse(&rendered)
+                .unwrap_or_else(|e| panic!("rendered SQL unparseable: {rendered}\n{e}"));
+            assert_eq!(stmt, reparsed, "round trip changed: {rendered}");
+        }
+    }
+
+    #[test]
+    fn bound_statement_renders_values() {
+        let stmt = parse("SELECT * FROM T WHERE a = ? AND b >= ?").unwrap();
+        let bound = stmt
+            .bind(&[Value::str("x"), Value::int(9)])
+            .unwrap();
+        assert_eq!(
+            bound.to_string(),
+            "SELECT * FROM T WHERE a = 'x' AND b >= 9"
+        );
+    }
+}

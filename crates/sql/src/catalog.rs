@@ -1,0 +1,86 @@
+//! The catalog trait: where does a table live and what is its schema?
+//!
+//! The PayLess parser "differentiates local tables and tables from the data
+//! market using the information obtained when registering with the data
+//! market" (Section 3). A [`Catalog`] is that registration information.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use payless_types::Schema;
+
+/// Where a table lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableLocation {
+    /// In the buyer's local DBMS — free to access.
+    Local,
+    /// In the data market — every retrieval costs transactions.
+    Market,
+}
+
+/// Name-resolution interface used by the analyzer and the optimizer.
+pub trait Catalog {
+    /// Schema of `table`, if registered.
+    fn schema(&self, table: &str) -> Option<&Schema>;
+    /// Location of `table`, if registered.
+    fn location(&self, table: &str) -> Option<TableLocation>;
+}
+
+/// A simple map-backed catalog.
+#[derive(Debug, Default, Clone)]
+pub struct MapCatalog {
+    entries: HashMap<Arc<str>, (Schema, TableLocation)>,
+}
+
+impl MapCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table (builder style).
+    pub fn with(mut self, schema: Schema, location: TableLocation) -> Self {
+        self.add(schema, location);
+        self
+    }
+
+    /// Register a table.
+    pub fn add(&mut self, schema: Schema, location: TableLocation) {
+        self.entries
+            .insert(schema.table.clone(), (schema, location));
+    }
+}
+
+impl Catalog for MapCatalog {
+    fn schema(&self, table: &str) -> Option<&Schema> {
+        self.entries.get(table).map(|(s, _)| s)
+    }
+
+    fn location(&self, table: &str) -> Option<TableLocation> {
+        self.entries.get(table).map(|(_, l)| *l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_types::{Column, Domain};
+
+    #[test]
+    fn map_catalog_lookup() {
+        let cat = MapCatalog::new()
+            .with(
+                Schema::new("L", vec![Column::free("a", Domain::int(0, 9))]),
+                TableLocation::Local,
+            )
+            .with(
+                Schema::new("M", vec![Column::free("b", Domain::int(0, 9))]),
+                TableLocation::Market,
+            );
+        assert_eq!(cat.location("L"), Some(TableLocation::Local));
+        assert_eq!(cat.location("M"), Some(TableLocation::Market));
+        assert_eq!(cat.location("X"), None);
+        assert_eq!(&*cat.schema("M").unwrap().table, "M");
+        assert!(cat.schema("X").is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! SQL front end for PayLess.
+//!
+//! A hand-written lexer and recursive-descent parser for the query class of
+//! the paper (Table 1 and the TPC-H-style templates):
+//!
+//! * `SELECT`-project-join over any number of tables (local and market),
+//! * conjunctive `WHERE` clauses with `=`, `<`, `<=`, `>`, `>=`, `<>`,
+//!   `BETWEEN … AND …`,
+//! * equality chains (`Station.Country = Weather.Country = ?` — the paper's
+//!   Q3/Q4/Q5 syntax),
+//! * same-column `OR` of equalities (`Country = 'Canada' OR Country =
+//!   'Germany'`) and its `IN`-list sugar (`Country IN ('Canada',
+//!   'Germany')`), which the paper's Section 1 shows must be decomposed
+//!   into one call per value,
+//! * `?` parameters (queries arrive as *parameterized templates*; Section
+//!   2.2),
+//! * aggregates `COUNT/SUM/AVG/MIN/MAX` with `GROUP BY`, plus `DISTINCT` and
+//!   `ORDER BY`.
+//!
+//! The pipeline is [`parse`] → [`SelectStmt::bind`] (substitute parameter
+//! values) → [`analyze`] (resolve names against a [`Catalog`] and classify
+//! predicates into per-table market constraints, join edges, and local
+//! residuals).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod catalog;
+pub mod lexer;
+pub mod parser;
+
+pub use analyze::{
+    analyze, AccessConstraint, AnalyzedQuery, JoinEdge, OutputItem, ResidualPred, TableAccess,
+};
+pub use ast::{ColRef, PredAst, Scalar, SelectItem, SelectStmt};
+pub use catalog::{Catalog, MapCatalog, TableLocation};
+pub use parser::parse;

@@ -1,0 +1,678 @@
+//! Recursive-descent parser.
+
+use payless_types::{CmpOp, PaylessError, Result, Value};
+
+use crate::ast::{ColRef, EqOperand, PredAst, Scalar, SelectItem, SelectStmt};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse one `SELECT` statement.
+pub fn parse(sql: &str) -> Result<SelectStmt> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        params: 0,
+    };
+    let stmt = p.select_stmt()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+    params: usize,
+}
+
+/// An operand of a comparison: column or scalar.
+#[derive(Debug, Clone)]
+enum Operand {
+    Col(ColRef),
+    Scalar(Scalar),
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.at].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> PaylessError {
+        PaylessError::Parse {
+            position: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("trailing input after statement"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Grammar productions
+    // ------------------------------------------------------------------
+
+    fn select_stmt(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let items = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let mut tables = vec![self.ident("table name")?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.advance();
+            tables.push(self.ident("table name")?);
+        }
+        let mut predicates = Vec::new();
+        if self.eat_kw("WHERE") {
+            predicates.push(self.or_group()?);
+            while self.eat_kw("AND") {
+                predicates.push(self.or_group()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.colref()?);
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.advance();
+                group_by.push(self.colref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                order_by.push(self.colref()?);
+                self.eat_kw("ASC");
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStmt {
+            distinct,
+            items,
+            tables,
+            predicates,
+            group_by,
+            order_by,
+            param_count: self.params,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        if matches!(self.peek(), TokenKind::Star) {
+            self.advance();
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = vec![self.select_item()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.advance();
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        const AGGS: [&str; 5] = ["COUNT", "SUM", "AVG", "MIN", "MAX"];
+        if let TokenKind::Ident(name) = self.peek() {
+            let upper = name.to_ascii_uppercase();
+            if AGGS.contains(&upper.as_str())
+                && matches!(self.tokens[self.at + 1].kind, TokenKind::LParen)
+            {
+                self.advance(); // function name
+                self.advance(); // (
+                let arg = if matches!(self.peek(), TokenKind::Star) {
+                    self.advance();
+                    None
+                } else {
+                    Some(self.colref()?)
+                };
+                self.expect(&TokenKind::RParen, "`)`")?;
+                return Ok(SelectItem::Agg { func: upper, arg });
+            }
+        }
+        Ok(SelectItem::Column(self.colref()?))
+    }
+
+    fn colref(&mut self) -> Result<ColRef> {
+        let first = self.ident("column reference")?;
+        if matches!(self.peek(), TokenKind::Dot) {
+            self.advance();
+            let column = self.ident("column name after `.`")?;
+            Ok(ColRef::qualified(first, column))
+        } else {
+            Ok(ColRef::bare(first))
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Scalar::Lit(Value::int(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Scalar::Lit(Value::str(s)))
+            }
+            TokenKind::Param => {
+                self.advance();
+                let idx = self.params;
+                self.params += 1;
+                Ok(Scalar::Param(idx))
+            }
+            _ => Err(self.error("expected literal or `?`")),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.peek() {
+            TokenKind::Ident(_) => Ok(Operand::Col(self.colref()?)),
+            _ => Ok(Operand::Scalar(self.scalar()?)),
+        }
+    }
+
+    fn relop(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return None,
+        };
+        self.advance();
+        Some(op)
+    }
+
+    /// A group of atoms joined by `OR` (which must all be equalities on the
+    /// same column), or a single atom. Parentheses around the group are
+    /// accepted.
+    fn or_group(&mut self) -> Result<PredAst> {
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.advance();
+            let inner = self.or_group_body()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        self.or_group_body()
+    }
+
+    fn or_group_body(&mut self) -> Result<PredAst> {
+        let first = self.atom()?;
+        if !self.peek().is_kw("OR") {
+            return Ok(first);
+        }
+        // Collect the disjuncts; each must be `col = scalar` on one column.
+        let mut disjuncts = vec![first];
+        while self.eat_kw("OR") {
+            disjuncts.push(self.atom()?);
+        }
+        let mut col: Option<ColRef> = None;
+        let mut values = Vec::with_capacity(disjuncts.len());
+        for d in disjuncts {
+            match d {
+                PredAst::Cmp {
+                    col: c,
+                    op: CmpOp::Eq,
+                    value,
+                } => {
+                    match &col {
+                        None => col = Some(c),
+                        Some(prev) if *prev == c => {}
+                        Some(prev) => {
+                            return Err(PaylessError::Unsupported(format!(
+                                "OR disjuncts must constrain one column \
+                                 (found `{prev}` and `{c}`)"
+                            )))
+                        }
+                    }
+                    values.push(value);
+                }
+                other => {
+                    return Err(PaylessError::Unsupported(format!(
+                        "OR supports only same-column equalities, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(PredAst::OrEq {
+            col: col.expect("at least two disjuncts"),
+            values,
+        })
+    }
+
+    /// One comparison atom: `operand op operand [op operand …]` or
+    /// `col BETWEEN lo AND hi`.
+    fn atom(&mut self) -> Result<PredAst> {
+        let first = self.operand()?;
+
+        // BETWEEN sugar.
+        if self.peek().is_kw("BETWEEN") {
+            let Operand::Col(col) = first else {
+                return Err(self.error("BETWEEN requires a column on the left"));
+            };
+            self.advance();
+            let lo = self.scalar()?;
+            self.expect_kw("AND")?;
+            let hi = self.scalar()?;
+            return Ok(PredAst::Between { col, lo, hi });
+        }
+
+        // IN-list sugar: `col IN (v1, v2, …)` is the same-column
+        // disjunction of equalities the market decomposes per value.
+        if self.peek().is_kw("IN") {
+            let Operand::Col(col) = first else {
+                return Err(self.error("IN requires a column on the left"));
+            };
+            self.advance();
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut values = vec![self.scalar()?];
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.advance();
+                values.push(self.scalar()?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            if values.len() == 1 {
+                return Ok(PredAst::Cmp {
+                    col,
+                    op: CmpOp::Eq,
+                    value: values.pop().expect("one value"),
+                });
+            }
+            return Ok(PredAst::OrEq { col, values });
+        }
+
+        let Some(op) = self.relop() else {
+            return Err(self.error("expected comparison operator"));
+        };
+        let second = self.operand()?;
+
+        // Longer `=` chains (paper Q3-Q5: `a = b = ?`).
+        if op == CmpOp::Eq && matches!(self.peek(), TokenKind::Eq) {
+            let mut ops = vec![to_eq_operand(first), to_eq_operand(second)];
+            while matches!(self.peek(), TokenKind::Eq) {
+                self.advance();
+                ops.push(to_eq_operand(self.operand()?));
+            }
+            return Ok(PredAst::EqChain(ops));
+        }
+
+        match (first, second) {
+            (Operand::Col(left), Operand::Col(right)) => {
+                if op == CmpOp::Eq {
+                    Ok(PredAst::JoinEq { left, right })
+                } else {
+                    Ok(PredAst::ColCmp { left, op, right })
+                }
+            }
+            (Operand::Col(col), Operand::Scalar(value)) => Ok(PredAst::Cmp { col, op, value }),
+            (Operand::Scalar(value), Operand::Col(col)) => Ok(PredAst::Cmp {
+                col,
+                op: op.flip(),
+                value,
+            }),
+            (Operand::Scalar(_), Operand::Scalar(_)) => Err(PaylessError::Unsupported(
+                "comparison between two literals".into(),
+            )),
+        }
+    }
+}
+
+fn to_eq_operand(op: Operand) -> EqOperand {
+    match op {
+        Operand::Col(c) => EqOperand::Col(c),
+        Operand::Scalar(s) => EqOperand::Value(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_q1() {
+        // Query Q1 from page 1 of the paper.
+        let stmt = parse(
+            "SELECT Temperature FROM Station, Weather \
+             WHERE City = 'Seattle' AND Country = 'United States' AND \
+             Date >= 20140601 AND Date <= 20140630 AND \
+             Station.StationID = Weather.StationID",
+        )
+        .unwrap();
+        assert_eq!(stmt.tables, vec!["Station", "Weather"]);
+        assert_eq!(
+            stmt.items,
+            vec![SelectItem::Column(ColRef::bare("Temperature"))]
+        );
+        assert_eq!(stmt.predicates.len(), 5);
+        assert_eq!(
+            stmt.predicates[4],
+            PredAst::JoinEq {
+                left: ColRef::qualified("Station", "StationID"),
+                right: ColRef::qualified("Weather", "StationID"),
+            }
+        );
+        assert_eq!(stmt.param_count, 0);
+    }
+
+    #[test]
+    fn parses_equality_chain_template() {
+        // Template Q3 from Table 1.
+        let stmt = parse(
+            "SELECT AVG(Temperature) FROM Station, Weather \
+             WHERE Station.Country = Weather.Country = ? AND \
+             Weather.Date >= ? AND Weather.Date <= ? AND \
+             Station.StationID = Weather.StationID \
+             GROUP BY City",
+        )
+        .unwrap();
+        assert_eq!(stmt.param_count, 3);
+        assert_eq!(stmt.group_by, vec![ColRef::bare("City")]);
+        match &stmt.predicates[0] {
+            PredAst::EqChain(ops) => {
+                assert_eq!(ops.len(), 3);
+                assert_eq!(
+                    ops[0],
+                    EqOperand::Col(ColRef::qualified("Station", "Country"))
+                );
+                assert_eq!(ops[2], EqOperand::Value(Scalar::Param(0)));
+            }
+            other => panic!("expected EqChain, got {other:?}"),
+        }
+        match &stmt.items[0] {
+            SelectItem::Agg { func, arg } => {
+                assert_eq!(func, "AVG");
+                assert_eq!(arg, &Some(ColRef::bare("Temperature")));
+            }
+            other => panic!("expected Agg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_or_of_equalities() {
+        let stmt =
+            parse("SELECT * FROM T WHERE Country = 'Canada' OR Country = 'Germany'").unwrap();
+        assert_eq!(
+            stmt.predicates[0],
+            PredAst::OrEq {
+                col: ColRef::bare("Country"),
+                values: vec![
+                    Scalar::Lit(Value::str("Canada")),
+                    Scalar::Lit(Value::str("Germany"))
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parenthesized_or_group() {
+        let stmt = parse("SELECT * FROM T WHERE (a = 1 OR a = 2) AND b >= 3").unwrap();
+        assert_eq!(stmt.predicates.len(), 2);
+        assert!(matches!(stmt.predicates[0], PredAst::OrEq { .. }));
+    }
+
+    #[test]
+    fn or_across_columns_rejected() {
+        assert!(matches!(
+            parse("SELECT * FROM T WHERE a = 1 OR b = 2"),
+            Err(PaylessError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn or_with_range_rejected() {
+        assert!(parse("SELECT * FROM T WHERE a = 1 OR a > 2").is_err());
+    }
+
+    #[test]
+    fn in_list_desugars_to_oreq() {
+        let stmt = parse("SELECT * FROM T WHERE Country IN ('Canada', 'Germany', ?)").unwrap();
+        assert_eq!(
+            stmt.predicates[0],
+            PredAst::OrEq {
+                col: ColRef::bare("Country"),
+                values: vec![
+                    Scalar::Lit(Value::str("Canada")),
+                    Scalar::Lit(Value::str("Germany")),
+                    Scalar::Param(0),
+                ],
+            }
+        );
+        assert_eq!(stmt.param_count, 1);
+        // Single-element IN is a plain equality.
+        let one = parse("SELECT * FROM T WHERE a IN (5)").unwrap();
+        assert_eq!(
+            one.predicates[0],
+            PredAst::Cmp {
+                col: ColRef::bare("a"),
+                op: CmpOp::Eq,
+                value: Scalar::Lit(Value::int(5)),
+            }
+        );
+        // Malformed lists are rejected.
+        assert!(parse("SELECT * FROM T WHERE a IN ()").is_err());
+        assert!(parse("SELECT * FROM T WHERE a IN (1, 2").is_err());
+        assert!(parse("SELECT * FROM T WHERE 3 IN (1, 2)").is_err());
+    }
+
+    #[test]
+    fn between_desugars() {
+        let stmt = parse("SELECT * FROM T WHERE d BETWEEN 5 AND 9 AND x = 1").unwrap();
+        assert_eq!(
+            stmt.predicates[0],
+            PredAst::Between {
+                col: ColRef::bare("d"),
+                lo: Scalar::Lit(Value::int(5)),
+                hi: Scalar::Lit(Value::int(9)),
+            }
+        );
+        assert_eq!(stmt.predicates.len(), 2);
+    }
+
+    #[test]
+    fn literal_on_left_is_normalized() {
+        let stmt = parse("SELECT * FROM T WHERE 10 <= x").unwrap();
+        assert_eq!(
+            stmt.predicates[0],
+            PredAst::Cmp {
+                col: ColRef::bare("x"),
+                op: CmpOp::Ge,
+                value: Scalar::Lit(Value::int(10)),
+            }
+        );
+    }
+
+    #[test]
+    fn count_star_and_distinct_and_order() {
+        let stmt =
+            parse("SELECT DISTINCT City, COUNT(*) FROM T GROUP BY City ORDER BY City ASC").unwrap();
+        assert!(stmt.distinct);
+        assert_eq!(stmt.items.len(), 2);
+        assert!(matches!(
+            stmt.items[1],
+            SelectItem::Agg { ref func, arg: None } if func == "COUNT"
+        ));
+        assert_eq!(stmt.order_by, vec![ColRef::bare("City")]);
+    }
+
+    #[test]
+    fn params_numbered_in_source_order() {
+        let stmt = parse("SELECT * FROM T WHERE a = ? AND b BETWEEN ? AND ? AND c = ?").unwrap();
+        assert_eq!(stmt.param_count, 4);
+        match &stmt.predicates[1] {
+            PredAst::Between { lo, hi, .. } => {
+                assert_eq!(lo, &Scalar::Param(1));
+                assert_eq!(hi, &Scalar::Param(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM T WHERE").is_err());
+        assert!(parse("SELECT * FROM T extra").is_err());
+        assert!(parse("FROM T").is_err());
+        assert!(parse("SELECT * FROM T WHERE 1 = 2").is_err());
+    }
+
+    #[test]
+    fn column_column_inequality_parses_as_colcmp() {
+        let stmt = parse("SELECT * FROM T WHERE a < b").unwrap();
+        assert_eq!(
+            stmt.predicates[0],
+            PredAst::ColCmp {
+                left: ColRef::bare("a"),
+                op: CmpOp::Lt,
+                right: ColRef::bare("b"),
+            }
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let stmt = parse("select * from T where a = 1 group by a").unwrap();
+        assert_eq!(stmt.tables, vec!["T"]);
+        assert_eq!(stmt.group_by.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser must never panic, whatever bytes arrive.
+        #[test]
+        fn never_panics_on_arbitrary_input(input in ".{0,200}") {
+            let _ = parse(&input);
+        }
+
+        /// Nor on inputs built from SQL-ish fragments (more likely to reach
+        /// deep parser states than pure noise).
+        #[test]
+        fn never_panics_on_sqlish_soup(
+            parts in proptest::collection::vec(
+                prop_oneof![
+                    Just("SELECT".to_string()),
+                    Just("FROM".to_string()),
+                    Just("WHERE".to_string()),
+                    Just("AND".to_string()),
+                    Just("OR".to_string()),
+                    Just("BETWEEN".to_string()),
+                    Just("IN".to_string()),
+                    Just("GROUP BY".to_string()),
+                    Just("ORDER BY".to_string()),
+                    Just("*".to_string()),
+                    Just(",".to_string()),
+                    Just("(".to_string()),
+                    Just(")".to_string()),
+                    Just("=".to_string()),
+                    Just("<=".to_string()),
+                    Just("?".to_string()),
+                    Just("t".to_string()),
+                    Just("a.b".to_string()),
+                    Just("'s'".to_string()),
+                    Just("42".to_string()),
+                ],
+                0..24,
+            )
+        ) {
+            let _ = parse(&parts.join(" "));
+        }
+
+        /// Any statement that parses must round-trip through bind() with the
+        /// declared number of parameters.
+        #[test]
+        fn parsed_templates_bind_cleanly(
+            n_tables in 1usize..4,
+            preds in proptest::collection::vec(0usize..5, 0..4),
+        ) {
+            let tables: Vec<String> =
+                (0..n_tables).map(|i| format!("T{i}")).collect();
+            let pred_strs: Vec<String> = preds
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| {
+                    let col = format!("T0.c{i}");
+                    match kind {
+                        0 => format!("{col} = ?"),
+                        1 => format!("{col} >= ?"),
+                        2 => format!("{col} BETWEEN ? AND ?"),
+                        3 => format!("{col} IN (?, ?)"),
+                        _ => format!("{col} = 7"),
+                    }
+                })
+                .collect();
+            let mut sql = format!("SELECT * FROM {}", tables.join(", "));
+            if !pred_strs.is_empty() {
+                sql.push_str(" WHERE ");
+                sql.push_str(&pred_strs.join(" AND "));
+            }
+            let stmt = parse(&sql).unwrap();
+            let params: Vec<payless_types::Value> =
+                (0..stmt.param_count).map(|i| payless_types::Value::int(i as i64)).collect();
+            let bound = stmt.bind(&params).unwrap();
+            prop_assert_eq!(bound.param_count, 0);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Grouped aggregation (`GROUP BY` + `COUNT/SUM/AVG/MIN/MAX`).
+
+use std::collections::HashMap;
+
+pub use payless_types::AggFunc;
+use payless_types::{Row, Value};
+
+/// One aggregate in a `SELECT` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column; `None` means `COUNT(*)`.
+    pub col: Option<usize>,
+}
+
+impl AggSpec {
+    /// `COUNT(*)`.
+    pub const COUNT_STAR: AggSpec = AggSpec {
+        func: AggFunc::Count,
+        col: None,
+    };
+
+    /// An aggregate over a column.
+    pub fn over(func: AggFunc, col: usize) -> Self {
+        AggSpec {
+            func,
+            col: Some(col),
+        }
+    }
+}
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum(i64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, row: &Row, col: Option<usize>) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => {
+                let col = col.expect("SUM requires a column");
+                *s += row.get(col).as_int().expect("SUM over non-integer");
+            }
+            AggState::Avg { sum, n } => {
+                let col = col.expect("AVG requires a column");
+                *sum += row.get(col).as_float().expect("AVG over non-numeric");
+                *n += 1;
+            }
+            AggState::Min(m) => {
+                let col = col.expect("MIN requires a column");
+                let v = row.get(col);
+                if m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Max(m) => {
+                let col = col.expect("MAX requires a column");
+                let v = row.get(col);
+                if m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::int(n as i64),
+            AggState::Sum(s) => Value::int(s),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(m) | AggState::Max(m) => m.expect("MIN/MAX over empty group"),
+        }
+    }
+}
+
+/// Group `rows` by the `group_by` columns and evaluate `aggs` per group.
+///
+/// Output rows are `group key columns ++ aggregate values`, in first-seen
+/// group order (deterministic). With an empty `group_by`, the classic
+/// single-row global aggregate is produced — unless `rows` is empty *and*
+/// all aggregates are counts, in which case a single `0` row is produced to
+/// match SQL semantics; an empty input with `MIN`/`MAX`/`AVG` yields no rows
+/// (our dialect has no `NULL`).
+pub fn aggregate(rows: &[Row], group_by: &[usize], aggs: &[AggSpec]) -> Vec<Row> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+
+    for row in rows {
+        let key: Vec<Value> = group_by.iter().map(|&c| row.get(c).clone()).collect();
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|a| AggState::new(a.func)).collect()
+        });
+        for (state, spec) in states.iter_mut().zip(aggs) {
+            state.update(row, spec.col);
+        }
+    }
+
+    if groups.is_empty() && group_by.is_empty() {
+        if aggs.iter().all(|a| a.func == AggFunc::Count) {
+            return vec![Row::new(vec![Value::int(0); aggs.len()])];
+        }
+        return Vec::new();
+    }
+
+    order
+        .into_iter()
+        .map(|key| {
+            let states = groups.remove(&key).expect("group recorded in order");
+            let mut values = key;
+            values.extend(states.into_iter().map(AggState::finish));
+            Row::new(values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_types::row;
+
+    fn data() -> Vec<Row> {
+        vec![
+            row!("Seattle", 50),
+            row!("Seattle", 60),
+            row!("Boston", 30),
+            row!("Seattle", 40),
+            row!("Boston", 50),
+        ]
+    }
+
+    #[test]
+    fn grouped_avg() {
+        let out = aggregate(&data(), &[0], &[AggSpec::over(AggFunc::Avg, 1)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], row!("Seattle", 50.0));
+        assert_eq!(out[1], row!("Boston", 40.0));
+    }
+
+    #[test]
+    fn grouped_count_sum_min_max() {
+        let out = aggregate(
+            &data(),
+            &[0],
+            &[
+                AggSpec::COUNT_STAR,
+                AggSpec::over(AggFunc::Sum, 1),
+                AggSpec::over(AggFunc::Min, 1),
+                AggSpec::over(AggFunc::Max, 1),
+            ],
+        );
+        assert_eq!(out[0], row!("Seattle", 3, 150, 40, 60));
+        assert_eq!(out[1], row!("Boston", 2, 80, 30, 50));
+    }
+
+    #[test]
+    fn global_aggregate_single_row() {
+        let out = aggregate(&data(), &[], &[AggSpec::COUNT_STAR]);
+        assert_eq!(out, vec![row!(5)]);
+    }
+
+    #[test]
+    fn global_count_of_empty_is_zero() {
+        let out = aggregate(&[], &[], &[AggSpec::COUNT_STAR]);
+        assert_eq!(out, vec![row!(0)]);
+    }
+
+    #[test]
+    fn global_min_of_empty_is_no_rows() {
+        let out = aggregate(&[], &[], &[AggSpec::over(AggFunc::Min, 0)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grouped_on_empty_input_is_empty() {
+        let out = aggregate(&[], &[0], &[AggSpec::COUNT_STAR]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn group_order_is_first_seen() {
+        let out = aggregate(&data(), &[0], &[AggSpec::COUNT_STAR]);
+        assert_eq!(out[0].get(0), &Value::str("Seattle"));
+        assert_eq!(out[1].get(0), &Value::str("Boston"));
+    }
+
+    #[test]
+    fn count_column_counts_rows() {
+        // No NULLs in the dialect, so COUNT(col) == COUNT(*).
+        let out = aggregate(&data(), &[], &[AggSpec::over(AggFunc::Count, 1)]);
+        assert_eq!(out, vec![row!(5)]);
+    }
+
+    #[test]
+    fn multi_column_group_key() {
+        let rows = vec![row!(1, "a", 10), row!(1, "b", 20), row!(1, "a", 30)];
+        let out = aggregate(&rows, &[0, 1], &[AggSpec::over(AggFunc::Sum, 2)]);
+        assert_eq!(out, vec![row!(1, "a", 40), row!(1, "b", 20)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The buyer-side local DBMS.
+//!
+//! PayLess "is designed to be lightweight and offloads most query processing
+//! to a DBMS query engine" (Section 3). This crate is that engine: a small
+//! in-memory relational executor with scans, filters, hash equi-joins,
+//! Cartesian products, sorting, deduplication and grouped aggregation.
+//!
+//! Two users:
+//!
+//! * the execution engine joins market-retrieved data with local tables here
+//!   (joins can never be pushed to the market — Section 1: "joins cannot be
+//!   done at the data market");
+//! * the test suite uses it as the *oracle*: a query answered by running the
+//!   whole PayLess pipeline must equal the same query evaluated directly on
+//!   the raw data with this engine.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod database;
+pub mod ops;
+pub mod predicate;
+
+pub use aggregate::{aggregate, AggFunc, AggSpec};
+pub use database::{Database, LocalTable};
+pub use ops::{cross_join, distinct, filter, hash_join, project, sort_by};
+pub use predicate::{CmpOp, Predicate};

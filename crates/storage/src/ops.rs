@@ -1,0 +1,199 @@
+//! Relational operators (materialized, vector-in / vector-out).
+//!
+//! The engine is deliberately simple: PayLess's contribution is *what* to
+//! retrieve from the market, not how fast the local join runs. Operators are
+//! nonetheless hash-based so that the TPC-H-scale experiments stay
+//! comfortably in-memory.
+
+use std::collections::HashMap;
+
+use payless_types::{Row, Value};
+
+use crate::predicate::Predicate;
+
+/// Keep rows satisfying every predicate (conjunction).
+pub fn filter(rows: &[Row], predicates: &[Predicate]) -> Vec<Row> {
+    rows.iter()
+        .filter(|r| predicates.iter().all(|p| p.eval(r)))
+        .cloned()
+        .collect()
+}
+
+/// Project each row onto `indices` (in order, duplicates allowed).
+pub fn project(rows: &[Row], indices: &[usize]) -> Vec<Row> {
+    rows.iter().map(|r| r.project(indices)).collect()
+}
+
+/// Hash equi-join: rows `l ⋈ r` on `l[left_keys[i]] == r[right_keys[i]]`,
+/// output rows are `l` concatenated with `r`.
+pub fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    if left_keys.is_empty() {
+        return cross_join(left, right);
+    }
+    // Build on the smaller side.
+    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_keys, right_keys, true)
+    } else {
+        (right, left, right_keys, left_keys, false)
+    };
+    let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(build.len());
+    for row in build {
+        let key: Vec<Value> = build_keys.iter().map(|&k| row.get(k).clone()).collect();
+        table.entry(key).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for row in probe {
+        let key: Vec<Value> = probe_keys.iter().map(|&k| row.get(k).clone()).collect();
+        if let Some(matches) = table.get(&key) {
+            for b in matches {
+                if build_is_left {
+                    out.push(b.concat(row));
+                } else {
+                    out.push(row.concat(b));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cartesian product (used for Theorem 3's disjoint sub-plans; never sent to
+/// the market, so it costs no transactions — only local work).
+pub fn cross_join(left: &[Row], right: &[Row]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            out.push(l.concat(r));
+        }
+    }
+    out
+}
+
+/// Remove duplicate rows, keeping first occurrences in order.
+pub fn distinct(rows: &[Row]) -> Vec<Row> {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    rows.iter()
+        .filter(|r| seen.insert((*r).clone()))
+        .cloned()
+        .collect()
+}
+
+/// Stable sort by the given key columns (ascending, [`Value`] total order).
+pub fn sort_by(rows: &mut [Row], keys: &[usize]) {
+    rows.sort_by(|a, b| {
+        for &k in keys {
+            let ord = a.get(k).cmp(b.get(k));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use payless_types::row;
+
+    #[test]
+    fn filter_conjunction() {
+        let rows = vec![row!(1, 10), row!(2, 20), row!(3, 30)];
+        let got = filter(
+            &rows,
+            &[
+                Predicate::Cmp {
+                    col: 0,
+                    op: CmpOp::Ge,
+                    value: Value::int(2),
+                },
+                Predicate::Cmp {
+                    col: 1,
+                    op: CmpOp::Lt,
+                    value: Value::int(30),
+                },
+            ],
+        );
+        assert_eq!(got, vec![row!(2, 20)]);
+    }
+
+    #[test]
+    fn filter_no_predicates_keeps_all() {
+        let rows = vec![row!(1), row!(2)];
+        assert_eq!(filter(&rows, &[]).len(), 2);
+    }
+
+    #[test]
+    fn project_columns() {
+        let rows = vec![row!(1, "a", 10)];
+        assert_eq!(project(&rows, &[2, 0]), vec![row!(10, 1)]);
+    }
+
+    #[test]
+    fn hash_join_single_key() {
+        let stations = vec![row!(1, "Seattle"), row!(2, "Boston")];
+        let weather = vec![row!(1, 50), row!(1, 55), row!(2, 40), row!(3, 70)];
+        let mut got = hash_join(&stations, &weather, &[0], &[0]);
+        sort_by(&mut got, &[0, 3]);
+        assert_eq!(
+            got,
+            vec![
+                row!(1, "Seattle", 1, 50),
+                row!(1, "Seattle", 1, 55),
+                row!(2, "Boston", 2, 40),
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_join_multi_key_and_side_symmetry() {
+        let l = vec![row!(1, "x", 100), row!(1, "y", 200)];
+        let r = vec![row!(1, "x", 7)];
+        let a = hash_join(&l, &r, &[0, 1], &[0, 1]);
+        assert_eq!(a, vec![row!(1, "x", 100, 1, "x", 7)]);
+        // Make the right side larger to exercise the other build path; the
+        // output column order must stay left-then-right.
+        let r_big = vec![row!(1, "x", 7), row!(2, "z", 8), row!(3, "w", 9)];
+        let b = hash_join(&l, &r_big, &[0, 1], &[0, 1]);
+        assert_eq!(b, vec![row!(1, "x", 100, 1, "x", 7)]);
+    }
+
+    #[test]
+    fn hash_join_empty_keys_is_cross() {
+        let l = vec![row!(1), row!(2)];
+        let r = vec![row!("a")];
+        let got = hash_join(&l, &r, &[], &[]);
+        assert_eq!(got, vec![row!(1, "a"), row!(2, "a")]);
+    }
+
+    #[test]
+    fn cross_join_sizes() {
+        let l = vec![row!(1), row!(2)];
+        let r = vec![row!("a"), row!("b"), row!("c")];
+        assert_eq!(cross_join(&l, &r).len(), 6);
+        assert!(cross_join(&l, &[]).is_empty());
+    }
+
+    #[test]
+    fn distinct_keeps_first() {
+        let rows = vec![row!(1), row!(2), row!(1), row!(3), row!(2)];
+        assert_eq!(distinct(&rows), vec![row!(1), row!(2), row!(3)]);
+    }
+
+    #[test]
+    fn sort_is_stable_on_equal_keys() {
+        let mut rows = vec![row!(2, "b"), row!(1, "z"), row!(2, "a"), row!(1, "a")];
+        sort_by(&mut rows, &[0]);
+        assert_eq!(
+            rows,
+            vec![row!(1, "z"), row!(1, "a"), row!(2, "b"), row!(2, "a")]
+        );
+    }
+}

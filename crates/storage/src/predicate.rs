@@ -1,0 +1,114 @@
+//! Row-level predicates for local filtering.
+//!
+//! Unlike the market interface (which only accepts equality and inclusive
+//! ranges), the local engine evaluates arbitrary comparisons — the residual
+//! predicates of a query after the market calls have been made.
+
+pub use payless_types::CmpOp;
+use payless_types::{Row, Value};
+
+/// A predicate over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `row[col] op literal`.
+    Cmp {
+        /// Column index.
+        col: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `row[a] op row[b]` (e.g. a non-equi join residual).
+    ColCmp {
+        /// Left column index.
+        a: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right column index.
+        b: usize,
+    },
+}
+
+impl Predicate {
+    /// `row[col] = value`.
+    pub fn eq(col: usize, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            col,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `lo <= row[col] <= hi`, as a pair of predicates.
+    pub fn between(col: usize, lo: i64, hi: i64) -> [Predicate; 2] {
+        [
+            Predicate::Cmp {
+                col,
+                op: CmpOp::Ge,
+                value: Value::int(lo),
+            },
+            Predicate::Cmp {
+                col,
+                op: CmpOp::Le,
+                value: Value::int(hi),
+            },
+        ]
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            Predicate::Cmp { col, op, value } => op.eval(row.get(*col), value),
+            Predicate::ColCmp { a, op, b } => op.eval(row.get(*a), row.get(*b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_types::row;
+
+    #[test]
+    fn literal_predicate() {
+        let r = row!(5, "x");
+        assert!(Predicate::eq(0, 5).eval(&r));
+        assert!(!Predicate::eq(0, 6).eval(&r));
+        assert!(Predicate::eq(1, "x").eval(&r));
+        let [ge, le] = Predicate::between(0, 0, 10);
+        assert!(ge.eval(&r) && le.eval(&r));
+        let [ge, _] = Predicate::between(0, 6, 10);
+        assert!(!ge.eval(&r));
+    }
+
+    #[test]
+    fn column_predicate() {
+        let r = row!(3, 7);
+        let p = Predicate::ColCmp {
+            a: 0,
+            op: CmpOp::Lt,
+            b: 1,
+        };
+        assert!(p.eval(&r));
+        let q = Predicate::ColCmp {
+            a: 1,
+            op: CmpOp::Le,
+            b: 0,
+        };
+        assert!(!q.eval(&r));
+    }
+
+    #[test]
+    fn cmp_with_mixed_value_kinds_is_total() {
+        // Residual predicates may compare an Int column against a Float
+        // literal via the total order; Int sorts before Float by rank.
+        let r = row!(3);
+        let p = Predicate::Cmp {
+            col: 0,
+            op: CmpOp::Lt,
+            value: Value::Float(0.0),
+        };
+        assert!(p.eval(&r));
+    }
+}

@@ -1,0 +1,70 @@
+//! Aggregate function names, shared by the SQL front end and the engine.
+
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(col)` or `COUNT(*)`.
+    Count,
+    /// `SUM(col)` over integers.
+    Sum,
+    /// `AVG(col)`; produces a float.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parse a (case-insensitive) SQL spelling.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_names() {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+            assert_eq!(AggFunc::from_name(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("MEDIAN"), None);
+        assert_eq!(AggFunc::Avg.to_string(), "AVG");
+    }
+}

@@ -1,0 +1,104 @@
+//! Comparison operators shared by the SQL front end and the local engine.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A binary comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to two values (using the total order on [`Value`]).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, a.cmp(b)),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+
+    /// The operator with operands swapped: `a op b == b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics() {
+        let one = Value::int(1);
+        let two = Value::int(2);
+        assert!(CmpOp::Eq.eval(&one, &one));
+        assert!(!CmpOp::Eq.eval(&one, &two));
+        assert!(CmpOp::Ne.eval(&one, &two));
+        assert!(CmpOp::Lt.eval(&one, &two));
+        assert!(CmpOp::Le.eval(&one, &one));
+        assert!(CmpOp::Gt.eval(&two, &one));
+        assert!(CmpOp::Ge.eval(&two, &two));
+    }
+
+    #[test]
+    fn flip_consistency() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(CmpOp::Ne.to_string(), "<>");
+    }
+}

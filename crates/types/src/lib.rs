@@ -1,0 +1,38 @@
+//! Fundamental types shared by every PayLess crate.
+//!
+//! This crate defines the vocabulary of the system described in *Query
+//! Optimization over Cloud Data Market* (EDBT 2015):
+//!
+//! * [`Value`] — a single attribute value (64-bit integer or interned string);
+//! * [`Domain`] — the advertised domain of an attribute (the only statistic a
+//!   data market is guaranteed to publish besides table cardinality);
+//! * [`BindingKind`] / [`BindingPattern`] — the `R(A1ᵇ, A2ᶠ)` access-pattern
+//!   notation of the paper: *bound* attributes must be given a value or range
+//!   in every RESTful call, *free* attributes may be constrained, and
+//!   attributes absent from the pattern are output-only;
+//! * [`Schema`] and [`Row`] — relational plumbing;
+//! * [`Constraint`] — the restricted predicate language the market accepts
+//!   (a single value, or an inclusive integer range);
+//! * [`pricing`] — the transaction arithmetic of Eq. (1) in the paper.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cmp;
+pub mod constraint;
+pub mod domain;
+pub mod error;
+pub mod pricing;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use agg::AggFunc;
+pub use cmp::CmpOp;
+pub use constraint::{AttrConstraint, Constraint};
+pub use domain::Domain;
+pub use error::{PaylessError, Result};
+pub use pricing::{transactions, PricePerTransaction, Transactions};
+pub use row::Row;
+pub use schema::{BindingKind, BindingPattern, Column, Schema};
+pub use value::Value;

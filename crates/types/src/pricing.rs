@@ -1,0 +1,110 @@
+//! Transaction arithmetic — Eq. (1) of the paper.
+//!
+//! > A *transaction* represents a page of `t` tuples (e.g., 100 tuples) and it
+//! > is the smallest pricing unit. Let `p` be the price per transaction for a
+//! > particular dataset. Then, the total price of a RESTful call is
+//! > `p · ceil(records / t)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A count of data-market transactions (the paper's pricing unit).
+pub type Transactions = u64;
+
+/// Number of transactions charged for a call returning `records` tuples when
+/// a transaction covers `page_size` tuples.
+///
+/// A call that returns zero records is free: `ceil(0 / t) = 0`. This matters
+/// for bind joins — probing a binding value with no matching tuples costs
+/// nothing.
+#[inline]
+pub fn transactions(records: u64, page_size: u64) -> Transactions {
+    assert!(page_size > 0, "transaction page size must be positive");
+    records.div_ceil(page_size)
+}
+
+/// Price of one transaction for a dataset, in abstract currency units.
+///
+/// The paper normalizes `p = $1` throughout; the simulator keeps the knob so
+/// multi-dataset totals with heterogeneous prices can be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricePerTransaction(pub f64);
+
+impl PricePerTransaction {
+    /// The paper's normalized `$1` per transaction.
+    pub const UNIT: PricePerTransaction = PricePerTransaction(1.0);
+
+    /// Total monetary price for `n` transactions.
+    pub fn total(&self, n: Transactions) -> f64 {
+        self.0 * n as f64
+    }
+}
+
+impl Default for PricePerTransaction {
+    fn default() -> Self {
+        Self::UNIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_paper_examples() {
+        // 4400 records at t=100 is 44 transactions (Section 1).
+        assert_eq!(transactions(4400, 100), 44);
+        // 788 stations x 30 days at t=100 is 237 transactions (Figure 1b).
+        assert_eq!(transactions(788 * 30, 100), 237);
+        // 30 records is a single transaction (Figure 1c).
+        assert_eq!(transactions(30, 100), 1);
+    }
+
+    #[test]
+    fn zero_records_is_free() {
+        assert_eq!(transactions(0, 100), 0);
+    }
+
+    #[test]
+    fn exact_page_boundaries() {
+        assert_eq!(transactions(100, 100), 1);
+        assert_eq!(transactions(101, 100), 2);
+        assert_eq!(transactions(200, 100), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_size_panics() {
+        let _ = transactions(1, 0);
+    }
+
+    #[test]
+    fn price_total() {
+        assert_eq!(PricePerTransaction::UNIT.total(44), 44.0);
+        assert_eq!(PricePerTransaction(0.12).total(100), 12.0);
+        assert_eq!(PricePerTransaction::default(), PricePerTransaction::UNIT);
+    }
+
+    proptest! {
+        /// `ceil` semantics: t*(k-1) < records <= t*k  =>  k transactions.
+        #[test]
+        fn ceil_invariant(records in 0u64..1_000_000, t in 1u64..10_000) {
+            let k = transactions(records, t);
+            prop_assert!(k * t >= records);
+            if k > 0 {
+                prop_assert!((k - 1) * t < records);
+            } else {
+                prop_assert_eq!(records, 0);
+            }
+        }
+
+        /// Splitting a retrieval into two calls never reduces the total
+        /// transaction count (subadditivity in reverse) — the formal basis of
+        /// the paper's observation that decomposition can only cost more per
+        /// tuple, never less.
+        #[test]
+        fn splitting_never_cheaper(a in 0u64..100_000, b in 0u64..100_000, t in 1u64..1_000) {
+            prop_assert!(transactions(a, t) + transactions(b, t) >= transactions(a + b, t));
+        }
+    }
+}

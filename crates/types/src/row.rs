@@ -1,0 +1,107 @@
+//! Rows (tuples) flowing through the engine.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// An immutable tuple.
+///
+/// Rows are shared freely between the market simulator, the semantic store
+/// (which retains every retrieved result, per Section 3 of the paper: "we
+/// deliberately use cheap storage space to store all intermediate results")
+/// and the execution engine; `Arc<[Value]>` makes those shares O(1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Row(Arc<[Value]>);
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values.into())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at `idx`. Panics if out of bounds (an engine bug).
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// A new row keeping only the attributes at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenate two rows (used by join operators).
+    pub fn concat(&self, other: &Row) -> Row {
+        Row(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// Convenience macro for building rows in tests and examples.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r = row!(1, "x", 3);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(0), &Value::int(1));
+        assert_eq!(r[1], Value::str("x"));
+        assert_eq!(r.values().len(), 3);
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let r = row!(10, 20, 30);
+        let p = r.project(&[2, 0, 0]);
+        assert_eq!(p, row!(30, 10, 10));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = row!(1, 2);
+        let b = row!("x");
+        assert_eq!(a.concat(&b), row!(1, 2, "x"));
+    }
+
+    #[test]
+    fn rows_hash_and_compare_structurally() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(row!(1, "a"));
+        assert!(set.contains(&row!(1, "a")));
+        assert!(!set.contains(&row!(1, "b")));
+        assert!(row!(1, 2) < row!(1, 3));
+    }
+}

@@ -1,0 +1,241 @@
+//! Table schemas and binding patterns.
+//!
+//! The paper writes `Rᵅ(A1, A2, A3)` with `α = R(A1ᵇ, A2ᶠ)` to mean that any
+//! RESTful call to `R` **must** bind `A1`, **may** bind `A2`, and can never
+//! constrain `A3` (it is output-only). [`BindingKind`] captures the three
+//! roles and [`Schema`] carries one per column.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::Domain;
+
+/// The role of an attribute in a table's access (binding) pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BindingKind {
+    /// `Aᵇ` — every RESTful call must supply a value (or range) for this
+    /// attribute.
+    Bound,
+    /// `Aᶠ` — a call may optionally constrain this attribute.
+    Free,
+    /// The attribute does not appear in the binding pattern; it can only be
+    /// returned, never constrained at the market.
+    Output,
+}
+
+impl BindingKind {
+    /// `true` when the market accepts a constraint on this attribute.
+    pub fn constrainable(self) -> bool {
+        !matches!(self, BindingKind::Output)
+    }
+
+    /// `true` when every call must constrain this attribute.
+    pub fn mandatory(self) -> bool {
+        matches!(self, BindingKind::Bound)
+    }
+}
+
+impl fmt::Display for BindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingKind::Bound => write!(f, "b"),
+            BindingKind::Free => write!(f, "f"),
+            BindingKind::Output => write!(f, "o"),
+        }
+    }
+}
+
+/// A column: name, domain, and binding role.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: Arc<str>,
+    /// Advertised domain (the market always publishes this basic statistic).
+    pub domain: Domain,
+    /// Role in the access pattern.
+    pub binding: BindingKind,
+}
+
+impl Column {
+    /// A convenience constructor.
+    pub fn new(name: impl Into<Arc<str>>, domain: Domain, binding: BindingKind) -> Self {
+        Column {
+            name: name.into(),
+            domain,
+            binding,
+        }
+    }
+
+    /// A free column (may be constrained).
+    pub fn free(name: impl Into<Arc<str>>, domain: Domain) -> Self {
+        Self::new(name, domain, BindingKind::Free)
+    }
+
+    /// A bound column (must be constrained in every call).
+    pub fn bound(name: impl Into<Arc<str>>, domain: Domain) -> Self {
+        Self::new(name, domain, BindingKind::Bound)
+    }
+
+    /// An output-only column.
+    pub fn output(name: impl Into<Arc<str>>, domain: Domain) -> Self {
+        Self::new(name, domain, BindingKind::Output)
+    }
+}
+
+/// A table schema: table name plus ordered columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Table name (unique within a catalog).
+    pub table: Arc<str>,
+    /// Ordered columns.
+    pub columns: Arc<[Column]>,
+}
+
+impl Schema {
+    /// Build a schema. Panics on duplicate column names (a schema bug).
+    pub fn new(table: impl Into<Arc<str>>, columns: Vec<Column>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert!(
+                    a.name != b.name,
+                    "duplicate column `{}` in table schema",
+                    a.name
+                );
+            }
+        }
+        Schema {
+            table: table.into(),
+            columns: columns.into(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| &*c.name == name)
+    }
+
+    /// The named column, if present.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| &*c.name == name)
+    }
+
+    /// Iterate over the indices of attributes that must be bound in every call.
+    pub fn mandatory_bindings(&self) -> impl Iterator<Item = usize> + '_ {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.binding.mandatory())
+            .map(|(i, _)| i)
+    }
+
+    /// `true` if the table can be downloaded wholesale with a single
+    /// unconstrained call — i.e. no attribute is mandatory-bound.
+    pub fn downloadable(&self) -> bool {
+        self.mandatory_bindings().next().is_none()
+    }
+
+    /// Render the binding pattern in the paper's `R(Aᵇ, Aᶠ)` notation.
+    pub fn binding_pattern(&self) -> BindingPattern<'_> {
+        BindingPattern(self)
+    }
+}
+
+/// Display adapter rendering a schema's access pattern in paper notation.
+pub struct BindingPattern<'a>(&'a Schema);
+
+impl fmt::Display for BindingPattern<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.0.table)?;
+        let mut first = true;
+        for c in self.0.columns.iter() {
+            if c.binding == BindingKind::Output {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}^{}", c.name, c.binding)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station_schema() -> Schema {
+        Schema::new(
+            "Station",
+            vec![
+                Column::free("Country", Domain::categorical(["US", "CA"])),
+                Column::free("StationID", Domain::int(1, 4000)),
+                Column::free("City", Domain::categorical(["Seattle", "Boston"])),
+                Column::output("State", Domain::categorical(["WA", "MA"])),
+            ],
+        )
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = station_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("City"), Some(2));
+        assert_eq!(s.index_of("Nope"), None);
+        assert_eq!(s.column("Country").unwrap().binding, BindingKind::Free);
+    }
+
+    #[test]
+    fn downloadable_iff_no_mandatory_binding() {
+        let s = station_schema();
+        assert!(s.downloadable());
+        let t = Schema::new(
+            "T",
+            vec![
+                Column::bound("w", Domain::int(0, 9)),
+                Column::free("z", Domain::int(0, 9)),
+            ],
+        );
+        assert!(!t.downloadable());
+        assert_eq!(t.mandatory_bindings().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn binding_kind_predicates() {
+        assert!(BindingKind::Bound.constrainable());
+        assert!(BindingKind::Bound.mandatory());
+        assert!(BindingKind::Free.constrainable());
+        assert!(!BindingKind::Free.mandatory());
+        assert!(!BindingKind::Output.constrainable());
+        assert!(!BindingKind::Output.mandatory());
+    }
+
+    #[test]
+    fn pattern_display_skips_output_columns() {
+        let s = station_schema();
+        assert_eq!(
+            s.binding_pattern().to_string(),
+            "Station(Country^f, StationID^f, City^f)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        let _ = Schema::new(
+            "T",
+            vec![
+                Column::free("a", Domain::int(0, 1)),
+                Column::free("a", Domain::int(0, 1)),
+            ],
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`Value`] type: a single attribute value.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A single attribute value.
+///
+/// PayLess models the two attribute kinds that appear in data-market access
+/// interfaces: 64-bit integers (dates are encoded as `YYYYMMDD` integers, as
+/// in the paper's Worldwide Historical Weather examples) and strings.
+/// Strings are reference counted so that cloning rows during joins and
+/// semantic-store lookups is cheap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer (also used for dates encoded as `YYYYMMDD`).
+    Int(i64),
+    /// A 64-bit float. Floats never appear in market access interfaces (the
+    /// paper's markets bind values or integer ranges); they only arise as
+    /// aggregate outputs (`AVG`). Equality/ordering/hashing use the bit
+    /// pattern via `f64::total_cmp`, giving a total order.
+    Float(f64),
+    /// An interned string value.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Construct an integer value.
+    pub const fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Returns the integer payload, or `None` otherwise.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload (promoting integers), or `None` for strings.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, or `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is an integer value.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// A human-readable rendering used by examples and the bench harness.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Float(v) => Cow::Owned(format!("{v:.2}")),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b).is_eq(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Integers sort before floats, which sort before strings; within a kind
+    /// the natural order applies (`total_cmp` for floats).
+    ///
+    /// A total order (even across kinds) keeps sort-based operators simple;
+    /// well-typed queries never compare across kinds.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Int(_) => 0,
+                Float(_) => 1,
+                Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)).then(Ordering::Equal),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                state.write_u8(0);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                state.write_u8(1);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_round_trip() {
+        let v = Value::int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+        assert!(v.is_int());
+    }
+
+    #[test]
+    fn str_round_trip() {
+        let v = Value::str("Seattle");
+        assert_eq!(v.as_str(), Some("Seattle"));
+        assert_eq!(v.as_int(), None);
+        assert!(!v.is_int());
+    }
+
+    #[test]
+    fn equality_is_kind_aware() {
+        assert_eq!(Value::int(1), Value::int(1));
+        assert_ne!(Value::int(1), Value::str("1"));
+        assert_eq!(Value::str("a"), Value::str("a"));
+    }
+
+    #[test]
+    fn ordering_within_kinds() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::int(i64::MAX) < Value::str(""));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::int(7)), hash_of(&Value::int(7)));
+        assert_eq!(hash_of(&Value::str("x")), hash_of(&Value::str("x")));
+        // Kind tag participates in the hash, so Int(0) and Str("") differ.
+        assert_ne!(hash_of(&Value::int(0)), hash_of(&Value::str("")));
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::str("US").to_string(), "'US'");
+        assert_eq!(Value::int(5).render(), "5");
+        assert_eq!(Value::str("US").render(), "US");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from(3i32), Value::int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+    }
+
+    #[test]
+    fn float_total_order_and_hash() {
+        assert_eq!(Value::Float(1.0), Value::Float(1.0));
+        assert_ne!(Value::Float(1.0), Value::int(1));
+        assert!(Value::Float(1.0) < Value::Float(2.0));
+        assert!(Value::Float(f64::NAN) == Value::Float(f64::NAN)); // bitwise
+        assert_eq!(hash_of(&Value::Float(2.5)), hash_of(&Value::Float(2.5)));
+        assert_eq!(Value::Float(1.0).as_float(), Some(1.0));
+        assert_eq!(Value::int(2).as_float(), Some(2.0));
+        assert_eq!(Value::str("x").as_float(), None);
+    }
+}

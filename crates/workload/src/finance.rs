@@ -1,0 +1,263 @@
+//! A finance workload (modeled on the Xignite-style quote resellers the
+//! paper's market survey lists) whose access patterns include a **mandatory
+//! bound attribute** — the case that motivates Theorem 1's bushy-tree
+//! discussion and makes bind joins *required*, not just cheaper.
+//!
+//! * `Symbols(Sectorᶠ, Symbolᶠ)` — the instrument directory (market).
+//! * `Quotes(Symbolᵇ, Dayᶠ, Price, Volume)` — daily quotes; `Symbol` is
+//!   bound: every call must name a symbol (or symbol set via one call per
+//!   value). The table cannot be fetched wholesale in one call, and any
+//!   query that does not pin `Symbol` can only reach `Quotes` through a
+//!   bind join.
+//! * `Watchlist(Symbolᶠ)` — the buyer's local portfolio, the natural bind
+//!   source (and a zero-price relation for Theorem 2).
+
+use std::sync::Arc;
+
+use payless_market::MarketTable;
+use payless_storage::LocalTable;
+use payless_types::{row, Column, Domain, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::QueryWorkload;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct FinanceConfig {
+    /// Number of listed symbols.
+    pub symbols: usize,
+    /// Number of sectors.
+    pub sectors: usize,
+    /// Trading days of history (day indexes `1..=days`).
+    pub days: i64,
+    /// Size of the buyer's local watchlist.
+    pub watchlist: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FinanceConfig {
+    fn default() -> Self {
+        FinanceConfig {
+            symbols: 120,
+            sectors: 10,
+            days: 250,
+            watchlist: 12,
+            seed: 17,
+        }
+    }
+}
+
+/// The generated finance workload.
+#[derive(Debug, Clone)]
+pub struct Finance {
+    market_tables: Vec<MarketTable>,
+    local_tables: Vec<LocalTable>,
+    templates: Vec<String>,
+    symbols: Vec<Arc<str>>,
+    sectors: Vec<Arc<str>>,
+    days: i64,
+}
+
+impl Finance {
+    /// Generate the workload.
+    pub fn generate(cfg: &FinanceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let symbols: Vec<Arc<str>> = (0..cfg.symbols)
+            .map(|i| Arc::<str>::from(format!("SYM{i:04}")))
+            .collect();
+        let sectors: Vec<Arc<str>> = (0..cfg.sectors)
+            .map(|i| Arc::<str>::from(format!("Sector{i}")))
+            .collect();
+        let symbol_domain = Domain::Categorical(symbols.clone().into());
+        let sector_domain = Domain::Categorical(sectors.clone().into());
+
+        let symbols_schema = Schema::new(
+            "Symbols",
+            vec![
+                Column::free("Sector", sector_domain),
+                Column::free("Symbol", symbol_domain.clone()),
+            ],
+        );
+        let symbol_rows: Vec<Row> = symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| row!(sectors[i % cfg.sectors].clone(), s.clone()))
+            .collect();
+
+        // Quotes: Symbol is BOUND — the defining feature of this workload.
+        let quotes_schema = Schema::new(
+            "Quotes",
+            vec![
+                Column::bound("Symbol", symbol_domain.clone()),
+                Column::free("Day", Domain::int(1, cfg.days)),
+                Column::output("Price", Domain::int(1, 100_000)),
+                Column::output("Volume", Domain::int(0, 10_000_000)),
+            ],
+        );
+        let mut quote_rows = Vec::with_capacity(cfg.symbols * cfg.days as usize);
+        for s in &symbols {
+            let mut price: i64 = rng.random_range(500..50_000);
+            for day in 1..=cfg.days {
+                price = (price + rng.random_range(-200..220)).max(1);
+                quote_rows.push(Row::new(vec![
+                    Value::Str(s.clone()),
+                    Value::int(day),
+                    Value::int(price),
+                    Value::int(rng.random_range(0..1_000_000)),
+                ]));
+            }
+        }
+
+        let watchlist_schema =
+            Schema::new("Watchlist", vec![Column::free("Symbol", symbol_domain)]);
+        let mut picks: Vec<usize> = (0..cfg.symbols).collect();
+        for i in 0..cfg.watchlist.min(cfg.symbols) {
+            let j = rng.random_range(i..cfg.symbols);
+            picks.swap(i, j);
+        }
+        let watchlist_rows: Vec<Row> = picks[..cfg.watchlist.min(cfg.symbols)]
+            .iter()
+            .map(|&i| Row::new(vec![Value::Str(symbols[i].clone())]))
+            .collect();
+
+        let templates = vec![
+            // F1: a pinned symbol over a window — a directly feasible fetch.
+            "SELECT * FROM Quotes WHERE Symbol = ? AND Day >= ? AND Day <= ?".to_string(),
+            // F2: sector average — Quotes reachable only via bind join from
+            // Symbols.
+            "SELECT AVG(Price) FROM Symbols, Quotes WHERE Sector = ? AND \
+             Symbols.Symbol = Quotes.Symbol AND Day >= ? AND Day <= ? \
+             GROUP BY Quotes.Symbol"
+                .to_string(),
+            // F3: portfolio high/low — the local watchlist drives the bind
+            // join (zero-price relation joins first, Theorem 2).
+            "SELECT Watchlist.Symbol, MAX(Price), MIN(Price) FROM Watchlist, Quotes \
+             WHERE Watchlist.Symbol = Quotes.Symbol AND Day >= ? AND Day <= ? \
+             GROUP BY Watchlist.Symbol"
+                .to_string(),
+            // F4: directory-only query (never touches the bound table).
+            "SELECT COUNT(*) FROM Symbols WHERE Sector = ?".to_string(),
+        ];
+
+        Finance {
+            market_tables: vec![
+                MarketTable::new(symbols_schema, symbol_rows),
+                MarketTable::new(quotes_schema, quote_rows),
+            ],
+            local_tables: vec![LocalTable::with_rows(watchlist_schema, watchlist_rows)],
+            templates,
+            symbols,
+            sectors,
+            days: cfg.days,
+        }
+    }
+
+    fn window(&self, rng: &mut StdRng) -> (i64, i64) {
+        let len = rng.random_range(5..=40.min(self.days));
+        let lo = rng.random_range(1..=(self.days - len + 1));
+        (lo, lo + len - 1)
+    }
+}
+
+impl QueryWorkload for Finance {
+    fn market_tables(&self) -> &[MarketTable] {
+        &self.market_tables
+    }
+
+    fn local_tables(&self) -> &[LocalTable] {
+        &self.local_tables
+    }
+
+    fn templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    fn sample_params(&self, t: usize, rng: &mut StdRng) -> Vec<Value> {
+        match t {
+            0 => {
+                let s = &self.symbols[rng.random_range(0..self.symbols.len())];
+                let (lo, hi) = self.window(rng);
+                vec![Value::Str(s.clone()), Value::int(lo), Value::int(hi)]
+            }
+            1 => {
+                let sec = &self.sectors[rng.random_range(0..self.sectors.len())];
+                let (lo, hi) = self.window(rng);
+                vec![Value::Str(sec.clone()), Value::int(lo), Value::int(hi)]
+            }
+            2 => {
+                let (lo, hi) = self.window(rng);
+                vec![Value::int(lo), Value::int(hi)]
+            }
+            3 => {
+                let sec = &self.sectors[rng.random_range(0..self.sectors.len())];
+                vec![Value::Str(sec.clone())]
+            }
+            other => panic!("template index {other} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Finance {
+        Finance::generate(&FinanceConfig {
+            symbols: 20,
+            sectors: 4,
+            days: 30,
+            watchlist: 5,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn structure() {
+        let f = tiny();
+        assert_eq!(f.market_tables().len(), 2);
+        let quotes = &f.market_tables()[1];
+        assert_eq!(&*quotes.schema.table, "Quotes");
+        assert_eq!(quotes.cardinality(), 20 * 30);
+        // Symbol is mandatory-bound: the table is not downloadable in one
+        // call.
+        assert!(!quotes.schema.downloadable());
+        assert!(f.market_tables()[0].schema.downloadable());
+        assert_eq!(f.local_tables()[0].len(), 5);
+        assert_eq!(f.templates().len(), 4);
+    }
+
+    #[test]
+    fn templates_parse_and_params_match() {
+        let f = tiny();
+        let mut rng = StdRng::seed_from_u64(2);
+        let arities = [3usize, 3, 2, 1];
+        for (i, tmpl) in f.templates().iter().enumerate() {
+            let stmt = payless_sql::parse(tmpl).unwrap();
+            assert_eq!(stmt.param_count, arities[i], "template {i}");
+            assert_eq!(f.sample_params(i, &mut rng).len(), arities[i]);
+        }
+    }
+
+    #[test]
+    fn watchlist_symbols_exist() {
+        let f = tiny();
+        let symbols: std::collections::HashSet<&str> = f.market_tables()[0]
+            .rows()
+            .iter()
+            .map(|r| r.get(1).as_str().unwrap())
+            .collect();
+        for r in f.local_tables()[0].rows() {
+            assert!(symbols.contains(r.get(0).as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn prices_positive_and_walked() {
+        let f = tiny();
+        for r in f.market_tables()[1].rows() {
+            assert!(r.get(2).as_int().unwrap() >= 1);
+        }
+    }
+}

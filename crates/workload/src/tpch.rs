@@ -1,0 +1,590 @@
+//! A from-scratch TPC-H-shaped generator with optional zipf skew, plus
+//! eight SPJ/aggregate templates modeled on TPC-H Q1/Q3/Q4/Q5/Q6/Q10/Q12/Q14.
+//!
+//! Structure follows the TPC-H schema: `Region` (5) and `Nation` (25) are
+//! **local** tables (as in the paper's setup); `Supplier`, `Part`,
+//! `PartSupp`, `Customer`, `Orders` and `Lineitem` live in the market. Row
+//! counts scale with [`TpchConfig::scale`] relative to the standard SF-1
+//! sizes. With `skew = Some(θ)` the foreign keys and value columns follow a
+//! zipf(θ) distribution (the Chaudhuri–Narasayya "TPC-D with skew"
+//! generator's spirit; the paper uses `zipf = 1`).
+//!
+//! All parametric attributes are **free** in the access patterns, matching
+//! "All parametric attributes in TPC-H queries are set as free attributes".
+
+use std::sync::Arc;
+
+use payless_market::MarketTable;
+use payless_storage::LocalTable;
+use payless_types::{row, Column, Domain, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+use crate::QueryWorkload;
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [&str; 25] = [
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+const LINE_STATUS: [&str; 2] = ["F", "O"];
+const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+/// Last order date (day index); shipping adds up to 122 days.
+const MAX_ORDER_DATE: i64 = 2400;
+const MAX_SHIP_DATE: i64 = MAX_ORDER_DATE + 122;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Scale relative to SF-1 (e.g. `0.001` ≈ 6k lineitems).
+    pub scale: f64,
+    /// zipf exponent for the skewed variant (`None` = uniform; the paper's
+    /// skewed runs use `Some(1.0)`).
+    pub skew: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// Uniform data at `scale`.
+    pub fn uniform(scale: f64) -> Self {
+        TpchConfig {
+            scale,
+            skew: None,
+            seed: 7,
+        }
+    }
+
+    /// zipf(1) skewed data at `scale`.
+    pub fn skewed(scale: f64) -> Self {
+        TpchConfig {
+            skew: Some(1.0),
+            ..Self::uniform(scale)
+        }
+    }
+}
+
+/// The generated TPC-H workload.
+#[derive(Debug, Clone)]
+pub struct Tpch {
+    market_tables: Vec<MarketTable>,
+    local_tables: Vec<LocalTable>,
+    templates: Vec<String>,
+}
+
+/// Draw an index in `0..n`, zipf-skewed when configured.
+struct Picker {
+    zipf: Option<Zipf>,
+    n: usize,
+}
+
+impl Picker {
+    fn new(n: usize, skew: Option<f64>) -> Self {
+        Picker {
+            zipf: skew.map(|theta| Zipf::new(n, theta)),
+            n,
+        }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        match &self.zipf {
+            Some(z) => z.sample(rng),
+            None => rng.random_range(0..self.n),
+        }
+    }
+}
+
+impl Tpch {
+    /// Generate data at the configured scale.
+    pub fn generate(cfg: &TpchConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let sf = cfg.scale;
+        let n_supp = ((10_000.0 * sf) as usize).max(10);
+        let n_part = ((200_000.0 * sf) as usize).max(50);
+        let n_cust = ((150_000.0 * sf) as usize).max(30);
+        let n_ord = ((1_500_000.0 * sf) as usize).max(100);
+
+        let cat = |values: &[&str]| {
+            Domain::Categorical(
+                values
+                    .iter()
+                    .map(|s| Arc::<str>::from(*s))
+                    .collect::<Vec<_>>()
+                    .into(),
+            )
+        };
+        let brands: Vec<String> = (1..=5)
+            .flat_map(|a| (1..=5).map(move |b| format!("Brand#{a}{b}")))
+            .collect();
+        let brand_domain = Domain::categorical(brands.clone());
+
+        // --- Local: Region, Nation ---
+        let region_schema = Schema::new(
+            "Region",
+            vec![
+                Column::free("RegionKey", Domain::int(0, 4)),
+                Column::free("Name", cat(&REGIONS)),
+            ],
+        );
+        let region_rows: Vec<Row> = REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| row!(i as i64, *n))
+            .collect();
+        let nation_schema = Schema::new(
+            "Nation",
+            vec![
+                Column::free("NationKey", Domain::int(0, 24)),
+                Column::free("Name", cat(&NATIONS)),
+                Column::free("RegionKey", Domain::int(0, 4)),
+            ],
+        );
+        let nation_rows: Vec<Row> = NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| row!(i as i64, *n, (i % 5) as i64))
+            .collect();
+
+        // --- Supplier ---
+        let supplier_schema = Schema::new(
+            "Supplier",
+            vec![
+                Column::free("SuppKey", Domain::int(1, n_supp as i64)),
+                Column::free("NationKey", Domain::int(0, 24)),
+                Column::output("AcctBal", Domain::int(-1000, 10_000)),
+            ],
+        );
+        let nation_pick = Picker::new(25, cfg.skew);
+        let supplier_rows: Vec<Row> = (1..=n_supp)
+            .map(|k| {
+                row!(
+                    k as i64,
+                    nation_pick.pick(&mut rng) as i64,
+                    rng.random_range(-1000..10_000i64)
+                )
+            })
+            .collect();
+
+        // --- Part ---
+        let part_schema = Schema::new(
+            "Part",
+            vec![
+                Column::free("PartKey", Domain::int(1, n_part as i64)),
+                Column::free("Brand", brand_domain),
+                Column::free("Size", Domain::int(1, 50)),
+                Column::output("RetailPrice", Domain::int(900, 2100)),
+            ],
+        );
+        let brand_pick = Picker::new(brands.len(), cfg.skew);
+        let size_pick = Picker::new(50, cfg.skew);
+        let part_rows: Vec<Row> = (1..=n_part)
+            .map(|k| {
+                row!(
+                    k as i64,
+                    brands[brand_pick.pick(&mut rng)].as_str(),
+                    size_pick.pick(&mut rng) as i64 + 1,
+                    rng.random_range(900..2100i64)
+                )
+            })
+            .collect();
+
+        // --- PartSupp: 4 suppliers per part ---
+        let partsupp_schema = Schema::new(
+            "PartSupp",
+            vec![
+                Column::free("PartKey", Domain::int(1, n_part as i64)),
+                Column::free("SuppKey", Domain::int(1, n_supp as i64)),
+                Column::output("AvailQty", Domain::int(0, 10_000)),
+                Column::output("SupplyCost", Domain::int(1, 1000)),
+            ],
+        );
+        let mut partsupp_rows = Vec::with_capacity(n_part * 4);
+        for p in 1..=n_part {
+            for i in 0..4usize {
+                let s = ((p + i * (n_supp / 4).max(1) - 1) % n_supp) + 1;
+                partsupp_rows.push(row!(
+                    p as i64,
+                    s as i64,
+                    rng.random_range(0..10_000i64),
+                    rng.random_range(1..1000i64)
+                ));
+            }
+        }
+
+        // --- Customer ---
+        let customer_schema = Schema::new(
+            "Customer",
+            vec![
+                Column::free("CustKey", Domain::int(1, n_cust as i64)),
+                Column::free("NationKey", Domain::int(0, 24)),
+                Column::free("MktSegment", cat(&SEGMENTS)),
+                Column::output("AcctBal", Domain::int(-1000, 10_000)),
+            ],
+        );
+        let seg_pick = Picker::new(5, cfg.skew);
+        let customer_rows: Vec<Row> = (1..=n_cust)
+            .map(|k| {
+                row!(
+                    k as i64,
+                    nation_pick.pick(&mut rng) as i64,
+                    SEGMENTS[seg_pick.pick(&mut rng)],
+                    rng.random_range(-1000..10_000i64)
+                )
+            })
+            .collect();
+
+        // --- Orders + Lineitem ---
+        let orders_schema = Schema::new(
+            "Orders",
+            vec![
+                Column::free("OrderKey", Domain::int(1, n_ord as i64)),
+                Column::free("CustKey", Domain::int(1, n_cust as i64)),
+                Column::free("OrderDate", Domain::int(1, MAX_ORDER_DATE)),
+                Column::free("OrderPriority", cat(&PRIORITIES)),
+                Column::output("TotalPrice", Domain::int(1000, 500_000)),
+            ],
+        );
+        let lineitem_schema = Schema::new(
+            "Lineitem",
+            vec![
+                Column::free("OrderKey", Domain::int(1, n_ord as i64)),
+                Column::free("PartKey", Domain::int(1, n_part as i64)),
+                Column::free("SuppKey", Domain::int(1, n_supp as i64)),
+                Column::free("Quantity", Domain::int(1, 50)),
+                Column::output("ExtendedPrice", Domain::int(900, 105_000)),
+                Column::free("Discount", Domain::int(0, 10)),
+                Column::free("ReturnFlag", cat(&RETURN_FLAGS)),
+                Column::free("LineStatus", cat(&LINE_STATUS)),
+                Column::free("ShipDate", Domain::int(1, MAX_SHIP_DATE)),
+                Column::output("CommitDate", Domain::int(1, MAX_SHIP_DATE)),
+                Column::output("ReceiptDate", Domain::int(1, MAX_SHIP_DATE + 30)),
+                Column::free("ShipMode", cat(&SHIP_MODES)),
+            ],
+        );
+        let cust_pick = Picker::new(n_cust, cfg.skew);
+        let date_pick = Picker::new(MAX_ORDER_DATE as usize, cfg.skew);
+        let prio_pick = Picker::new(5, cfg.skew);
+        let part_pick = Picker::new(n_part, cfg.skew);
+        let supp_pick = Picker::new(n_supp, cfg.skew);
+        let qty_pick = Picker::new(50, cfg.skew);
+        let mode_pick = Picker::new(7, cfg.skew);
+        let flag_pick = Picker::new(3, cfg.skew);
+        let mut orders_rows = Vec::with_capacity(n_ord);
+        let mut lineitem_rows = Vec::with_capacity(n_ord * 4);
+        for o in 1..=n_ord {
+            let order_date = date_pick.pick(&mut rng) as i64 + 1;
+            orders_rows.push(row!(
+                o as i64,
+                cust_pick.pick(&mut rng) as i64 + 1,
+                order_date,
+                PRIORITIES[prio_pick.pick(&mut rng)],
+                rng.random_range(1000..500_000i64)
+            ));
+            let lines = rng.random_range(1..=7usize);
+            for _ in 0..lines {
+                let ship = order_date + rng.random_range(1..=121i64);
+                let commit = order_date + rng.random_range(30..=90i64);
+                let receipt = ship + rng.random_range(1..=30i64);
+                let qty = qty_pick.pick(&mut rng) as i64 + 1;
+                let price = qty * rng.random_range(900..2100i64);
+                lineitem_rows.push(row!(
+                    o as i64,
+                    part_pick.pick(&mut rng) as i64 + 1,
+                    supp_pick.pick(&mut rng) as i64 + 1,
+                    qty,
+                    price,
+                    rng.random_range(0..=10i64),
+                    RETURN_FLAGS[flag_pick.pick(&mut rng)],
+                    LINE_STATUS[rng.random_range(0..2usize)],
+                    ship,
+                    commit,
+                    receipt,
+                    SHIP_MODES[mode_pick.pick(&mut rng)]
+                ));
+            }
+        }
+
+        let templates = vec![
+            // T1 ~ TPC-H Q1: pricing summary, big scan.
+            "SELECT ReturnFlag, LineStatus, SUM(Quantity), AVG(ExtendedPrice), COUNT(*) \
+             FROM Lineitem WHERE ShipDate <= ? GROUP BY ReturnFlag, LineStatus"
+                .to_string(),
+            // T2 ~ Q3: shipping priority.
+            "SELECT Orders.OrderKey, SUM(ExtendedPrice) FROM Customer, Orders, Lineitem \
+             WHERE MktSegment = ? AND Orders.OrderDate <= ? AND Lineitem.ShipDate >= ? AND \
+             Customer.CustKey = Orders.CustKey AND Orders.OrderKey = Lineitem.OrderKey \
+             GROUP BY Orders.OrderKey"
+                .to_string(),
+            // T3 ~ Q5: local supplier volume (6-way join, Nation/Region local).
+            "SELECT Nation.Name, COUNT(*) FROM Customer, Orders, Lineitem, Supplier, Nation, Region \
+             WHERE Region.Name = ? AND Orders.OrderDate >= ? AND Orders.OrderDate <= ? AND \
+             Customer.CustKey = Orders.CustKey AND Orders.OrderKey = Lineitem.OrderKey AND \
+             Lineitem.SuppKey = Supplier.SuppKey AND Customer.NationKey = Supplier.NationKey AND \
+             Supplier.NationKey = Nation.NationKey AND Nation.RegionKey = Region.RegionKey \
+             GROUP BY Nation.Name"
+                .to_string(),
+            // T4 ~ Q6: forecasting revenue change.
+            "SELECT SUM(ExtendedPrice) FROM Lineitem WHERE ShipDate >= ? AND ShipDate <= ? AND \
+             Discount >= ? AND Discount <= ? AND Quantity <= ?"
+                .to_string(),
+            // T5 ~ Q12: shipping modes (residual CommitDate < ReceiptDate).
+            "SELECT ShipMode, COUNT(*) FROM Orders, Lineitem WHERE \
+             Orders.OrderKey = Lineitem.OrderKey AND ShipMode = ? AND \
+             Lineitem.ShipDate >= ? AND Lineitem.ShipDate <= ? AND CommitDate < ReceiptDate \
+             GROUP BY ShipMode"
+                .to_string(),
+            // T6 ~ Q4: order priority checking.
+            "SELECT OrderPriority, COUNT(*) FROM Orders WHERE OrderDate >= ? AND OrderDate <= ? \
+             GROUP BY OrderPriority"
+                .to_string(),
+            // T7 ~ Q10: returned items.
+            "SELECT Customer.CustKey, COUNT(*) FROM Customer, Orders, Lineitem WHERE \
+             ReturnFlag = ? AND OrderDate >= ? AND OrderDate <= ? AND \
+             Customer.CustKey = Orders.CustKey AND Orders.OrderKey = Lineitem.OrderKey \
+             GROUP BY Customer.CustKey"
+                .to_string(),
+            // T8 ~ Q14: promotion effect (brand instead of type prefix).
+            "SELECT SUM(ExtendedPrice) FROM Lineitem, Part WHERE \
+             Lineitem.PartKey = Part.PartKey AND ShipDate >= ? AND ShipDate <= ? AND \
+             Part.Brand = ?"
+                .to_string(),
+        ];
+
+        Tpch {
+            market_tables: vec![
+                MarketTable::new(supplier_schema, supplier_rows),
+                MarketTable::new(part_schema, part_rows),
+                MarketTable::new(partsupp_schema, partsupp_rows),
+                MarketTable::new(customer_schema, customer_rows),
+                MarketTable::new(orders_schema, orders_rows),
+                MarketTable::new(lineitem_schema, lineitem_rows),
+            ],
+            local_tables: vec![
+                LocalTable::with_rows(region_schema, region_rows),
+                LocalTable::with_rows(nation_schema, nation_rows),
+            ],
+            templates,
+        }
+    }
+}
+
+impl QueryWorkload for Tpch {
+    fn market_tables(&self) -> &[MarketTable] {
+        &self.market_tables
+    }
+
+    fn local_tables(&self) -> &[LocalTable] {
+        &self.local_tables
+    }
+
+    fn templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    fn sample_params(&self, t: usize, rng: &mut StdRng) -> Vec<Value> {
+        let date_window = |rng: &mut StdRng, max: i64| {
+            let len = rng.random_range(90..=365i64);
+            let lo = rng.random_range(1..=(max - len).max(1));
+            (lo, lo + len)
+        };
+        match t {
+            // T1: ShipDate <= ? with a cutoff in the upper half (big scan).
+            0 => vec![Value::int(
+                rng.random_range(MAX_SHIP_DATE / 2..=MAX_SHIP_DATE),
+            )],
+            // T2: segment, order date cutoff, ship date floor.
+            1 => {
+                let pivot = rng.random_range(MAX_ORDER_DATE / 4..=3 * MAX_ORDER_DATE / 4);
+                vec![
+                    Value::str(SEGMENTS[rng.random_range(0..SEGMENTS.len())]),
+                    Value::int(pivot),
+                    Value::int(pivot),
+                ]
+            }
+            // T3: region + order date year.
+            2 => {
+                let (lo, hi) = date_window(rng, MAX_ORDER_DATE);
+                vec![
+                    Value::str(REGIONS[rng.random_range(0..REGIONS.len())]),
+                    Value::int(lo),
+                    Value::int(hi),
+                ]
+            }
+            // T4: ship window + discount band + quantity cap.
+            3 => {
+                let (lo, hi) = date_window(rng, MAX_SHIP_DATE);
+                let dlo = rng.random_range(0..=8i64);
+                vec![
+                    Value::int(lo),
+                    Value::int(hi),
+                    Value::int(dlo),
+                    Value::int((dlo + 2).min(10)),
+                    Value::int(rng.random_range(20..=50i64)),
+                ]
+            }
+            // T5: ship mode + ship window.
+            4 => {
+                let (lo, hi) = date_window(rng, MAX_SHIP_DATE);
+                vec![
+                    Value::str(SHIP_MODES[rng.random_range(0..SHIP_MODES.len())]),
+                    Value::int(lo),
+                    Value::int(hi),
+                ]
+            }
+            // T6: order date window.
+            5 => {
+                let (lo, hi) = date_window(rng, MAX_ORDER_DATE);
+                vec![Value::int(lo), Value::int(hi)]
+            }
+            // T7: return flag + order date window.
+            6 => {
+                let (lo, hi) = date_window(rng, MAX_ORDER_DATE);
+                vec![
+                    Value::str(RETURN_FLAGS[rng.random_range(0..RETURN_FLAGS.len())]),
+                    Value::int(lo),
+                    Value::int(hi),
+                ]
+            }
+            // T8: ship window + brand.
+            7 => {
+                let (lo, hi) = date_window(rng, MAX_SHIP_DATE);
+                let a = rng.random_range(1..=5);
+                let b = rng.random_range(1..=5);
+                vec![
+                    Value::int(lo),
+                    Value::int(hi),
+                    Value::str(format!("Brand#{a}{b}")),
+                ]
+            }
+            other => panic!("template index {other} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tpch {
+        Tpch::generate(&TpchConfig::uniform(0.0005))
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let t = tiny();
+        let by_name = |n: &str| {
+            t.market_tables()
+                .iter()
+                .find(|mt| &*mt.schema.table == n)
+                .unwrap()
+        };
+        assert_eq!(by_name("Supplier").cardinality(), 10); // floor
+        assert_eq!(by_name("Part").cardinality(), 100);
+        assert_eq!(by_name("PartSupp").cardinality(), 400);
+        assert_eq!(by_name("Customer").cardinality(), 75);
+        assert_eq!(by_name("Orders").cardinality(), 750);
+        let li = by_name("Lineitem").cardinality();
+        assert!((750..=5250).contains(&li), "lineitem {li}");
+        assert_eq!(t.local_tables().len(), 2);
+        assert_eq!(t.local_tables()[0].len(), 5);
+        assert_eq!(t.local_tables()[1].len(), 25);
+        assert_eq!(t.templates().len(), 8);
+    }
+
+    #[test]
+    fn lineitem_keys_reference_orders() {
+        let t = tiny();
+        let orders = t
+            .market_tables()
+            .iter()
+            .find(|mt| &*mt.schema.table == "Orders")
+            .unwrap();
+        let n_ord = orders.cardinality() as i64;
+        let li = t
+            .market_tables()
+            .iter()
+            .find(|mt| &*mt.schema.table == "Lineitem")
+            .unwrap();
+        for r in li.rows() {
+            let ok = r.get(0).as_int().unwrap();
+            assert!((1..=n_ord).contains(&ok));
+            // Ship date after order date by construction.
+            let ship = r.get(8).as_int().unwrap();
+            assert!(ship >= 2);
+        }
+    }
+
+    #[test]
+    fn skewed_orders_concentrate_on_low_custkeys() {
+        let uniform = Tpch::generate(&TpchConfig::uniform(0.001));
+        let skewed = Tpch::generate(&TpchConfig::skewed(0.001));
+        let cust_counts = |t: &Tpch| {
+            let orders = t
+                .market_tables()
+                .iter()
+                .find(|mt| &*mt.schema.table == "Orders")
+                .unwrap();
+            let n = orders
+                .rows()
+                .iter()
+                .filter(|r| r.get(1).as_int().unwrap() <= 5)
+                .count();
+            n as f64 / orders.cardinality() as f64
+        };
+        assert!(cust_counts(&skewed) > 2.0 * cust_counts(&uniform));
+    }
+
+    #[test]
+    fn sample_params_match_template_arity() {
+        let t = tiny();
+        let mut rng = StdRng::seed_from_u64(11);
+        let expected = [1usize, 3, 3, 5, 3, 2, 3, 3];
+        for (i, &n) in expected.iter().enumerate() {
+            assert_eq!(t.sample_params(i, &mut rng).len(), n, "template {i}");
+        }
+    }
+
+    #[test]
+    fn templates_parse() {
+        let t = tiny();
+        for (i, tmpl) in t.templates().iter().enumerate() {
+            let stmt = payless_sql::parse(tmpl)
+                .unwrap_or_else(|e| panic!("template {i} failed to parse: {e}\n{tmpl}"));
+            assert!(stmt.param_count > 0);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Synthetic Worldwide Historical Weather + Environmental Hazard Rank data
+//! and the five query templates of Table 1.
+//!
+//! The generator reproduces the *structure* the experiments depend on:
+//! stations grouped into cities and countries, one weather row per station
+//! per day, pollution ranks per zip code, and a local `ZipMap` from zip
+//! codes to cities. Absolute sizes scale with [`WhwConfig`]; the paper's
+//! full sizes are `3,962` stations (hence `3,962 × days` weather rows) and
+//! `44,210` pollution rows.
+
+use std::sync::Arc;
+
+use payless_market::MarketTable;
+use payless_storage::LocalTable;
+use payless_types::{row, Column, Domain, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::QueryWorkload;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WhwConfig {
+    /// Number of weather stations (paper: 3,962).
+    pub stations: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Cities per country.
+    pub cities_per_country: usize,
+    /// Days of history (dates are day indexes `1..=days`).
+    pub days: i64,
+    /// Number of zip codes in the EHR Pollution table (paper: 44,210).
+    pub zips: usize,
+    /// Pollution ranks span `1..=ranks`.
+    pub ranks: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WhwConfig {
+    /// The paper's sizes multiplied by `scale` (with small-floor guards so a
+    /// tiny scale still produces a structurally complete dataset).
+    pub fn scaled(scale: f64) -> Self {
+        WhwConfig {
+            stations: ((3962.0 * scale) as usize).max(40),
+            countries: 10,
+            cities_per_country: 8,
+            days: 365,
+            zips: ((44_210.0 * scale) as usize).max(80),
+            ranks: 100,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for WhwConfig {
+    fn default() -> Self {
+        Self::scaled(0.1)
+    }
+}
+
+/// The generated "real data" workload.
+#[derive(Debug, Clone)]
+pub struct RealWorkload {
+    market_tables: Vec<MarketTable>,
+    local_tables: Vec<LocalTable>,
+    templates: Vec<String>,
+    countries: Vec<Arc<str>>,
+    /// city index → country index.
+    city_country: Vec<usize>,
+    /// city index → zip codes mapped to it.
+    zips_by_city: Vec<Vec<i64>>,
+    /// zip → rank (for sampling valid Q5 instances).
+    zip_ranks: Vec<(i64, i64)>,
+    days: i64,
+}
+
+impl RealWorkload {
+    /// Generate the workload.
+    pub fn generate(cfg: &WhwConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let countries: Vec<Arc<str>> = (0..cfg.countries)
+            .map(|i| Arc::<str>::from(format!("Country{i}")))
+            .collect();
+        let n_cities = cfg.countries * cfg.cities_per_country;
+        let cities: Vec<Arc<str>> = (0..n_cities)
+            .map(|i| Arc::<str>::from(format!("City{i}")))
+            .collect();
+        let city_country: Vec<usize> = (0..n_cities).map(|c| c / cfg.cities_per_country).collect();
+
+        let country_domain = Domain::Categorical(countries.clone().into());
+        let city_domain = Domain::Categorical(cities.clone().into());
+
+        // --- Station ---
+        let station_schema = Schema::new(
+            "Station",
+            vec![
+                Column::free("Country", country_domain.clone()),
+                Column::free("StationID", Domain::int(1, cfg.stations as i64)),
+                Column::free("City", city_domain.clone()),
+                Column::output("Elevation", Domain::int(0, 4000)),
+            ],
+        );
+        let mut station_rows = Vec::with_capacity(cfg.stations);
+        let mut station_city = Vec::with_capacity(cfg.stations);
+        for sid in 1..=cfg.stations {
+            let city = (sid - 1) % n_cities;
+            station_city.push(city);
+            station_rows.push(row!(
+                countries[city_country[city]].clone(),
+                sid as i64,
+                cities[city].clone(),
+                rng.random_range(0..4000i64)
+            ));
+        }
+
+        // --- Weather: one row per station per day ---
+        let weather_schema = Schema::new(
+            "Weather",
+            vec![
+                Column::free("Country", country_domain),
+                Column::free("StationID", Domain::int(1, cfg.stations as i64)),
+                Column::free("Date", Domain::int(1, cfg.days)),
+                Column::output("Temperature", Domain::int(-400, 500)),
+            ],
+        );
+        let mut weather_rows = Vec::with_capacity(cfg.stations * cfg.days as usize);
+        for sid in 1..=cfg.stations {
+            let city = station_city[sid - 1];
+            let country = countries[city_country[city]].clone();
+            let base: i64 = rng.random_range(-100..300);
+            for day in 1..=cfg.days {
+                let season = ((day as f64 / cfg.days as f64) * std::f64::consts::TAU).sin();
+                let temp = base + (season * 150.0) as i64 + rng.random_range(-30..30);
+                weather_rows.push(Row::new(vec![
+                    Value::Str(country.clone()),
+                    Value::int(sid as i64),
+                    Value::int(day),
+                    Value::int(temp),
+                ]));
+            }
+        }
+
+        // --- Pollution (EHR) + local ZipMap ---
+        let zip_lo = 10_000i64;
+        let pollution_schema = Schema::new(
+            "Pollution",
+            vec![
+                Column::free("ZipCode", Domain::int(zip_lo, zip_lo + cfg.zips as i64 - 1)),
+                Column::free("Rank", Domain::int(1, cfg.ranks)),
+                Column::output("Latitude", Domain::int(-90, 90)),
+                Column::output("Longitude", Domain::int(-180, 180)),
+            ],
+        );
+        let zipmap_schema = Schema::new(
+            "ZipMap",
+            vec![
+                Column::free("ZipCode", Domain::int(zip_lo, zip_lo + cfg.zips as i64 - 1)),
+                Column::free("City", city_domain),
+            ],
+        );
+        let mut pollution_rows = Vec::with_capacity(cfg.zips);
+        let mut zipmap_rows = Vec::with_capacity(cfg.zips);
+        let mut zips_by_city: Vec<Vec<i64>> = vec![Vec::new(); n_cities];
+        let mut zip_ranks = Vec::with_capacity(cfg.zips);
+        for i in 0..cfg.zips {
+            let zip = zip_lo + i as i64;
+            let rank = rng.random_range(1..=cfg.ranks);
+            let city = rng.random_range(0..n_cities);
+            zips_by_city[city].push(zip);
+            zip_ranks.push((zip, rank));
+            pollution_rows.push(row!(
+                zip,
+                rank,
+                rng.random_range(-90..=90i64),
+                rng.random_range(-180..=180i64)
+            ));
+            zipmap_rows.push(row!(zip, cities[city].clone()));
+        }
+
+        let templates = vec![
+            // Q1
+            "SELECT * FROM Weather WHERE Weather.Country = ? AND \
+             Weather.Date >= ? AND Weather.Date <= ?"
+                .to_string(),
+            // Q2
+            "SELECT COUNT(ZipCode) FROM Pollution WHERE \
+             Pollution.Rank >= ? AND Pollution.Rank <= ?"
+                .to_string(),
+            // Q3
+            "SELECT AVG(Temperature) FROM Station, Weather WHERE \
+             Station.Country = Weather.Country = ? AND \
+             Weather.Date >= ? AND Weather.Date <= ? AND \
+             Station.StationID = Weather.StationID GROUP BY City"
+                .to_string(),
+            // Q4
+            "SELECT Temperature FROM Station, Weather, ZipMap WHERE \
+             Station.Country = Weather.Country = ? AND ZipMap.ZipCode = ? AND \
+             Weather.Date >= ? AND Weather.Date <= ? AND \
+             Station.StationID = Weather.StationID AND Station.City = ZipMap.City"
+                .to_string(),
+            // Q5
+            "SELECT * FROM Pollution, Station, Weather, ZipMap WHERE \
+             Station.Country = Weather.Country = ? AND \
+             Weather.Date >= ? AND Weather.Date <= ? AND \
+             Pollution.Rank >= ? AND Pollution.Rank <= ? AND \
+             Pollution.ZipCode = ZipMap.ZipCode AND ZipMap.City = Station.City AND \
+             Station.StationID = Weather.StationID"
+                .to_string(),
+        ];
+
+        RealWorkload {
+            market_tables: vec![
+                MarketTable::new(station_schema, station_rows),
+                MarketTable::new(weather_schema, weather_rows),
+                MarketTable::new(pollution_schema, pollution_rows),
+            ],
+            local_tables: vec![LocalTable::with_rows(zipmap_schema, zipmap_rows)],
+            templates,
+            countries,
+            city_country,
+            zips_by_city,
+            zip_ranks,
+            days: cfg.days,
+        }
+    }
+
+    fn random_country(&self, rng: &mut StdRng) -> Value {
+        let i = rng.random_range(0..self.countries.len());
+        Value::Str(self.countries[i].clone())
+    }
+
+    fn random_date_window(&self, rng: &mut StdRng) -> (i64, i64) {
+        let len = rng.random_range(5..=30.min(self.days));
+        let lo = rng.random_range(1..=(self.days - len + 1));
+        (lo, lo + len - 1)
+    }
+}
+
+impl QueryWorkload for RealWorkload {
+    fn market_tables(&self) -> &[MarketTable] {
+        &self.market_tables
+    }
+
+    fn local_tables(&self) -> &[LocalTable] {
+        &self.local_tables
+    }
+
+    fn templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    fn sample_params(&self, t: usize, rng: &mut StdRng) -> Vec<Value> {
+        match t {
+            // Q1: country + date window.
+            0 => {
+                let (lo, hi) = self.random_date_window(rng);
+                vec![self.random_country(rng), Value::int(lo), Value::int(hi)]
+            }
+            // Q2: rank window.
+            1 => {
+                let lo = rng.random_range(1..=90i64);
+                let hi = rng.random_range(lo..=(lo + 20).min(100));
+                vec![Value::int(lo), Value::int(hi)]
+            }
+            // Q3: country + date window.
+            2 => {
+                let (lo, hi) = self.random_date_window(rng);
+                vec![self.random_country(rng), Value::int(lo), Value::int(hi)]
+            }
+            // Q4: country + a zip mapped to a city of that country.
+            3 => {
+                // Pick a city that actually has zip codes, then its country.
+                let city = loop {
+                    let c = rng.random_range(0..self.city_country.len());
+                    if !self.zips_by_city[c].is_empty() {
+                        break c;
+                    }
+                };
+                let country = Value::Str(self.countries[self.city_country[city]].clone());
+                let zips = &self.zips_by_city[city];
+                let zip = zips[rng.random_range(0..zips.len())];
+                let (lo, hi) = self.random_date_window(rng);
+                vec![country, Value::int(zip), Value::int(lo), Value::int(hi)]
+            }
+            // Q5: country + date window + a rank window hitting a zip whose
+            // city lies in that country.
+            4 => {
+                let (zip_rank, country) = {
+                    let i = rng.random_range(0..self.zip_ranks.len());
+                    let (zip, rank) = self.zip_ranks[i];
+                    let city = self
+                        .zips_by_city
+                        .iter()
+                        .position(|zs| zs.contains(&zip))
+                        .expect("every zip maps to a city");
+                    (rank, self.city_country[city])
+                };
+                let lo = (zip_rank - rng.random_range(0..=5)).max(1);
+                let hi = (zip_rank + rng.random_range(0..=5)).min(100);
+                let (dlo, dhi) = self.random_date_window(rng);
+                vec![
+                    Value::Str(self.countries[country].clone()),
+                    Value::int(dlo),
+                    Value::int(dhi),
+                    Value::int(lo),
+                    Value::int(hi),
+                ]
+            }
+            other => panic!("template index {other} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RealWorkload {
+        RealWorkload::generate(&WhwConfig {
+            stations: 40,
+            countries: 4,
+            cities_per_country: 3,
+            days: 30,
+            zips: 50,
+            ranks: 100,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn structure_and_sizes() {
+        let w = tiny();
+        assert_eq!(w.market_tables().len(), 3);
+        assert_eq!(w.local_tables().len(), 1);
+        let station = &w.market_tables()[0];
+        let weather = &w.market_tables()[1];
+        let pollution = &w.market_tables()[2];
+        assert_eq!(&*station.schema.table, "Station");
+        assert_eq!(station.cardinality(), 40);
+        assert_eq!(weather.cardinality(), 40 * 30);
+        assert_eq!(pollution.cardinality(), 50);
+        assert_eq!(w.local_tables()[0].len(), 50);
+        assert_eq!(w.templates().len(), 5);
+    }
+
+    #[test]
+    fn weather_rows_consistent_with_stations() {
+        let w = tiny();
+        let station = &w.market_tables()[0];
+        let weather = &w.market_tables()[1];
+        // Every weather row's (country, station) pair exists in Station.
+        let pairs: std::collections::HashSet<(Value, Value)> = station
+            .rows()
+            .iter()
+            .map(|r| (r.get(0).clone(), r.get(1).clone()))
+            .collect();
+        for r in weather.rows() {
+            assert!(pairs.contains(&(r.get(0).clone(), r.get(1).clone())));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let w = tiny();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for t in 0..5 {
+            assert_eq!(w.sample_params(t, &mut a), w.sample_params(t, &mut b));
+        }
+    }
+
+    #[test]
+    fn q1_params_have_valid_window() {
+        let w = tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = w.sample_params(0, &mut rng);
+            assert_eq!(p.len(), 3);
+            let lo = p[1].as_int().unwrap();
+            let hi = p[2].as_int().unwrap();
+            assert!(1 <= lo && lo <= hi && hi <= 30);
+        }
+    }
+
+    #[test]
+    fn q4_zip_maps_to_city_in_country() {
+        let w = tiny();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let p = w.sample_params(3, &mut rng);
+            let country = p[0].as_str().unwrap();
+            let zip = p[1].as_int().unwrap();
+            // Find the city for this zip in the ZipMap rows.
+            let zipmap = &w.local_tables()[0];
+            let city = zipmap
+                .rows()
+                .iter()
+                .find(|r| r.get(0).as_int() == Some(zip))
+                .map(|r| r.get(1).as_str().unwrap().to_string())
+                .expect("zip in ZipMap");
+            // The city's stations carry the same country.
+            let station = &w.market_tables()[0];
+            let has_station_in_country = station.rows().iter().any(|r| {
+                r.get(2).as_str() == Some(city.as_str()) && r.get(0).as_str() == Some(country)
+            });
+            assert!(
+                has_station_in_country,
+                "zip {zip} city {city} country {country}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_config_floors() {
+        let c = WhwConfig::scaled(0.0001);
+        assert!(c.stations >= 40);
+        assert!(c.zips >= 80);
+    }
+}

@@ -1,0 +1,103 @@
+//! A zipf(θ) sampler over `0..n`.
+
+use rand::Rng;
+
+/// Zipfian distribution over ranks `0..n`: rank `k` has weight
+/// `1 / (k+1)^theta`. `theta = 0` degenerates to uniform; the paper's
+/// skewed TPC-H data uses `theta = 1`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        assert!(theta >= 0.0, "negative zipf exponent");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` for a single-rank distribution.
+    pub fn is_empty(&self) -> bool {
+        false // construction forbids n == 0
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.random_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate: ~1/H(100) ≈ 19% of the mass.
+        assert!(
+            counts[0] > 5 * counts[10],
+            "counts[0]={} counts[10]={}",
+            counts[0],
+            counts[10]
+        );
+        assert!(counts[0] > counts[1]);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(5, 1.5);
+        assert_eq!(z.len(), 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Session persistence: the data you paid for survives restarts.
+//!
+//! PayLess deliberately stores every retrieved result (Section 3 of the
+//! paper). This example snapshots a session to JSON, "restarts", and shows
+//! the restored session answering from the mirror without paying again.
+//!
+//! Run with: `cargo run --example session_persistence`
+
+use std::sync::Arc;
+
+use payless_core::{build_market, PayLess, PayLessConfig};
+use payless_workload::{QueryWorkload, RealWorkload, WhwConfig};
+
+fn main() {
+    let workload = RealWorkload::generate(&WhwConfig::scaled(0.02));
+    let market = Arc::new(build_market(&workload, 100));
+
+    let sql = "SELECT AVG(Temperature) FROM Station, Weather WHERE \
+               Station.Country = Weather.Country = 'Country0' AND \
+               Weather.Date >= 50 AND Weather.Date <= 120 AND \
+               Station.StationID = Weather.StationID GROUP BY City";
+
+    // Day 1: an analyst runs some queries.
+    let mut session = PayLess::new(market.clone(), PayLessConfig::default());
+    for t in workload.local_tables() {
+        session.register_local(t.clone());
+    }
+    session.query(sql).expect("query runs");
+    let paid = market.bill().transactions();
+    println!("Day 1: paid {paid} transactions.");
+
+    // Shut down for the night, persisting the session.
+    let json = session.to_json().expect("serializes");
+    println!(
+        "Persisted session: {:.1} KiB of JSON (mirror + coverage + statistics).",
+        json.len() as f64 / 1024.0
+    );
+    drop(session);
+
+    // Day 2: restore and re-run — free.
+    let mut restored =
+        PayLess::from_json(market.clone(), PayLessConfig::default(), &json).expect("deserializes");
+    let out = restored.query(sql).expect("query runs");
+    println!(
+        "Day 2: same query returned {} groups and cost {} additional transactions.",
+        out.result.rows.len(),
+        market.bill().transactions() - paid
+    );
+
+    // Even a *different* overlapping query only pays for the new remainder.
+    let wider = "SELECT AVG(Temperature) FROM Station, Weather WHERE \
+                 Station.Country = Weather.Country = 'Country0' AND \
+                 Weather.Date >= 40 AND Weather.Date <= 130 AND \
+                 Station.StationID = Weather.StationID GROUP BY City";
+    let before = market.bill().transactions();
+    restored.query(wider).expect("query runs");
+    println!(
+        "A wider date window costs only {} transactions (the two new slices).",
+        market.bill().transactions() - before
+    );
+}
