@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Local CI: formatting, lints, and the tier-1 gate.
+#
+# Runs entirely offline — every dependency is an in-tree path crate
+# (see CONTRIBUTING.md), so no network access is required.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

@@ -1,20 +1,137 @@
-//! Criterion microbenchmarks for PayLess's hot paths: the geometry kernel,
+//! Microbenchmarks for PayLess's hot paths: the geometry kernel,
 //! Algorithm 1 rewriting (with and without pruning), greedy set cover,
 //! the feedback histogram, the DP optimizer (left-deep vs. bushy), SQL
 //! parsing, and the market call path.
+//!
+//! Self-contained timing harness (no external bench framework): each case
+//! is warmed up, then run in timed batches until ~50 ms of samples are
+//! collected; min / median / mean per-iteration times are printed, plus a
+//! JSONL dump when `PAYLESS_JSON` is set (same convention as the fig
+//! binaries).
 
 use std::collections::HashMap;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use payless_geometry::{decompose, QuerySpace, Region};
+use payless_json::{Json, ToJson};
 use payless_market::{DataMarket, Dataset, MarketTable, Request};
 use payless_optimizer::{optimize, OptimizerConfig};
 use payless_semantic::{greedy_cover, rewrite, CoverSet, RewriteConfig, SemanticStore};
 use payless_sql::{analyze, parse, MapCatalog, TableLocation};
 use payless_stats::{StatsRegistry, TableStats};
 use payless_types::{row, Column, Constraint, Domain, Schema};
+
+/// Time `f`, returning per-iteration nanoseconds: min, median, mean.
+fn measure(mut f: impl FnMut()) -> (f64, f64, f64) {
+    // Warm-up and batch-size calibration: grow the batch until it takes
+    // at least ~1 ms, so Instant overhead is amortized away.
+    let mut batch = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if start.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 2;
+    }
+    let budget = Duration::from_millis(50);
+    let begin = Instant::now();
+    let mut samples = Vec::new();
+    while begin.elapsed() < budget || samples.len() < 5 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        if samples.len() >= 1000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (min, median, mean)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+struct Runner {
+    results: Vec<(String, f64, f64, f64)>,
+}
+
+impl Runner {
+    fn new() -> Runner {
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}",
+            "benchmark", "min", "median", "mean"
+        );
+        Runner {
+            results: Vec::new(),
+        }
+    }
+
+    fn bench(&mut self, name: &str, f: impl FnMut()) {
+        let (min, median, mean) = measure(f);
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}",
+            name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        self.results.push((name.to_string(), min, median, mean));
+    }
+
+    fn finish(self) {
+        if std::env::var("PAYLESS_JSON").is_err() {
+            return;
+        }
+        let runs: Vec<Json> = self
+            .results
+            .iter()
+            .map(|(name, min, median, mean)| {
+                Json::obj([
+                    ("name", name.to_json()),
+                    ("min_nanos", min.to_json()),
+                    ("median_nanos", median.to_json()),
+                    ("mean_nanos", mean.to_json()),
+                ])
+            })
+            .collect();
+        let line = Json::obj([("figure", "microbench".to_json()), ("runs", runs.to_json())])
+            .to_string_compact();
+        let dest = std::env::var("PAYLESS_JSON").unwrap();
+        if dest == "-" {
+            println!("{line}");
+        } else {
+            use std::io::Write;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&dest)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{line}");
+                }
+                Err(e) => eprintln!("PAYLESS_JSON: cannot open {dest}: {e}"),
+            }
+        }
+    }
+}
 
 fn region_1d(lo: i64, hi: i64) -> Region {
     Region::new(vec![payless_geometry::Interval::new(lo, hi)])
@@ -29,93 +146,9 @@ fn scattered_views(n: usize) -> Vec<Region> {
         .collect()
 }
 
-fn bench_geometry(c: &mut Criterion) {
-    let mut g = c.benchmark_group("geometry");
-    let q = region_1d(0, 999);
-    for n in [4usize, 16, 64] {
-        let views = scattered_views(n);
-        g.bench_with_input(BenchmarkId::new("subtract_all", n), &views, |b, views| {
-            b.iter(|| black_box(q.subtract_all(views)))
-        });
-        g.bench_with_input(BenchmarkId::new("decompose", n), &views, |b, views| {
-            b.iter(|| black_box(decompose(&q, views)))
-        });
-    }
-    g.finish();
-}
-
 fn stats_1d() -> TableStats {
     let schema = Schema::new("R", vec![Column::free("A", Domain::int(0, 999))]);
     TableStats::new(QuerySpace::of(&schema), 100_000)
-}
-
-fn bench_rewrite(c: &mut Criterion) {
-    let mut g = c.benchmark_group("algorithm1_rewrite");
-    let stats = stats_1d();
-    let q = region_1d(0, 999);
-    for n in [2usize, 8, 24] {
-        let views = scattered_views(n);
-        g.bench_with_input(BenchmarkId::new("pruned", n), &views, |b, views| {
-            b.iter(|| black_box(rewrite(&stats, 100, &q, views, &RewriteConfig::default())))
-        });
-        g.bench_with_input(BenchmarkId::new("no_pruning", n), &views, |b, views| {
-            b.iter(|| {
-                black_box(rewrite(
-                    &stats,
-                    100,
-                    &q,
-                    views,
-                    &RewriteConfig::no_pruning(),
-                ))
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_set_cover(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_cover");
-    for (elements, sets) in [(16usize, 64usize), (64, 512)] {
-        let cover_sets: Vec<CoverSet> = (0..sets)
-            .map(|i| {
-                let start = i % elements;
-                let span = 1 + i % 7;
-                CoverSet::new(
-                    1.0 + (i % 5) as f64,
-                    (start..(start + span).min(elements)).collect(),
-                )
-            })
-            .collect();
-        g.bench_with_input(
-            BenchmarkId::new("greedy", format!("{elements}e_{sets}s")),
-            &cover_sets,
-            |b, cs| b.iter(|| black_box(greedy_cover(elements, cs))),
-        );
-    }
-    g.finish();
-}
-
-fn bench_histogram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("feedback_histogram");
-    g.bench_function("feedback_100", |b| {
-        b.iter(|| {
-            let mut s = stats_1d();
-            for i in 0..100i64 {
-                let lo = (i * 37) % 900;
-                s.feedback(&region_1d(lo, lo + 50), 500);
-            }
-            black_box(s.bucket_count())
-        })
-    });
-    let mut trained = stats_1d();
-    for i in 0..100i64 {
-        let lo = (i * 37) % 900;
-        trained.feedback(&region_1d(lo, lo + 50), 500);
-    }
-    g.bench_function("estimate_after_100_feedbacks", |b| {
-        b.iter(|| black_box(trained.estimate(&region_1d(100, 600))))
-    });
-    g.finish();
 }
 
 #[allow(clippy::type_complexity)]
@@ -157,51 +190,116 @@ fn chain_query(
     (q, stats, store, meta)
 }
 
-fn bench_optimizer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("optimizer_dp");
-    for n in [3usize, 5, 7] {
-        let (q, stats, store, meta) = chain_query(n);
-        g.bench_with_input(BenchmarkId::new("left_deep", n), &q, |b, q| {
-            b.iter(|| {
-                black_box(
-                    optimize(
-                        q,
-                        &stats,
-                        &store,
-                        &meta,
-                        &OptimizerConfig::payless_no_sqr(),
-                        0,
-                    )
-                    .unwrap(),
-                )
-            })
+fn main() {
+    let mut r = Runner::new();
+
+    // Geometry kernel.
+    let q = region_1d(0, 999);
+    for n in [4usize, 16, 64] {
+        let views = scattered_views(n);
+        r.bench(&format!("geometry/subtract_all/{n}"), || {
+            black_box(q.subtract_all(&views));
         });
-        g.bench_with_input(BenchmarkId::new("bushy", n), &q, |b, q| {
-            b.iter(|| {
-                black_box(
-                    optimize(q, &stats, &store, &meta, &OptimizerConfig::disable_all(), 0).unwrap(),
-                )
-            })
+        r.bench(&format!("geometry/decompose/{n}"), || {
+            black_box(decompose(&q, &views));
         });
     }
-    g.finish();
-}
 
-fn bench_sql(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sql_frontend");
+    // Algorithm 1 rewriting.
+    let stats = stats_1d();
+    for n in [2usize, 8, 24] {
+        let views = scattered_views(n);
+        r.bench(&format!("algorithm1_rewrite/pruned/{n}"), || {
+            black_box(rewrite(&stats, 100, &q, &views, &RewriteConfig::default()));
+        });
+        r.bench(&format!("algorithm1_rewrite/no_pruning/{n}"), || {
+            black_box(rewrite(
+                &stats,
+                100,
+                &q,
+                &views,
+                &RewriteConfig::no_pruning(),
+            ));
+        });
+    }
+
+    // Greedy set cover.
+    for (elements, sets) in [(16usize, 64usize), (64, 512)] {
+        let cover_sets: Vec<CoverSet> = (0..sets)
+            .map(|i| {
+                let start = i % elements;
+                let span = 1 + i % 7;
+                CoverSet::new(
+                    1.0 + (i % 5) as f64,
+                    (start..(start + span).min(elements)).collect(),
+                )
+            })
+            .collect();
+        r.bench(&format!("set_cover/greedy/{elements}e_{sets}s"), || {
+            black_box(greedy_cover(elements, &cover_sets));
+        });
+    }
+
+    // Feedback histogram.
+    r.bench("feedback_histogram/feedback_100", || {
+        let mut s = stats_1d();
+        for i in 0..100i64 {
+            let lo = (i * 37) % 900;
+            s.feedback(&region_1d(lo, lo + 50), 500);
+        }
+        black_box(s.bucket_count());
+    });
+    let mut trained = stats_1d();
+    for i in 0..100i64 {
+        let lo = (i * 37) % 900;
+        trained.feedback(&region_1d(lo, lo + 50), 500);
+    }
+    r.bench("feedback_histogram/estimate_after_100", || {
+        black_box(trained.estimate(&region_1d(100, 600)));
+    });
+
+    // DP optimizer, left-deep vs. bushy.
+    for n in [3usize, 5, 7] {
+        let (q, stats, store, meta) = chain_query(n);
+        r.bench(&format!("optimizer_dp/left_deep/{n}"), || {
+            black_box(
+                optimize(
+                    &q,
+                    &stats,
+                    &store,
+                    &meta,
+                    &OptimizerConfig::payless_no_sqr(),
+                    0,
+                )
+                .unwrap(),
+            );
+        });
+        r.bench(&format!("optimizer_dp/bushy/{n}"), || {
+            black_box(
+                optimize(
+                    &q,
+                    &stats,
+                    &store,
+                    &meta,
+                    &OptimizerConfig::disable_all(),
+                    0,
+                )
+                .unwrap(),
+            );
+        });
+    }
+
+    // SQL frontend.
     let sql = "SELECT City, AVG(Temperature) FROM Pollution, Station, Weather, ZipMap \
                WHERE Station.Country = Weather.Country = ? AND \
                Weather.Date >= ? AND Weather.Date <= ? AND Pollution.Rank <= ? AND \
                Pollution.ZipCode = ZipMap.ZipCode AND ZipMap.City = Station.City AND \
                Station.StationID = Weather.StationID GROUP BY City";
-    g.bench_function("parse_q5_style", |b| {
-        b.iter(|| black_box(parse(sql).unwrap()))
+    r.bench("sql_frontend/parse_q5_style", || {
+        black_box(parse(sql).unwrap());
     });
-    g.finish();
-}
 
-fn bench_market(c: &mut Criterion) {
-    let mut g = c.benchmark_group("market");
+    // Market call path.
     let schema = Schema::new(
         "T",
         vec![
@@ -216,35 +314,20 @@ fn bench_market(c: &mut Criterion) {
     let market = DataMarket::new(vec![Dataset::new("DS")
         .with_page_size(100)
         .with_table(MarketTable::new(schema, rows))]);
-    g.bench_function("point_lookup", |b| {
-        b.iter(|| {
-            black_box(
-                market
-                    .get(&Request::to("T").with("k", Constraint::eq(1234)))
-                    .unwrap(),
-            )
-        })
+    r.bench("market/point_lookup", || {
+        black_box(
+            market
+                .get(&Request::to("T").with("k", Constraint::eq(1234)))
+                .unwrap(),
+        );
     });
-    g.bench_function("range_scan_10pct", |b| {
-        b.iter(|| {
-            black_box(
-                market
-                    .get(&Request::to("T").with("k", Constraint::range(0, 999)))
-                    .unwrap(),
-            )
-        })
+    r.bench("market/range_scan_10pct", || {
+        black_box(
+            market
+                .get(&Request::to("T").with("k", Constraint::range(0, 999)))
+                .unwrap(),
+        );
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_geometry,
-    bench_rewrite,
-    bench_set_cover,
-    bench_histogram,
-    bench_optimizer,
-    bench_sql,
-    bench_market
-);
-criterion_main!(benches);
+    r.finish();
+}

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use payless_core::{build_market, Mode, PayLess, PayLessConfig};
+use payless_json::{Json, ToJson};
 use payless_semantic::RewriteConfig;
 use payless_workload::QueryWorkload;
 use rand::rngs::StdRng;
@@ -82,6 +83,61 @@ pub struct ModeRun {
     pub avg_execute_nanos: f64,
 }
 
+impl ToJson for ModeRun {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("cumulative_tx", self.cumulative_tx.to_json()),
+            ("avg_plans", self.avg_plans.to_json()),
+            ("avg_boxes_kept", self.avg_boxes_kept.to_json()),
+            ("avg_boxes_enumerated", self.avg_boxes_enumerated.to_json()),
+            ("avg_optimize_nanos", self.avg_optimize_nanos.to_json()),
+            ("avg_execute_nanos", self.avg_execute_nanos.to_json()),
+        ])
+    }
+}
+
+/// Machine-readable form of one figure: the title plus every mode's full
+/// series and summary metrics.
+pub fn figure_json(title: &str, runs: &[ModeRun]) -> Json {
+    Json::obj([
+        ("figure", title.to_json()),
+        (
+            "runs",
+            runs.iter()
+                .map(ToJson::to_json)
+                .collect::<Vec<_>>()
+                .to_json(),
+        ),
+    ])
+}
+
+/// When `PAYLESS_JSON` is set, emit the figure as one compact JSON line
+/// (JSONL) so plots can be regenerated without scraping the tables.
+/// `PAYLESS_JSON=-` writes to stdout; any other value is treated as a file
+/// path to append to.
+pub fn emit_json(title: &str, runs: &[ModeRun]) {
+    let Ok(dest) = std::env::var("PAYLESS_JSON") else {
+        return;
+    };
+    let line = figure_json(title, runs).to_string_compact();
+    if dest == "-" {
+        println!("{line}");
+    } else {
+        use std::io::Write;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&dest)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{line}");
+            }
+            Err(e) => eprintln!("PAYLESS_JSON: cannot open {dest}: {e}"),
+        }
+    }
+}
+
 /// The query schedule of one repetition: `q` instances per template,
 /// shuffled. The schedule depends only on `(workload, cfg, rep)` so every
 /// mode sees identical queries.
@@ -118,16 +174,15 @@ pub fn run_mode(
     let mut exe_ns = 0.0;
 
     // Repetitions are independent; run them on scoped threads.
-    let results: Vec<RepResult> = crossbeam::thread::scope(|s| {
+    let results: Vec<RepResult> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..reps)
             .map(|rep| {
                 let cfg = cfg.clone();
-                s.spawn(move |_| run_rep(workload, mode, &cfg, rep))
+                s.spawn(move || run_rep(workload, mode, &cfg, rep))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     for r in &results {
         for (i, v) in r.cumulative.iter().enumerate() {
@@ -209,6 +264,7 @@ fn run_rep(workload: &dyn QueryWorkload, mode: Mode, cfg: &RunConfig, rep: usize
 /// Print a figure's series as a column-aligned table (query index vs. mean
 /// cumulative transactions per system), sampling ~20 evenly spaced rows.
 pub fn print_cumulative(title: &str, runs: &[ModeRun]) {
+    emit_json(title, runs);
     println!("\n== {title} ==");
     print!("{:>8}", "#queries");
     for r in runs {
@@ -232,6 +288,7 @@ pub fn print_cumulative(title: &str, runs: &[ModeRun]) {
 
 /// Print one summary metric per mode.
 pub fn print_metric(title: &str, runs: &[ModeRun], metric: impl Fn(&ModeRun) -> f64) {
+    emit_json(title, runs);
     println!("\n== {title} ==");
     for r in runs {
         println!("{:<22} {:>14.2}", r.name, metric(r));
@@ -291,5 +348,34 @@ mod tests {
     fn env_parsers_fall_back_to_defaults() {
         assert_eq!(env_usize("PAYLESS_NO_SUCH_VAR_12345", 7), 7);
         assert_eq!(env_f64("PAYLESS_NO_SUCH_VAR_12345", 0.5), 0.5);
+    }
+
+    #[test]
+    fn figure_json_round_trips() {
+        let runs = vec![ModeRun {
+            name: "PayLess".into(),
+            cumulative_tx: vec![1.0, 2.5],
+            avg_plans: 3.0,
+            avg_boxes_kept: 1.0,
+            avg_boxes_enumerated: 2.0,
+            avg_optimize_nanos: 1e6,
+            avg_execute_nanos: 2e6,
+        }];
+        let json = figure_json("Figure X", &runs);
+        let parsed = payless_json::parse(&json.to_string_compact()).unwrap();
+        assert_eq!(
+            parsed.get_opt("figure"),
+            Some(&Json::Str("Figure X".into()))
+        );
+        let run = &parsed.get_opt("runs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(run.get_opt("name"), Some(&Json::Str("PayLess".into())));
+        assert_eq!(
+            run.get_opt("cumulative_tx")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
+        );
     }
 }

@@ -2,13 +2,13 @@
 
 use std::sync::Arc;
 
-use payless_core::{build_market, DataMarket, PayLess, PayLessConfig};
+use payless_core::{build_market, DataMarket, PayLess, PayLessConfig, QueryReport};
 use payless_workload::{
     Finance, FinanceConfig, QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig,
 };
 
 use crate::args::{CliArgs, WorkloadKind};
-use crate::render::render_table;
+use crate::render::{render_report, render_table};
 
 /// What the shell should do with a command's output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +24,8 @@ pub struct App {
     market: Arc<DataMarket>,
     session: PayLess,
     session_file: Option<String>,
+    /// Report of the most recent traced query (for `\report`).
+    last_report: Option<QueryReport>,
 }
 
 impl App {
@@ -75,10 +77,12 @@ impl App {
         for t in local_tables {
             session.register_local(t);
         }
+        session.enable_tracing(args.trace);
         Ok(App {
             market,
             session,
             session_file: args.session_file.clone(),
+            last_report: None,
         })
     }
 
@@ -196,6 +200,31 @@ impl App {
                         Err(e) => Reply::Text(format!("error: {e}")),
                     }
                 }
+                "trace" => {
+                    match rest {
+                        "on" => self.session.enable_tracing(true),
+                        "off" => self.session.enable_tracing(false),
+                        "" => {
+                            let on = !self.session.tracing_enabled();
+                            self.session.enable_tracing(on);
+                        }
+                        other => {
+                            return Reply::Text(format!("usage: \\trace [on|off] (got `{other}`)"))
+                        }
+                    }
+                    Reply::Text(format!(
+                        "tracing {}",
+                        if self.session.tracing_enabled() {
+                            "on"
+                        } else {
+                            "off"
+                        }
+                    ))
+                }
+                "report" => match &self.last_report {
+                    Some(r) => Reply::Text(r.to_json().to_string_pretty()),
+                    None => Reply::Text("no traced query yet (enable with \\trace)".into()),
+                },
                 "save" => {
                     if rest.is_empty() {
                         return Reply::Text("usage: \\save <file>".into());
@@ -216,6 +245,10 @@ impl App {
                     out.est_cost,
                     out.plan.as_deref().unwrap_or("-")
                 ));
+                if let Some(report) = out.report {
+                    s.push_str(&render_report(&report));
+                    self.last_report = Some(report);
+                }
                 Reply::Text(s)
             }
             Err(e) => Reply::Text(format!("error: {e}")),
@@ -296,6 +329,41 @@ mod tests {
         assert!(matches!(a.handle("\\frobnicate"), Reply::Text(_)));
         assert!(matches!(a.handle("\\quit"), Reply::Quit(_)));
         assert!(matches!(a.handle("   "), Reply::Text(ref s) if s.is_empty()));
+    }
+
+    #[test]
+    fn trace_flag_prints_report_and_report_dumps_json() {
+        let mut a = App::new(&CliArgs {
+            scale: 0.01,
+            trace: true,
+            ..CliArgs::default()
+        })
+        .unwrap();
+        match a.handle(
+            "SELECT * FROM Weather WHERE Weather.Country = 'Country0' \
+             AND Weather.Date >= 1 AND Weather.Date <= 3",
+        ) {
+            Reply::Text(s) => {
+                assert!(s.contains("query report"), "{s}");
+                assert!(s.contains("SQR:"), "{s}");
+                assert!(s.contains("plan search:"), "{s}");
+                assert!(s.contains("spend:"), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match a.handle("\\report") {
+            Reply::Text(s) => {
+                let json = payless_json::parse(&s).unwrap();
+                assert!(json.get_opt("telemetry").is_some(), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Toggle off: no more reports.
+        assert!(matches!(a.handle("\\trace off"), Reply::Text(ref s) if s.contains("off")));
+        match a.handle("SELECT COUNT(*) FROM Station WHERE Country = 'Country0'") {
+            Reply::Text(s) => assert!(!s.contains("query report"), "{s}"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

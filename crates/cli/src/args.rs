@@ -28,6 +28,9 @@ pub struct CliArgs {
     pub mode: Mode,
     /// Session file to load on start (if it exists) and save on exit.
     pub session_file: Option<String>,
+    /// Per-query tracing: print an `EXPLAIN ANALYZE`-style report (spend
+    /// ledger, SQR hits, plan-search effort, phase timings) after each query.
+    pub trace: bool,
     /// One-shot SQL; when `None` the shell goes interactive.
     pub sql: Option<String>,
 }
@@ -40,6 +43,7 @@ impl Default for CliArgs {
             page_size: 100,
             mode: Mode::PayLess,
             session_file: None,
+            trace: false,
             sql: None,
         }
     }
@@ -60,6 +64,9 @@ OPTIONS:
     --mode <payless|no-sqr|min-calls|download-all>
                                       system variant (default: payless)
     --session <file>                  load/save session state as JSON
+    --trace                           per-query report: spend ledger, SQR
+                                      hits, plan search, phase timings
+                                      (alias: --report)
     -h, --help                        this text
 
 Without SQL, an interactive shell starts. Shell commands:
@@ -121,6 +128,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
                 };
             }
             "--session" => out.session_file = Some(take_value(&mut i)?),
+            "--trace" | "--report" => out.trace = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"))
             }
@@ -169,6 +177,13 @@ mod tests {
         assert_eq!(a.mode, Mode::MinCalls);
         assert_eq!(a.session_file.as_deref(), Some("state.json"));
         assert!(a.sql.is_none());
+    }
+
+    #[test]
+    fn trace_flag_and_alias() {
+        assert!(parse_args(&argv(&["--trace"])).unwrap().trace);
+        assert!(parse_args(&argv(&["--report"])).unwrap().trace);
+        assert!(!parse_args(&[]).unwrap().trace);
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod render;
 
 pub use app::{App, Reply};
 pub use args::{CliArgs, WorkloadKind};
-pub use render::render_table;
+pub use render::{render_report, render_table};

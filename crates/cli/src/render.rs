@@ -1,6 +1,6 @@
-//! Plain-text table rendering.
+//! Plain-text rendering: result tables and per-query trace reports.
 
-use payless_core::QueryResult;
+use payless_core::{QueryReport, QueryResult};
 
 /// Maximum rows printed before truncation.
 pub const MAX_ROWS: usize = 40;
@@ -54,6 +54,130 @@ pub fn render_table(result: &QueryResult) -> String {
     out
 }
 
+/// Format nanoseconds with a human unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Render a traced query's report, `EXPLAIN ANALYZE`-style.
+pub fn render_report(report: &QueryReport) -> String {
+    let mut s = String::from(
+        "── query report ──
+",
+    );
+    s.push_str(&format!(
+        "phases: analyze {}  optimize {}  execute {}
+",
+        fmt_ns(report.analyze_nanos),
+        fmt_ns(report.optimize_nanos),
+        fmt_ns(report.execute_nanos),
+    ));
+    let c = &report.counters;
+    s.push_str(&format!(
+        "plan search: {} plans considered; Theorem 2 hoisted {} zero-price; \
+         Theorem 3 composed {} subproblems; boxes {} enumerated -> {} kept
+",
+        c.plans_considered,
+        c.theorem2_hoisted,
+        c.theorem3_composed,
+        c.boxes_enumerated,
+        c.boxes_kept,
+    ));
+    let sqr = report.sqr();
+    s.push_str(&format!(
+        "SQR: {} full hits, {} partial, {} misses
+",
+        sqr.full_hits, sqr.partial_hits, sqr.misses,
+    ));
+    s.push_str(&format!(
+        "spend: ${:.2} for {} pages / {} records over {} calls (estimated {:.1}; billed {})
+",
+        report.total_price(),
+        report.total_pages(),
+        report.telemetry.total_records(),
+        report.telemetry.ledger.len(),
+        report.est_cost,
+        report.paid_transactions,
+    ));
+    let by_dataset = report.spend_by_dataset();
+    if !by_dataset.is_empty() {
+        s.push_str(
+            "  dataset        calls   records     pages      price
+",
+        );
+        for d in &by_dataset {
+            s.push_str(&format!(
+                "  {:<12} {:>7} {:>9} {:>9} {:>9}
+",
+                d.dataset,
+                d.calls,
+                d.records,
+                d.pages,
+                format!("${:.2}", d.price),
+            ));
+        }
+    }
+    if !report.telemetry.ledger.is_empty() {
+        s.push_str(
+            "ledger:
+",
+        );
+        for e in &report.telemetry.ledger {
+            s.push_str(&format!(
+                "  #{:<3} {:<10} {:<12} {:>7} records / page {:<5} -> {:>5} pages  ${:.2}
+",
+                e.seq,
+                e.kind.label(),
+                e.table,
+                e.records,
+                e.page_size,
+                e.pages,
+                e.price,
+            ));
+        }
+    }
+    if !report.telemetry.spans.is_empty() {
+        s.push_str(
+            "spans:
+",
+        );
+        for sp in &report.telemetry.spans {
+            match &sp.detail {
+                Some(d) => s.push_str(&format!(
+                    "  {:<16} {:<24} {}
+",
+                    sp.label,
+                    d,
+                    fmt_ns(sp.nanos)
+                )),
+                None => s.push_str(&format!(
+                    "  {:<16} {:<24} {}
+",
+                    sp.label,
+                    "",
+                    fmt_ns(sp.nanos)
+                )),
+            }
+        }
+    }
+    for (name, h) in &report.telemetry.sizes {
+        s.push_str(&format!(
+            "{name}: n={} sum={} p50={} p95={} max={}
+",
+            h.count, h.sum, h.p50, h.p95, h.max,
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +203,56 @@ mod tests {
         };
         let s = render_table(&r);
         assert!(s.contains("(100 rows, showing first 40)"), "{s}");
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        use payless_core::{
+            CallKind, PlanCounters, QueryReport, SqrStats, TelemetrySnapshot, TransactionRecord,
+        };
+        let report = QueryReport {
+            analyze_nanos: 1_200,
+            optimize_nanos: 3_400_000,
+            execute_nanos: 2_000_000_000,
+            est_cost: 6.0,
+            paid_transactions: 7,
+            counters: PlanCounters {
+                plans_considered: 12,
+                boxes_enumerated: 9,
+                boxes_kept: 4,
+                theorem2_hoisted: 2,
+                theorem3_composed: 3,
+            },
+            telemetry: TelemetrySnapshot {
+                ledger: vec![TransactionRecord {
+                    seq: 0,
+                    dataset: "WHW".into(),
+                    table: "Weather".into(),
+                    kind: CallKind::Remainder,
+                    records: 612,
+                    page_size: 100,
+                    pages: 7,
+                    price: 7.0,
+                }],
+                sqr: SqrStats {
+                    full_hits: 1,
+                    partial_hits: 2,
+                    misses: 3,
+                },
+                ..Default::default()
+            },
+        };
+        let s = render_report(&report);
+        assert!(s.contains("analyze 1.2 µs"), "{s}");
+        assert!(s.contains("optimize 3.40 ms"), "{s}");
+        assert!(s.contains("execute 2.00 s"), "{s}");
+        assert!(s.contains("12 plans considered"), "{s}");
+        assert!(s.contains("Theorem 2 hoisted 2"), "{s}");
+        assert!(s.contains("Theorem 3 composed 3"), "{s}");
+        assert!(s.contains("1 full hits, 2 partial, 3 misses"), "{s}");
+        assert!(s.contains("$7.00 for 7 pages / 612 records"), "{s}");
+        assert!(s.contains("WHW"), "{s}");
+        assert!(s.contains("remainder"), "{s}");
     }
 
     #[test]

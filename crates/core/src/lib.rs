@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod session;
 
 pub use payless_exec::QueryResult;
@@ -49,6 +50,10 @@ pub use payless_optimizer::PlanCounters;
 pub use payless_semantic::Consistency;
 pub use payless_sql::SelectStmt;
 pub use payless_stats::StatsBackend;
+pub use payless_telemetry::{
+    CallKind, DatasetSpend, Recorder, SqrStats, TelemetrySnapshot, TransactionRecord,
+};
+pub use report::QueryReport;
 pub use session::{
     build_market, BatchOutcome, HistoryEntry, Mode, PayLess, PayLessConfig, QueryOutcome,
     SessionSnapshot,

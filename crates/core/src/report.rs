@@ -1,0 +1,121 @@
+//! The per-query report: what a query cost, where the money went, and what
+//! the optimizer and executor did to keep it low.
+//!
+//! A [`QueryReport`] is assembled by [`crate::PayLess`] after each traced
+//! query from three sources: the session's own phase timers, the
+//! optimizer's [`PlanCounters`], and the drained
+//! [`payless_telemetry::TelemetrySnapshot`] (spend ledger, SQR hit/miss
+//! statistics, operator spans, counters, histograms). The ledger inside is
+//! auditable: its totals equal the billing meter's deltas for the query.
+
+use payless_json::{Json, ToJson};
+use payless_optimizer::PlanCounters;
+use payless_telemetry::{DatasetSpend, SqrStats, TelemetrySnapshot};
+
+/// Everything observable about one executed query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReport {
+    /// Parse + bind + analyze wall time (nanoseconds).
+    pub analyze_nanos: u64,
+    /// Plan-search wall time (nanoseconds).
+    pub optimize_nanos: u64,
+    /// Execution wall time (nanoseconds), including market calls.
+    pub execute_nanos: u64,
+    /// The optimizer's estimated cost (transactions, or calls in MinCalls
+    /// mode).
+    pub est_cost: f64,
+    /// Transactions actually added to the bill by this query.
+    pub paid_transactions: u64,
+    /// Plan-search effort: plans costed and Theorem 2/3 pruning.
+    pub counters: PlanCounters,
+    /// Spend ledger, SQR statistics, operator spans, counters, histograms.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl QueryReport {
+    /// Total money spent by this query (sum of the ledger's priced pages).
+    pub fn total_price(&self) -> f64 {
+        self.telemetry.total_price()
+    }
+
+    /// Total pages (transactions) in the ledger. For a correctly wired
+    /// pipeline this equals [`QueryReport::paid_transactions`].
+    pub fn total_pages(&self) -> u64 {
+        self.telemetry.total_pages()
+    }
+
+    /// Per-dataset spend rollup, in first-purchase order.
+    pub fn spend_by_dataset(&self) -> Vec<DatasetSpend> {
+        self.telemetry.spend_by_dataset()
+    }
+
+    /// SQR cache effectiveness for this query.
+    pub fn sqr(&self) -> &SqrStats {
+        &self.telemetry.sqr
+    }
+
+    /// Machine-readable form, consumed by the bench figure binaries and by
+    /// `--trace`'s JSON output.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "phases",
+                Json::obj([
+                    ("analyze_nanos", self.analyze_nanos.to_json()),
+                    ("optimize_nanos", self.optimize_nanos.to_json()),
+                    ("execute_nanos", self.execute_nanos.to_json()),
+                ]),
+            ),
+            ("est_cost", self.est_cost.to_json()),
+            ("paid_transactions", self.paid_transactions.to_json()),
+            (
+                "plan_search",
+                Json::obj([
+                    ("plans_considered", self.counters.plans_considered.to_json()),
+                    ("boxes_enumerated", self.counters.boxes_enumerated.to_json()),
+                    ("boxes_kept", self.counters.boxes_kept.to_json()),
+                    ("theorem2_hoisted", self.counters.theorem2_hoisted.to_json()),
+                    (
+                        "theorem3_composed",
+                        self.counters.theorem3_composed.to_json(),
+                    ),
+                ]),
+            ),
+            ("telemetry", self.telemetry.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_has_all_sections() {
+        let report = QueryReport {
+            analyze_nanos: 1,
+            optimize_nanos: 2,
+            execute_nanos: 3,
+            est_cost: 4.5,
+            paid_transactions: 6,
+            ..Default::default()
+        };
+        let json = report.to_json();
+        for key in [
+            "phases",
+            "est_cost",
+            "paid_transactions",
+            "plan_search",
+            "telemetry",
+        ] {
+            assert!(json.get_opt(key).is_some(), "missing `{key}`");
+        }
+        assert_eq!(
+            json.get_opt("phases").unwrap().get_opt("optimize_nanos"),
+            Some(&Json::Int(2))
+        );
+        // The report round-trips through text as valid JSON.
+        let text = json.to_string_pretty();
+        payless_json::parse(&text).unwrap();
+    }
+}

@@ -6,14 +6,18 @@ use std::time::Instant;
 
 use payless_exec::{ensure_downloaded, ExecConfig, Executor, QueryResult};
 use payless_geometry::QuerySpace;
+use payless_json::{FromJson, Json, ToJson};
 use payless_market::DataMarket;
 use payless_optimizer::{optimize, OptimizerConfig, PlanCounters, PlanNode};
 use payless_semantic::{Consistency, RewriteConfig, SemanticStore};
 use payless_sql::{analyze, parse, AnalyzedQuery, Catalog, MapCatalog, SelectStmt, TableLocation};
 use payless_stats::{StatsBackend, StatsRegistry};
 use payless_storage::{Database, LocalTable};
+use payless_telemetry::Recorder;
 use payless_types::{Result, Value};
 use payless_workload::QueryWorkload;
+
+use crate::report::QueryReport;
 
 /// Which system variant a session runs — the four lines of the paper's
 /// Figure 10.
@@ -82,6 +86,9 @@ pub struct QueryOutcome {
     pub optimize_nanos: u64,
     /// Execution wall time in nanoseconds.
     pub execute_nanos: u64,
+    /// Full query report — present when tracing is enabled
+    /// ([`PayLess::enable_tracing`]).
+    pub report: Option<QueryReport>,
 }
 
 /// The result of a batch run: per-query outcomes (original order) plus the
@@ -112,7 +119,7 @@ pub struct HistoryEntry {
 }
 
 /// Everything a session has learned, for persistence across restarts.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SessionSnapshot {
     /// Logical clock at capture time.
     pub now: u64,
@@ -122,6 +129,28 @@ pub struct SessionSnapshot {
     pub store: SemanticStore,
     /// Refined statistics.
     pub stats: StatsRegistry,
+}
+
+impl ToJson for SessionSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("now", self.now.to_json()),
+            ("db", self.db.to_json()),
+            ("store", self.store.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SessionSnapshot {
+    fn from_json(json: &Json) -> std::result::Result<Self, payless_json::JsonError> {
+        Ok(SessionSnapshot {
+            now: u64::from_json(json.get("now")?)?,
+            db: Database::from_json(json.get("db")?)?,
+            store: SemanticStore::from_json(json.get("store")?)?,
+            stats: StatsRegistry::from_json(json.get("stats")?)?,
+        })
+    }
 }
 
 /// A PayLess installation at one data buyer.
@@ -137,6 +166,9 @@ pub struct PayLess {
     now: u64,
     /// Per-query log (not persisted in snapshots).
     history: Vec<HistoryEntry>,
+    /// Telemetry sink shared with the market and executor. Disabled by
+    /// default; [`PayLess::enable_tracing`] turns it on.
+    recorder: Arc<Recorder>,
 }
 
 impl PayLess {
@@ -153,6 +185,8 @@ impl PayLess {
             stats.register(&schema, cardinality);
             store.register(QuerySpace::of(&schema));
         }
+        let recorder = Arc::new(Recorder::default());
+        market.attach_recorder(recorder.clone());
         PayLess {
             market,
             catalog,
@@ -162,7 +196,27 @@ impl PayLess {
             cfg,
             now: 0,
             history: Vec::new(),
+            recorder,
         }
+    }
+
+    /// Turn per-query tracing on or off. While on, every
+    /// [`QueryOutcome`] carries a [`QueryReport`] with the spend ledger,
+    /// SQR statistics, plan-search counters, and phase timings. While off,
+    /// the telemetry path costs one atomic load per event and allocates
+    /// nothing.
+    pub fn enable_tracing(&mut self, on: bool) {
+        self.recorder.set_enabled(on);
+    }
+
+    /// Is per-query tracing currently on?
+    pub fn tracing_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The session's telemetry recorder (shared with the market).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
     }
 
     /// Register a table in the buyer's local DBMS.
@@ -248,10 +302,15 @@ impl PayLess {
         template: &SelectStmt,
         params: &[Value],
     ) -> Result<QueryOutcome> {
+        let t_analyze = Instant::now();
         let bound = template.bind(params)?;
         let query = analyze(&bound, &self.catalog)?;
+        let analyze_nanos = t_analyze.elapsed().as_nanos() as u64;
         let paid_before = self.market.bill().transactions();
-        let out = self.run(&query)?;
+        let mut out = self.run(&query)?;
+        if let Some(report) = out.report.as_mut() {
+            report.analyze_nanos = analyze_nanos;
+        }
         self.history.push(HistoryEntry {
             at: self.now,
             summary: bound.to_string(),
@@ -265,10 +324,17 @@ impl PayLess {
 
     fn run(&mut self, query: &AnalyzedQuery) -> Result<QueryOutcome> {
         self.now += 1;
+        let tracing = self.recorder.is_enabled();
+        if tracing {
+            // Discard anything a previous (untraced or failed) query left.
+            let _ = self.recorder.take();
+        }
+        let paid_before = self.market.bill().transactions();
         let exec_cfg = ExecConfig {
             sqr: matches!(self.cfg.mode, Mode::PayLess | Mode::DownloadAll),
             rewrite: self.cfg.rewrite.clone(),
             consistency: self.cfg.consistency,
+            recorder: Some(self.recorder.clone()),
         };
 
         // Unsatisfiable queries cost nothing.
@@ -289,12 +355,17 @@ impl PayLess {
                 counters: PlanCounters::default(),
                 optimize_nanos: 0,
                 execute_nanos: 0,
+                report: tracing.then(|| QueryReport {
+                    telemetry: self.recorder.take(),
+                    ..Default::default()
+                }),
             });
         }
 
         // Download All: make every referenced market table local-complete
         // first; the optimizer then finds a zero-cost plan.
         if self.cfg.mode == Mode::DownloadAll {
+            let _span = self.recorder.span("phase.download-all", || None);
             for t in &query.tables {
                 if t.location == TableLocation::Market {
                     ensure_downloaded(
@@ -304,6 +375,7 @@ impl PayLess {
                         &mut self.store,
                         &mut self.stats,
                         self.now,
+                        Some(self.recorder.as_ref()),
                     )?;
                 }
             }
@@ -335,6 +407,15 @@ impl PayLess {
         let execute_nanos = t1.elapsed().as_nanos() as u64;
 
         let names = |t: usize| query.tables[t].name.to_string();
+        let report = tracing.then(|| QueryReport {
+            analyze_nanos: 0, // patched in by execute_template
+            optimize_nanos,
+            execute_nanos,
+            est_cost: optimized.cost.primary,
+            paid_transactions: self.market.bill().transactions() - paid_before,
+            counters: optimized.counters,
+            telemetry: self.recorder.take(),
+        });
         Ok(QueryOutcome {
             result,
             plan: Some(render_plan(&optimized.plan, &names)),
@@ -342,6 +423,7 @@ impl PayLess {
             counters: optimized.counters,
             optimize_nanos,
             execute_nanos,
+            report,
         })
     }
 
@@ -443,13 +525,14 @@ impl PayLess {
 
     /// Serialize the session state to JSON.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(&self.snapshot())
-            .map_err(|e| payless_types::PaylessError::Internal(format!("serialize: {e}")))
+        Ok(ToJson::to_json(&self.snapshot()).to_string_compact())
     }
 
     /// Restore a session from [`PayLess::to_json`] output.
     pub fn from_json(market: Arc<DataMarket>, cfg: PayLessConfig, json: &str) -> Result<Self> {
-        let snapshot: SessionSnapshot = serde_json::from_str(json)
+        let parsed = payless_json::parse(json)
+            .map_err(|e| payless_types::PaylessError::Internal(format!("deserialize: {e}")))?;
+        let snapshot = SessionSnapshot::from_json(&parsed)
             .map_err(|e| payless_types::PaylessError::Internal(format!("deserialize: {e}")))?;
         Ok(Self::restore(market, cfg, snapshot))
     }

@@ -5,6 +5,7 @@ use payless_market::{DataMarket, Request};
 use payless_semantic::SemanticStore;
 use payless_stats::StatsRegistry;
 use payless_storage::Database;
+use payless_telemetry::{CallKind, Recorder};
 use payless_types::{PaylessError, Result, Schema};
 
 /// Ensure `table` is fully downloaded into the local mirror.
@@ -16,6 +17,7 @@ use payless_types::{PaylessError, Result, Schema};
 ///
 /// Idempotent: a table whose full region the store already covers is
 /// skipped, so the download is paid exactly once.
+#[allow(clippy::too_many_arguments)]
 pub fn ensure_downloaded(
     table: &Schema,
     market: &DataMarket,
@@ -23,6 +25,7 @@ pub fn ensure_downloaded(
     store: &mut SemanticStore,
     stats: &mut StatsRegistry,
     now: u64,
+    recorder: Option<&Recorder>,
 ) -> Result<()> {
     let name = &table.table;
     let space = stats
@@ -40,6 +43,9 @@ pub fn ensure_downloaded(
         return Ok(()); // already complete
     }
 
+    if let Some(rec) = recorder {
+        rec.set_call_kind(CallKind::Download);
+    }
     // One call per combination of mandatory-bound attribute values.
     let mandatory: Vec<usize> = table.mandatory_bindings().collect();
     let pieces = enumerate_bound(&space, &full, &mandatory)?;
@@ -163,7 +169,7 @@ mod tests {
     #[test]
     fn downloads_free_table_in_one_call() {
         let (market, mut db, mut store, mut stats, free, _) = setup();
-        ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, 0).unwrap();
+        ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, 0, None).unwrap();
         let bill = market.bill();
         assert_eq!(bill.calls(), 1);
         assert_eq!(bill.transactions(), 3); // 30 rows / page 10
@@ -174,7 +180,7 @@ mod tests {
     fn download_is_idempotent() {
         let (market, mut db, mut store, mut stats, free, _) = setup();
         for t in 0..3 {
-            ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, t).unwrap();
+            ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, t, None).unwrap();
         }
         assert_eq!(market.bill().calls(), 1);
     }
@@ -182,7 +188,7 @@ mod tests {
     #[test]
     fn bound_categorical_table_downloads_per_value() {
         let (market, mut db, mut store, mut stats, _, bound) = setup();
-        ensure_downloaded(&bound, &market, &mut db, &mut store, &mut stats, 0).unwrap();
+        ensure_downloaded(&bound, &market, &mut db, &mut store, &mut stats, 0, None).unwrap();
         let bill = market.bill();
         assert_eq!(bill.calls(), 3); // one per category
         assert_eq!(db.table("Bound").unwrap().len(), 4);

@@ -1,15 +1,17 @@
 //! Plan interpretation.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use payless_geometry::{QuerySpace, Region};
 use payless_market::{DataMarket, Request};
 use payless_optimizer::cost::required_regions;
 use payless_optimizer::plan::{AccessMethod, PlanNode};
-use payless_semantic::{rewrite, Consistency, RewriteConfig, SemanticStore};
+use payless_semantic::{rewrite, Consistency, CoverClass, RewriteConfig, SemanticStore};
 use payless_sql::{AccessConstraint, AnalyzedQuery, OutputItem, ResidualPred, TableLocation};
 use payless_stats::StatsRegistry;
 use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec, Database};
+use payless_telemetry::{CallKind, Recorder};
 use payless_types::{PaylessError, Result, Row, Value};
 
 /// Execution-time configuration (mirrors the optimizer's).
@@ -21,6 +23,9 @@ pub struct ExecConfig {
     pub rewrite: RewriteConfig,
     /// Store-freshness policy.
     pub consistency: Consistency,
+    /// Optional telemetry sink: operator spans, SQR hit/miss counts, and
+    /// the call-kind context stamped onto ledger entries.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ExecConfig {
@@ -29,6 +34,7 @@ impl Default for ExecConfig {
             sqr: true,
             rewrite: RewriteConfig::default(),
             consistency: Consistency::Weak,
+            recorder: None,
         }
     }
 }
@@ -95,6 +101,22 @@ impl<'a> Executor<'a> {
     // ------------------------------------------------------------------
 
     fn run(&mut self, node: &PlanNode) -> Result<(Vec<Row>, Vec<usize>)> {
+        let _span = self.cfg.recorder.as_ref().map(|rec| {
+            let label = match node {
+                PlanNode::Access { .. } => "exec.access",
+                PlanNode::Join { .. } => "exec.join",
+                PlanNode::BindJoin { .. } => "exec.bind-join",
+            };
+            rec.span(label, || match node {
+                PlanNode::Access { table, method } => {
+                    Some(format!("{} ({method:?})", self.query.tables[*table].name))
+                }
+                PlanNode::BindJoin { table, .. } => {
+                    Some(self.query.tables[*table].name.to_string())
+                }
+                PlanNode::Join { .. } => None,
+            })
+        });
         match node {
             PlanNode::Access { table, method } => self.run_access(*table, *method),
             PlanNode::Join { left, right } => {
@@ -138,6 +160,9 @@ impl<'a> Executor<'a> {
             AccessMethod::Fetch => {
                 let space = self.space_of(tid)?;
                 let regions = required_regions(&space, &t.access)?;
+                if let Some(rec) = &self.cfg.recorder {
+                    rec.set_call_kind(CallKind::Remainder);
+                }
                 for region in &regions {
                     self.ensure_region(tid, &space, region)?;
                 }
@@ -156,12 +181,27 @@ impl<'a> Executor<'a> {
             .page_size(&t.name)
             .ok_or_else(|| PaylessError::UnknownTable(t.name.clone()))?;
         let remainders: Vec<Region> = if self.cfg.sqr {
+            if let Some(rec) = &self.cfg.recorder {
+                match self
+                    .store
+                    .classify(&t.name, region, self.cfg.consistency, self.now)
+                {
+                    CoverClass::Full => rec.sqr_full_hit(),
+                    CoverClass::Partial => rec.sqr_partial_hit(),
+                    CoverClass::Miss => rec.sqr_miss(),
+                }
+            }
             let views = self.store.views(&t.name, self.cfg.consistency, self.now);
             let ts = self
                 .stats
                 .table(&t.name)
                 .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
-            rewrite(ts, page, region, &views, &self.cfg.rewrite).remainders
+            let rw = rewrite(ts, page, region, &views, &self.cfg.rewrite);
+            if let Some(rec) = &self.cfg.recorder {
+                rec.count("sqr.cover_sets", rw.cover_sets);
+                rec.count("sqr.cover_chosen", rw.cover_chosen);
+            }
+            rw.remainders
         } else {
             vec![region.clone()]
         };
@@ -172,6 +212,9 @@ impl<'a> Executor<'a> {
             }
             let resp = self.market.get(&req)?;
             let records = resp.records();
+            if let Some(rec) = &self.cfg.recorder {
+                rec.record_size("market.records_per_call", records);
+            }
             self.db.table_or_create(&t.schema).insert_all(resp.rows);
             if let Some(ts) = self.stats.table_mut(&t.name) {
                 ts.feedback(&rem, records);
@@ -222,6 +265,10 @@ impl<'a> Executor<'a> {
             if seen.insert(combo.clone()) {
                 combos.push(combo);
             }
+        }
+        if let Some(rec) = &self.cfg.recorder {
+            rec.set_call_kind(CallKind::BindProbe);
+            rec.record_size("bind.distinct_combos", combos.len() as u64);
         }
 
         for combo in &combos {

@@ -1,6 +1,5 @@
 //! Closed integer intervals `[lo, hi]`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A non-empty closed integer interval `[lo, hi]` (`lo <= hi`).
@@ -8,7 +7,7 @@ use std::fmt;
 /// Integer closedness keeps the remainder arithmetic of the paper's Figure 6
 /// exact: the complement of `[10, 20]` within `[0, 100]` is `[0, 9] ∪
 /// [21, 100]`, with no half-open bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     /// Inclusive lower bound.
     pub lo: i64,

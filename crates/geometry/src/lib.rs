@@ -27,6 +27,7 @@
 pub mod decompose;
 pub mod enumerate;
 pub mod interval;
+mod json;
 pub mod region;
 pub mod space;
 

@@ -1,6 +1,5 @@
 //! Axis-aligned boxes over the query space of a table.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::interval::Interval;
@@ -10,7 +9,7 @@ use crate::interval::Interval;
 /// The dimension order is fixed by the caller (one dimension per
 /// constrainable attribute of the table) and must agree across all regions
 /// that are combined.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Region {
     dims: Vec<Interval>,
 }

@@ -18,13 +18,12 @@
 use std::sync::Arc;
 
 use payless_types::{Constraint, Domain, Schema, Value};
-use serde::{Deserialize, Serialize};
 
 use crate::interval::Interval;
 use crate::region::Region;
 
 /// One dimension of a query space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpaceDim {
     /// Index of the column in the table schema.
     pub col: usize,
@@ -34,12 +33,11 @@ pub struct SpaceDim {
     pub kind: DimKind,
     /// Lazily built value→index map for categorical dimensions (rebuilt on
     /// demand after deserialization; not part of the logical state).
-    #[serde(skip)]
     cat_lookup: std::sync::OnceLock<std::collections::HashMap<Arc<str>, i64>>,
 }
 
 /// The kind of a dimension.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum DimKind {
     /// Integer attribute with inclusive domain bounds.
     Int {
@@ -56,6 +54,17 @@ pub enum DimKind {
 }
 
 impl SpaceDim {
+    /// Reassemble a dimension (e.g. when loading a snapshot); the categorical
+    /// lookup is rebuilt lazily on first use.
+    pub(crate) fn from_parts(col: usize, name: Arc<str>, kind: DimKind) -> SpaceDim {
+        SpaceDim {
+            col,
+            name,
+            kind,
+            cat_lookup: std::sync::OnceLock::new(),
+        }
+    }
+
     /// The dimension's full extent.
     pub fn full(&self) -> Interval {
         match &self.kind {
@@ -98,7 +107,7 @@ impl SpaceDim {
 }
 
 /// The query space of one table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QuerySpace {
     /// Table name.
     pub table: Arc<str>,
@@ -106,6 +115,11 @@ pub struct QuerySpace {
 }
 
 impl QuerySpace {
+    /// Reassemble a space from its parts (e.g. when loading a snapshot).
+    pub(crate) fn from_parts(table: Arc<str>, dims: Vec<SpaceDim>) -> QuerySpace {
+        QuerySpace { table, dims }
+    }
+
     /// Build the space from a schema: one dimension per constrainable column,
     /// in schema order.
     pub fn of(schema: &Schema) -> QuerySpace {

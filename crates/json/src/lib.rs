@@ -1,0 +1,475 @@
+//! Dependency-free JSON for PayLess.
+//!
+//! The offline build environment cannot fetch `serde`/`serde_json`, so
+//! session persistence, telemetry reports, and benchmark output all go
+//! through this small crate instead: a [`Json`] value tree, a strict
+//! parser, compact and pretty writers, and [`ToJson`]/[`FromJson`]
+//! conversion traits with impls for the std types the workspace uses.
+//!
+//! Integers are kept as `i64` (not `f64`) because domain bounds in the
+//! repo reach `±2^62`, beyond exact `f64` range.
+
+mod parse;
+mod write;
+
+pub use parse::parse;
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+pub fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            other => err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Json::Int(v) if *v >= 0 => Ok(*v as u64),
+            other => err(format!("expected unsigned integer, got {other:?}")),
+        }
+    }
+
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Float(v) => Ok(*v),
+            Json::Int(v) => Ok(*v as f64),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                _ => err(format!("expected number, got string {s:?}")),
+            },
+            other => err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    pub fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    pub fn as_obj(&self) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Ok(v),
+            other => err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    /// Field lookup on an object; errors if missing or not an object.
+    pub fn get(&self, key: &str) -> Result<&Json> {
+        let fields = self.as_obj()?;
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError(format!("missing field {key:?}")))
+    }
+
+    /// Field lookup that tolerates absence (for optional fields).
+    pub fn get_opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line encoding.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write::write_compact(self, &mut out);
+        out
+    }
+
+    /// Human-friendly two-space-indented encoding.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write::write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+/// Fallible reconstruction from a [`Json`] tree.
+pub trait FromJson: Sized {
+    fn from_json(j: &Json) -> Result<Self>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(j: &Json) -> Result<Self> {
+        Ok(j.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Result<Self> {
+        j.as_bool()
+    }
+}
+
+macro_rules! json_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(j: &Json) -> Result<Self> {
+                let v = j.as_i64()?;
+                <$t>::try_from(v).map_err(|_| JsonError(format!(
+                    "{} out of range for {}", v, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+json_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+// u64 values beyond i64::MAX do not occur in this workspace (cardinalities
+// and timestamps), so they round-trip through Int; overflow is an error.
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        match i64::try_from(*self) {
+            Ok(v) => Json::Int(v),
+            Err(_) => Json::Str(self.to_string()),
+        }
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(j: &Json) -> Result<Self> {
+        match j {
+            Json::Int(v) if *v >= 0 => Ok(*v as u64),
+            Json::Str(s) => s
+                .parse()
+                .map_err(|_| JsonError(format!("bad u64 literal {s:?}"))),
+            other => err(format!("expected u64, got {other:?}")),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        // JSON has no non-finite literals; encode them as tagged strings so
+        // snapshots survive a round trip.
+        if self.is_finite() {
+            Json::Float(*self)
+        } else if self.is_nan() {
+            Json::str("NaN")
+        } else if *self > 0.0 {
+            Json::str("inf")
+        } else {
+            Json::str("-inf")
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(j: &Json) -> Result<Self> {
+        j.as_f64()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Result<Self> {
+        Ok(j.as_str()?.to_string())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for Arc<str> {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Arc<str> {
+    fn from_json(j: &Json) -> Result<Self> {
+        Ok(Arc::from(j.as_str()?))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self> {
+        j.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for VecDeque<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for VecDeque<T> {
+    fn from_json(j: &Json) -> Result<Self> {
+        j.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Result<Self> {
+        match j {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Result<Self> {
+        match j.as_arr()? {
+            [a, b] => Ok((A::from_json(a)?, B::from_json(b)?)),
+            other => err(format!("expected pair, got {} elements", other.len())),
+        }
+    }
+}
+
+impl<V: ToJson> ToJson for HashMap<Arc<str>, V> {
+    fn to_json(&self) -> Json {
+        // Deterministic output: sort keys.
+        let mut keys: Vec<&Arc<str>> = self.keys().collect();
+        keys.sort();
+        Json::Obj(
+            keys.into_iter()
+                .map(|k| (k.to_string(), self[k].to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: FromJson> FromJson for HashMap<Arc<str>, V> {
+    fn from_json(j: &Json) -> Result<Self> {
+        j.as_obj()?
+            .iter()
+            .map(|(k, v)| Ok((Arc::from(k.as_str()), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for j in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Int(-(1 << 62)),
+            Json::Int((1 << 62) - 1),
+            Json::Float(3.5),
+            Json::Float(-0.0),
+            Json::str("he\"llo\n\t\\ world ✓"),
+        ] {
+            let s = j.to_string_compact();
+            assert_eq!(parse(&s).unwrap(), j, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trips_pretty_and_compact() {
+        let j = Json::obj([
+            (
+                "a",
+                Json::Arr(vec![Json::Int(1), Json::Null, Json::str("x")]),
+            ),
+            ("b", Json::obj([("inner", Json::Float(0.25))])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        assert_eq!(parse(&j.to_string_compact()).unwrap(), j);
+        assert_eq!(parse(&j.to_string_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for v in [0.1, 1e300, -2.5e-10, 1.0 / 3.0, f64::MIN_POSITIVE] {
+            let j = v.to_json();
+            let back = f64::from_json(&parse(&j.to_string_compact()).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_tagged() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let j = v.to_json();
+            let back = f64::from_json(&parse(&j.to_string_compact()).unwrap()).unwrap();
+            assert_eq!(
+                back.to_bits().count_ones() > 0,
+                v.to_bits().count_ones() > 0
+            );
+            assert_eq!(back.is_nan(), v.is_nan());
+            if !v.is_nan() {
+                assert_eq!(back, v);
+            }
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut m: HashMap<Arc<str>, Vec<(u64, String)>> = HashMap::new();
+        m.insert(Arc::from("b"), vec![(7, "x".into())]);
+        m.insert(Arc::from("a"), vec![]);
+        let j = m.to_json();
+        let back: HashMap<Arc<str>, Vec<(u64, String)>> =
+            FromJson::from_json(&parse(&j.to_string_compact()).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1e",
+            "\"unterminated",
+            "{}extra",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn u64_beyond_i64_survives() {
+        let v = u64::MAX;
+        let back = u64::from_json(&parse(&v.to_json().to_string_compact()).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn get_reports_missing_fields() {
+        let j = Json::obj([("present", Json::Int(1))]);
+        assert!(j.get("present").is_ok());
+        assert!(j.get("absent").is_err());
+        assert!(j.get_opt("absent").is_none());
+    }
+}

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use payless_types::Transactions;
+use std::sync::Mutex;
 
 /// Per-table billing counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -57,7 +57,7 @@ impl BillingMeter {
 
     /// Record one call against `table`.
     pub fn charge(&self, table: &Arc<str>, records: u64, transactions: Transactions) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.by_table.entry(table.clone()).or_default();
         entry.calls += 1;
         entry.records += records;
@@ -66,12 +66,12 @@ impl BillingMeter {
 
     /// Snapshot the counters.
     pub fn report(&self) -> BillingReport {
-        self.inner.lock().clone()
+        self.inner.lock().unwrap().clone()
     }
 
     /// Reset all counters (used between experiment repetitions).
     pub fn reset(&self) {
-        *self.inner.lock() = BillingReport::default();
+        *self.inner.lock().unwrap() = BillingReport::default();
     }
 }
 

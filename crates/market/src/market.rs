@@ -1,8 +1,9 @@
 //! The market façade: request validation, execution, and metering.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use payless_telemetry::{Recorder, TransactionRecord};
 use payless_types::{transactions, PaylessError, Result, Schema, Transactions};
 
 use crate::billing::{BillingMeter, BillingReport};
@@ -20,6 +21,9 @@ pub struct DataMarket {
     /// table name → dataset index.
     directory: HashMap<Arc<str>, usize>,
     meter: BillingMeter,
+    /// Optional telemetry recorder; when attached (and enabled), every call
+    /// appends a [`TransactionRecord`] to the per-query spend ledger.
+    recorder: Mutex<Option<Arc<Recorder>>>,
 }
 
 impl DataMarket {
@@ -37,7 +41,20 @@ impl DataMarket {
             datasets,
             directory,
             meter: BillingMeter::new(),
+            recorder: Mutex::new(None),
         }
+    }
+
+    /// Attach a telemetry recorder. Subsequent calls mirror every charge
+    /// into the recorder's spend ledger, so a query report can be audited
+    /// against the [`BillingMeter`].
+    pub fn attach_recorder(&self, recorder: Arc<Recorder>) {
+        *self.recorder.lock().unwrap() = Some(recorder);
+    }
+
+    /// Detach the telemetry recorder, if any.
+    pub fn detach_recorder(&self) {
+        *self.recorder.lock().unwrap() = None;
     }
 
     /// The dataset hosting `table`, if any.
@@ -156,6 +173,23 @@ impl DataMarket {
         let records = rows.len() as u64;
         let charged = transactions(records, page);
         self.meter.charge(&request.table, records, charged);
+        if let Some(recorder) = self.recorder.lock().unwrap().as_ref() {
+            recorder.transaction(|| {
+                let ds = self
+                    .dataset_of(&request.table)
+                    .expect("dataset exists if table exists");
+                TransactionRecord {
+                    seq: 0, // assigned by the recorder
+                    dataset: ds.name.clone(),
+                    table: request.table.clone(),
+                    kind: Default::default(), // stamped from the recorder's call context
+                    records,
+                    page_size: page,
+                    pages: charged,
+                    price: ds.price.total(charged),
+                }
+            });
+        }
         Ok(Response {
             rows,
             transactions: charged,

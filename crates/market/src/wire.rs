@@ -9,7 +9,6 @@
 //! directly; the codec exists so the boundary is a real, testable protocol
 //! (and is what a networked deployment of the simulator would speak).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use payless_types::{Constraint, PaylessError, Result, Row, Value};
 
 use crate::request::Request;
@@ -89,65 +88,51 @@ pub fn decode_request(url: &str) -> Result<Request> {
 /// `u32 row-count, then per row: u16 arity, then per value a tag byte
 /// (0 = int, 1 = float, 2 = str) and the payload (i64/f64 LE, or u32
 /// length-prefixed UTF-8)`.
-pub fn encode_rows(rows: &[Row]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + rows.len() * 32);
-    buf.put_u32_le(rows.len() as u32);
+pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + rows.len() * 32);
+    buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
     for row in rows {
-        buf.put_u16_le(row.arity() as u16);
+        buf.extend_from_slice(&(row.arity() as u16).to_le_bytes());
         for v in row.values() {
             match v {
                 Value::Int(x) => {
-                    buf.put_u8(0);
-                    buf.put_i64_le(*x);
+                    buf.push(0);
+                    buf.extend_from_slice(&x.to_le_bytes());
                 }
                 Value::Float(x) => {
-                    buf.put_u8(1);
-                    buf.put_f64_le(*x);
+                    buf.push(1);
+                    buf.extend_from_slice(&x.to_le_bytes());
                 }
                 Value::Str(s) => {
-                    buf.put_u8(2);
-                    buf.put_u32_le(s.len() as u32);
-                    buf.put_slice(s.as_bytes());
+                    buf.push(2);
+                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(s.as_bytes());
                 }
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decode a body produced by [`encode_rows`].
-pub fn decode_rows(mut body: Bytes) -> Result<Vec<Row>> {
-    let need = |body: &Bytes, n: usize| -> Result<()> {
-        if body.remaining() < n {
-            Err(parse_err("truncated response body"))
-        } else {
-            Ok(())
-        }
-    };
-    need(&body, 4)?;
-    let n_rows = body.get_u32_le() as usize;
+pub fn decode_rows(body: &[u8]) -> Result<Vec<Row>> {
+    let mut cur = Cursor { body, pos: 0 };
+    let n_rows = cur.u32()? as usize;
     let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
     for _ in 0..n_rows {
-        need(&body, 2)?;
-        let arity = body.get_u16_le() as usize;
+        let arity = cur.u16()? as usize;
         let mut values = Vec::with_capacity(arity);
         for _ in 0..arity {
-            need(&body, 1)?;
-            match body.get_u8() {
-                0 => {
-                    need(&body, 8)?;
-                    values.push(Value::int(body.get_i64_le()));
-                }
-                1 => {
-                    need(&body, 8)?;
-                    values.push(Value::Float(body.get_f64_le()));
-                }
+            match cur.u8()? {
+                0 => values.push(Value::int(i64::from_le_bytes(
+                    cur.take(8)?.try_into().unwrap(),
+                ))),
+                1 => values.push(Value::Float(f64::from_le_bytes(
+                    cur.take(8)?.try_into().unwrap(),
+                ))),
                 2 => {
-                    need(&body, 4)?;
-                    let len = body.get_u32_le() as usize;
-                    need(&body, len)?;
-                    let bytes = body.copy_to_bytes(len);
-                    let s = std::str::from_utf8(&bytes)
+                    let len = cur.u32()? as usize;
+                    let s = std::str::from_utf8(cur.take(len)?)
                         .map_err(|_| parse_err("invalid UTF-8 in string value"))?;
                     values.push(Value::str(s));
                 }
@@ -156,10 +141,39 @@ pub fn decode_rows(mut body: Bytes) -> Result<Vec<Row>> {
         }
         rows.push(Row::new(values));
     }
-    if body.has_remaining() {
+    if cur.pos != cur.body.len() {
         return Err(parse_err("trailing bytes after last row"));
     }
     Ok(rows)
+}
+
+/// Bounds-checked reader over a response body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.body.len() - self.pos < n {
+            return Err(parse_err("truncated response body"));
+        }
+        let out = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
 }
 
 fn parse_err(message: &str) -> PaylessError {
@@ -259,14 +273,14 @@ mod tests {
             Row::new(vec![Value::Float(2.5), Value::str("")]),
         ];
         let body = encode_rows(&rows);
-        let back = decode_rows(body).unwrap();
+        let back = decode_rows(&body).unwrap();
         assert_eq!(back, rows);
     }
 
     #[test]
     fn empty_rows_round_trip() {
         let body = encode_rows(&[]);
-        assert_eq!(decode_rows(body).unwrap(), Vec::<Row>::new());
+        assert_eq!(decode_rows(&body).unwrap(), Vec::<Row>::new());
     }
 
     #[test]
@@ -274,13 +288,12 @@ mod tests {
         let rows = vec![row!(1, "x")];
         let body = encode_rows(&rows);
         for cut in [0, 3, 5, body.len() - 1] {
-            let truncated = body.slice(0..cut);
-            assert!(decode_rows(truncated).is_err(), "cut at {cut}");
+            assert!(decode_rows(&body[0..cut]).is_err(), "cut at {cut}");
         }
         // Trailing garbage is also rejected.
-        let mut extended = BytesMut::from(&body[..]);
-        extended.put_u8(7);
-        assert!(decode_rows(extended.freeze()).is_err());
+        let mut extended = body.clone();
+        extended.push(7);
+        assert!(decode_rows(&extended).is_err());
     }
 
     #[test]
@@ -306,7 +319,7 @@ mod tests {
         let req = decode_request(&url).unwrap();
         let resp = market.get(&req).unwrap();
         let body = encode_rows(&resp.rows);
-        let rows = decode_rows(body).unwrap();
+        let rows = decode_rows(&body).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0], row!(2, 22));
     }
@@ -330,7 +343,7 @@ mod tests {
                     proptest::collection::vec(arb_value(), 0..6), 0..12)
             ) {
                 let rows: Vec<Row> = raw.into_iter().map(Row::new).collect();
-                let back = decode_rows(encode_rows(&rows)).unwrap();
+                let back = decode_rows(&encode_rows(&rows)).unwrap();
                 prop_assert_eq!(back, rows);
             }
 

@@ -1,0 +1,168 @@
+//! Property tests tying the telemetry spend ledger to the billing meter.
+//!
+//! The ledger is the auditable record: for any sequence of market calls,
+//! its per-dataset totals must equal what the meter accrued, and every
+//! entry must obey the paper's Eq. (1): `pages = ceil(records / t)`.
+
+use std::sync::Arc;
+
+use payless_market::{DataMarket, Dataset, MarketTable, Request};
+use payless_telemetry::Recorder;
+use payless_types::{transactions, Column, Constraint, Domain, PricePerTransaction, Schema};
+use proptest::prelude::*;
+
+/// Two datasets with different page sizes and prices, so per-dataset
+/// accounting is actually exercised.
+fn market() -> DataMarket {
+    let weather = MarketTable::new(
+        Schema::new(
+            "Weather",
+            vec![
+                Column::free("Country", Domain::categorical(["US", "CA", "MX"])),
+                Column::free("Date", Domain::int(1, 30)),
+                Column::output("Temp", Domain::int(-50, 60)),
+            ],
+        ),
+        (1..=30)
+            .flat_map(|d| {
+                ["US", "CA", "MX"]
+                    .iter()
+                    .map(move |c| payless_types::row!(*c, d, (d % 7) - 3))
+            })
+            .collect(),
+    );
+    let visits = MarketTable::new(
+        Schema::new(
+            "Visits",
+            vec![
+                Column::free("PatientID", Domain::int(0, 99)),
+                Column::output("Cost", Domain::int(0, 1000)),
+            ],
+        ),
+        (0..100)
+            .map(|p| payless_types::row!(p, p * 13 % 997))
+            .collect(),
+    );
+    DataMarket::new(vec![
+        Dataset::new("WHW")
+            .with_page_size(7)
+            .with_price(PricePerTransaction(0.5))
+            .with_table(weather),
+        Dataset::new("EHR")
+            .with_page_size(25)
+            .with_price(PricePerTransaction(2.0))
+            .with_table(visits),
+    ])
+}
+
+/// One random, always-valid request against the toy market.
+#[derive(Clone, Debug)]
+enum Call {
+    WeatherCountry(usize),
+    WeatherDates(i64, i64),
+    VisitRange(i64, i64),
+    VisitPoint(i64),
+}
+
+fn arb_call() -> impl Strategy<Value = Call> {
+    prop_oneof![
+        (0usize..3).prop_map(Call::WeatherCountry),
+        (1i64..=30)
+            .prop_flat_map(|lo| (Just(lo), lo..=30))
+            .prop_map(|(lo, hi)| { Call::WeatherDates(lo, hi) }),
+        (0i64..100)
+            .prop_flat_map(|lo| (Just(lo), lo..100))
+            .prop_map(|(lo, hi)| { Call::VisitRange(lo, hi) }),
+        // Point probes beyond the stored ids exercise the 0-record case.
+        (0i64..200).prop_map(Call::VisitPoint),
+    ]
+}
+
+fn to_request(call: &Call) -> Request {
+    match call {
+        Call::WeatherCountry(i) => {
+            Request::to("Weather").with("Country", Constraint::eq(["US", "CA", "MX"][*i]))
+        }
+        Call::WeatherDates(lo, hi) => {
+            Request::to("Weather").with("Date", Constraint::range(*lo, *hi))
+        }
+        Call::VisitRange(lo, hi) => {
+            Request::to("Visits").with("PatientID", Constraint::range(*lo, *hi))
+        }
+        Call::VisitPoint(p) => Request::to("Visits").with("PatientID", Constraint::eq(*p)),
+    }
+}
+
+proptest! {
+    /// Every ledger entry satisfies Eq. (1), and zero-record calls appear
+    /// in the ledger as zero-page (free) entries rather than vanishing.
+    #[test]
+    fn ledger_entries_obey_eq1(calls in proptest::collection::vec(arb_call(), 0..24)) {
+        let market = market();
+        let recorder = Recorder::enabled();
+        market.attach_recorder(recorder.clone());
+        for call in &calls {
+            market.get(&to_request(call)).unwrap();
+        }
+        let snap = recorder.take();
+        prop_assert_eq!(snap.ledger.len(), calls.len());
+        for entry in &snap.ledger {
+            prop_assert_eq!(entry.pages, transactions(entry.records, entry.page_size));
+            prop_assert_eq!(entry.pages, entry.records.div_ceil(entry.page_size));
+            if entry.records == 0 {
+                prop_assert_eq!(entry.pages, 0);
+                prop_assert_eq!(entry.price, 0.0);
+            }
+        }
+    }
+
+    /// The ledger's per-dataset totals agree exactly with the billing
+    /// meter: same calls, records, pages, and revenue.
+    #[test]
+    fn ledger_totals_match_meter(calls in proptest::collection::vec(arb_call(), 0..24)) {
+        let market = market();
+        let recorder = Recorder::enabled();
+        market.attach_recorder(recorder.clone());
+        for call in &calls {
+            market.get(&to_request(call)).unwrap();
+        }
+        let snap = recorder.take();
+        let bill = market.bill();
+
+        prop_assert_eq!(snap.total_pages(), bill.transactions());
+        prop_assert_eq!(snap.total_records(), bill.records());
+        prop_assert_eq!(snap.ledger.len() as u64, bill.calls());
+
+        // Per-dataset: each toy dataset hosts exactly one table, so the
+        // meter's per-table counters map 1:1 onto datasets.
+        for spend in snap.spend_by_dataset() {
+            let (table, price_per_page) = match &*spend.dataset {
+                "WHW" => ("Weather", 0.5),
+                "EHR" => ("Visits", 2.0),
+                other => panic!("unexpected dataset {other}"),
+            };
+            let billed = &bill.by_table[&Arc::from(table)];
+            prop_assert_eq!(spend.calls, billed.calls);
+            prop_assert_eq!(spend.records, billed.records);
+            prop_assert_eq!(spend.pages, billed.transactions);
+            let expected_price = price_per_page * billed.transactions as f64;
+            prop_assert!((spend.price - expected_price).abs() < 1e-9);
+        }
+
+        let expected_total: f64 = snap.spend_by_dataset().iter().map(|d| d.price).sum();
+        prop_assert!((snap.total_price() - expected_total).abs() < 1e-9);
+    }
+}
+
+/// A detached (or disabled) recorder must not change billing behaviour.
+#[test]
+fn disabled_recorder_leaves_ledger_empty() {
+    let market = market();
+    let recorder = Arc::new(Recorder::default()); // attached but disabled
+    market.attach_recorder(recorder.clone());
+    market
+        .get(&Request::to("Visits").with("PatientID", Constraint::range(0, 49)))
+        .unwrap();
+    assert_eq!(market.bill().transactions(), 2);
+    assert!(recorder.take().ledger.is_empty());
+}

@@ -54,6 +54,12 @@ pub struct PlanCounters {
     pub boxes_enumerated: u64,
     /// Bounding boxes surviving both pruning rules.
     pub boxes_kept: u64,
+    /// Zero-price relations hoisted into the leftmost prefix (Theorem 2),
+    /// and so removed from the DP enumeration entirely.
+    pub theorem2_hoisted: u64,
+    /// Subproblems composed from join-disconnected components (Theorem 3)
+    /// instead of being enumerated as full left-deep extensions.
+    pub theorem3_composed: u64,
 }
 
 impl std::ops::AddAssign for PlanCounters {
@@ -61,6 +67,8 @@ impl std::ops::AddAssign for PlanCounters {
         self.plans_considered += o.plans_considered;
         self.boxes_enumerated += o.boxes_enumerated;
         self.boxes_kept += o.boxes_kept;
+        self.theorem2_hoisted += o.theorem2_hoisted;
+        self.theorem3_composed += o.theorem3_composed;
     }
 }
 
@@ -190,6 +198,16 @@ impl<'a> CostCtx<'a> {
     /// Count one candidate plan.
     pub fn count_plan(&self) {
         self.counters.borrow_mut().plans_considered += 1;
+    }
+
+    /// Count relations the Theorem 2 prefix removed from the enumeration.
+    pub fn count_theorem2_hoisted(&self, n: u64) {
+        self.counters.borrow_mut().theorem2_hoisted += n;
+    }
+
+    /// Count one subproblem composed via Theorem 3.
+    pub fn count_theorem3_composed(&self) {
+        self.counters.borrow_mut().theorem3_composed += 1;
     }
 
     /// Snapshot of the counters.

@@ -161,6 +161,7 @@ fn left_deep(ctx: &CostCtx<'_>, cfg: &OptimizerConfig) -> Result<Optimized> {
     } else {
         Vec::new()
     };
+    ctx.count_theorem2_hoisted(zero.len() as u64);
     let market: Vec<usize> = (0..n).filter(|t| !zero.contains(t)).collect();
     let m = market.len();
 
@@ -203,6 +204,7 @@ fn left_deep(ctx: &CostCtx<'_>, cfg: &OptimizerConfig) -> Result<Optimized> {
                     }
                 }
                 ctx.count_plan();
+                ctx.count_theorem3_composed();
                 if ok {
                     best[mask] = Some(LdEntry { cost, steps });
                 }

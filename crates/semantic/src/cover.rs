@@ -93,10 +93,10 @@ pub fn greedy_cover(n_elements: usize, sets: &[CoverSet]) -> Option<Vec<usize>> 
         let ratio = sets[top.set].cost / new as f64;
         if new != top.new {
             // Stale key: re-verify against the next candidate.
-            let still_best = heap
-                .peek()
-                .is_none_or(|next| ratio < next.ratio - 1e-12
-                    || ((ratio - next.ratio).abs() <= 1e-12 && new >= next.new));
+            let still_best = heap.peek().is_none_or(|next| {
+                ratio < next.ratio - 1e-12
+                    || ((ratio - next.ratio).abs() <= 1e-12 && new >= next.new)
+            });
             if !still_best {
                 heap.push(Entry {
                     ratio,

@@ -76,6 +76,11 @@ pub struct Rewrite {
     pub boxes_enumerated: u64,
     /// Candidate boxes surviving both pruning rules (Figure 15's "PayLess").
     pub boxes_kept: u64,
+    /// Sets handed to the weighted set-cover solver (0 when the fast paths
+    /// bypassed it).
+    pub cover_sets: u64,
+    /// Sets the greedy cover actually chose.
+    pub cover_chosen: u64,
 }
 
 /// Estimated transactions for a call expected to return `est` tuples.
@@ -105,6 +110,8 @@ pub fn rewrite(
             fully_covered: true,
             boxes_enumerated: 0,
             boxes_kept: 0,
+            cover_sets: 0,
+            cover_chosen: 0,
         };
     }
 
@@ -140,6 +147,8 @@ pub fn rewrite(
                 fully_covered: false,
                 boxes_enumerated: n,
                 boxes_kept: 1,
+                cover_sets: 0,
+                cover_chosen: 0,
             };
         }
         return Rewrite {
@@ -148,6 +157,8 @@ pub fn rewrite(
             fully_covered: false,
             boxes_enumerated: n,
             boxes_kept: n,
+            cover_sets: 0,
+            cover_chosen: 0,
         };
     }
 
@@ -234,6 +245,8 @@ pub fn rewrite(
             fully_covered: false,
             boxes_enumerated: n,
             boxes_kept: n,
+            cover_sets: 0,
+            cover_chosen: 0,
         };
     }
 
@@ -301,6 +314,7 @@ pub fn rewrite(
     let chosen =
         greedy_cover(cells.len(), &sets).expect("per-cell candidates guarantee feasibility");
     let est: f64 = chosen.iter().map(|&i| sets[i].cost).sum();
+    let cover_chosen = chosen.len() as u64;
     let remainders: Vec<Region> = chosen.into_iter().map(|i| regions[i].clone()).collect();
     debug_assert!(remainders.iter().all(|r| space.region_is_expressible(r)));
 
@@ -310,6 +324,8 @@ pub fn rewrite(
         fully_covered: false,
         boxes_enumerated: enumerated,
         boxes_kept,
+        cover_sets: boxes_kept,
+        cover_chosen,
     }
 }
 

@@ -10,7 +10,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use payless_geometry::{QuerySpace, Region};
-use serde::{Deserialize, Serialize};
 
 /// Result-freshness policy (Section 4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +39,7 @@ impl Consistency {
 }
 
 /// One stored view: a retrieved region and when it was retrieved.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredView {
     /// The covered region of the table's query space.
     pub region: Region,
@@ -55,7 +54,7 @@ pub struct StoredView {
 pub const MAX_VIEWS_PER_TABLE: usize = 256;
 
 /// Per-table coverage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct TableStore {
     space: QuerySpace,
     views: Vec<StoredView>,
@@ -153,7 +152,7 @@ fn box_union(a: &Region, b: &Region) -> Option<Region> {
 }
 
 /// Coverage for every market table PayLess has touched.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SemanticStore {
     tables: HashMap<Arc<str>, TableStore>,
 }
@@ -225,6 +224,119 @@ impl SemanticStore {
     pub fn covers(&self, table: &str, region: &Region, consistency: Consistency, now: u64) -> bool {
         let views = self.views(table, consistency, now);
         region.subtract_all(&views).is_empty()
+    }
+}
+
+/// How well the store covers a region under a consistency policy — the
+/// telemetry classification behind SQR hit/miss counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverClass {
+    /// Entirely answerable from stored views: nothing to purchase.
+    Full,
+    /// Some usable views overlap the region: only remainders are purchased.
+    Partial,
+    /// No usable coverage: the whole region must be purchased.
+    Miss,
+}
+
+impl SemanticStore {
+    /// Classify how much of `region` the usable views cover.
+    pub fn classify(
+        &self,
+        table: &str,
+        region: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> CoverClass {
+        let views = self.views(table, consistency, now);
+        if views.is_empty() {
+            return CoverClass::Miss;
+        }
+        if region.subtract_all(&views).is_empty() {
+            CoverClass::Full
+        } else if views.iter().any(|v| v.overlaps(region)) {
+            CoverClass::Partial
+        } else {
+            CoverClass::Miss
+        }
+    }
+}
+
+impl payless_json::ToJson for Consistency {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        match self {
+            Consistency::Weak => Json::str("weak"),
+            Consistency::Strong => Json::str("strong"),
+            Consistency::Window(w) => Json::obj([("window", w.to_json())]),
+        }
+    }
+}
+
+impl payless_json::FromJson for Consistency {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::Json;
+        match j {
+            Json::Str(s) if s == "weak" => Ok(Consistency::Weak),
+            Json::Str(s) if s == "strong" => Ok(Consistency::Strong),
+            _ => Ok(Consistency::Window(j.get("window")?.as_u64()?)),
+        }
+    }
+}
+
+impl payless_json::ToJson for StoredView {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        Json::obj([
+            ("region", self.region.to_json()),
+            ("stored_at", self.stored_at.to_json()),
+        ])
+    }
+}
+
+impl payless_json::FromJson for StoredView {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::FromJson;
+        Ok(StoredView {
+            region: FromJson::from_json(j.get("region")?)?,
+            stored_at: FromJson::from_json(j.get("stored_at")?)?,
+        })
+    }
+}
+
+impl payless_json::ToJson for TableStore {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        Json::obj([
+            ("space", self.space.to_json()),
+            ("views", self.views.to_json()),
+        ])
+    }
+}
+
+impl payless_json::FromJson for TableStore {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::FromJson;
+        Ok(TableStore {
+            space: FromJson::from_json(j.get("space")?)?,
+            views: FromJson::from_json(j.get("views")?)?,
+        })
+    }
+}
+
+impl payless_json::ToJson for SemanticStore {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        Json::obj([("tables", self.tables.to_json())])
+    }
+}
+
+impl payless_json::FromJson for SemanticStore {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::FromJson;
+        Ok(SemanticStore {
+            tables: FromJson::from_json(j.get("tables")?)?,
+        })
     }
 }
 

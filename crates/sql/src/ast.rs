@@ -437,9 +437,7 @@ mod display_tests {
     #[test]
     fn bound_statement_renders_values() {
         let stmt = parse("SELECT * FROM T WHERE a = ? AND b >= ?").unwrap();
-        let bound = stmt
-            .bind(&[Value::str("x"), Value::int(9)])
-            .unwrap();
+        let bound = stmt.bind(&[Value::str("x"), Value::int(9)]).unwrap();
         assert_eq!(
             bound.to_string(),
             "SELECT * FROM T WHERE a = 'x' AND b >= 9"

@@ -11,12 +11,11 @@
 
 use payless_geometry::{DimKind, QuerySpace, Region};
 use payless_types::{Column, Domain, Schema};
-use serde::{Deserialize, Serialize};
 
 use crate::table_stats::TableStats;
 
 /// Per-dimension (independence-assuming) statistics for one table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PerDimStats {
     space: QuerySpace,
     cardinality: u64,
@@ -112,6 +111,28 @@ impl PerDimStats {
             let sub = Region::new(vec![region.dim(d)]);
             self.dims[d].feedback(&sub, blended.round().max(actual as f64) as u64);
         }
+    }
+}
+
+impl payless_json::ToJson for PerDimStats {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        Json::obj([
+            ("space", self.space.to_json()),
+            ("cardinality", self.cardinality.to_json()),
+            ("dims", self.dims.to_json()),
+        ])
+    }
+}
+
+impl payless_json::FromJson for PerDimStats {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::FromJson;
+        Ok(PerDimStats {
+            space: FromJson::from_json(j.get("space")?)?,
+            cardinality: FromJson::from_json(j.get("cardinality")?)?,
+            dims: FromJson::from_json(j.get("dims")?)?,
+        })
     }
 }
 

@@ -1,0 +1,54 @@
+//! Round-trip tests for the statistics snapshot encodings (the impls live
+//! next to their types, which own private fields).
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{StatsBackend, StatsRegistry};
+    use payless_geometry::{Interval, QuerySpace, Region};
+    use payless_json::{parse, FromJson, ToJson};
+    use payless_types::{Column, Domain, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Column::free("a", Domain::int(0, 99)),
+                Column::bound("c", Domain::categorical(["x", "y", "z"])),
+            ],
+        )
+    }
+
+    fn sub_region(space: &QuerySpace) -> Region {
+        let mut dims: Vec<_> = space.full_region().dims().to_vec();
+        dims[0] = Interval::new(10, 19);
+        dims[1] = Interval::new(1, 1);
+        Region::new(dims)
+    }
+
+    #[test]
+    fn fitted_models_round_trip_with_estimates_intact() {
+        let schema = schema();
+        for backend in [
+            StatsBackend::MultiDim,
+            StatsBackend::PerDimension,
+            StatsBackend::Isomer,
+        ] {
+            let mut reg = StatsRegistry::new().with_backend(backend);
+            reg.register(&schema, 5_000);
+            let sub = sub_region(reg.table("T").unwrap().space());
+            reg.feedback("T", &sub, 123);
+            let text = reg.to_json().to_string_compact();
+            let back = StatsRegistry::from_json(&parse(&text).unwrap()).unwrap();
+            let before = reg.table("T").unwrap().estimate(&sub);
+            let after = back.table("T").unwrap().estimate(&sub);
+            assert!(
+                (before - after).abs() < 1e-9,
+                "{backend:?}: estimate drifted {before} -> {after}"
+            );
+            assert_eq!(
+                back.table("T").unwrap().bucket_count(),
+                reg.table("T").unwrap().bucket_count()
+            );
+        }
+    }
+}

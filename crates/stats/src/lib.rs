@@ -31,6 +31,7 @@
 
 pub mod independence;
 pub mod isomer;
+mod json;
 pub mod registry;
 pub mod table_stats;
 

@@ -20,14 +20,13 @@ use std::sync::Arc;
 
 use payless_geometry::{QuerySpace, Region};
 use payless_types::Schema;
-use serde::{Deserialize, Serialize};
 
 use crate::independence::PerDimStats;
 use crate::isomer::IsomerStats;
 use crate::table_stats::TableStats;
 
 /// Which cardinality model backs each table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StatsBackend {
     /// Multidimensional feedback buckets (the default; ISOMER-flavoured).
     #[default]
@@ -39,7 +38,7 @@ pub enum StatsBackend {
 }
 
 /// One table's model, whichever backend it uses.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum TableModel {
     /// Multidimensional bucket model.
     Multi(TableStats),
@@ -111,7 +110,7 @@ impl TableModel {
 /// Created from schemas + published cardinalities; refined through
 /// [`StatsRegistry::feedback`] as results arrive (step 5.4 of the paper's
 /// architecture diagram).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StatsRegistry {
     tables: HashMap<Arc<str>, TableModel>,
     backend: StatsBackend,
@@ -160,6 +159,70 @@ impl StatsRegistry {
         if let Some(t) = self.tables.get_mut(table) {
             t.feedback(region, actual);
         }
+    }
+}
+
+impl payless_json::ToJson for StatsBackend {
+    fn to_json(&self) -> payless_json::Json {
+        payless_json::Json::str(match self {
+            StatsBackend::MultiDim => "multi",
+            StatsBackend::PerDimension => "per-dim",
+            StatsBackend::Isomer => "isomer",
+        })
+    }
+}
+
+impl payless_json::FromJson for StatsBackend {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        match j.as_str()? {
+            "multi" => Ok(StatsBackend::MultiDim),
+            "per-dim" => Ok(StatsBackend::PerDimension),
+            "isomer" => Ok(StatsBackend::Isomer),
+            other => payless_json::err(format!("bad stats backend {other:?}")),
+        }
+    }
+}
+
+impl payless_json::ToJson for TableModel {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        match self {
+            TableModel::Multi(m) => Json::obj([("multi", m.to_json())]),
+            TableModel::PerDim(m) => Json::obj([("per_dim", m.to_json())]),
+            TableModel::Isomer(m) => Json::obj([("isomer", m.to_json())]),
+        }
+    }
+}
+
+impl payless_json::FromJson for TableModel {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::FromJson;
+        match j.as_obj()? {
+            [(k, v)] if k == "multi" => Ok(TableModel::Multi(FromJson::from_json(v)?)),
+            [(k, v)] if k == "per_dim" => Ok(TableModel::PerDim(FromJson::from_json(v)?)),
+            [(k, v)] if k == "isomer" => Ok(TableModel::Isomer(FromJson::from_json(v)?)),
+            _ => payless_json::err(format!("bad table model encoding: {j}")),
+        }
+    }
+}
+
+impl payless_json::ToJson for StatsRegistry {
+    fn to_json(&self) -> payless_json::Json {
+        use payless_json::Json;
+        Json::obj([
+            ("tables", self.tables.to_json()),
+            ("backend", self.backend.to_json()),
+        ])
+    }
+}
+
+impl payless_json::FromJson for StatsRegistry {
+    fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
+        use payless_json::FromJson;
+        Ok(StatsRegistry {
+            tables: FromJson::from_json(j.get("tables")?)?,
+            backend: FromJson::from_json(j.get("backend")?)?,
+        })
     }
 }
 

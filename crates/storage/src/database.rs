@@ -3,8 +3,8 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use payless_json::{FromJson, Json, ToJson};
 use payless_types::{PaylessError, Result, Row, Schema};
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 /// A local table: schema plus rows, with set-semantics ingestion.
 ///
@@ -69,32 +69,27 @@ impl LocalTable {
     }
 }
 
-/// Serialization shadow: schema + rows; the dedup set is rebuilt on load.
-#[derive(Serialize, Deserialize)]
-struct LocalTableRepr {
-    schema: Schema,
-    rows: Vec<Row>,
-}
-
-impl Serialize for LocalTable {
-    fn serialize<S: Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
-        LocalTableRepr {
-            schema: self.schema.clone(),
-            rows: self.rows.clone(),
-        }
-        .serialize(s)
+// Snapshots keep schema + rows; the dedup set is rebuilt on load.
+impl ToJson for LocalTable {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", self.schema.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for LocalTable {
-    fn deserialize<D: Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
-        let repr = LocalTableRepr::deserialize(d)?;
-        Ok(LocalTable::with_rows(repr.schema, repr.rows))
+impl FromJson for LocalTable {
+    fn from_json(j: &Json) -> payless_json::Result<Self> {
+        Ok(LocalTable::with_rows(
+            FromJson::from_json(j.get("schema")?)?,
+            FromJson::from_json(j.get("rows")?)?,
+        ))
     }
 }
 
 /// The buyer's local database: named tables.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: HashMap<Arc<str>, LocalTable>,
 }
@@ -134,6 +129,20 @@ impl Database {
         let mut names: Vec<Arc<str>> = self.tables.keys().cloned().collect();
         names.sort();
         names
+    }
+}
+
+impl ToJson for Database {
+    fn to_json(&self) -> Json {
+        Json::obj([("tables", self.tables.to_json())])
+    }
+}
+
+impl FromJson for Database {
+    fn from_json(j: &Json) -> payless_json::Result<Self> {
+        Ok(Database {
+            tables: FromJson::from_json(j.get("tables")?)?,
+        })
     }
 }
 

@@ -1,0 +1,346 @@
+//! Telemetry for PayLess: the spend ledger, span/event recorder, and typed
+//! metrics every layer of the pipeline reports into.
+//!
+//! The paper's experiments are all plots of *money* (transactions bought),
+//! optimizer effort, and cache behaviour; this crate is the single place
+//! those numbers are collected so a query's bill is auditable end to end.
+//!
+//! Design constraints:
+//! - no external dependencies (`std::sync::Mutex`, no `tracing`), so the
+//!   offline build keeps working;
+//! - a disabled [`Recorder`] does **no allocation and takes no lock**: every
+//!   entry point checks one relaxed atomic load and bails;
+//! - all payload strings are either `&'static str` labels or built lazily
+//!   via closures that only run when recording is on.
+
+mod metrics;
+mod recorder;
+
+pub use metrics::{Histogram, HistogramSummary};
+pub use recorder::{Recorder, SpanGuard};
+
+use payless_json::{Json, ToJson};
+use std::sync::Arc;
+
+/// Why the market was called: the three call shapes PayLess issues.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// Point probe issued per binding combination of a bind join.
+    BindProbe,
+    /// Bulk download of a table (or the bound slices of one).
+    Download,
+    /// Remainder query left after subtracting SQR-covered regions.
+    #[default]
+    Remainder,
+}
+
+impl CallKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            CallKind::BindProbe => "bind-probe",
+            CallKind::Download => "download",
+            CallKind::Remainder => "remainder",
+        }
+    }
+}
+
+/// One market transaction, as appended to the spend ledger.
+///
+/// `pages` is the number of billable transactions for the call, i.e.
+/// `ceil(records / page_size)` per Eq. 1 of the paper; `price` is what the
+/// provider charged for those pages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionRecord {
+    /// Position in the ledger (0-based, per recorder lifetime).
+    pub seq: u64,
+    /// Dataset (provider) the table belongs to.
+    pub dataset: Arc<str>,
+    /// Table the call hit.
+    pub table: Arc<str>,
+    /// What kind of call the executor issued.
+    pub kind: CallKind,
+    /// Tuples returned by the call.
+    pub records: u64,
+    /// Provider's page size `t`.
+    pub page_size: u64,
+    /// Billable pages: `ceil(records / page_size)`.
+    pub pages: u64,
+    /// Money charged for this call.
+    pub price: f64,
+}
+
+impl ToJson for TransactionRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", self.seq.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("table", self.table.to_json()),
+            ("kind", Json::str(self.kind.label())),
+            ("records", self.records.to_json()),
+            ("page_size", self.page_size.to_json()),
+            ("pages", self.pages.to_json()),
+            ("price", self.price.to_json()),
+        ])
+    }
+}
+
+/// SQR (semantic query rewriting) cache outcome counts.
+///
+/// A *full hit* answers a region entirely from stored views (nothing
+/// purchased); a *partial hit* buys only remainder boxes; a *miss* buys the
+/// whole region (no usable views, or SQR disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SqrStats {
+    pub full_hits: u64,
+    pub partial_hits: u64,
+    pub misses: u64,
+}
+
+impl SqrStats {
+    pub fn total(&self) -> u64 {
+        self.full_hits + self.partial_hits + self.misses
+    }
+}
+
+impl ToJson for SqrStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("full_hits", self.full_hits.to_json()),
+            ("partial_hits", self.partial_hits.to_json()),
+            ("misses", self.misses.to_json()),
+        ])
+    }
+}
+
+/// A completed timed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Order in which the span was *opened* (0-based).
+    pub start_seq: u64,
+    pub label: &'static str,
+    /// Lazily built detail string (only materialised while recording).
+    pub detail: Option<String>,
+    pub nanos: u64,
+}
+
+impl ToJson for SpanRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("start_seq", self.start_seq.to_json()),
+            ("label", Json::str(self.label)),
+            ("detail", self.detail.to_json()),
+            ("nanos", self.nanos.to_json()),
+        ])
+    }
+}
+
+/// A point-in-time event (no duration).
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    pub label: &'static str,
+    pub detail: String,
+}
+
+impl ToJson for EventRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label)),
+            ("detail", self.detail.to_json()),
+        ])
+    }
+}
+
+/// Everything a [`Recorder`] captured, drained at end of query.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    pub ledger: Vec<TransactionRecord>,
+    pub sqr: SqrStats,
+    pub spans: Vec<SpanRecord>,
+    pub events: Vec<EventRecord>,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Duration histograms (nanoseconds), sorted by name.
+    pub durations: Vec<(&'static str, HistogramSummary)>,
+    /// Size histograms (bytes or tuples), sorted by name.
+    pub sizes: Vec<(&'static str, HistogramSummary)>,
+}
+
+impl TelemetrySnapshot {
+    /// Total money across the ledger.
+    pub fn total_price(&self) -> f64 {
+        // fold, not sum(): an empty f64 sum() is -0.0, which would render
+        // as "$-0.00" for free queries.
+        self.ledger.iter().fold(0.0, |acc, t| acc + t.price)
+    }
+
+    /// Total billable pages across the ledger.
+    pub fn total_pages(&self) -> u64 {
+        self.ledger.iter().map(|t| t.pages).sum()
+    }
+
+    /// Total tuples purchased across the ledger.
+    pub fn total_records(&self) -> u64 {
+        self.ledger.iter().map(|t| t.records).sum()
+    }
+
+    /// Per-dataset spend roll-up, in first-seen order.
+    pub fn spend_by_dataset(&self) -> Vec<DatasetSpend> {
+        let mut out: Vec<DatasetSpend> = Vec::new();
+        for t in &self.ledger {
+            match out.iter_mut().find(|d| d.dataset == t.dataset) {
+                Some(d) => d.absorb(t),
+                None => {
+                    let mut d = DatasetSpend::new(t.dataset.clone());
+                    d.absorb(t);
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for TelemetrySnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ledger", self.ledger.to_json()),
+            ("sqr", self.sqr.to_json()),
+            ("spans", self.spans.to_json()),
+            ("events", self.events.to_json()),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "durations",
+                Json::Obj(
+                    self.durations
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "sizes",
+                Json::Obj(
+                    self.sizes
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Per-dataset roll-up of ledger lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpend {
+    pub dataset: Arc<str>,
+    pub calls: u64,
+    pub records: u64,
+    pub pages: u64,
+    pub price: f64,
+}
+
+impl DatasetSpend {
+    fn new(dataset: Arc<str>) -> Self {
+        DatasetSpend {
+            dataset,
+            calls: 0,
+            records: 0,
+            pages: 0,
+            price: 0.0,
+        }
+    }
+
+    fn absorb(&mut self, t: &TransactionRecord) {
+        self.calls += 1;
+        self.records += t.records;
+        self.pages += t.pages;
+        self.price += t.price;
+    }
+}
+
+impl ToJson for DatasetSpend {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("calls", self.calls.to_json()),
+            ("records", self.records.to_json()),
+            ("pages", self.pages.to_json()),
+            ("price", self.price.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(dataset: &str, records: u64, page: u64, price: f64) -> TransactionRecord {
+        TransactionRecord {
+            seq: 0,
+            dataset: Arc::from(dataset),
+            table: Arc::from("T"),
+            kind: CallKind::Remainder,
+            records,
+            page_size: page,
+            pages: records.div_ceil(page),
+            price,
+        }
+    }
+
+    #[test]
+    fn snapshot_rolls_up_by_dataset() {
+        let snap = TelemetrySnapshot {
+            ledger: vec![tx("a", 10, 4, 3.0), tx("b", 0, 4, 0.0), tx("a", 5, 4, 2.0)],
+            ..Default::default()
+        };
+        assert_eq!(snap.total_records(), 15);
+        assert_eq!(snap.total_pages(), 5); // 3 + 0 + 2
+        assert!((snap.total_price() - 5.0).abs() < 1e-12);
+
+        // An empty ledger's total must be positive zero ("-0.00" is not a
+        // price a free query should display).
+        let empty = TelemetrySnapshot::default();
+        assert!(empty.total_price() == 0.0 && empty.total_price().is_sign_positive());
+        let spend = snap.spend_by_dataset();
+        assert_eq!(spend.len(), 2);
+        assert_eq!(spend[0].dataset.as_ref(), "a");
+        assert_eq!(spend[0].calls, 2);
+        assert_eq!(spend[0].pages, 5);
+        assert_eq!(spend[1].dataset.as_ref(), "b");
+        assert_eq!(spend[1].pages, 0);
+    }
+
+    #[test]
+    fn snapshot_serialises() {
+        let snap = TelemetrySnapshot {
+            ledger: vec![tx("a", 10, 4, 3.0)],
+            sqr: SqrStats {
+                full_hits: 1,
+                partial_hits: 2,
+                misses: 3,
+            },
+            ..Default::default()
+        };
+        let j = snap.to_json();
+        assert_eq!(
+            j.get("sqr")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            3
+        );
+        let ledger = j.get("ledger").unwrap().as_arr().unwrap();
+        assert_eq!(ledger[0].get("pages").unwrap().as_u64().unwrap(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+use payless_json::{Json, ToJson};
+
+/// Sample-keeping histogram for durations and sizes.
+///
+/// Queries touch at most a few thousand market calls, so keeping raw
+/// samples (8 bytes each) and sorting on demand is cheaper and more exact
+/// than bucketing.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        if self.samples.is_empty() {
+            return HistogramSummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = |p: f64| {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        HistogramSummary {
+            count: sorted.len() as u64,
+            sum: sorted.iter().sum(),
+            p50: q(0.50),
+            p95: q(0.95),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Immutable digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub max: u64,
+}
+
+impl ToJson for HistogramSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("p50", self.p50.to_json()),
+            ("p95", self.p95.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarises_to_zeros() {
+        assert_eq!(Histogram::default().summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn percentiles_are_order_insensitive() {
+        let mut h = Histogram::default();
+        for v in [5u64, 1, 4, 2, 3] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 15);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.p95, 5);
+    }
+}

@@ -9,13 +9,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::Domain;
 use crate::value::Value;
 
 /// A constraint on a single attribute, expressible at the market interface.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Constraint {
     /// `A = v` for a categorical (or integer) attribute.
     Eq(Value),
@@ -94,7 +92,7 @@ impl fmt::Display for Constraint {
 /// A named constraint: attribute name plus [`Constraint`].
 ///
 /// This is the unit a RESTful request carries for each constrained attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AttrConstraint {
     /// Attribute (column) name.
     pub attr: Arc<str>,

@@ -7,12 +7,10 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// The advertised domain of an attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Domain {
     /// Integers in the inclusive range `[lo, hi]`.
     Int {

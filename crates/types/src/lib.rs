@@ -22,6 +22,7 @@ pub mod cmp;
 pub mod constraint;
 pub mod domain;
 pub mod error;
+mod json;
 pub mod pricing;
 pub mod row;
 pub mod schema;

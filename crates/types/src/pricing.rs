@@ -5,8 +5,6 @@
 //! > particular dataset. Then, the total price of a RESTful call is
 //! > `p · ceil(records / t)`.
 
-use serde::{Deserialize, Serialize};
-
 /// A count of data-market transactions (the paper's pricing unit).
 pub type Transactions = u64;
 
@@ -26,7 +24,7 @@ pub fn transactions(records: u64, page_size: u64) -> Transactions {
 ///
 /// The paper normalizes `p = $1` throughout; the simulator keeps the knob so
 /// multi-dataset totals with heterogeneous prices can be reported.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PricePerTransaction(pub f64);
 
 impl PricePerTransaction {

@@ -2,8 +2,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// An immutable tuple.
@@ -12,7 +10,7 @@ use crate::value::Value;
 /// (which retains every retrieved result, per Section 3 of the paper: "we
 /// deliberately use cheap storage space to store all intermediate results")
 /// and the execution engine; `Arc<[Value]>` makes those shares O(1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Row(Arc<[Value]>);
 
 impl Row {

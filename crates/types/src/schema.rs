@@ -8,12 +8,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::Domain;
 
 /// The role of an attribute in a table's access (binding) pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BindingKind {
     /// `Aᵇ` — every RESTful call must supply a value (or range) for this
     /// attribute.
@@ -48,7 +46,7 @@ impl fmt::Display for BindingKind {
 }
 
 /// A column: name, domain, and binding role.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (unique within its table).
     pub name: Arc<str>,
@@ -85,7 +83,7 @@ impl Column {
 }
 
 /// A table schema: table name plus ordered columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     /// Table name (unique within a catalog).
     pub table: Arc<str>,

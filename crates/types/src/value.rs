@@ -4,8 +4,6 @@ use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// A single attribute value.
 ///
 /// PayLess models the two attribute kinds that appear in data-market access
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// in the paper's Worldwide Historical Weather examples) and strings.
 /// Strings are reference counted so that cloning rows during joins and
 /// semantic-store lookups is cheap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// A 64-bit signed integer (also used for dates encoded as `YYYYMMDD`).
     Int(i64),

@@ -1,0 +1,621 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates-io mirror, so the workspace
+//! vendors the slice of proptest's API its tests use: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_flat_map`/`boxed`, ranged and tuple and
+//! collection strategies, a tiny regex-subset string strategy, `Just`,
+//! `prop_oneof!`, `any::<T>()`, and `test_runner::TestRunner`.
+//!
+//! Differences from upstream: no shrinking (failures report the raw case),
+//! a fixed per-test deterministic seed, and `prop_assert*` panics like
+//! `assert*` instead of returning an `Err`.
+
+/// Number of random cases each `proptest!` test executes.
+pub const NUM_CASES: usize = 64;
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Derive a stable seed from a test name (FNV-1a).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform usize in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform i64 in `[lo, hi]` (inclusive).
+        pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+            assert!(lo <= hi);
+            let span = (hi as i128 - lo as i128 + 1) as u128;
+            let v = (self.next_u64() as u128) % span;
+            (lo as i128 + v as i128) as i64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a single test case failed. Upstream distinguishes rejection
+    /// (filtered input) from failure; this shim only fails.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    pub struct TestRunner {
+        rng: TestRng,
+        cases: usize,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner {
+                rng: TestRng::seeded(0x5EED_CA5E),
+                cases: super::NUM_CASES,
+            }
+        }
+    }
+
+    impl TestRunner {
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+        where
+            S: crate::strategy::Strategy,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            for _ in 0..self.cases {
+                let case = strategy.generate(&mut self.rng);
+                test(case).map_err(|e| format!("{e:?}"))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (used by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.int_in(self.start as i64, self.end as i64 - 1) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(*self.start() as i64, *self.end() as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+    // u64 needs its own impl: the full domain exceeds i64.
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_u64() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            let span = (hi - lo) as u128 + 1;
+            lo + (rng.next_u64() as u128 % span) as u64
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            *self.start() + rng.unit_f64() * (*self.end() - *self.start())
+        }
+    }
+
+    /// String strategy from a regex subset: atoms are `.`, `[class]`, or a
+    /// literal character, each with an optional `{m}`/`{m,n}`/`*`/`+`/`?`
+    /// quantifier. Enough for patterns like `".{0,200}"` or
+    /// `"[A-Za-z][A-Za-z0-9_]{0,12}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<(char, char)> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    vec![(' ', '~')]
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((chars[i], chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((chars[i], chars[i]));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated character class in {pat:?}");
+                    i += 1; // consume ']'
+                    ranges
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in {pat:?}");
+                    i += 2;
+                    vec![(chars[i - 1], chars[i - 1])]
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated quantifier")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                            None => {
+                                let n: usize = body.parse().unwrap();
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = rng.int_in(lo as i64, hi as i64) as usize;
+            for _ in 0..reps {
+                let (a, b) = class[rng.below(class.len())];
+                out.push(char::from_u32(rng.int_in(a as i64, b as i64) as u32).unwrap());
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.int_in(self.size.lo as i64, self.size.hi as i64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy backed by a plain generator function.
+    pub struct FnStrategy<T>(pub fn(&mut TestRng) -> T);
+
+    impl<T> Strategy for FnStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> FnStrategy<Self>;
+    }
+
+    pub fn any<T: Arbitrary>() -> FnStrategy<T> {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> FnStrategy<bool> {
+            FnStrategy(|rng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> FnStrategy<$t> {
+                    FnStrategy(|rng| {
+                        // Bias towards boundary values now and then.
+                        if rng.below(8) == 0 {
+                            [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN][rng.below(4)]
+                        } else {
+                            rng.next_u64() as $t
+                        }
+                    })
+                }
+            }
+        )*};
+    }
+
+    arb_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary() -> FnStrategy<f64> {
+            FnStrategy(|rng| {
+                if rng.below(8) == 0 {
+                    [0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE][rng.below(6)]
+                } else {
+                    // Raw bit patterns exercise every float shape, including
+                    // NaN and infinities, which total-order comparisons and
+                    // byte-exact codecs must survive.
+                    f64::from_bits(rng.next_u64())
+                }
+            })
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Run each body `NUM_CASES` times with freshly generated bindings.
+/// Bindings are generated in declaration order, so later strategies may
+/// reference earlier bound names.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __proptest_case in 0..$crate::NUM_CASES {
+                    let _ = __proptest_case;
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    // Bodies may `return Ok(())` to skip a case, as with
+                    // upstream proptest; assertion macros panic instead.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __proptest_outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    __proptest_outcome.expect("test case returned an error");
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_generation_respects_classes() {
+        let mut rng = TestRng::seeded(11);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Za-z][A-Za-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+
+            let s = Strategy::generate(&"[ -~]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = Strategy::generate(&".{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_tuples_and_dependent_ranges(
+            (lo, hi) in (-50i64..50).prop_flat_map(|a| (Just(a), a..50)),
+            n in 0usize..4,
+        ) {
+            prop_assert!(lo <= hi && hi < 50);
+            prop_assert!(n < 4);
+        }
+    }
+
+    #[test]
+    fn oneof_and_collections_compose() {
+        let strat = crate::collection::vec(
+            prop_oneof![
+                Just("a".to_string()),
+                "[0-9]{1,3}".prop_map(|s| s),
+                any::<i64>().prop_map(|v| v.to_string()),
+            ],
+            0..6,
+        );
+        let mut rng = TestRng::seeded(3);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn test_runner_runs_and_propagates_failure() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        runner
+            .run(&(1usize..8, 0i64..100), |(n, v)| {
+                assert!((1..8).contains(&n) && v < 100);
+                Ok(())
+            })
+            .unwrap();
+        let mut runner = crate::test_runner::TestRunner::default();
+        let r = runner.run(&(0i64..10,), |(v,)| {
+            if v >= 0 {
+                Err(crate::test_runner::TestCaseError::Fail("boom".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+}
