@@ -17,4 +17,13 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== bench smoke: hotpath determinism + JSONL shape =="
+# Tiny-scale run of the hot-path bench (includes the parallel-vs-serial
+# determinism check), dumping JSONL which is then validated for shape.
+# The bench binary's CWD is the package dir, so the dump path is absolute.
+SMOKE_JSON="$PWD/target/hotpath-smoke.jsonl"
+rm -f "$SMOKE_JSON"
+PAYLESS_JSON="$SMOKE_JSON" cargo bench -q --bench hotpath -- smoke
+cargo bench -q --bench hotpath -- validate "$SMOKE_JSON"
+
 echo "CI OK"

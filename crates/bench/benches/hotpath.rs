@@ -1,0 +1,352 @@
+//! Hot-path benchmark for the parallel plan search and the indexed
+//! semantic store: before/after numbers for the SQR rewrite fan-out, the
+//! store's grid-index probe, and the DP wavefront.
+//!
+//! Modes (positional args; cargo's own `--bench` flag is ignored):
+//!
+//! * `sqr`      — store probe + Algorithm 1 rewrite, sequential vs parallel
+//! * `dp`       — left-deep and bushy DP, sequential vs parallel
+//! * `check`    — assert parallel output is identical to single-threaded
+//! * `smoke`    — tiny versions of all of the above (CI)
+//! * `validate <file>` — check that a `PAYLESS_JSON` dump is well-formed
+//!   JSONL (one object per line with `figure` and `runs`); exits non-zero
+//!   otherwise
+//!
+//! With no mode, `check`, `sqr`, and `dp` all run at full scale. Emit JSONL
+//! by setting `PAYLESS_JSON` (the `BENCH_sqr.json` / `BENCH_dp.json`
+//! baselines at the repo root are produced this way). The parallel side uses
+//! the ambient thread cap (`PAYLESS_THREADS` or the core count), recorded in
+//! the `threads` field — on a single-core host the two sides coincide.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use payless_bench::micro::Runner;
+use payless_geometry::{region, QuerySpace, Region};
+use payless_optimizer::{optimize, OptimizerConfig};
+use payless_par::{max_threads, with_max_threads};
+use payless_semantic::{rewrite, Consistency, RewriteConfig, SemanticStore};
+use payless_sql::{analyze, parse, MapCatalog, TableLocation};
+use payless_stats::{StatsRegistry, TableStats};
+use payless_types::{Column, Domain, Schema};
+
+/// Scale knobs for one run.
+struct Scale {
+    /// Views per side of the store grid (total views = grid²).
+    grid: usize,
+    /// Views per side the benchmark query spans.
+    window: usize,
+    /// Histogram buckets to train (what makes one statistics probe costly).
+    buckets: usize,
+    /// Chain length for the DP benches.
+    dp_tables: usize,
+    /// Feedback rounds per DP table.
+    dp_feedbacks: usize,
+}
+
+const FULL: Scale = Scale {
+    grid: 15, // 225 stored views
+    window: 6,
+    buckets: 4096,
+    dp_tables: 8,
+    dp_feedbacks: 400,
+};
+
+const SMOKE: Scale = Scale {
+    grid: 8, // 64 stored views
+    window: 3,
+    buckets: 256,
+    dp_tables: 5,
+    dp_feedbacks: 48,
+};
+
+/// Grid spacing and view width: views are disjoint and non-adjacent so the
+/// store's coalescer keeps all of them.
+const SPACING: i64 = 400;
+const VIEW_W: i64 = 100;
+
+/// A 2-D table whose store holds `grid x grid` disjoint views and whose
+/// histogram has been trained to `buckets` buckets, so every cardinality
+/// probe pays a full bucket scan.
+fn sqr_fixture(s: &Scale) -> (TableStats, SemanticStore, Region) {
+    let hi = s.grid as i64 * SPACING - 1;
+    let schema = Schema::new(
+        "R",
+        vec![
+            Column::free("A1", Domain::int(0, hi)),
+            Column::free("A2", Domain::int(0, hi)),
+        ],
+    );
+    let mut stats = TableStats::new(QuerySpace::of(&schema), 4_000_000).with_max_buckets(s.buckets);
+    for k in 0..(s.buckets as i64 - 16).max(16) {
+        let lo0 = (k * 53) % (hi - 60);
+        let lo1 = (k * 97) % (hi - 60);
+        stats.feedback(&region![(lo0, lo0 + 59), (lo1, lo1 + 59)], 600);
+    }
+    let mut store = SemanticStore::new();
+    store.register(QuerySpace::of(&schema));
+    for gx in 0..s.grid as i64 {
+        for gy in 0..s.grid as i64 {
+            let (x, y) = (gx * SPACING, gy * SPACING);
+            store.record("R", region![(x, x + VIEW_W - 1), (y, y + VIEW_W - 1)], 0);
+        }
+    }
+    let w = s.window as i64 * SPACING - 1;
+    (stats, store, region![(0, w), (0, w)])
+}
+
+fn rewrite_cfg() -> RewriteConfig {
+    RewriteConfig {
+        // The aligned 2-D grid enumerates more candidate boxes than the
+        // default cap; raising it keeps Algorithm 1 (not the fallback) on
+        // the measured path.
+        max_candidates: 8192,
+        ..RewriteConfig::default()
+    }
+}
+
+fn bench_sqr(s: &Scale) {
+    let (stats, store, q) = sqr_fixture(s);
+    let stored = store.views("R", Consistency::Weak, 0).len();
+    let mut r = Runner::new("hotpath_sqr");
+    r.note("stored_views", stored as f64);
+    r.note("threads", max_threads() as f64);
+
+    // The store layer, before vs after: the old pipeline linearly scanned
+    // and deep-cloned every stored view on each probe; the new one walks
+    // the grid index and hands out Arc handles to the overlap survivors.
+    let scan_name = format!("store/probe/scan_clone/{stored}v");
+    r.bench(&scan_name, || {
+        let out: Vec<Region> = store
+            .views("R", Consistency::Weak, 0)
+            .iter()
+            .filter(|v| v.overlaps(&q))
+            .map(|v| (**v).clone())
+            .collect();
+        black_box(out);
+    });
+    let idx_name = format!("store/probe/indexed/{stored}v");
+    r.bench(&idx_name, || {
+        black_box(store.views_overlapping("R", &q, Consistency::Weak, 0));
+    });
+
+    // Algorithm 1 end to end (probe + rewrite), single-threaded vs the
+    // ambient thread cap.
+    let cfg = rewrite_cfg();
+    let seq_name = format!("sqr/rewrite/{stored}v/seq");
+    r.bench(&seq_name, || {
+        with_max_threads(1, || {
+            let views = store.views_overlapping("R", &q, Consistency::Weak, 0);
+            black_box(rewrite(&stats, 100, &q, &views, &cfg));
+        })
+    });
+    let par_name = format!("sqr/rewrite/{stored}v/par");
+    r.bench(&par_name, || {
+        let views = store.views_overlapping("R", &q, Consistency::Weak, 0);
+        black_box(rewrite(&stats, 100, &q, &views, &cfg));
+    });
+
+    if let (Some(a), Some(b)) = (r.median_of(&scan_name), r.median_of(&idx_name)) {
+        r.note("speedup/store_probe", a / b);
+    }
+    if let (Some(a), Some(b)) = (r.median_of(&seq_name), r.median_of(&par_name)) {
+        r.note("speedup/sqr_rewrite", a / b);
+    }
+    r.finish();
+}
+
+/// An n-table chain query over trained statistics, so every DP candidate
+/// evaluation pays real histogram scans.
+#[allow(clippy::type_complexity)]
+fn chain_query(
+    n: usize,
+    feedbacks: usize,
+) -> (
+    payless_sql::AnalyzedQuery,
+    StatsRegistry,
+    SemanticStore,
+    HashMap<String, u64>,
+) {
+    let mut catalog = MapCatalog::new();
+    let mut stats = StatsRegistry::new();
+    let mut store = SemanticStore::new();
+    let mut meta = HashMap::new();
+    for i in 0..n {
+        let schema = Schema::new(
+            format!("C{i}"),
+            vec![
+                Column::free("a", Domain::int(0, 999)),
+                Column::free("b", Domain::int(0, 999)),
+            ],
+        );
+        catalog.add(schema.clone(), TableLocation::Market);
+        stats.register(&schema, 10_000);
+        for k in 0..feedbacks as i64 {
+            let lo0 = (k * 53) % 900;
+            let lo1 = (k * 97) % 900;
+            stats.feedback(
+                &schema.table,
+                &region![(lo0, lo0 + 24), (lo1, lo1 + 24)],
+                40,
+            );
+        }
+        store.register(QuerySpace::of(&schema));
+        meta.insert(schema.table.to_string(), 100u64);
+    }
+    let tables: Vec<String> = (0..n).map(|i| format!("C{i}")).collect();
+    let joins: Vec<String> = (0..n - 1)
+        .map(|i| format!("C{i}.b = C{}.a", i + 1))
+        .collect();
+    let sql = format!(
+        "SELECT * FROM {} WHERE {}",
+        tables.join(", "),
+        joins.join(" AND ")
+    );
+    let q = analyze(&parse(&sql).unwrap(), &catalog).unwrap();
+    (q, stats, store, meta)
+}
+
+fn bench_dp(s: &Scale) {
+    let n = s.dp_tables;
+    let (q, stats, store, meta) = chain_query(n, s.dp_feedbacks);
+    let mut r = Runner::new("hotpath_dp");
+    r.note("tables", n as f64);
+    r.note("threads", max_threads() as f64);
+    for (strategy, cfg) in [
+        ("left_deep", OptimizerConfig::payless_no_sqr()),
+        ("bushy", OptimizerConfig::disable_all()),
+    ] {
+        let seq_name = format!("dp/{strategy}/{n}t/seq");
+        r.bench(&seq_name, || {
+            with_max_threads(1, || {
+                black_box(optimize(&q, &stats, &store, &meta, &cfg, 0).unwrap());
+            })
+        });
+        let par_name = format!("dp/{strategy}/{n}t/par");
+        r.bench(&par_name, || {
+            black_box(optimize(&q, &stats, &store, &meta, &cfg, 0).unwrap());
+        });
+        if let (Some(a), Some(b)) = (r.median_of(&seq_name), r.median_of(&par_name)) {
+            r.note(&format!("speedup/{strategy}"), a / b);
+        }
+    }
+    r.finish();
+}
+
+/// Byte-identical-output check: every parallel path must match the
+/// single-threaded one exactly — plans, costs, remainders.
+fn check_determinism(s: &Scale) {
+    let mut failures = 0;
+
+    // SQR rewrite.
+    let (stats, store, q) = sqr_fixture(s);
+    let cfg = rewrite_cfg();
+    let views = store.views_overlapping("R", &q, Consistency::Weak, 0);
+    let seq = with_max_threads(1, || rewrite(&stats, 100, &q, &views, &cfg));
+    for threads in [2usize, 4, 8] {
+        let par = with_max_threads(threads, || rewrite(&stats, 100, &q, &views, &cfg));
+        if par.remainders != seq.remainders
+            || par.est_transactions.to_bits() != seq.est_transactions.to_bits()
+        {
+            eprintln!("FAIL: rewrite differs at {threads} threads");
+            failures += 1;
+        }
+    }
+
+    // DP, both engines.
+    let (q, stats, store, meta) = chain_query(s.dp_tables.min(7), 16);
+    for (strategy, cfg) in [
+        ("left_deep", OptimizerConfig::payless_no_sqr()),
+        ("bushy", OptimizerConfig::disable_all()),
+    ] {
+        let seq = with_max_threads(1, || optimize(&q, &stats, &store, &meta, &cfg, 0).unwrap());
+        for threads in [2usize, 4, 8] {
+            let par = with_max_threads(threads, || {
+                optimize(&q, &stats, &store, &meta, &cfg, 0).unwrap()
+            });
+            if par.plan.to_string() != seq.plan.to_string()
+                || par.cost.primary.to_bits() != seq.cost.primary.to_bits()
+                || par.cost.secondary.to_bits() != seq.cost.secondary.to_bits()
+            {
+                eprintln!("FAIL: {strategy} plan differs at {threads} threads");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("determinism check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("determinism check: parallel output identical to single-threaded");
+}
+
+/// Validate a `PAYLESS_JSON` dump: every non-empty line must parse as a
+/// JSON object with a string `figure` and an array `runs`.
+fn validate(path: &str) {
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut lines = 0;
+    for (i, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match payless_json::parse(line) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("validate: {path}:{}: malformed JSON: {e}", i + 1);
+                std::process::exit(1);
+            }
+        };
+        let figure = parsed.get_opt("figure").and_then(|f| f.as_str().ok());
+        let runs = parsed.get_opt("runs").and_then(|r| r.as_arr().ok());
+        if figure.is_none() || runs.is_none() {
+            eprintln!(
+                "validate: {path}:{}: missing `figure` string or `runs` array",
+                i + 1
+            );
+            std::process::exit(1);
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        eprintln!("validate: {path}: no JSONL records");
+        std::process::exit(1);
+    }
+    println!("validate: {path}: {lines} well-formed JSONL record(s)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    if let Some(pos) = args.iter().position(|a| a == "validate") {
+        match args.get(pos + 1) {
+            Some(path) => return validate(path),
+            None => {
+                eprintln!("validate: missing file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "smoke");
+    let scale = if smoke { &SMOKE } else { &FULL };
+    let all = smoke || args.is_empty();
+    let wants = |m: &str| all || args.iter().any(|a| a == m);
+
+    if wants("check") {
+        check_determinism(scale);
+    }
+    if wants("sqr") {
+        bench_sqr(scale);
+    }
+    if wants("dp") {
+        bench_dp(scale);
+    }
+}

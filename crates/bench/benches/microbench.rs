@@ -11,127 +11,15 @@
 
 use std::collections::HashMap;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
 
+use payless_bench::micro::Runner;
 use payless_geometry::{decompose, QuerySpace, Region};
-use payless_json::{Json, ToJson};
 use payless_market::{DataMarket, Dataset, MarketTable, Request};
 use payless_optimizer::{optimize, OptimizerConfig};
 use payless_semantic::{greedy_cover, rewrite, CoverSet, RewriteConfig, SemanticStore};
 use payless_sql::{analyze, parse, MapCatalog, TableLocation};
 use payless_stats::{StatsRegistry, TableStats};
 use payless_types::{row, Column, Constraint, Domain, Schema};
-
-/// Time `f`, returning per-iteration nanoseconds: min, median, mean.
-fn measure(mut f: impl FnMut()) -> (f64, f64, f64) {
-    // Warm-up and batch-size calibration: grow the batch until it takes
-    // at least ~1 ms, so Instant overhead is amortized away.
-    let mut batch = 1u32;
-    loop {
-        let start = Instant::now();
-        for _ in 0..batch {
-            f();
-        }
-        if start.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
-            break;
-        }
-        batch *= 2;
-    }
-    let budget = Duration::from_millis(50);
-    let begin = Instant::now();
-    let mut samples = Vec::new();
-    while begin.elapsed() < budget || samples.len() < 5 {
-        let start = Instant::now();
-        for _ in 0..batch {
-            f();
-        }
-        samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
-        if samples.len() >= 1000 {
-            break;
-        }
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let min = samples[0];
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    (min, median, mean)
-}
-
-fn fmt_ns(ns: f64) -> String {
-    if ns >= 1e9 {
-        format!("{:.2} s", ns / 1e9)
-    } else if ns >= 1e6 {
-        format!("{:.2} ms", ns / 1e6)
-    } else if ns >= 1e3 {
-        format!("{:.2} µs", ns / 1e3)
-    } else {
-        format!("{ns:.0} ns")
-    }
-}
-
-struct Runner {
-    results: Vec<(String, f64, f64, f64)>,
-}
-
-impl Runner {
-    fn new() -> Runner {
-        println!(
-            "{:<44} {:>10} {:>10} {:>10}",
-            "benchmark", "min", "median", "mean"
-        );
-        Runner {
-            results: Vec::new(),
-        }
-    }
-
-    fn bench(&mut self, name: &str, f: impl FnMut()) {
-        let (min, median, mean) = measure(f);
-        println!(
-            "{:<44} {:>10} {:>10} {:>10}",
-            name,
-            fmt_ns(min),
-            fmt_ns(median),
-            fmt_ns(mean)
-        );
-        self.results.push((name.to_string(), min, median, mean));
-    }
-
-    fn finish(self) {
-        if std::env::var("PAYLESS_JSON").is_err() {
-            return;
-        }
-        let runs: Vec<Json> = self
-            .results
-            .iter()
-            .map(|(name, min, median, mean)| {
-                Json::obj([
-                    ("name", name.to_json()),
-                    ("min_nanos", min.to_json()),
-                    ("median_nanos", median.to_json()),
-                    ("mean_nanos", mean.to_json()),
-                ])
-            })
-            .collect();
-        let line = Json::obj([("figure", "microbench".to_json()), ("runs", runs.to_json())])
-            .to_string_compact();
-        let dest = std::env::var("PAYLESS_JSON").unwrap();
-        if dest == "-" {
-            println!("{line}");
-        } else {
-            use std::io::Write;
-            match std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&dest)
-            {
-                Ok(mut f) => {
-                    let _ = writeln!(f, "{line}");
-                }
-                Err(e) => eprintln!("PAYLESS_JSON: cannot open {dest}: {e}"),
-            }
-        }
-    }
-}
 
 fn region_1d(lo: i64, hi: i64) -> Region {
     Region::new(vec![payless_geometry::Interval::new(lo, hi)])
@@ -191,7 +79,7 @@ fn chain_query(
 }
 
 fn main() {
-    let mut r = Runner::new();
+    let mut r = Runner::new("microbench");
 
     // Geometry kernel.
     let q = region_1d(0, 999);

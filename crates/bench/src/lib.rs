@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use std::sync::Arc;
 
 use payless_core::{build_market, Mode, PayLess, PayLessConfig};

@@ -91,6 +91,43 @@ pub fn render_report(report: &QueryReport) -> String {
         c.boxes_enumerated,
         c.boxes_kept,
     ));
+    if c.threads_used > 1 {
+        s.push_str(&format!(
+            "parallelism: {} worker threads
+",
+            c.threads_used,
+        ));
+    }
+    // Semantic-store index effectiveness (absent unless the store recorded
+    // probes this query).
+    let counter = |name: &str| {
+        report
+            .telemetry
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    };
+    let hits = counter("store.index_hits");
+    let scans = counter("store.index_full_scans");
+    if hits.is_some() || scans.is_some() {
+        s.push_str(&format!(
+            "store index: {} indexed probes, {} full scans
+",
+            hits.unwrap_or(0),
+            scans.unwrap_or(0),
+        ));
+    }
+    for (name, h) in &report.telemetry.durations {
+        s.push_str(&format!(
+            "{name}: n={} p50={} p95={} max={}
+",
+            h.count,
+            fmt_ns(h.p50),
+            fmt_ns(h.p95),
+            fmt_ns(h.max),
+        ));
+    }
     let sqr = report.sqr();
     s.push_str(&format!(
         "SQR: {} full hits, {} partial, {} misses
@@ -222,8 +259,10 @@ mod tests {
                 boxes_kept: 4,
                 theorem2_hoisted: 2,
                 theorem3_composed: 3,
+                threads_used: 4,
             },
             telemetry: TelemetrySnapshot {
+                counters: vec![("store.index_full_scans", 2), ("store.index_hits", 31)],
                 ledger: vec![TransactionRecord {
                     seq: 0,
                     dataset: "WHW".into(),
@@ -253,6 +292,11 @@ mod tests {
         assert!(s.contains("$7.00 for 7 pages / 612 records"), "{s}");
         assert!(s.contains("WHW"), "{s}");
         assert!(s.contains("remainder"), "{s}");
+        assert!(s.contains("parallelism: 4 worker threads"), "{s}");
+        assert!(
+            s.contains("store index: 31 indexed probes, 2 full scans"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -187,6 +187,7 @@ impl PayLess {
         }
         let recorder = Arc::new(Recorder::default());
         market.attach_recorder(recorder.clone());
+        store.attach_recorder(recorder.clone());
         PayLess {
             market,
             catalog,
@@ -518,6 +519,8 @@ impl PayLess {
         }
         pl.db = snapshot.db;
         pl.store = snapshot.store;
+        // The snapshot's store carries no recorder; re-attach this session's.
+        pl.store.attach_recorder(pl.recorder.clone());
         pl.stats = snapshot.stats;
         pl.now = snapshot.now;
         pl

@@ -33,13 +33,7 @@ pub fn ensure_downloaded(
         .map(|s| s.space().clone())
         .ok_or_else(|| PaylessError::Internal(format!("no stats for `{name}`")))?;
     let full = space.full_region();
-    if !store
-        .views(name, payless_semantic::Consistency::Weak, now)
-        .is_empty()
-        && full
-            .subtract_all(&store.views(name, payless_semantic::Consistency::Weak, now))
-            .is_empty()
-    {
+    if store.covers(name, &full, payless_semantic::Consistency::Weak, now) {
         return Ok(()); // already complete
     }
 

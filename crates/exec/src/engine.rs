@@ -191,7 +191,11 @@ impl<'a> Executor<'a> {
                     CoverClass::Miss => rec.sqr_miss(),
                 }
             }
-            let views = self.store.views(&t.name, self.cfg.consistency, self.now);
+            // Only views overlapping this region can shape its rewrite, so
+            // probe the store's grid index instead of scanning every view.
+            let views =
+                self.store
+                    .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
             let ts = self
                 .stats
                 .table(&t.name)
@@ -200,6 +204,7 @@ impl<'a> Executor<'a> {
             if let Some(rec) = &self.cfg.recorder {
                 rec.count("sqr.cover_sets", rw.cover_sets);
                 rec.count("sqr.cover_chosen", rw.cover_chosen);
+                rec.record_size("sqr.candidate_views", views.len() as u64);
             }
             rw.remainders
         } else {

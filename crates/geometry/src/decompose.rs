@@ -63,9 +63,13 @@ impl Decomposition {
 /// Decompose `q ∖ ⋃views` into separator-aligned elementary boxes.
 ///
 /// Views that do not overlap `q` are ignored; overlapping views are clipped
-/// to `q` first, so callers may pass the raw stored regions.
-pub fn decompose(q: &Region, views: &[Region]) -> Decomposition {
-    let clipped: Vec<Region> = views.iter().filter_map(|v| v.intersect(q)).collect();
+/// to `q` first, so callers may pass the raw stored regions — by value or as
+/// `Arc<Region>` handles straight out of the semantic store's index.
+pub fn decompose<V: std::borrow::Borrow<Region>>(q: &Region, views: &[V]) -> Decomposition {
+    let clipped: Vec<Region> = views
+        .iter()
+        .filter_map(|v| v.borrow().intersect(q))
+        .collect();
     let remainder = q.subtract_all(&clipped);
     if remainder.is_empty() {
         return Decomposition {
@@ -135,7 +139,7 @@ mod tests {
     #[test]
     fn no_views_single_elementary_box() {
         let q = region![(0, 100)];
-        let d = decompose(&q, &[]);
+        let d = decompose::<Region>(&q, &[]);
         assert!(!d.fully_covered());
         assert_eq!(d.elementary.len(), 1);
         assert_eq!(d.elementary[0].region, q);

@@ -110,9 +110,14 @@ impl Region {
     }
 
     /// `self ∖ ⋃ others` as a set of disjoint boxes.
-    pub fn subtract_all(&self, others: &[Region]) -> Vec<Region> {
+    ///
+    /// Generic over anything borrowable as a [`Region`] so callers holding
+    /// `Arc<Region>`s (the semantic store's index) can subtract without
+    /// cloning the regions first.
+    pub fn subtract_all<V: std::borrow::Borrow<Region>>(&self, others: &[V]) -> Vec<Region> {
         let mut remaining = vec![self.clone()];
         for v in others {
+            let v = v.borrow();
             let mut next = Vec::with_capacity(remaining.len());
             for r in remaining {
                 next.extend(r.subtract(v));
@@ -293,11 +298,11 @@ mod tests {
 /// overlapping) regions, computed exactly by disjointing the set with
 /// [`Region::subtract_all`]. Cost grows with fragmentation, not with the
 /// coordinate ranges.
-pub fn union_volume(regions: &[Region]) -> u128 {
+pub fn union_volume<V: std::borrow::Borrow<Region>>(regions: &[V]) -> u128 {
     let mut total: u128 = 0;
     for (i, r) in regions.iter().enumerate() {
         // Count the part of `r` not covered by earlier regions.
-        for piece in r.subtract_all(&regions[..i]) {
+        for piece in r.borrow().subtract_all(&regions[..i]) {
             total = total.saturating_add(piece.volume());
         }
     }
@@ -311,7 +316,7 @@ mod union_tests {
 
     #[test]
     fn union_volume_handles_overlap() {
-        assert_eq!(union_volume(&[]), 0);
+        assert_eq!(union_volume::<Region>(&[]), 0);
         assert_eq!(union_volume(&[region![(0, 9)]]), 10);
         // Overlapping pair counts once.
         assert_eq!(union_volume(&[region![(0, 9)], region![(5, 14)]]), 15);

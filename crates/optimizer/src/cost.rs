@@ -6,8 +6,9 @@
 //! "Minimizing Calls" model of the Florescu-et-al. baseline by swapping the
 //! primary to RESTful-call count.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use payless_geometry::Region;
 use payless_semantic::rewrite::est_transactions;
@@ -60,6 +61,9 @@ pub struct PlanCounters {
     /// Subproblems composed from join-disconnected components (Theorem 3)
     /// instead of being enumerated as full left-deep extensions.
     pub theorem3_composed: u64,
+    /// Worker threads the parallel plan search actually used (the high-water
+    /// mark across all parallel sections; 1 for a single-threaded run).
+    pub threads_used: u64,
 }
 
 impl std::ops::AddAssign for PlanCounters {
@@ -69,6 +73,35 @@ impl std::ops::AddAssign for PlanCounters {
         self.boxes_kept += o.boxes_kept;
         self.theorem2_hoisted += o.theorem2_hoisted;
         self.theorem3_composed += o.theorem3_composed;
+        // A high-water mark, not a sum: combining two searches reports the
+        // widest fan-out either of them reached.
+        self.threads_used = self.threads_used.max(o.threads_used);
+    }
+}
+
+/// [`PlanCounters`] as lock-free atomics so cost estimation can run from the
+/// DP's scoped worker threads. All fields are order-independent sums (or a
+/// max), so relaxed ordering cannot change the totals.
+#[derive(Debug, Default)]
+struct AtomicPlanCounters {
+    plans_considered: AtomicU64,
+    boxes_enumerated: AtomicU64,
+    boxes_kept: AtomicU64,
+    theorem2_hoisted: AtomicU64,
+    theorem3_composed: AtomicU64,
+    threads_used: AtomicU64,
+}
+
+impl AtomicPlanCounters {
+    fn snapshot(&self) -> PlanCounters {
+        PlanCounters {
+            plans_considered: self.plans_considered.load(Ordering::Relaxed),
+            boxes_enumerated: self.boxes_enumerated.load(Ordering::Relaxed),
+            boxes_kept: self.boxes_kept.load(Ordering::Relaxed),
+            theorem2_hoisted: self.theorem2_hoisted.load(Ordering::Relaxed),
+            theorem3_composed: self.theorem3_composed.load(Ordering::Relaxed),
+            threads_used: self.threads_used.load(Ordering::Relaxed).max(1),
+        }
     }
 }
 
@@ -127,12 +160,14 @@ pub struct CostCtx<'a> {
     /// Required regions per table (one per `AnyOf` alternative combination;
     /// empty for unconstrained... never: at least the full region).
     regions: Vec<Vec<Region>>,
-    counters: RefCell<PlanCounters>,
+    counters: AtomicPlanCounters,
     /// Per-table cache of the uncovered fraction of the required regions
     /// (the SQR adjustment in `bind_cost`); computing it involves region
     /// subtraction against every stored view, so it must not run once per
-    /// DP candidate.
-    uncovered_frac: RefCell<Vec<Option<f64>>>,
+    /// DP candidate. `OnceLock` so concurrent DP workers can share the
+    /// cache: the value is deterministic, so a racy double-compute is
+    /// harmless — first writer wins, everyone reads the same number.
+    uncovered_frac: Vec<OnceLock<f64>>,
 }
 
 /// Cap on `AnyOf` alternative combinations per table.
@@ -180,8 +215,8 @@ impl<'a> CostCtx<'a> {
             model,
             pages,
             regions,
-            counters: RefCell::new(PlanCounters::default()),
-            uncovered_frac: RefCell::new(vec![None; n]),
+            counters: AtomicPlanCounters::default(),
+            uncovered_frac: std::iter::repeat_with(OnceLock::new).take(n).collect(),
         })
     }
 
@@ -197,31 +232,60 @@ impl<'a> CostCtx<'a> {
 
     /// Count one candidate plan.
     pub fn count_plan(&self) {
-        self.counters.borrow_mut().plans_considered += 1;
+        self.counters
+            .plans_considered
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count relations the Theorem 2 prefix removed from the enumeration.
     pub fn count_theorem2_hoisted(&self, n: u64) {
-        self.counters.borrow_mut().theorem2_hoisted += n;
+        self.counters
+            .theorem2_hoisted
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Count one subproblem composed via Theorem 3.
     pub fn count_theorem3_composed(&self) {
-        self.counters.borrow_mut().theorem3_composed += 1;
+        self.counters
+            .theorem3_composed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Report the width of a parallel section (high-water mark).
+    pub fn note_threads(&self, n: usize) {
+        self.counters
+            .threads_used
+            .fetch_max(n as u64, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters.
     pub fn counters(&self) -> PlanCounters {
-        *self.counters.borrow()
+        self.counters.snapshot()
     }
 
     /// Usable stored views of table `tid` under the context's consistency.
-    pub fn views_of(&self, tid: usize) -> Vec<Region> {
+    pub fn views_of(&self, tid: usize) -> Vec<Arc<Region>> {
         if !self.sqr {
             return Vec::new();
         }
         self.store
             .views(&self.query.tables[tid].name, self.consistency, self.now)
+    }
+
+    /// Usable stored views of table `tid` overlapping `region`, served from
+    /// the store's grid index. Non-overlapping views cannot affect a
+    /// region's rewrite or remainder, so this is what the per-region cost
+    /// paths use.
+    pub fn views_over(&self, tid: usize, region: &Region) -> Vec<Arc<Region>> {
+        if !self.sqr {
+            return Vec::new();
+        }
+        self.store.views_overlapping(
+            &self.query.tables[tid].name,
+            region,
+            self.consistency,
+            self.now,
+        )
     }
 
     /// Estimated tuples of table `tid` within its required regions.
@@ -282,10 +346,9 @@ impl<'a> CostCtx<'a> {
         if !self.sqr {
             return false;
         }
-        let views = self.views_of(tid);
         self.regions[tid]
             .iter()
-            .all(|r| r.subtract_all(&views).is_empty())
+            .all(|r| r.subtract_all(&self.views_over(tid, r)).is_empty())
     }
 
     /// `true` when table `tid` can be fetched directly: every mandatory
@@ -322,18 +385,19 @@ impl<'a> CostCtx<'a> {
         }
         let ts = self.stats.table(&t.name).expect("validated in new()");
         let page = self.pages[tid];
-        let views = self.views_of(tid);
         let mut tx = 0.0;
         let mut calls = 0.0;
         let mut records = 0.0;
         for region in &self.regions[tid] {
             if self.sqr {
+                let views = self.views_over(tid, region);
                 let rw = rewrite(ts, page, region, &views, &self.rewrite_cfg);
-                {
-                    let mut c = self.counters.borrow_mut();
-                    c.boxes_enumerated += rw.boxes_enumerated;
-                    c.boxes_kept += rw.boxes_kept;
-                }
+                self.counters
+                    .boxes_enumerated
+                    .fetch_add(rw.boxes_enumerated, Ordering::Relaxed);
+                self.counters
+                    .boxes_kept
+                    .fetch_add(rw.boxes_kept, Ordering::Relaxed);
                 tx += rw.est_transactions;
                 calls += rw.remainders.len() as f64;
                 records += rw.remainders.iter().map(|r| ts.estimate(r)).sum::<f64>();
@@ -501,26 +565,30 @@ impl<'a> CostCtx<'a> {
     /// Fraction of `tid`'s required regions not covered by stored views
     /// (1.0 when nothing is stored), cached per table.
     fn uncovered_fraction(&self, tid: usize, total_rows: f64) -> f64 {
-        if let Some(f) = self.uncovered_frac.borrow()[tid] {
-            return f;
-        }
-        let views = self.views_of(tid);
-        let frac = if views.is_empty() || total_rows <= 0.0 {
-            1.0
-        } else {
+        *self.uncovered_frac[tid].get_or_init(|| {
+            if total_rows <= 0.0 {
+                return 1.0;
+            }
             let ts = self
                 .stats
                 .table(&self.query.tables[tid].name)
                 .expect("validated in new()");
-            let uncovered: f64 = self.regions[tid]
-                .iter()
-                .flat_map(|r| r.subtract_all(&views))
-                .map(|piece| ts.estimate(&piece))
-                .sum();
+            let mut any_views = false;
+            let mut uncovered = 0.0;
+            for r in &self.regions[tid] {
+                let views = self.views_over(tid, r);
+                any_views |= !views.is_empty();
+                uncovered += r
+                    .subtract_all(&views)
+                    .iter()
+                    .map(|piece| ts.estimate(piece))
+                    .sum::<f64>();
+            }
+            if !any_views {
+                return 1.0;
+            }
             (uncovered / total_rows).clamp(0.0, 1.0)
-        };
-        self.uncovered_frac.borrow_mut()[tid] = Some(frac);
-        frac
+        })
     }
 
     fn pack(&self, tx: f64, calls: f64, records: f64) -> Cost {

@@ -10,6 +10,9 @@
 //!   bushy shapes included. Used for the paper's "Disable All" ablation and
 //!   (with [`CostModel::Calls`]) for the "Minimizing Calls" baseline.
 
+use std::sync::Arc;
+
+use payless_par::{par_map, par_map_range, planned_workers};
 use payless_semantic::{Consistency, RewriteConfig, SemanticStore};
 use payless_sql::AnalyzedQuery;
 use payless_stats::StatsRegistry;
@@ -146,11 +149,45 @@ enum Step {
     Bind(usize, Vec<BindPair>),
 }
 
+/// A persistent (shared-tail) list of steps, newest first. The 2^m DP
+/// entries mostly share spine prefixes, so extending a spine is one `Arc`
+/// allocation instead of cloning the whole step vector per candidate — and
+/// the cheap clones are what make handing entries to worker threads free.
+#[derive(Debug)]
+struct StepNode {
+    step: Step,
+    prev: StepChain,
+}
+
+type StepChain = Option<Arc<StepNode>>;
+
+fn chain_push(prev: &StepChain, step: Step) -> StepChain {
+    Some(Arc::new(StepNode {
+        step,
+        prev: prev.clone(),
+    }))
+}
+
+/// Flatten a chain back into build order (oldest step first).
+fn chain_steps(chain: &StepChain) -> Vec<Step> {
+    let mut out = Vec::new();
+    let mut cur = chain;
+    while let Some(node) = cur {
+        out.push(node.step.clone());
+        cur = &node.prev;
+    }
+    out.reverse();
+    out
+}
+
 #[derive(Debug, Clone)]
 struct LdEntry {
     cost: Cost,
-    steps: Vec<Step>,
+    steps: StepChain,
 }
+
+/// Smallest number of subset masks worth sending to one worker thread.
+const LD_MASK_CHUNK: usize = 8;
 
 fn left_deep(ctx: &CostCtx<'_>, cfg: &OptimizerConfig) -> Result<Optimized> {
     let n = ctx.query.tables.len();
@@ -166,7 +203,8 @@ fn left_deep(ctx: &CostCtx<'_>, cfg: &OptimizerConfig) -> Result<Optimized> {
     let m = market.len();
 
     // Pre-memoize per-table fetch costs (one SemanticRewrite per table, as
-    // in Algorithm 2's size-1 loop).
+    // in Algorithm 2's size-1 loop). Sequential on purpose: each rewrite
+    // already fans out internally, and nesting scopes would oversubscribe.
     let fetch_costs: Vec<Option<Cost>> = market
         .iter()
         .map(|&t| {
@@ -178,104 +216,132 @@ fn left_deep(ctx: &CostCtx<'_>, cfg: &OptimizerConfig) -> Result<Optimized> {
     let mut best: Vec<Option<LdEntry>> = vec![None; 1usize << m];
     best[0] = Some(LdEntry {
         cost: Cost::ZERO,
-        steps: Vec::new(),
+        steps: None,
     });
 
+    // Wavefront by subset size: a mask of k bits only reads strictly
+    // smaller masks (its one-table-removed predecessors and Theorem 3's
+    // component masks), so within a level every mask is independent and the
+    // level can be scored in parallel against the frozen lower levels.
+    // Each mask's candidate loop keeps the sequential iteration order with
+    // strictly-better updates, and write-back runs in ascending mask order,
+    // so the chosen plan is byte-identical to a single-threaded run.
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); m + 1];
     for mask in 1usize..(1 << m) {
-        let subset: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
-
-        // Theorem 3: compose join-disconnected components.
-        if cfg.partition_pruning && subset.len() > 1 {
-            if let Some(groups) = disconnected_groups(ctx, &zero, &market, &subset) {
-                let mut cost = Cost::ZERO;
-                let mut steps = Vec::new();
-                let mut ok = true;
-                for g in &groups {
-                    let gmask: usize = g.iter().map(|i| 1usize << i).sum();
-                    match &best[gmask] {
-                        Some(e) => {
-                            cost = cost.plus(e.cost);
-                            steps.extend(e.steps.iter().cloned());
-                        }
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                ctx.count_plan();
-                ctx.count_theorem3_composed();
-                if ok {
-                    best[mask] = Some(LdEntry { cost, steps });
-                }
-                continue;
-            }
+        levels[mask.count_ones() as usize].push(mask);
+    }
+    for level in &levels {
+        if level.is_empty() {
+            continue;
         }
-
-        // Cross-product avoidance: when the subset (with the zero-price
-        // prefix as glue) is join-connected, a build order whose every
-        // prefix stays connected exists (spanning-tree order), so
-        // extensions that would force a Cartesian product can be skipped
-        // without losing the optimum — and without materializing the giant
-        // intermediates those plans imply.
-        let mut set_tables: Vec<usize> = zero.clone();
-        set_tables.extend(subset.iter().map(|&i| market[i]));
-        let connected = tables_connected(ctx, &set_tables);
-
-        let mut entry: Option<LdEntry> = None;
-        for &i in &subset {
-            let rest = mask & !(1usize << i);
-            let Some(left) = best[rest].clone() else {
-                continue;
-            };
-            let t = market[i];
-            // Tables available on the left for bindings: the zero prefix
-            // plus the rest of the subset.
-            let mut left_tables = zero.clone();
-            left_tables.extend((0..m).filter(|j| rest & (1 << j) != 0).map(|j| market[j]));
-            if connected && !left_tables.is_empty() && !has_edge(ctx, &[t], &left_tables) {
-                continue;
-            }
-
-            // Option A: direct fetch (the "regular join" of Algorithm 2).
-            if let Some(fc) = fetch_costs[i] {
-                ctx.count_plan();
-                let cost = left.cost.plus(fc);
-                if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
-                    let mut steps = left.steps.clone();
-                    steps.push(Step::Fetch(t));
-                    entry = Some(LdEntry { cost, steps });
-                }
-            }
-            // Option B: bind joins from the left side, one candidate per
-            // binding-column combination.
-            let options = ctx.bind_options(t, &left_tables);
-            if !options.is_empty() {
-                let lrows = ctx.est_join_rows(&left_tables);
-                for binds in options {
-                    ctx.count_plan();
-                    let cost = left.cost.plus(ctx.bind_cost(t, &binds, lrows));
-                    if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
-                        let mut steps = left.steps.clone();
-                        steps.push(Step::Bind(t, binds));
-                        entry = Some(LdEntry { cost, steps });
-                    }
-                }
-            }
+        ctx.note_threads(planned_workers(level.len(), LD_MASK_CHUNK));
+        let entries = par_map(level, LD_MASK_CHUNK, |_, &mask| {
+            ld_entry(ctx, cfg, &zero, &market, &fetch_costs, &best, mask)
+        });
+        for (&mask, entry) in level.iter().zip(entries) {
+            best[mask] = entry;
         }
-        best[mask] = entry;
     }
 
     let full = (1usize << m) - 1;
     let entry = best[full].take().ok_or_else(|| {
         PaylessError::Infeasible("some bound attribute can never be supplied".into())
     })?;
-    let plan = materialize(ctx, &zero, &entry.steps)?;
+    let plan = materialize(ctx, &zero, &chain_steps(&entry.steps))?;
     Ok(Optimized {
         plan,
         cost: entry.cost,
         counters: ctx.counters(),
     })
+}
+
+/// Score one subset mask against the already-solved smaller subsets.
+/// Pure except for the (order-independent, atomic) search counters, so the
+/// wavefront can evaluate masks of one level on any thread in any order.
+fn ld_entry(
+    ctx: &CostCtx<'_>,
+    cfg: &OptimizerConfig,
+    zero: &[usize],
+    market: &[usize],
+    fetch_costs: &[Option<Cost>],
+    best: &[Option<LdEntry>],
+    mask: usize,
+) -> Option<LdEntry> {
+    let m = market.len();
+    let subset: Vec<usize> = (0..m).filter(|i| mask & (1 << i) != 0).collect();
+
+    // Theorem 3: compose join-disconnected components.
+    if cfg.partition_pruning && subset.len() > 1 {
+        if let Some(groups) = disconnected_groups(ctx, zero, market, &subset) {
+            ctx.count_plan();
+            ctx.count_theorem3_composed();
+            let mut cost = Cost::ZERO;
+            let mut steps: Vec<Step> = Vec::new();
+            for g in &groups {
+                let gmask: usize = g.iter().map(|i| 1usize << i).sum();
+                let e = best[gmask].as_ref()?;
+                cost = cost.plus(e.cost);
+                steps.extend(chain_steps(&e.steps));
+            }
+            let chain = steps.into_iter().fold(None, |acc, s| chain_push(&acc, s));
+            return Some(LdEntry { cost, steps: chain });
+        }
+    }
+
+    // Cross-product avoidance: when the subset (with the zero-price
+    // prefix as glue) is join-connected, a build order whose every
+    // prefix stays connected exists (spanning-tree order), so
+    // extensions that would force a Cartesian product can be skipped
+    // without losing the optimum — and without materializing the giant
+    // intermediates those plans imply.
+    let mut set_tables: Vec<usize> = zero.to_vec();
+    set_tables.extend(subset.iter().map(|&i| market[i]));
+    let connected = tables_connected(ctx, &set_tables);
+
+    let mut entry: Option<LdEntry> = None;
+    for &i in &subset {
+        let rest = mask & !(1usize << i);
+        let Some(left) = best[rest].as_ref() else {
+            continue;
+        };
+        let t = market[i];
+        // Tables available on the left for bindings: the zero prefix
+        // plus the rest of the subset.
+        let mut left_tables = zero.to_vec();
+        left_tables.extend((0..m).filter(|j| rest & (1 << j) != 0).map(|j| market[j]));
+        if connected && !left_tables.is_empty() && !has_edge(ctx, &[t], &left_tables) {
+            continue;
+        }
+
+        // Option A: direct fetch (the "regular join" of Algorithm 2).
+        if let Some(fc) = fetch_costs[i] {
+            ctx.count_plan();
+            let cost = left.cost.plus(fc);
+            if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
+                entry = Some(LdEntry {
+                    cost,
+                    steps: chain_push(&left.steps, Step::Fetch(t)),
+                });
+            }
+        }
+        // Option B: bind joins from the left side, one candidate per
+        // binding-column combination.
+        let options = ctx.bind_options(t, &left_tables);
+        if !options.is_empty() {
+            let lrows = ctx.est_join_rows(&left_tables);
+            for binds in options {
+                ctx.count_plan();
+                let cost = left.cost.plus(ctx.bind_cost(t, &binds, lrows));
+                if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
+                    entry = Some(LdEntry {
+                        cost,
+                        steps: chain_push(&left.steps, Step::Bind(t, binds)),
+                    });
+                }
+            }
+        }
+    }
+    entry
 }
 
 /// Build the plan tree: zero-price prefix first, then the steps, left-deep.
@@ -394,23 +460,38 @@ fn tables_connected(ctx: &CostCtx<'_>, tables: &[usize]) -> bool {
     (1..tables.len()).all(|i| find(&mut parent, i) == root)
 }
 
+/// How a bushy subset's best plan is built — a decision table entry rather
+/// than a materialized `PlanNode`, so candidate evaluation never clones
+/// whole subtrees. The winning tree is rebuilt once at the end.
+#[derive(Debug, Clone)]
+enum BushyChoice {
+    /// Access one table directly.
+    Leaf(usize, AccessMethod),
+    /// Local join of the best plans of two sub-masks.
+    Join(usize, usize),
+    /// Bind join: left sub-mask's best plan feeding bindings into a table.
+    Bind(usize, usize, Vec<BindPair>),
+}
+
 #[derive(Debug, Clone)]
 struct BushyEntry {
     cost: Cost,
-    plan: PlanNode,
+    choice: BushyChoice,
 }
+
+/// Smallest number of bushy masks worth sending to one worker thread (each
+/// mask enumerates up to 2^|mask| splits, so chunks are small).
+const BUSHY_MASK_CHUNK: usize = 4;
 
 fn bushy(ctx: &CostCtx<'_>) -> Result<Optimized> {
     let n = ctx.query.tables.len();
     let mut best: Vec<Option<BushyEntry>> = vec![None; 1usize << n];
     // Connectivity memo per mask (for Cartesian-product avoidance: every
     // cut of a connected join graph has a crossing edge, so edge-less
-    // splits of connected masks are never needed).
-    let tables_of =
-        |mask: usize| -> Vec<usize> { (0..n).filter(|i| mask & (1 << i) != 0).collect() };
-    let connected: Vec<bool> = (0..(1usize << n))
-        .map(|mask| tables_connected(ctx, &tables_of(mask)))
-        .collect();
+    // splits of connected masks are never needed). Independent per mask.
+    let connected: Vec<bool> = par_map_range(1usize << n, 512, |mask| {
+        tables_connected(ctx, &tables_of(mask, n))
+    });
 
     for t in 0..n {
         ctx.count_plan();
@@ -422,68 +503,118 @@ fn bushy(ctx: &CostCtx<'_>) -> Result<Optimized> {
         if let Some(cost) = ctx.fetch_cost(t) {
             best[1 << t] = Some(BushyEntry {
                 cost,
-                plan: PlanNode::access(t, method),
+                choice: BushyChoice::Leaf(t, method),
             });
         }
     }
 
+    // Same wavefront argument as the left-deep engine: a mask's splits are
+    // all strictly smaller masks, so levels parallelize and each mask keeps
+    // the sequential descending-split order internally.
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
     for mask in 1usize..(1 << n) {
-        if mask.count_ones() < 2 {
+        if mask.count_ones() >= 2 {
+            levels[mask.count_ones() as usize].push(mask);
+        }
+    }
+    for level in &levels {
+        if level.is_empty() {
             continue;
         }
-        let mut entry: Option<BushyEntry> = best[mask].take();
-        // Enumerate proper non-empty splits (left = sub, right = rest).
-        let mut sub = (mask - 1) & mask;
-        while sub != 0 {
-            let rest = mask & !sub;
-            let crossing = has_edge(ctx, &tables_of(sub), &tables_of(rest));
-            if (crossing || !connected[mask]) && best[sub].is_some() && best[rest].is_some() {
-                let (l, r) = (best[sub].as_ref().unwrap(), best[rest].as_ref().unwrap());
-                // Local join of the two sides.
-                ctx.count_plan();
-                let cost = l.cost.plus(r.cost);
-                if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
-                    entry = Some(BushyEntry {
-                        cost,
-                        plan: PlanNode::join(l.plan.clone(), r.plan.clone()),
-                    });
-                }
+        ctx.note_threads(planned_workers(level.len(), BUSHY_MASK_CHUNK));
+        let entries = par_map(level, BUSHY_MASK_CHUNK, |_, &mask| {
+            bushy_entry(ctx, &connected, &best, n, mask)
+        });
+        for (&mask, entry) in level.iter().zip(entries) {
+            best[mask] = entry;
+        }
+    }
+
+    let full = (1usize << n) - 1;
+    let entry = best[full].clone().ok_or_else(|| {
+        PaylessError::Infeasible("some bound attribute can never be supplied".into())
+    })?;
+    Ok(Optimized {
+        plan: materialize_bushy(&best, full)?,
+        cost: entry.cost,
+        counters: ctx.counters(),
+    })
+}
+
+/// Tables of a mask, ascending.
+fn tables_of(mask: usize, n: usize) -> Vec<usize> {
+    (0..n).filter(|i| mask & (1 << i) != 0).collect()
+}
+
+/// Score one bushy mask against the already-solved smaller masks.
+fn bushy_entry(
+    ctx: &CostCtx<'_>,
+    connected: &[bool],
+    best: &[Option<BushyEntry>],
+    n: usize,
+    mask: usize,
+) -> Option<BushyEntry> {
+    let mut entry: Option<BushyEntry> = None;
+    // Enumerate proper non-empty splits (left = sub, right = rest).
+    let mut sub = (mask - 1) & mask;
+    while sub != 0 {
+        let rest = mask & !sub;
+        let crossing = has_edge(ctx, &tables_of(sub, n), &tables_of(rest, n));
+        if (crossing || !connected[mask]) && best[sub].is_some() && best[rest].is_some() {
+            let (l, r) = (best[sub].as_ref().unwrap(), best[rest].as_ref().unwrap());
+            // Local join of the two sides.
+            ctx.count_plan();
+            let cost = l.cost.plus(r.cost);
+            if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
+                entry = Some(BushyEntry {
+                    cost,
+                    choice: BushyChoice::Join(sub, rest),
+                });
             }
-            // Bind join: right side must be a single table.
-            if rest.count_ones() == 1 {
-                if let Some(l) = &best[sub] {
-                    let t = rest.trailing_zeros() as usize;
-                    let left_tables: Vec<usize> = (0..n).filter(|i| sub & (1 << i) != 0).collect();
-                    let options = ctx.bind_options(t, &left_tables);
-                    if !options.is_empty() {
-                        let lrows = ctx.est_join_rows(&left_tables);
-                        for binds in options {
-                            ctx.count_plan();
-                            let cost = l.cost.plus(ctx.bind_cost(t, &binds, lrows));
-                            if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
-                                entry = Some(BushyEntry {
-                                    cost,
-                                    plan: PlanNode::bind_join(l.plan.clone(), t, binds),
-                                });
-                            }
+        }
+        // Bind join: right side must be a single table.
+        if rest.count_ones() == 1 {
+            if let Some(l) = &best[sub] {
+                let t = rest.trailing_zeros() as usize;
+                let left_tables = tables_of(sub, n);
+                let options = ctx.bind_options(t, &left_tables);
+                if !options.is_empty() {
+                    let lrows = ctx.est_join_rows(&left_tables);
+                    for binds in options {
+                        ctx.count_plan();
+                        let cost = l.cost.plus(ctx.bind_cost(t, &binds, lrows));
+                        if entry.as_ref().is_none_or(|e| cost.better_than(&e.cost)) {
+                            entry = Some(BushyEntry {
+                                cost,
+                                choice: BushyChoice::Bind(sub, t, binds),
+                            });
                         }
                     }
                 }
             }
-            sub = (sub - 1) & mask;
         }
-        best[mask] = entry;
+        sub = (sub - 1) & mask;
     }
+    entry
+}
 
-    let full = (1usize << n) - 1;
-    let entry = best[full].take().ok_or_else(|| {
-        PaylessError::Infeasible("some bound attribute can never be supplied".into())
-    })?;
-    Ok(Optimized {
-        plan: entry.plan,
-        cost: entry.cost,
-        counters: ctx.counters(),
-    })
+/// Rebuild the winning bushy tree from the decision table.
+fn materialize_bushy(best: &[Option<BushyEntry>], mask: usize) -> Result<PlanNode> {
+    let entry = best[mask]
+        .as_ref()
+        .ok_or_else(|| PaylessError::Internal("bushy decision table has a hole".into()))?;
+    match &entry.choice {
+        BushyChoice::Leaf(t, method) => Ok(PlanNode::access(*t, *method)),
+        BushyChoice::Join(sub, rest) => Ok(PlanNode::join(
+            materialize_bushy(best, *sub)?,
+            materialize_bushy(best, *rest)?,
+        )),
+        BushyChoice::Bind(sub, t, binds) => Ok(PlanNode::bind_join(
+            materialize_bushy(best, *sub)?,
+            *t,
+            binds.clone(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -967,5 +1098,81 @@ mod tests {
                 payless_types::Constraint::Eq(Value::str("Canada"))
             ))
         );
+    }
+
+    /// An n-table chain query (C0 ⋈ C1 ⋈ ... on b = a) with trained
+    /// per-table histograms, big enough that the DP wavefront chunks.
+    fn chain_fixture(
+        n: usize,
+    ) -> (
+        AnalyzedQuery,
+        StatsRegistry,
+        SemanticStore,
+        HashMap<String, u64>,
+    ) {
+        let mut catalog = MapCatalog::new();
+        let mut stats = StatsRegistry::new();
+        let mut store = SemanticStore::new();
+        let mut meta = HashMap::new();
+        for i in 0..n {
+            let schema = Schema::new(
+                format!("C{i}"),
+                vec![
+                    Column::free("a", Domain::int(0, 999)),
+                    Column::free("b", Domain::int(0, 999)),
+                ],
+            );
+            catalog = catalog.with(schema.clone(), TableLocation::Market);
+            stats.register(&schema, 10_000);
+            for k in 0..24i64 {
+                let lo0 = (k * 53) % 900;
+                let lo1 = (k * 97) % 900;
+                stats.feedback(
+                    &schema.table,
+                    &payless_geometry::region![(lo0, lo0 + 24), (lo1, lo1 + 24)],
+                    40,
+                );
+            }
+            store.register(QuerySpace::of(&schema));
+            meta.insert(schema.table.to_string(), 100u64);
+        }
+        let tables: Vec<String> = (0..n).map(|i| format!("C{i}")).collect();
+        let joins: Vec<String> = (0..n - 1)
+            .map(|i| format!("C{i}.b = C{}.a", i + 1))
+            .collect();
+        let sql = format!(
+            "SELECT * FROM {} WHERE {}",
+            tables.join(", "),
+            joins.join(" AND ")
+        );
+        let q = analyze(&parse(&sql).unwrap(), &catalog).unwrap();
+        (q, stats, store, meta)
+    }
+
+    /// The wavefront parallelization must be invisible: the same plan string
+    /// and bit-identical costs at every thread count, for both engines.
+    #[test]
+    fn parallel_dp_matches_single_threaded() {
+        let (q, stats, store, meta) = chain_fixture(6);
+        for cfg in [
+            OptimizerConfig::payless_no_sqr(),
+            OptimizerConfig::disable_all(),
+        ] {
+            let seq = payless_par::with_max_threads(1, || {
+                optimize(&q, &stats, &store, &meta, &cfg, 0).unwrap()
+            });
+            for threads in [2usize, 4] {
+                let par = payless_par::with_max_threads(threads, || {
+                    optimize(&q, &stats, &store, &meta, &cfg, 0).unwrap()
+                });
+                assert_eq!(
+                    par.plan.to_string(),
+                    seq.plan.to_string(),
+                    "{threads} threads"
+                );
+                assert_eq!(par.cost.primary.to_bits(), seq.cost.primary.to_bits());
+                assert_eq!(par.cost.secondary.to_bits(), seq.cost.secondary.to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,235 @@
+//! Std-only data parallelism for the PayLess hot paths.
+//!
+//! The offline build has no rayon, so this crate provides the one primitive
+//! the SQR scorer and the plan-search DP need: an **order-preserving**
+//! chunked map over a slice, run on `std::thread::scope` workers.
+//!
+//! Determinism is non-negotiable — a parallel run must produce *byte
+//! identical* plans and remainder queries to a single-threaded one — so the
+//! design rules are:
+//!
+//! * results come back positionally (`out[i] = f(i, &items[i])`), never in
+//!   thread-arrival order;
+//! * callers do all tie-breaking themselves on the positional results (the
+//!   DP reduces in ascending candidate order, exactly as the sequential
+//!   code did);
+//! * the worker count changes *wall time only*, never values.
+//!
+//! Thread count resolution, in priority order:
+//! 1. a thread-local override set by [`with_max_threads`] (used by the
+//!    determinism tests and the benchmark harness),
+//! 2. a process-wide override set by [`set_max_threads`],
+//! 3. the `PAYLESS_THREADS` environment variable (read once),
+//! 4. [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide override: 0 = unset.
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `PAYLESS_THREADS`, read once per process: 0 = unset/invalid.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override; beats everything else. `0` = unset.
+    static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("PAYLESS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The number of worker threads parallel sections may use, resolved as
+/// documented on the crate. Always at least 1.
+pub fn max_threads() -> usize {
+    let local = LOCAL_OVERRIDE.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Set (or with `None` clear) the process-wide thread cap. `Some(0)` is
+/// treated as `Some(1)`.
+pub fn set_max_threads(n: Option<usize>) {
+    GLOBAL_OVERRIDE.store(n.map(|v| v.max(1)).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Run `f` with the *calling thread's* cap set to `n` (restored afterwards).
+/// Parallel sections started by `f` see the cap; worker threads themselves
+/// always run their closures inline. This is how the determinism tests pin
+/// one side of a comparison to a single thread without racing other tests.
+pub fn with_max_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    LOCAL_OVERRIDE.with(|cell| {
+        let prev = cell.replace(n.max(1));
+        let out = f();
+        cell.set(prev);
+        out
+    })
+}
+
+/// The number of worker threads [`par_map`]/[`par_map_range`] will use for
+/// `n` items under the current thread cap: 1 when the input is too small to
+/// chunk, else `min(max_threads(), ceil(n / min_chunk))`. Exposed so callers
+/// can report fan-out width to telemetry without duplicating the policy.
+pub fn planned_workers(n: usize, min_chunk: usize) -> usize {
+    let threads = max_threads();
+    let min_chunk = min_chunk.max(1);
+    if threads <= 1 || n < min_chunk * 2 {
+        1
+    } else {
+        threads.min(n.div_ceil(min_chunk))
+    }
+}
+
+/// Order-preserving parallel map: returns `[f(0, &items[0]), f(1, &items[1]),
+/// …]` exactly as a sequential loop would, chunking the slice across scoped
+/// worker threads.
+///
+/// `min_chunk` is the smallest slice a thread is worth spawning for; inputs
+/// shorter than `2 * min_chunk` (or a resolved thread count of 1) run inline
+/// on the caller. `f` must be pure for determinism to hold — it may run on
+/// any thread, in any chunk order.
+pub fn par_map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = planned_workers(n, min_chunk);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = (lo + chunk).min(n);
+                let slice = &items[lo..hi];
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(off, t)| f(lo + off, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// [`par_map`] over an index range: `[f(0), f(1), …, f(n-1)]`, positionally.
+pub fn par_map_range<R, F>(n: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = planned_workers(n, min_chunk);
+    if workers <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = (lo + chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 2 + i as u64)
+            .collect();
+        let par = par_map(&items, 8, |i, v| v * 2 + i as u64);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        let seq: Vec<usize> = (0..503).map(|i| i * i).collect();
+        assert_eq!(par_map_range(503, 4, |i| i * i), seq);
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Too small to chunk: still correct.
+        assert_eq!(par_map(&[1, 2, 3], 100, |_, v| v + 1), vec![2, 3, 4]);
+        assert_eq!(par_map::<u8, u8, _>(&[], 1, |_, v| *v), Vec::<u8>::new());
+        assert_eq!(par_map_range(0, 1, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn with_max_threads_scopes_the_override() {
+        with_max_threads(1, || {
+            assert_eq!(max_threads(), 1);
+            let out = par_map_range(100, 1, |i| i);
+            assert_eq!(out, (0..100).collect::<Vec<_>>());
+        });
+        assert_ne!(LOCAL_OVERRIDE.with(Cell::get), 1);
+    }
+
+    #[test]
+    fn global_override_is_respected() {
+        set_max_threads(Some(3));
+        assert_eq!(max_threads(), 3);
+        // Thread-local beats global.
+        with_max_threads(2, || assert_eq!(max_threads(), 2));
+        set_max_threads(None);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<i64> = (0..777).map(|i| i * 31 % 97).collect();
+        let one = with_max_threads(1, || par_map(&items, 4, |i, v| v ^ (i as i64)));
+        for t in [2, 3, 8] {
+            let many = with_max_threads(t, || par_map(&items, 4, |i, v| v ^ (i as i64)));
+            assert_eq!(one, many, "thread count {t} changed results");
+        }
+    }
+}

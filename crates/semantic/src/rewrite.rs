@@ -15,12 +15,20 @@
 //! split per category where needed so that every candidate box contains each
 //! cell entirely or not at all.
 
+use std::borrow::Borrow;
+
 use payless_geometry::{decompose, Interval, QuerySpace, Region};
+use payless_par::{par_map, planned_workers};
 use payless_stats::CardinalityModel;
 #[cfg(test)]
 use payless_stats::TableStats;
 
 use crate::cover::{greedy_cover, CoverSet};
+
+/// Smallest number of candidate scorings worth a worker thread: one
+/// statistics probe walks every histogram bucket, so chunks of this size
+/// dominate thread spawn cost.
+const SCORE_CHUNK: usize = 16;
 
 /// Tuning knobs of the rewriter (the defaults match the paper's setup; the
 /// flags exist for the Figure 15 ablation).
@@ -81,6 +89,9 @@ pub struct Rewrite {
     pub cover_sets: u64,
     /// Sets the greedy cover actually chose.
     pub cover_chosen: u64,
+    /// Worker threads the candidate scoring fan-out used (1 when the input
+    /// was too small to chunk or a fast path bypassed scoring).
+    pub threads_used: u64,
 }
 
 /// Estimated transactions for a call expected to return `est` tuples.
@@ -94,11 +105,17 @@ pub fn est_transactions(est: f64, page_size: u64) -> f64 {
 
 /// Generate the cheapest estimated set of remainder queries for `query`
 /// given stored `views`.
-pub fn rewrite(
-    stats: &dyn CardinalityModel,
+///
+/// Views may be passed by value or as `Arc<Region>` handles straight out of
+/// the semantic store's index. Candidate scoring fans out over scoped
+/// threads (capped by `PAYLESS_THREADS`); results are byte-identical to a
+/// single-threaded run because scores come back positionally and all
+/// selection logic stays sequential.
+pub fn rewrite<V: Borrow<Region> + Sync>(
+    stats: &(dyn CardinalityModel + Sync),
     page_size: u64,
     query: &Region,
-    views: &[Region],
+    views: &[V],
     cfg: &RewriteConfig,
 ) -> Rewrite {
     let space = stats.space();
@@ -112,6 +129,7 @@ pub fn rewrite(
             boxes_kept: 0,
             cover_sets: 0,
             cover_chosen: 0,
+            threads_used: 1,
         };
     }
 
@@ -149,6 +167,7 @@ pub fn rewrite(
                 boxes_kept: 1,
                 cover_sets: 0,
                 cover_chosen: 0,
+                threads_used: 1,
             };
         }
         return Rewrite {
@@ -159,6 +178,7 @@ pub fn rewrite(
             boxes_kept: n,
             cover_sets: 0,
             cover_chosen: 0,
+            threads_used: 1,
         };
     }
 
@@ -247,6 +267,7 @@ pub fn rewrite(
             boxes_kept: n,
             cover_sets: 0,
             cover_chosen: 0,
+            threads_used: 1,
         };
     }
 
@@ -271,13 +292,11 @@ pub fn rewrite(
     };
 
     // --- Pruning (Algorithm 1) ---
-    let cell_prices: Vec<f64> = cells
-        .iter()
-        .map(|c| est_transactions(stats.estimate(c), page_size))
-        .collect();
-
-    let mut sets: Vec<CoverSet> = Vec::new();
-    let mut regions: Vec<Region> = Vec::new();
+    // Rule 1 (minimality) is pure geometry — no statistics probe — so it
+    // runs *before* the parallel fan-out: worker threads only ever score
+    // rule-1 survivors. Rule 2 compares a box's price against the sum of
+    // its parts, so it necessarily runs after scoring, on one thread.
+    let mut survivors: Vec<(Region, Vec<usize>)> = Vec::new();
     for b in candidates {
         let mut contained = Vec::new();
         for (ci, cell) in cells.iter().enumerate() {
@@ -296,7 +315,25 @@ pub fn rewrite(
         if cfg.minimal_pruning && !is_minimal(space, &b, &contained, &cells) {
             continue;
         }
-        let price = est_transactions(stats.estimate(&b), page_size);
+        survivors.push((b, contained));
+    }
+
+    // Price scoring: one statistics probe per cell and per surviving
+    // candidate, each independent — the rewriter's dominant cost at high
+    // view counts. Scores come back positionally, so the downstream
+    // selection is oblivious to the thread count.
+    let threads_used = planned_workers(cells.len(), SCORE_CHUNK)
+        .max(planned_workers(survivors.len(), SCORE_CHUNK)) as u64;
+    let cell_prices: Vec<f64> = par_map(&cells, SCORE_CHUNK, |_, c| {
+        est_transactions(stats.estimate(c), page_size)
+    });
+    let prices: Vec<f64> = par_map(&survivors, SCORE_CHUNK, |_, (b, _)| {
+        est_transactions(stats.estimate(b), page_size)
+    });
+
+    let mut sets: Vec<CoverSet> = Vec::new();
+    let mut regions: Vec<Region> = Vec::new();
+    for ((b, contained), price) in survivors.into_iter().zip(prices) {
         // Pruning rule 2: a multi-cell box must beat the sum of its parts.
         // Per-cell boxes are always kept so the cover stays feasible.
         if cfg.price_pruning && contained.len() > 1 {
@@ -326,6 +363,7 @@ pub fn rewrite(
         boxes_kept,
         cover_sets: boxes_kept,
         cover_chosen,
+        threads_used,
     }
 }
 
@@ -444,7 +482,7 @@ mod tests {
             &stats,
             100,
             &region![(0, 100)],
-            &[],
+            &[] as &[Region],
             &RewriteConfig::default(),
         );
         assert_eq!(out.remainders, vec![region![(0, 100)]]);
@@ -526,7 +564,7 @@ mod tests {
             stats.feedback(&region![(30, 39), (c, c)], 30);
         }
         let q = region![(30, 39), (0, 5)];
-        let out = rewrite(&stats, 100, &q, &[], &RewriteConfig::default());
+        let out = rewrite(&stats, 100, &q, &[] as &[Region], &RewriteConfig::default());
         // Whole-domain box: 180 tuples -> 2 txns; per-category: 6 x 1 = 6.
         assert_eq!(out.remainders.len(), 1);
         assert_eq!(out.remainders[0], region![(30, 39), (0, 5)]);
@@ -537,7 +575,7 @@ mod tests {
     fn point_categorical_query_stays_point() {
         let stats = cat_stats();
         let q = region![(0, 89), (3, 3)];
-        let out = rewrite(&stats, 100, &q, &[], &RewriteConfig::default());
+        let out = rewrite(&stats, 100, &q, &[] as &[Region], &RewriteConfig::default());
         assert_eq!(out.remainders, vec![q.clone()]);
     }
 
@@ -699,6 +737,54 @@ mod tests {
                 let without = rewrite(&stats, 100, &q, &views, &RewriteConfig::no_pruning());
                 prop_assert!(with.boxes_kept <= without.boxes_kept);
             }
+        }
+    }
+
+    /// The parallel scoring fan-out must be invisible: identical remainders
+    /// and bit-identical cost estimates at any thread count.
+    #[test]
+    fn parallel_rewrite_matches_single_threaded() {
+        let schema = Schema::new(
+            "R",
+            vec![
+                Column::free("A", Domain::int(0, 1999)),
+                Column::free("B", Domain::int(0, 1999)),
+            ],
+        );
+        let mut stats = TableStats::new(QuerySpace::of(&schema), 500_000);
+        for k in 0..64i64 {
+            let lo0 = (k * 53) % 1900;
+            let lo1 = (k * 97) % 1900;
+            stats.feedback(&region![(lo0, lo0 + 49), (lo1, lo1 + 49)], 300);
+        }
+        // A 6x6 grid of disjoint stored views: enough candidate boxes and
+        // uncovered cells that the scoring stage actually chunks.
+        let views: Vec<Region> = (0..6i64)
+            .flat_map(|gx| {
+                (0..6i64)
+                    .map(move |gy| region![(gx * 300, gx * 300 + 99), (gy * 300, gy * 300 + 99)])
+            })
+            .collect();
+        let q = region![(0, 1799), (0, 1799)];
+        let cfg = RewriteConfig {
+            max_candidates: 8192,
+            ..RewriteConfig::default()
+        };
+        let seq = payless_par::with_max_threads(1, || rewrite(&stats, 100, &q, &views, &cfg));
+        assert!(!seq.fully_covered);
+        assert!(!seq.remainders.is_empty());
+        for threads in [2usize, 3, 8] {
+            let par =
+                payless_par::with_max_threads(threads, || rewrite(&stats, 100, &q, &views, &cfg));
+            assert_eq!(par.remainders, seq.remainders, "{threads} threads");
+            assert_eq!(
+                par.est_transactions.to_bits(),
+                seq.est_transactions.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(par.boxes_enumerated, seq.boxes_enumerated);
+            assert_eq!(par.boxes_kept, seq.boxes_kept);
+            assert_eq!(par.cover_chosen, seq.cover_chosen);
         }
     }
 }

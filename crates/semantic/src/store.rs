@@ -5,11 +5,19 @@
 //! mirrors every retrieved tuple there); the store tracks *coverage* — the
 //! regions of each table's query space whose tuples are locally complete —
 //! plus a timestamp per region for the consistency levels of Section 4.3.
+//!
+//! Regions are stored behind `Arc` and handed out by handle, so the hot
+//! query path never deep-copies coverage geometry. Each table additionally
+//! keeps a grid index over its first dimension (see [`TableStore`]): probes
+//! for the views overlapping one query region touch only the index buckets
+//! the region spans instead of scanning every stored view.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
-use payless_geometry::{QuerySpace, Region};
+use payless_geometry::{Interval, QuerySpace, Region};
+use payless_telemetry::Recorder;
 
 /// Result-freshness policy (Section 4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,10 +47,13 @@ impl Consistency {
 }
 
 /// One stored view: a retrieved region and when it was retrieved.
+///
+/// The region sits behind an `Arc` so probes can hand out handles without
+/// copying the geometry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredView {
     /// The covered region of the table's query space.
-    pub region: Region,
+    pub region: Arc<Region>,
     /// Logical retrieval time.
     pub stored_at: u64,
 }
@@ -53,14 +64,68 @@ pub struct StoredView {
 /// affected regions may simply be re-fetched later).
 pub const MAX_VIEWS_PER_TABLE: usize = 256;
 
-/// Per-table coverage.
+/// Number of grid buckets in each table's dim-0 index.
+const INDEX_BUCKETS: usize = 64;
+
+/// Probes against tables with fewer views than this skip the index: a short
+/// linear scan beats the bucket gather.
+const INDEX_MIN_VIEWS: usize = 8;
+
+/// Per-table coverage plus a grid index over the first dimension.
+///
+/// `buckets[b]` lists the positions (into `views`) of the views whose dim-0
+/// interval overlaps grid bucket `b` of the table's dim-0 domain. The index
+/// is rebuilt eagerly on every mutation — mutations are rare (one per
+/// market purchase) and bounded by [`MAX_VIEWS_PER_TABLE`], while probes
+/// happen for every candidate plan the optimizer costs — so all reads stay
+/// `&self` and thread-safe.
 #[derive(Debug, Clone)]
 struct TableStore {
     space: QuerySpace,
     views: Vec<StoredView>,
+    buckets: Vec<Vec<u32>>,
+    /// dim-0 domain of the space, cached for bucket arithmetic.
+    axis: Interval,
 }
 
 impl TableStore {
+    fn new(space: QuerySpace) -> Self {
+        let axis = space.full_region().dim(0);
+        TableStore {
+            space,
+            views: Vec::new(),
+            buckets: vec![Vec::new(); INDEX_BUCKETS],
+            axis,
+        }
+    }
+
+    /// The grid bucket containing coordinate `x`, clamping coordinates
+    /// outside the domain to the edge buckets (clamping is monotone, so two
+    /// overlapping intervals always share at least one bucket).
+    fn bucket_of(&self, x: i64) -> usize {
+        let x = x.clamp(self.axis.lo, self.axis.hi);
+        let off = (x - self.axis.lo) as u128;
+        let span = self.axis.width() as u128;
+        ((off * INDEX_BUCKETS as u128 / span) as usize).min(INDEX_BUCKETS - 1)
+    }
+
+    /// Bucket span `[first, last]` of a dim-0 interval.
+    fn bucket_range(&self, iv: Interval) -> (usize, usize) {
+        (self.bucket_of(iv.lo), self.bucket_of(iv.hi))
+    }
+
+    fn rebuild_index(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        for (id, v) in self.views.iter().enumerate() {
+            let (first, last) = self.bucket_range(v.region.dim(0));
+            for b in first..=last {
+                self.buckets[b].push(id as u32);
+            }
+        }
+    }
+
     /// Insert a region, dropping views it contains and coalescing mergeable
     /// neighbours (two views whose union is a single box and whose
     /// timestamps may be conservatively merged to the older one).
@@ -78,7 +143,7 @@ impl TableStore {
             .retain(|v| !(region.contains(&v.region) && v.stored_at <= now));
 
         let mut current = StoredView {
-            region,
+            region: Arc::new(region),
             stored_at: now,
         };
         // Coalesce until fixpoint.
@@ -89,7 +154,7 @@ impl TableStore {
                 if let Some(union) = box_union(&self.views[i].region, &current.region) {
                     let old = self.views.swap_remove(i);
                     current = StoredView {
-                        region: union,
+                        region: Arc::new(union),
                         // Conservative freshness: the union is only as fresh
                         // as its stalest part.
                         stored_at: old.stored_at.min(current.stored_at),
@@ -109,14 +174,45 @@ impl TableStore {
             self.views.sort_by_key(|v| std::cmp::Reverse(v.stored_at));
             self.views.truncate(MAX_VIEWS_PER_TABLE / 2);
         }
+        self.rebuild_index();
     }
 
-    fn usable_views(&self, min_stored_at: u64) -> Vec<Region> {
+    fn usable_views(&self, min_stored_at: u64) -> Vec<Arc<Region>> {
         self.views
             .iter()
             .filter(|v| v.stored_at >= min_stored_at)
             .map(|v| v.region.clone())
             .collect()
+    }
+
+    /// The usable views overlapping `probe`, via the grid index when it can
+    /// narrow the scan. Returns views in stored order (identical to the
+    /// linear scan) and reports whether the index was used.
+    fn probe(&self, probe: &Region, min_stored_at: u64) -> (Vec<Arc<Region>>, bool) {
+        let (first, last) = self.bucket_range(probe.dim(0));
+        let use_index =
+            self.views.len() >= INDEX_MIN_VIEWS && (last - first + 1) < INDEX_BUCKETS / 2;
+        if !use_index {
+            let out = self
+                .views
+                .iter()
+                .filter(|v| v.stored_at >= min_stored_at && v.region.overlaps(probe))
+                .map(|v| v.region.clone())
+                .collect();
+            return (out, false);
+        }
+        // Gather candidate ids over the bucket span; ascending-id iteration
+        // reproduces stored order exactly.
+        let mut ids: Vec<u32> = self.buckets[first..=last].concat();
+        ids.sort_unstable();
+        ids.dedup();
+        let out = ids
+            .into_iter()
+            .map(|id| &self.views[id as usize])
+            .filter(|v| v.stored_at >= min_stored_at && v.region.overlaps(probe))
+            .map(|v| v.region.clone())
+            .collect();
+        (out, true)
     }
 }
 
@@ -155,6 +251,9 @@ fn box_union(a: &Region, b: &Region) -> Option<Region> {
 #[derive(Debug, Clone, Default)]
 pub struct SemanticStore {
     tables: HashMap<Arc<str>, TableStore>,
+    /// Telemetry sink for probe timings and index hit/fallback counters.
+    /// Shared, not serialized; a restored store starts unattached.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl SemanticStore {
@@ -163,14 +262,18 @@ impl SemanticStore {
         Self::default()
     }
 
+    /// Attach a telemetry recorder; subsequent probes report
+    /// `store.index_probe` durations and `store.index_hits` /
+    /// `store.index_full_scans` counters into it.
+    pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
     /// Register a table's query space (idempotent).
     pub fn register(&mut self, space: QuerySpace) {
         self.tables
             .entry(space.table.clone())
-            .or_insert_with(|| TableStore {
-                space,
-                views: Vec::new(),
-            });
+            .or_insert_with(|| TableStore::new(space));
     }
 
     /// The query space of `table`, if registered.
@@ -190,7 +293,7 @@ impl SemanticStore {
 
     /// The stored regions of `table` usable under `consistency` at `now`.
     /// Strong consistency yields no views (rewriting disabled).
-    pub fn views(&self, table: &str, consistency: Consistency, now: u64) -> Vec<Region> {
+    pub fn views(&self, table: &str, consistency: Consistency, now: u64) -> Vec<Arc<Region>> {
         let Some(min) = consistency.min_stored_at(now) else {
             return Vec::new();
         };
@@ -198,6 +301,45 @@ impl SemanticStore {
             .get(table)
             .map(|t| t.usable_views(min))
             .unwrap_or_default()
+    }
+
+    /// The usable views of `table` that overlap `probe`, served from the
+    /// per-table grid index when it can narrow the scan. Views that do not
+    /// overlap the probe region cannot contribute to its decomposition or
+    /// remainder, so this is interchangeable with [`SemanticStore::views`]
+    /// for per-region work — and what the optimizer's hot path should call.
+    pub fn views_overlapping(
+        &self,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> Vec<Arc<Region>> {
+        let Some(min) = consistency.min_stored_at(now) else {
+            return Vec::new();
+        };
+        let Some(t) = self.tables.get(table) else {
+            return Vec::new();
+        };
+        let timer = self
+            .recorder
+            .as_deref()
+            .filter(|r| r.is_enabled())
+            .map(|_| Instant::now());
+        let (out, used_index) = t.probe(probe, min);
+        if let (Some(rec), Some(t0)) = (self.recorder.as_deref(), timer) {
+            rec.record_duration("store.index_probe", t0.elapsed().as_nanos() as u64);
+            rec.count(
+                if used_index {
+                    "store.index_hits"
+                } else {
+                    "store.index_full_scans"
+                },
+                1,
+            );
+            rec.record_size("store.probe_views", out.len() as u64);
+        }
+        out
     }
 
     /// Number of stored view boxes for `table` (after coalescing).
@@ -215,14 +357,14 @@ impl SemanticStore {
         if full == 0 {
             return 0.0;
         }
-        let views: Vec<Region> = t.views.iter().map(|v| v.region.clone()).collect();
+        let views: Vec<Arc<Region>> = t.views.iter().map(|v| v.region.clone()).collect();
         let covered = payless_geometry::union_volume(&views);
         (covered as f64 / full as f64).clamp(0.0, 1.0)
     }
 
     /// `true` if `region` of `table` is fully covered by usable views.
     pub fn covers(&self, table: &str, region: &Region, consistency: Consistency, now: u64) -> bool {
-        let views = self.views(table, consistency, now);
+        let views = self.views_overlapping(table, region, consistency, now);
         region.subtract_all(&views).is_empty()
     }
 }
@@ -248,16 +390,16 @@ impl SemanticStore {
         consistency: Consistency,
         now: u64,
     ) -> CoverClass {
-        let views = self.views(table, consistency, now);
+        // Probe for overlapping views only: anything disjoint from the
+        // region is a Miss regardless, which the empty-overlap check covers.
+        let views = self.views_overlapping(table, region, consistency, now);
         if views.is_empty() {
             return CoverClass::Miss;
         }
         if region.subtract_all(&views).is_empty() {
             CoverClass::Full
-        } else if views.iter().any(|v| v.overlaps(region)) {
-            CoverClass::Partial
         } else {
-            CoverClass::Miss
+            CoverClass::Partial
         }
     }
 }
@@ -298,7 +440,7 @@ impl payless_json::FromJson for StoredView {
     fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
         use payless_json::FromJson;
         Ok(StoredView {
-            region: FromJson::from_json(j.get("region")?)?,
+            region: Arc::new(FromJson::from_json(j.get("region")?)?),
             stored_at: FromJson::from_json(j.get("stored_at")?)?,
         })
     }
@@ -317,10 +459,10 @@ impl payless_json::ToJson for TableStore {
 impl payless_json::FromJson for TableStore {
     fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
         use payless_json::FromJson;
-        Ok(TableStore {
-            space: FromJson::from_json(j.get("space")?)?,
-            views: FromJson::from_json(j.get("views")?)?,
-        })
+        let mut t = TableStore::new(FromJson::from_json(j.get("space")?)?);
+        t.views = FromJson::from_json(j.get("views")?)?;
+        t.rebuild_index();
+        Ok(t)
     }
 }
 
@@ -336,6 +478,7 @@ impl payless_json::FromJson for SemanticStore {
         use payless_json::FromJson;
         Ok(SemanticStore {
             tables: FromJson::from_json(j.get("tables")?)?,
+            recorder: None,
         })
     }
 }
@@ -402,7 +545,10 @@ mod tests {
         s.record("R", region![(10, 20)], 1);
         s.record("R", region![(0, 50)], 2);
         assert_eq!(s.view_count("R"), 1);
-        assert_eq!(s.views("R", Consistency::Weak, 3), vec![region![(0, 50)]]);
+        assert_eq!(
+            s.views("R", Consistency::Weak, 3),
+            vec![Arc::new(region![(0, 50)])]
+        );
     }
 
     #[test]
@@ -463,5 +609,108 @@ mod tests {
     fn recording_unregistered_table_panics() {
         let mut s = SemanticStore::new();
         s.record("X", region![(0, 1)], 0);
+    }
+
+    fn space_2d() -> QuerySpace {
+        QuerySpace::of(&Schema::new(
+            "G",
+            vec![
+                Column::free("A", Domain::int(0, 255)),
+                Column::free("B", Domain::int(0, 255)),
+            ],
+        ))
+    }
+
+    /// Reference implementation the index must agree with: linear scan,
+    /// freshness filter, overlap filter, stored order.
+    fn linear_probe(
+        s: &SemanticStore,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> Vec<Arc<Region>> {
+        s.views(table, consistency, now)
+            .into_iter()
+            .filter(|v| v.overlaps(probe))
+            .collect()
+    }
+
+    #[test]
+    fn indexed_probe_matches_linear_scan_when_fragmented() {
+        let mut s = SemanticStore::new();
+        s.register(space_2d());
+        // Many disjoint views so coalescing leaves them separate and the
+        // store is comfortably past the index threshold.
+        for i in 0..40i64 {
+            s.record("G", region![(i * 6, i * 6 + 3), (0, 10)], i as u64);
+        }
+        assert!(s.view_count("G") >= INDEX_MIN_VIEWS);
+        for probe in [
+            region![(0, 5), (0, 255)],
+            region![(100, 140), (0, 255)],
+            region![(0, 255), (0, 255)],
+            region![(250, 255), (0, 255)],
+        ] {
+            let fast = s.views_overlapping("G", &probe, Consistency::Weak, 100);
+            let slow = linear_probe(&s, "G", &probe, Consistency::Weak, 100);
+            assert_eq!(fast, slow, "probe {probe} diverged from linear scan");
+        }
+        // Freshness filtering holds through the index too.
+        let fast = s.views_overlapping(
+            "G",
+            &region![(0, 255), (0, 255)],
+            Consistency::Window(5),
+            30,
+        );
+        let slow = linear_probe(
+            &s,
+            "G",
+            &region![(0, 255), (0, 255)],
+            Consistency::Window(5),
+            30,
+        );
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_box(span: i64) -> impl Strategy<Value = Region> {
+            proptest::collection::vec((0..span).prop_flat_map(move |lo| (Just(lo), lo..span)), 2)
+                .prop_map(|dims| {
+                    Region::new(dims.into_iter().map(|(l, h)| Interval::new(l, h)).collect())
+                })
+        }
+
+        proptest! {
+            /// The indexed probe returns exactly the linear scan's view set
+            /// (same views, same order) for any insert/query sequence.
+            #[test]
+            fn indexed_probe_equals_linear_scan(
+                inserts in proptest::collection::vec((arb_box(256), 0u64..16), 1..24),
+                probes in proptest::collection::vec(arb_box(256), 1..6),
+                window in 0u64..8,
+                now in 8u64..24,
+            ) {
+                let mut s = SemanticStore::new();
+                s.register(space_2d());
+                for (r, t) in &inserts {
+                    s.record("G", r.clone(), *t);
+                }
+                // 0 doubles as "no window": exercise Weak too.
+                let consistency = match window {
+                    0 => Consistency::Weak,
+                    w => Consistency::Window(w),
+                };
+                for probe in &probes {
+                    let fast = s.views_overlapping("G", probe, consistency, now);
+                    let slow = linear_probe(&s, "G", probe, consistency, now);
+                    prop_assert_eq!(&fast, &slow, "probe {} diverged", probe);
+                }
+            }
+        }
     }
 }
