@@ -17,6 +17,13 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== fault smoke: deterministic fault matrix at a pinned seed =="
+# The fault-matrix suite injects seeded market faults (503s, stalls,
+# truncated and corrupt payloads) and checks answers + billing reconcile
+# against a clean twin run. The seed is pinned for reproducibility; vary
+# PAYLESS_FAULT_SEED locally to explore other schedules.
+PAYLESS_FAULT_SEED=48879 cargo test -q -p payless-core --test fault_matrix
+
 echo "== bench smoke: hotpath determinism + JSONL shape =="
 # Tiny-scale run of the hot-path bench (includes the parallel-vs-serial
 # determinism check), dumping JSONL which is then validated for shape.

@@ -144,6 +144,43 @@ pub fn render_report(report: &QueryReport) -> String {
         report.est_cost,
         report.paid_transactions,
     ));
+    if report.telemetry.wasted_calls() > 0 {
+        s.push_str(&format!(
+            "wasted spend: ${:.2} for {} pages over {} faulted calls \
+             ({} pages actually delivered)
+",
+            report.telemetry.wasted_price(),
+            report.telemetry.wasted_pages(),
+            report.telemetry.wasted_calls(),
+            report.telemetry.delivered_pages(),
+        ));
+    }
+    // Fault-kind histogram and retry count (absent on clean runs).
+    let faults: Vec<(&str, u64)> = report
+        .telemetry
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("fault."))
+        .map(|(n, v)| (n.trim_start_matches("fault."), *v))
+        .collect();
+    let retries = counter("resilience.retries");
+    if !faults.is_empty() || retries.is_some() {
+        let kinds = faults
+            .iter()
+            .map(|(n, v)| format!("{n} x{v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "faults: {}; {} retries
+",
+            if kinds.is_empty() {
+                "none".to_string()
+            } else {
+                kinds
+            },
+            retries.unwrap_or(0),
+        ));
+    }
     let by_dataset = report.spend_by_dataset();
     if !by_dataset.is_empty() {
         s.push_str(
@@ -169,7 +206,7 @@ pub fn render_report(report: &QueryReport) -> String {
         );
         for e in &report.telemetry.ledger {
             s.push_str(&format!(
-                "  #{:<3} {:<10} {:<12} {:>7} records / page {:<5} -> {:>5} pages  ${:.2}
+                "  #{:<3} {:<10} {:<12} {:>7} records / page {:<5} -> {:>5} pages  ${:.2}{}
 ",
                 e.seq,
                 e.kind.label(),
@@ -178,6 +215,7 @@ pub fn render_report(report: &QueryReport) -> String {
                 e.page_size,
                 e.pages,
                 e.price,
+                if e.wasted { "  WASTED" } else { "" },
             ));
         }
     }
@@ -272,6 +310,7 @@ mod tests {
                     page_size: 100,
                     pages: 7,
                     price: 7.0,
+                    wasted: false,
                 }],
                 sqr: SqrStats {
                     full_hits: 1,
@@ -297,6 +336,53 @@ mod tests {
             s.contains("store index: 31 indexed probes, 2 full scans"),
             "{s}"
         );
+        // A clean run reports neither wasted spend nor faults.
+        assert!(!s.contains("wasted spend"), "{s}");
+        assert!(!s.contains("faults:"), "{s}");
+        assert!(!s.contains("WASTED"), "{s}");
+    }
+
+    #[test]
+    fn report_renders_wasted_spend_and_faults() {
+        use payless_core::{CallKind, QueryReport, TelemetrySnapshot, TransactionRecord};
+        let entry = |seq, pages, wasted| TransactionRecord {
+            seq,
+            dataset: "WHW".into(),
+            table: "Weather".into(),
+            kind: CallKind::Remainder,
+            records: 100 * pages,
+            page_size: 100,
+            pages,
+            price: pages as f64,
+            wasted,
+        };
+        let report = QueryReport {
+            paid_transactions: 9,
+            telemetry: TelemetrySnapshot {
+                counters: vec![
+                    ("fault.corrupt", 1),
+                    ("fault.unavailable", 2),
+                    ("resilience.retries", 3),
+                ],
+                ledger: vec![entry(0, 3, true), entry(1, 6, false)],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let s = render_report(&report);
+        assert!(
+            s.contains("wasted spend: $3.00 for 3 pages over 1 faulted calls"),
+            "{s}"
+        );
+        assert!(s.contains("(6 pages actually delivered)"), "{s}");
+        assert!(
+            s.contains("faults: corrupt x1, unavailable x2; 3 retries"),
+            "{s}"
+        );
+        // Only the wasted entry carries the marker.
+        let wasted_lines: Vec<&str> = s.lines().filter(|l| l.ends_with("WASTED")).collect();
+        assert_eq!(wasted_lines.len(), 1, "{s}");
+        assert!(wasted_lines[0].contains("#0"), "{s}");
     }
 
     #[test]

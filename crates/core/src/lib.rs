@@ -44,8 +44,8 @@
 pub mod report;
 pub mod session;
 
-pub use payless_exec::QueryResult;
-pub use payless_market::{BillingReport, DataMarket, Dataset};
+pub use payless_exec::{CallBudget, CallOutcome, QueryResult, RetryPolicy};
+pub use payless_market::{BillingReport, DataMarket, Dataset, FaultInjector, FaultKind, FaultPlan};
 pub use payless_optimizer::PlanCounters;
 pub use payless_semantic::Consistency;
 pub use payless_sql::SelectStmt;

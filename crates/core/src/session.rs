@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use payless_exec::{ensure_downloaded, ExecConfig, Executor, QueryResult};
+use payless_exec::{ensure_downloaded, ExecConfig, Executor, QueryResult, RetryPolicy};
 use payless_geometry::QuerySpace;
 use payless_json::{FromJson, Json, ToJson};
 use payless_market::DataMarket;
@@ -48,6 +48,11 @@ pub struct PayLessConfig {
     /// Which updatable statistic backs cardinality estimation (the paper's
     /// "amenable for any updatable statistic" knob).
     pub stats_backend: StatsBackend,
+    /// Retry/backoff/budget policy for market calls (the resilient call
+    /// layer). The default retries transient failures a few times with
+    /// millisecond backoff; see [`RetryPolicy::from_env`] for the
+    /// environment knobs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PayLessConfig {
@@ -57,6 +62,7 @@ impl Default for PayLessConfig {
             consistency: Consistency::Weak,
             rewrite: RewriteConfig::default(),
             stats_backend: StatsBackend::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -336,6 +342,7 @@ impl PayLess {
             rewrite: self.cfg.rewrite.clone(),
             consistency: self.cfg.consistency,
             recorder: Some(self.recorder.clone()),
+            retry: self.cfg.retry.clone(),
         };
 
         // Unsatisfiable queries cost nothing.
@@ -377,6 +384,7 @@ impl PayLess {
                         &mut self.stats,
                         self.now,
                         Some(self.recorder.as_ref()),
+                        &self.cfg.retry,
                     )?;
                 }
             }

@@ -8,6 +8,8 @@ use payless_storage::Database;
 use payless_telemetry::{CallKind, Recorder};
 use payless_types::{PaylessError, Result, Schema};
 
+use crate::call::{resilient_get, CallBudget, RetryPolicy};
+
 /// Ensure `table` is fully downloaded into the local mirror.
 ///
 /// Tables without mandatory bound attributes are fetched with one
@@ -15,8 +17,10 @@ use payless_types::{PaylessError, Result, Schema};
 /// one call: the downloader enumerates the bound attribute's domain, one
 /// call per value (the only way the access interface permits).
 ///
-/// Idempotent: a table whose full region the store already covers is
-/// skipped, so the download is paid exactly once.
+/// Idempotent *and resumable*: a table whose full region the store already
+/// covers is skipped outright, and a multi-piece download that previously
+/// failed partway resumes from the first piece the store does not cover —
+/// pieces paid for before the failure are never bought again.
 #[allow(clippy::too_many_arguments)]
 pub fn ensure_downloaded(
     table: &Schema,
@@ -26,6 +30,7 @@ pub fn ensure_downloaded(
     stats: &mut StatsRegistry,
     now: u64,
     recorder: Option<&Recorder>,
+    policy: &RetryPolicy,
 ) -> Result<()> {
     let name = &table.table;
     let space = stats
@@ -43,7 +48,13 @@ pub fn ensure_downloaded(
     // One call per combination of mandatory-bound attribute values.
     let mandatory: Vec<usize> = table.mandatory_bindings().collect();
     let pieces = enumerate_bound(&space, &full, &mandatory)?;
+    let mut budget = CallBudget::default();
     for piece in pieces {
+        // Resume support: pieces bought by an earlier, partially-failed
+        // download are already covered — skip them instead of re-buying.
+        if store.covers(name, &piece, payless_semantic::Consistency::Weak, now) {
+            continue;
+        }
         let mut req = Request::to(name.clone());
         let mut constrained: Vec<usize> = Vec::new();
         for (col, c) in space.constraints_of(&piece) {
@@ -62,7 +73,7 @@ pub fn ensure_downloaded(
                 );
             }
         }
-        let resp = market.get(&req)?;
+        let resp = resilient_get(market, &req, policy, &mut budget, recorder).into_result()?;
         let records = resp.records();
         db.table_or_create(table).insert_all(resp.rows);
         if let Some(ts) = stats.table_mut(name) {
@@ -160,10 +171,23 @@ mod tests {
         (market, db, store, stats, free_schema, bound_schema)
     }
 
+    fn download(
+        schema: &Schema,
+        market: &DataMarket,
+        db: &mut Database,
+        store: &mut SemanticStore,
+        stats: &mut StatsRegistry,
+        now: u64,
+        policy: &RetryPolicy,
+    ) -> Result<()> {
+        ensure_downloaded(schema, market, db, store, stats, now, None, policy)
+    }
+
     #[test]
     fn downloads_free_table_in_one_call() {
         let (market, mut db, mut store, mut stats, free, _) = setup();
-        ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, 0, None).unwrap();
+        let p = RetryPolicy::default();
+        download(&free, &market, &mut db, &mut store, &mut stats, 0, &p).unwrap();
         let bill = market.bill();
         assert_eq!(bill.calls(), 1);
         assert_eq!(bill.transactions(), 3); // 30 rows / page 10
@@ -173,8 +197,9 @@ mod tests {
     #[test]
     fn download_is_idempotent() {
         let (market, mut db, mut store, mut stats, free, _) = setup();
+        let p = RetryPolicy::default();
         for t in 0..3 {
-            ensure_downloaded(&free, &market, &mut db, &mut store, &mut stats, t, None).unwrap();
+            download(&free, &market, &mut db, &mut store, &mut stats, t, &p).unwrap();
         }
         assert_eq!(market.bill().calls(), 1);
     }
@@ -182,11 +207,58 @@ mod tests {
     #[test]
     fn bound_categorical_table_downloads_per_value() {
         let (market, mut db, mut store, mut stats, _, bound) = setup();
-        ensure_downloaded(&bound, &market, &mut db, &mut store, &mut stats, 0, None).unwrap();
+        let p = RetryPolicy::default();
+        download(&bound, &market, &mut db, &mut store, &mut stats, 0, &p).unwrap();
         let bill = market.bill();
         assert_eq!(bill.calls(), 3); // one per category
         assert_eq!(db.table("Bound").unwrap().len(), 4);
         // Store records full coverage.
+        let space = store.space("Bound").unwrap().clone();
+        assert!(store.covers(
+            "Bound",
+            &space.full_region(),
+            payless_semantic::Consistency::Weak,
+            1
+        ));
+    }
+
+    #[test]
+    fn failed_download_resumes_from_first_uncovered_piece() {
+        use payless_market::{FaultInjector, FaultKind, FaultPlan};
+
+        let (market, mut db, mut store, mut stats, _, bound) = setup();
+        // Kill the second piece ("y") with no retries: the download fails
+        // after paying for piece "x".
+        market.attach_fault_injector(FaultInjector::new(
+            FaultPlan::none().at(1, FaultKind::Unavailable),
+        ));
+        let err = download(
+            &bound,
+            &market,
+            &mut db,
+            &mut store,
+            &mut stats,
+            0,
+            &RetryPolicy::no_retries(),
+        );
+        assert!(err.is_err());
+        assert_eq!(market.bill().calls(), 1); // "x" bought, "y" failed free
+        assert_eq!(db.table("Bound").unwrap().len(), 1);
+
+        // The retry must resume at "y": pieces already covered are skipped,
+        // so the whole table costs exactly one call per category overall.
+        download(
+            &bound,
+            &market,
+            &mut db,
+            &mut store,
+            &mut stats,
+            0,
+            &RetryPolicy::no_retries(),
+        )
+        .unwrap();
+        assert_eq!(market.bill().calls(), 3);
+        assert_eq!(db.table("Bound").unwrap().len(), 4);
         let space = store.space("Bound").unwrap().clone();
         assert!(store.covers(
             "Bound",

@@ -14,6 +14,8 @@ use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec,
 use payless_telemetry::{CallKind, Recorder};
 use payless_types::{PaylessError, Result, Row, Value};
 
+use crate::call::{resilient_get, CallBudget, RetryPolicy};
+
 /// Execution-time configuration (mirrors the optimizer's).
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -26,6 +28,8 @@ pub struct ExecConfig {
     /// Optional telemetry sink: operator spans, SQR hit/miss counts, and
     /// the call-kind context stamped onto ledger entries.
     pub recorder: Option<Arc<Recorder>>,
+    /// Retry/backoff/budget policy for every market call the plan issues.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecConfig {
@@ -35,6 +39,7 @@ impl Default for ExecConfig {
             rewrite: RewriteConfig::default(),
             consistency: Consistency::Weak,
             recorder: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -57,6 +62,8 @@ pub struct Executor<'a> {
     stats: &'a mut StatsRegistry,
     cfg: &'a ExecConfig,
     now: u64,
+    /// Per-query retry/waste accounting, shared by every call this plan makes.
+    budget: CallBudget,
 }
 
 impl<'a> Executor<'a> {
@@ -80,6 +87,7 @@ impl<'a> Executor<'a> {
             stats,
             cfg,
             now,
+            budget: CallBudget::default(),
         }
     }
 
@@ -87,6 +95,11 @@ impl<'a> Executor<'a> {
     pub fn execute(&mut self, plan: &PlanNode) -> Result<QueryResult> {
         let (rows, layout) = self.run(plan)?;
         self.finish(rows, &layout)
+    }
+
+    /// Retry/waste accounting accumulated by this executor so far.
+    pub fn budget(&self) -> CallBudget {
+        self.budget
     }
 
     /// The correct (empty) result of an unsatisfiable query, produced
@@ -215,7 +228,19 @@ impl<'a> Executor<'a> {
             for (col, c) in space.constraints_of(&rem) {
                 req = req.with(t.schema.columns[col].name.clone(), c);
             }
-            let resp = self.market.get(&req)?;
+            // Resilient call: transient failures retry under the config's
+            // policy, charged against this executor's per-query budget. Each
+            // remainder is recorded in the store as soon as it is delivered,
+            // so a query that ultimately fails still keeps what it paid for —
+            // a re-run only buys the remainders that never arrived.
+            let resp = resilient_get(
+                self.market,
+                &req,
+                &self.cfg.retry,
+                &mut self.budget,
+                self.cfg.recorder.as_deref(),
+            )
+            .into_result()?;
             let records = resp.records();
             if let Some(rec) = &self.cfg.recorder {
                 rec.record_size("market.records_per_call", records);

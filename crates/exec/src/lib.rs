@@ -21,8 +21,10 @@
 
 #![warn(missing_docs)]
 
+pub mod call;
 pub mod download;
 pub mod engine;
 
+pub use call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
 pub use download::ensure_downloaded;
 pub use engine::{ExecConfig, Executor, QueryResult};

@@ -21,12 +21,14 @@
 
 pub mod billing;
 pub mod dataset;
+pub mod fault;
 pub mod market;
 pub mod request;
 pub mod wire;
 
 pub use billing::{BillingMeter, BillingReport, TableBilling};
 pub use dataset::{Dataset, MarketTable};
+pub use fault::{corrupt_body, FaultInjector, FaultKind, FaultPlan};
 pub use market::DataMarket;
 pub use request::{Request, Response};
 pub use wire::{decode_request, decode_rows, encode_request, encode_rows};

@@ -8,7 +8,9 @@ use payless_types::{transactions, PaylessError, Result, Schema, Transactions};
 
 use crate::billing::{BillingMeter, BillingReport};
 use crate::dataset::{Dataset, MarketTable};
+use crate::fault::{corrupt_body, FaultInjector, FaultKind};
 use crate::request::{Request, Response};
+use crate::wire::{decode_rows, encode_rows};
 
 /// A data market hosting one or more datasets.
 ///
@@ -24,6 +26,9 @@ pub struct DataMarket {
     /// Optional telemetry recorder; when attached (and enabled), every call
     /// appends a [`TransactionRecord`] to the per-query spend ledger.
     recorder: Mutex<Option<Arc<Recorder>>>,
+    /// Optional fault injector; when attached, every validated call
+    /// consults its [`crate::FaultPlan`] before (and while) serving.
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl DataMarket {
@@ -42,6 +47,7 @@ impl DataMarket {
             directory,
             meter: BillingMeter::new(),
             recorder: Mutex::new(None),
+            injector: Mutex::new(None),
         }
     }
 
@@ -55,6 +61,23 @@ impl DataMarket {
     /// Detach the telemetry recorder, if any.
     pub fn detach_recorder(&self) {
         *self.recorder.lock().unwrap() = None;
+    }
+
+    /// Attach a fault injector. Subsequent [`DataMarket::get`] calls consult
+    /// its plan; with no injector attached (or an empty plan) the call path
+    /// is byte-identical to a fault-free market.
+    pub fn attach_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.injector.lock().unwrap() = Some(injector);
+    }
+
+    /// Detach the fault injector, if any.
+    pub fn detach_fault_injector(&self) {
+        *self.injector.lock().unwrap() = None;
+    }
+
+    /// The attached fault injector, if any (tests read its accounting).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.injector.lock().unwrap().clone()
     }
 
     /// The dataset hosting `table`, if any.
@@ -169,10 +192,80 @@ impl DataMarket {
             }
         }
 
-        let rows = table.select(&resolved);
+        // Fault injection happens only on well-formed calls — a malformed
+        // request never reaches the network in the first place.
+        let injector = self.injector.lock().unwrap().clone();
+        let fault = injector.as_ref().and_then(|i| i.decide());
+        match fault {
+            Some(FaultKind::Unavailable) => {
+                self.note_fault(injector.as_deref(), FaultKind::Unavailable, 0);
+                return Err(PaylessError::Unavailable {
+                    table: request.table.clone(),
+                    detail: "injected transient seller failure (503)".into(),
+                });
+            }
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.note_fault(injector.as_deref(), FaultKind::Stall { millis }, 0);
+                if let Some(recorder) = self.recorder.lock().unwrap().as_ref() {
+                    recorder.record_size("market.stall_millis", millis);
+                }
+                // The call then delivers normally below.
+            }
+            _ => {}
+        }
+
+        let mut rows = table.select(&resolved);
         let records = rows.len() as u64;
         let charged = transactions(records, page);
         self.meter.charge(&request.table, records, charged);
+        // A truncated zero-page call has nothing to withhold; treat it as a
+        // clean (free) delivery.
+        let truncated = matches!(fault, Some(FaultKind::Truncate)) && charged > 0;
+        let corrupted = matches!(fault, Some(FaultKind::Corrupt));
+        self.record_ledger(request, records, page, charged, truncated || corrupted);
+
+        if truncated {
+            self.note_fault(injector.as_deref(), FaultKind::Truncate, charged);
+            // Withhold the final page's worth of rows: the client always
+            // sees billed pages exceeding ceil(returned / t).
+            rows.truncate(((charged - 1) * page) as usize);
+            return Ok(Response {
+                rows,
+                transactions: charged,
+            });
+        }
+        if corrupted {
+            self.note_fault(injector.as_deref(), FaultKind::Corrupt, charged);
+            // Round-trip the real payload through the wire codec with a
+            // mangled frame, so the corruption is *detected*, not assumed.
+            let body = corrupt_body(&encode_rows(&rows));
+            let detail = match decode_rows(&body) {
+                Err(e) => format!("corrupt payload: {e}"),
+                Ok(_) => "corrupt payload went undetected by the codec".into(),
+            };
+            return Err(PaylessError::BilledFailure {
+                table: request.table.clone(),
+                pages: charged,
+                records,
+                detail,
+            });
+        }
+        Ok(Response {
+            rows,
+            transactions: charged,
+        })
+    }
+
+    /// Mirror one charge into the telemetry spend ledger.
+    fn record_ledger(
+        &self,
+        request: &Request,
+        records: u64,
+        page: u64,
+        charged: u64,
+        wasted: bool,
+    ) {
         if let Some(recorder) = self.recorder.lock().unwrap().as_ref() {
             recorder.transaction(|| {
                 let ds = self
@@ -187,13 +280,20 @@ impl DataMarket {
                     page_size: page,
                     pages: charged,
                     price: ds.price.total(charged),
+                    wasted,
                 }
             });
         }
-        Ok(Response {
-            rows,
-            transactions: charged,
-        })
+    }
+
+    /// Book an injected fault with the injector and the fault-kind counters.
+    fn note_fault(&self, injector: Option<&FaultInjector>, kind: FaultKind, wasted_pages: u64) {
+        if let Some(inj) = injector {
+            inj.note(kind, wasted_pages);
+        }
+        if let Some(recorder) = self.recorder.lock().unwrap().as_ref() {
+            recorder.count(kind.counter(), 1);
+        }
     }
 }
 
@@ -397,5 +497,114 @@ mod tests {
             .unwrap();
         assert_eq!(p1.transactions, 6);
         assert!(p2.transactions < p1.transactions);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    fn us_weather() -> Request {
+        Request::to("Weather").with("Country", Constraint::eq("US"))
+    }
+
+    #[test]
+    fn injected_unavailable_bills_nothing() {
+        let m = toy_market();
+        m.attach_fault_injector(FaultInjector::new(
+            FaultPlan::none().at(0, FaultKind::Unavailable),
+        ));
+        let err = m.get(&us_weather());
+        assert!(matches!(err, Err(PaylessError::Unavailable { .. })));
+        assert_eq!(m.bill().calls(), 0);
+        assert_eq!(m.bill().transactions(), 0);
+        // The retry (call index 1) is past the schedule and succeeds.
+        let resp = m.get(&us_weather()).unwrap();
+        assert_eq!(resp.transactions, 6);
+        assert_eq!(m.fault_injector().unwrap().wasted_pages(), 0);
+    }
+
+    #[test]
+    fn injected_truncate_bills_full_pages_but_delivers_short() {
+        let m = toy_market();
+        m.attach_fault_injector(FaultInjector::new(
+            FaultPlan::none().at(0, FaultKind::Truncate),
+        ));
+        let resp = m.get(&us_weather()).unwrap();
+        // Billed all 6 pages of the 60-record result, returned only 5
+        // pages' worth — always detectable via Eq. (1).
+        assert_eq!(resp.transactions, 6);
+        assert_eq!(resp.records(), 50);
+        assert!(resp.transactions > transactions(resp.records(), 10));
+        assert_eq!(m.bill().transactions(), 6);
+        let inj = m.fault_injector().unwrap();
+        assert_eq!(inj.wasted_pages(), 6);
+        assert_eq!(inj.injections(), vec![("truncate", 1)]);
+    }
+
+    #[test]
+    fn injected_corrupt_is_a_billed_failure_detected_by_the_codec() {
+        let m = toy_market();
+        m.attach_fault_injector(FaultInjector::new(
+            FaultPlan::none().at(0, FaultKind::Corrupt),
+        ));
+        match m.get(&us_weather()) {
+            Err(PaylessError::BilledFailure {
+                pages,
+                records,
+                detail,
+                ..
+            }) => {
+                assert_eq!(pages, 6);
+                assert_eq!(records, 60);
+                assert!(detail.contains("corrupt payload"), "{detail}");
+            }
+            other => panic!("expected BilledFailure, got {other:?}"),
+        }
+        assert_eq!(m.bill().transactions(), 6); // the money is gone
+        assert_eq!(m.fault_injector().unwrap().wasted_pages(), 6);
+    }
+
+    #[test]
+    fn injected_stall_delivers_normally() {
+        let m = toy_market();
+        m.attach_fault_injector(FaultInjector::new(
+            FaultPlan::none().at(0, FaultKind::Stall { millis: 1 }),
+        ));
+        let resp = m.get(&us_weather()).unwrap();
+        assert_eq!(resp.records(), 60);
+        assert_eq!(m.bill().transactions(), 6);
+        let inj = m.fault_injector().unwrap();
+        assert_eq!(inj.wasted_pages(), 0);
+        assert_eq!(inj.injections(), vec![("stall", 1)]);
+    }
+
+    #[test]
+    fn empty_plan_injector_is_invisible() {
+        let plain = toy_market();
+        let injected = toy_market();
+        injected.attach_fault_injector(FaultInjector::new(FaultPlan::none()));
+        let ra = plain.get(&us_weather()).unwrap();
+        let rb = injected.get(&us_weather()).unwrap();
+        assert_eq!(ra.rows, rb.rows);
+        assert_eq!(ra.transactions, rb.transactions);
+        assert_eq!(plain.bill(), injected.bill());
+        assert_eq!(injected.fault_injector().unwrap().injections_total(), 0);
+    }
+
+    #[test]
+    fn malformed_requests_do_not_consume_fault_indices() {
+        let m = toy_market();
+        m.attach_fault_injector(FaultInjector::new(
+            FaultPlan::none().at(0, FaultKind::Unavailable),
+        ));
+        // Validation errors fire before injection; call index 0 is still
+        // pending afterwards.
+        assert!(m.get(&Request::download("Nope")).is_err());
+        assert!(matches!(
+            m.get(&us_weather()),
+            Err(PaylessError::Unavailable { .. })
+        ));
     }
 }

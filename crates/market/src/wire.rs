@@ -365,6 +365,49 @@ mod tests {
                         decode_request(&encode_request(&req2)).unwrap(), req2);
                 }
             }
+
+            #[test]
+            fn any_strict_prefix_is_rejected(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(arb_value(), 1..5), 1..8),
+                cut_frac in 0.0f64..1.0,
+            ) {
+                let rows: Vec<Row> = raw.into_iter().map(Row::new).collect();
+                let body = encode_rows(&rows);
+                // Any strict prefix leaves the frame short of its declared
+                // length and must be rejected.
+                let cut = ((body.len() as f64 - 1.0) * cut_frac) as usize;
+                prop_assert!(decode_rows(&body[..cut]).is_err());
+            }
+
+            #[test]
+            fn flipping_a_count_byte_is_rejected(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(arb_value(), 1..5), 0..8),
+                byte in 0usize..4,
+                bit in 0u8..8,
+            ) {
+                let rows: Vec<Row> = raw.into_iter().map(Row::new).collect();
+                let mut body = encode_rows(&rows);
+                // Corrupting the u32 row count always desynchronizes the
+                // frame: too many rows hits EOF, too few leaves trailing
+                // bytes (rows are at least 3 bytes each).
+                body[byte] ^= 1 << bit;
+                prop_assert!(decode_rows(&body).is_err());
+            }
+
+            #[test]
+            fn corrupt_body_is_always_rejected(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(arb_value(), 0..5), 0..8),
+            ) {
+                let rows: Vec<Row> = raw.into_iter().map(Row::new).collect();
+                // The injector's mangle function must never produce a frame
+                // the codec accepts — otherwise a Corrupt fault could leak
+                // bad data to the engine as a clean delivery.
+                let mangled = crate::fault::corrupt_body(&encode_rows(&rows));
+                prop_assert!(decode_rows(&mangled).is_err());
+            }
         }
     }
 }

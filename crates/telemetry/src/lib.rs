@@ -67,6 +67,10 @@ pub struct TransactionRecord {
     pub pages: u64,
     /// Money charged for this call.
     pub price: f64,
+    /// Was this spend wasted? `true` when the call was billed but its
+    /// payload never became usable data (truncated or corrupt delivery);
+    /// the resilient call layer re-buys such pages on retry.
+    pub wasted: bool,
 }
 
 impl ToJson for TransactionRecord {
@@ -80,6 +84,7 @@ impl ToJson for TransactionRecord {
             ("page_size", self.page_size.to_json()),
             ("pages", self.pages.to_json()),
             ("price", self.price.to_json()),
+            ("wasted", self.wasted.to_json()),
         ])
     }
 }
@@ -181,6 +186,37 @@ impl TelemetrySnapshot {
     /// Total tuples purchased across the ledger.
     pub fn total_records(&self) -> u64 {
         self.ledger.iter().map(|t| t.records).sum()
+    }
+
+    /// Calls billed without a usable delivery (truncated/corrupt payloads).
+    pub fn wasted_calls(&self) -> u64 {
+        self.ledger.iter().filter(|t| t.wasted).count() as u64
+    }
+
+    /// Pages billed without a usable delivery.
+    pub fn wasted_pages(&self) -> u64 {
+        self.ledger
+            .iter()
+            .filter(|t| t.wasted)
+            .map(|t| t.pages)
+            .sum()
+    }
+
+    /// Money billed without a usable delivery.
+    pub fn wasted_price(&self) -> f64 {
+        self.ledger
+            .iter()
+            .filter(|t| t.wasted)
+            .fold(0.0, |acc, t| acc + t.price)
+    }
+
+    /// Pages billed for calls whose payload *was* delivered. Together with
+    /// [`TelemetrySnapshot::wasted_pages`] this partitions
+    /// [`TelemetrySnapshot::total_pages`]: the billing meter's total must
+    /// always reconcile to `delivered + wasted` (Eq. (1) over successful
+    /// deliveries plus explicitly-accounted wasted spend).
+    pub fn delivered_pages(&self) -> u64 {
+        self.total_pages() - self.wasted_pages()
     }
 
     /// Per-dataset spend roll-up, in first-seen order.
@@ -293,7 +329,31 @@ mod tests {
             page_size: page,
             pages: records.div_ceil(page),
             price,
+            wasted: false,
         }
+    }
+
+    #[test]
+    fn wasted_spend_partitions_the_ledger() {
+        let mut bad = tx("a", 20, 4, 5.0);
+        bad.wasted = true;
+        let snap = TelemetrySnapshot {
+            ledger: vec![tx("a", 10, 4, 3.0), bad, tx("b", 4, 4, 1.0)],
+            ..Default::default()
+        };
+        assert_eq!(snap.total_pages(), 3 + 5 + 1);
+        assert_eq!(snap.wasted_calls(), 1);
+        assert_eq!(snap.wasted_pages(), 5);
+        assert_eq!(snap.delivered_pages(), 4);
+        assert!((snap.wasted_price() - 5.0).abs() < 1e-12);
+        assert_eq!(
+            snap.delivered_pages() + snap.wasted_pages(),
+            snap.total_pages()
+        );
+        // An all-clean ledger wastes nothing, positively-signed.
+        let clean = TelemetrySnapshot::default();
+        assert_eq!(clean.wasted_pages(), 0);
+        assert!(clean.wasted_price() == 0.0 && clean.wasted_price().is_sign_positive());
     }
 
     #[test]

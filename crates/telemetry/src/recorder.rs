@@ -239,6 +239,7 @@ mod tests {
             page_size: 3,
             pages: 4,
             price: 4.0,
+            wasted: false,
         });
         rec.count("plans", 2);
         rec.count("plans", 3);
@@ -271,6 +272,7 @@ mod tests {
             page_size: 3,
             pages: 0,
             price: 0.0,
+            wasted: false,
         });
         assert_eq!(rec.take().ledger[0].kind, CallKind::Download);
     }

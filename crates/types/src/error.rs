@@ -46,6 +46,51 @@ pub enum PaylessError {
     Infeasible(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
+    /// Transient seller-side failure (e.g. a 503): the call never executed
+    /// and **nothing was billed**. Safe to retry.
+    Unavailable {
+        /// The table the failed call targeted.
+        table: Arc<str>,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A market call was billed but its payload was unusable — a corrupt
+    /// wire frame, or a response carrying fewer tuples than the seller
+    /// charged for. The money is spent; retrying buys the data again.
+    BilledFailure {
+        /// The table the failed call targeted.
+        table: Arc<str>,
+        /// Pages (transactions) the seller charged for the failed call.
+        pages: u64,
+        /// Records the seller claims it served.
+        records: u64,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The resilient call layer gave up: a per-query retry or wasted-spend
+    /// budget was exhausted before a clean delivery.
+    BudgetExhausted {
+        /// The table whose call exhausted the budget.
+        table: Arc<str>,
+        /// Retries consumed by the query so far.
+        retries: u64,
+        /// Pages billed without a usable delivery so far.
+        wasted_pages: u64,
+        /// The last underlying failure.
+        detail: String,
+    },
+}
+
+impl PaylessError {
+    /// Is this a failure the resilient call layer may retry? Covers both
+    /// unbilled transient errors and billed-but-undelivered calls; every
+    /// other variant is a caller bug or a terminal condition.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PaylessError::Unavailable { .. } | PaylessError::BilledFailure { .. }
+        )
+    }
 }
 
 impl fmt::Display for PaylessError {
@@ -67,6 +112,31 @@ impl fmt::Display for PaylessError {
             PaylessError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             PaylessError::Infeasible(msg) => write!(f, "no feasible plan: {msg}"),
             PaylessError::Internal(msg) => write!(f, "internal error: {msg}"),
+            PaylessError::Unavailable { table, detail } => {
+                write!(
+                    f,
+                    "`{table}` temporarily unavailable (nothing billed): {detail}"
+                )
+            }
+            PaylessError::BilledFailure {
+                table,
+                pages,
+                records,
+                detail,
+            } => write!(
+                f,
+                "call to `{table}` billed {pages} pages ({records} records) but failed: {detail}"
+            ),
+            PaylessError::BudgetExhausted {
+                table,
+                retries,
+                wasted_pages,
+                detail,
+            } => write!(
+                f,
+                "budget exhausted on `{table}` after {retries} retries \
+                 ({wasted_pages} wasted pages): {detail}"
+            ),
         }
     }
 }
@@ -99,6 +169,41 @@ mod tests {
             message: "expected FROM".into(),
         };
         assert_eq!(e.to_string(), "parse error at byte 7: expected FROM");
+    }
+
+    #[test]
+    fn fault_variants_display_and_classify() {
+        let unavailable = PaylessError::Unavailable {
+            table: "Weather".into(),
+            detail: "503".into(),
+        };
+        assert_eq!(
+            unavailable.to_string(),
+            "`Weather` temporarily unavailable (nothing billed): 503"
+        );
+        let billed = PaylessError::BilledFailure {
+            table: "Weather".into(),
+            pages: 3,
+            records: 250,
+            detail: "corrupt frame".into(),
+        };
+        assert_eq!(
+            billed.to_string(),
+            "call to `Weather` billed 3 pages (250 records) but failed: corrupt frame"
+        );
+        let budget = PaylessError::BudgetExhausted {
+            table: "Weather".into(),
+            retries: 4,
+            wasted_pages: 9,
+            detail: "corrupt frame".into(),
+        };
+        assert!(budget.to_string().contains("after 4 retries"));
+        assert!(budget.to_string().contains("9 wasted pages"));
+
+        assert!(unavailable.is_transient());
+        assert!(billed.is_transient());
+        assert!(!budget.is_transient());
+        assert!(!PaylessError::UnknownTable("T".into()).is_transient());
     }
 
     #[test]
