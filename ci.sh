@@ -33,4 +33,19 @@ rm -f "$SMOKE_JSON"
 PAYLESS_JSON="$SMOKE_JSON" cargo bench -q --bench hotpath -- smoke
 cargo bench -q --bench hotpath -- validate "$SMOKE_JSON"
 
+echo "== explain smoke: one-shot EXPLAIN ANALYZE + report-shape validation =="
+# Run one EXPLAIN ANALYZE query end to end and validate the JSON dump:
+# a non-empty operators array with est + actual on every node, plus the
+# q-error section.
+EXPLAIN_JSON="$PWD/target/explain-smoke.json"
+rm -f "$EXPLAIN_JSON"
+cargo run -q -p payless-cli -- --explain-out "$EXPLAIN_JSON" \
+    '\explain SELECT * FROM Station, Weather WHERE Weather.Country = '\''Country0'\'' AND Weather.Date >= 1 AND Weather.Date <= 3 AND Station.StationID = Weather.StationID'
+cargo bench -q --bench hotpath -- validate-explain "$EXPLAIN_JSON"
+
+echo "== bench diff: fresh medians vs committed baselines (non-fatal) =="
+# Full-scale rerun compared against BENCH_sqr.json / BENCH_dp.json; timing
+# noise on shared hosts makes this advisory only.
+./scripts/bench_diff.sh || echo "warning: hot-path bench regressed vs committed baselines (non-fatal)"
+
 echo "CI OK"

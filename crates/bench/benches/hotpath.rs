@@ -11,6 +11,12 @@
 //! * `validate <file>` — check that a `PAYLESS_JSON` dump is well-formed
 //!   JSONL (one object per line with `figure` and `runs`); exits non-zero
 //!   otherwise
+//! * `diff <baseline.json>...` — re-run the full-scale benches and compare
+//!   each median against the committed `BENCH_*.json` baselines; exits
+//!   non-zero when any run regressed by more than 25%
+//! * `validate-explain <file>` — check an `--explain-out` report dump: a
+//!   non-empty `operators` array where every node carries both an `est`
+//!   and an `actual` object, plus a `q_error` section
 //!
 //! With no mode, `check`, `sqr`, and `dp` all run at full scale. Emit JSONL
 //! by setting `PAYLESS_JSON` (the `BENCH_sqr.json` / `BENCH_dp.json`
@@ -21,7 +27,7 @@
 use std::collections::HashMap;
 use std::hint::black_box;
 
-use payless_bench::micro::Runner;
+use payless_bench::micro::{fmt_ns, Runner};
 use payless_geometry::{region, QuerySpace, Region};
 use payless_optimizer::{optimize, OptimizerConfig};
 use payless_par::{max_threads, with_max_threads};
@@ -105,7 +111,7 @@ fn rewrite_cfg() -> RewriteConfig {
     }
 }
 
-fn bench_sqr(s: &Scale) {
+fn bench_sqr(s: &Scale) -> Runner {
     let (stats, store, q) = sqr_fixture(s);
     let stored = store.views("R", Consistency::Weak, 0).len();
     let mut r = Runner::new("hotpath_sqr");
@@ -152,7 +158,7 @@ fn bench_sqr(s: &Scale) {
     if let (Some(a), Some(b)) = (r.median_of(&seq_name), r.median_of(&par_name)) {
         r.note("speedup/sqr_rewrite", a / b);
     }
-    r.finish();
+    r
 }
 
 /// An n-table chain query over trained statistics, so every DP candidate
@@ -206,7 +212,7 @@ fn chain_query(
     (q, stats, store, meta)
 }
 
-fn bench_dp(s: &Scale) {
+fn bench_dp(s: &Scale) -> Runner {
     let n = s.dp_tables;
     let (q, stats, store, meta) = chain_query(n, s.dp_feedbacks);
     let mut r = Runner::new("hotpath_dp");
@@ -230,7 +236,7 @@ fn bench_dp(s: &Scale) {
             r.note(&format!("speedup/{strategy}"), a / b);
         }
     }
-    r.finish();
+    r
 }
 
 /// Byte-identical-output check: every parallel path must match the
@@ -321,6 +327,149 @@ fn validate(path: &str) {
     println!("validate: {path}: {lines} well-formed JSONL record(s)");
 }
 
+/// Maximum tolerated fresh/baseline median ratio before `diff` fails.
+const DIFF_TOLERANCE: f64 = 1.25;
+
+/// Load `name -> median_nanos` for every run in the given JSONL baselines.
+fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
+    let mut medians = HashMap::new();
+    for path in paths {
+        let data = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("diff: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        for line in data.lines().filter(|l| !l.trim().is_empty()) {
+            let parsed = match payless_json::parse(line) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("diff: {path}: malformed baseline JSON: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let runs = parsed
+                .get_opt("runs")
+                .and_then(|r| r.as_arr().ok())
+                .unwrap_or(&[]);
+            for run in runs {
+                if let (Some(name), Some(median)) = (
+                    run.get_opt("name").and_then(|n| n.as_str().ok()),
+                    run.get_opt("median_nanos").and_then(|m| m.as_f64().ok()),
+                ) {
+                    medians.insert(name.to_string(), median);
+                }
+            }
+        }
+    }
+    medians
+}
+
+/// Re-run the full-scale benches and compare each median against the
+/// committed baselines. Run names embed the scale (`225v`, `8t`), so only a
+/// full-scale rerun produces comparable keys; a fresh median more than
+/// `DIFF_TOLERANCE` times the baseline is a regression.
+fn diff(paths: &[String]) {
+    let baselines = load_baselines(paths);
+    if baselines.is_empty() {
+        eprintln!("diff: no baseline runs found in {paths:?}");
+        std::process::exit(1);
+    }
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+    for runner in [bench_sqr(&FULL), bench_dp(&FULL)] {
+        for name in runner.run_names() {
+            if let Some(median) = runner.median_of(&name) {
+                fresh.push((name, median));
+            }
+        }
+        runner.finish();
+    }
+
+    println!();
+    println!(
+        "{:<44} {:>10} {:>10} {:>7}",
+        "diff vs baseline", "fresh", "base", "ratio"
+    );
+    let mut regressions = 0;
+    let mut compared = 0;
+    for (name, median) in &fresh {
+        let Some(base) = baselines.get(name) else {
+            println!("{name:<44} {:>10} (no baseline — skipped)", fmt_ns(*median));
+            continue;
+        };
+        compared += 1;
+        let ratio = median / base;
+        let verdict = if ratio > DIFF_TOLERANCE {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<44} {:>10} {:>10} {ratio:>6.2}x {verdict}",
+            fmt_ns(*median),
+            fmt_ns(*base),
+        );
+    }
+    if compared == 0 {
+        eprintln!("diff: no fresh run matched a baseline name");
+        std::process::exit(1);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "diff: {regressions} run(s) regressed beyond {:.0}% of baseline",
+            (DIFF_TOLERANCE - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("diff: {compared} run(s) within {DIFF_TOLERANCE:.2}x of baseline");
+}
+
+/// Validate an `--explain-out` dump: the report must carry a non-empty
+/// `operators` array whose every node pairs an `est` object with an
+/// `actual` object, plus the `q_error` accuracy section.
+fn validate_explain(path: &str) {
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate-explain: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let parsed = match payless_json::parse(&data) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("validate-explain: {path}: malformed JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(ops) = parsed.get_opt("operators").and_then(|o| o.as_arr().ok()) else {
+        eprintln!("validate-explain: {path}: missing `operators` array");
+        std::process::exit(1);
+    };
+    if ops.is_empty() {
+        eprintln!("validate-explain: {path}: `operators` is empty (tracing off?)");
+        std::process::exit(1);
+    }
+    for (i, op) in ops.iter().enumerate() {
+        for side in ["est", "actual"] {
+            if op.get_opt(side).and_then(|s| s.as_obj().ok()).is_none() {
+                eprintln!("validate-explain: {path}: operator {i} lacks an `{side}` object");
+                std::process::exit(1);
+            }
+        }
+    }
+    if parsed.get_opt("q_error").is_none() {
+        eprintln!("validate-explain: {path}: missing `q_error` section");
+        std::process::exit(1);
+    }
+    println!(
+        "validate-explain: {path}: {} operator(s) with est+actual, q_error present",
+        ops.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args()
         .skip(1)
@@ -335,6 +484,23 @@ fn main() {
             }
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "validate-explain") {
+        match args.get(pos + 1) {
+            Some(path) => return validate_explain(path),
+            None => {
+                eprintln!("validate-explain: missing file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "diff") {
+        let paths = &args[pos + 1..];
+        if paths.is_empty() {
+            eprintln!("diff: missing baseline file argument(s)");
+            std::process::exit(1);
+        }
+        return diff(paths);
+    }
     let smoke = args.iter().any(|a| a == "smoke");
     let scale = if smoke { &SMOKE } else { &FULL };
     let all = smoke || args.is_empty();
@@ -344,9 +510,9 @@ fn main() {
         check_determinism(scale);
     }
     if wants("sqr") {
-        bench_sqr(scale);
+        bench_sqr(scale).finish();
     }
     if wants("dp") {
-        bench_dp(scale);
+        bench_dp(scale).finish();
     }
 }

@@ -92,6 +92,11 @@ impl Runner {
         self.results.push((name.to_string(), min, median, mean));
     }
 
+    /// Names of every recorded case, in bench order.
+    pub fn run_names(&self) -> Vec<String> {
+        self.results.iter().map(|(n, _, _, _)| n.clone()).collect()
+    }
+
     /// Median nanoseconds of a recorded case (for derived metrics).
     pub fn median_of(&self, name: &str) -> Option<f64> {
         self.results

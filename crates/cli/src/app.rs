@@ -2,13 +2,16 @@
 
 use std::sync::Arc;
 
-use payless_core::{build_market, DataMarket, PayLess, PayLessConfig, QueryReport};
+use payless_core::{
+    build_market, ChromeTraceBuilder, DataMarket, PayLess, PayLessConfig, QueryReport, SpendCell,
+};
+use payless_json::{Json, ToJson};
 use payless_workload::{
     Finance, FinanceConfig, QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig,
 };
 
 use crate::args::{CliArgs, WorkloadKind};
-use crate::render::{render_report, render_table};
+use crate::render::{render_explain, render_report, render_table};
 
 /// What the shell should do with a command's output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +29,18 @@ pub struct App {
     session_file: Option<String>,
     /// Report of the most recent traced query (for `\report`).
     last_report: Option<QueryReport>,
+    /// Destination for the session's Chrome-trace document, if requested.
+    trace_out: Option<String>,
+    /// Destination for `\explain` JSON reports, if requested.
+    explain_out: Option<String>,
+    /// Accumulates every traced query's telemetry into one trace document.
+    trace_builder: ChromeTraceBuilder,
+    /// Session-wide dataset × call-kind spend cells, merged across queries.
+    spend_cells: Vec<SpendCell>,
+    /// Summed estimated pages SQR saved (vs the no-SQR counterfactual).
+    sqr_savings_est: f64,
+    /// Summed regret vs the ideal Download-All price (negative = we won).
+    regret_da: f64,
 }
 
 impl App {
@@ -83,7 +98,65 @@ impl App {
             session,
             session_file: args.session_file.clone(),
             last_report: None,
+            trace_out: args.trace_out.clone(),
+            explain_out: args.explain_out.clone(),
+            trace_builder: ChromeTraceBuilder::new(),
+            spend_cells: Vec::new(),
+            sqr_savings_est: 0.0,
+            regret_da: 0.0,
         })
+    }
+
+    /// Fold one traced query into the session-wide trace and rollup.
+    fn note_report(&mut self, name: &str, report: &QueryReport) {
+        if self.trace_out.is_some() {
+            self.trace_builder.add_query(name, &report.telemetry);
+        }
+        for cell in report.spend_rollup() {
+            match self
+                .spend_cells
+                .iter_mut()
+                .find(|c| c.dataset == cell.dataset && c.kind == cell.kind)
+            {
+                Some(c) => {
+                    c.calls += cell.calls;
+                    c.records += cell.records;
+                    c.pages += cell.pages;
+                    c.price += cell.price;
+                }
+                None => self.spend_cells.push(cell),
+            }
+        }
+        self.sqr_savings_est += report.est_sqr_savings().unwrap_or(0.0);
+        self.regret_da += report.regret_vs_download_all().unwrap_or(0.0);
+    }
+
+    /// Flush end-of-session artifacts (the `--trace-out` document). Returns
+    /// a message to print, if anything was written.
+    pub fn finish(&mut self) -> Option<String> {
+        let path = self.trace_out.clone()?;
+        if self.trace_builder.is_empty() {
+            return Some(format!(
+                "no traced queries — {path} not written (is --trace on?)"
+            ));
+        }
+        let bill = self.market.bill();
+        let other = Json::obj([
+            ("queries", self.trace_builder.queries().to_json()),
+            ("transactions", bill.transactions().to_json()),
+            ("calls", bill.calls().to_json()),
+            ("records", bill.records().to_json()),
+            ("spend", self.spend_cells.to_json()),
+            ("est_sqr_savings", self.sqr_savings_est.to_json()),
+            ("regret_vs_download_all", self.regret_da.to_json()),
+        ]);
+        let doc = std::mem::take(&mut self.trace_builder).finish(other);
+        match std::fs::write(&path, doc.to_string_pretty()) {
+            Ok(()) => Some(format!(
+                "trace written to {path} (open in chrome://tracing or ui.perfetto.dev)"
+            )),
+            Err(e) => Some(format!("warning: writing trace `{path}`: {e}")),
+        }
     }
 
     /// Greeting shown when the shell starts.
@@ -193,6 +266,39 @@ impl App {
                     if rest.is_empty() {
                         return Reply::Text("usage: \\explain <SQL>".into());
                     }
+                    let before = self.market.bill().transactions();
+                    match self.session.explain_analyze(rest) {
+                        Ok(out) => {
+                            let report = out.report.expect("explain analyze always traces");
+                            let mut s = render_explain(&report);
+                            s.push_str(&format!(
+                                "paid {} transactions (estimated {:.1}); plan: {}\n",
+                                self.market.bill().transactions() - before,
+                                out.est_cost,
+                                out.plan.as_deref().unwrap_or("-"),
+                            ));
+                            if let Some(path) = self.explain_out.clone() {
+                                let json = report.to_json().to_string_pretty();
+                                match std::fs::write(&path, json) {
+                                    Ok(()) => {
+                                        s.push_str(&format!("explain report written to {path}\n"))
+                                    }
+                                    Err(e) => {
+                                        s.push_str(&format!("warning: writing `{path}`: {e}\n"))
+                                    }
+                                }
+                            }
+                            self.note_report(rest, &report);
+                            self.last_report = Some(report);
+                            Reply::Text(s)
+                        }
+                        Err(e) => Reply::Text(format!("error: {e}")),
+                    }
+                }
+                "estimate" => {
+                    if rest.is_empty() {
+                        return Reply::Text("usage: \\estimate <SQL>".into());
+                    }
                     match self.session.explain(rest) {
                         Ok((plan, cost)) => {
                             Reply::Text(format!("plan: {plan}\nestimated cost: {cost:.1}"))
@@ -247,6 +353,7 @@ impl App {
                 ));
                 if let Some(report) = out.report {
                     s.push_str(&render_report(&report));
+                    self.note_report(line, &report);
                     self.last_report = Some(report);
                 }
                 Reply::Text(s)
@@ -304,14 +411,105 @@ mod tests {
     }
 
     #[test]
-    fn explain_does_not_charge() {
+    fn estimate_does_not_charge() {
         let mut a = app();
         let before = a.market.bill().transactions();
-        match a.handle("\\explain SELECT * FROM Weather WHERE Weather.Country = 'Country0'") {
+        match a.handle("\\estimate SELECT * FROM Weather WHERE Weather.Country = 'Country0'") {
             Reply::Text(s) => assert!(s.contains("plan:"), "{s}"),
             other => panic!("{other:?}"),
         }
         assert_eq!(a.market.bill().transactions(), before);
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_prints_the_tree() {
+        let mut a = app();
+        let before = a.market.bill().transactions();
+        match a.handle(
+            "\\explain SELECT Temperature FROM Station, Weather WHERE \
+             Station.Country = 'Country0' AND Weather.Date >= 1 AND \
+             Weather.Date <= 3 AND Station.StationID = Weather.StationID",
+        ) {
+            Reply::Text(s) => {
+                assert!(s.contains("explain analyze"), "{s}");
+                assert!(s.contains("est: rows"), "{s}");
+                assert!(s.contains("act: rows"), "{s}");
+                assert!(s.contains("totals:"), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN ANALYZE executes, so it charges.
+        assert!(a.market.bill().transactions() > before);
+        // The report is retained for `\report`, with operators populated.
+        let report = a.last_report.as_ref().expect("report retained");
+        assert!(!report.ops.is_empty());
+        assert_eq!(report.operator_pages(), report.total_pages());
+        // Tracing returns to its pre-\explain state (off by default).
+        match a.handle("SELECT COUNT(*) FROM Station WHERE Country = 'Country0'") {
+            Reply::Text(s) => assert!(!s.contains("query report"), "{s}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_out_writes_report_json() {
+        let dir = std::env::temp_dir().join(format!("payless-explain-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("explain.json");
+        let mut a = App::new(&CliArgs {
+            scale: 0.01,
+            explain_out: Some(path.to_str().unwrap().to_string()),
+            ..CliArgs::default()
+        })
+        .unwrap();
+        match a.handle(
+            "\\explain SELECT * FROM Weather WHERE Weather.Country = 'Country0' \
+             AND Weather.Date >= 1 AND Weather.Date <= 3",
+        ) {
+            Reply::Text(s) => assert!(s.contains("explain report written"), "{s}"),
+            other => panic!("{other:?}"),
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = payless_json::parse(&text).unwrap();
+        let operators = json.get("operators").unwrap().as_arr().unwrap();
+        assert!(!operators.is_empty());
+        for op in operators {
+            assert!(op.get_opt("est").is_some(), "{op:?}");
+            assert!(op.get_opt("actual").is_some(), "{op:?}");
+        }
+        assert!(json.get_opt("q_error").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_accumulates_and_finish_writes_the_document() {
+        let dir = std::env::temp_dir().join(format!("payless-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let mut a = App::new(&CliArgs {
+            scale: 0.01,
+            trace: true,
+            trace_out: Some(path.to_str().unwrap().to_string()),
+            ..CliArgs::default()
+        })
+        .unwrap();
+        a.handle(
+            "SELECT * FROM Weather WHERE Weather.Country = 'Country0' \
+             AND Weather.Date >= 1 AND Weather.Date <= 3",
+        );
+        a.handle("SELECT COUNT(*) FROM Station WHERE Country = 'Country1'");
+        let msg = a.finish().expect("trace-out configured");
+        assert!(msg.contains("trace written"), "{msg}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = payless_json::parse(&text).unwrap();
+        let events = json.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let other = json.get("otherData").unwrap();
+        assert_eq!(other.get("queries").unwrap().as_u64().unwrap(), 2);
+        assert!(!other.get("spend").unwrap().as_arr().unwrap().is_empty());
+        assert!(other.get_opt("est_sqr_savings").is_some());
+        assert!(other.get_opt("regret_vs_download_all").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct CliArgs {
     /// Per-query tracing: print an `EXPLAIN ANALYZE`-style report (spend
     /// ledger, SQR hits, plan-search effort, phase timings) after each query.
     pub trace: bool,
+    /// Write a `chrome://tracing` / Perfetto JSON document covering every
+    /// traced query to this file on exit. Implies `trace`.
+    pub trace_out: Option<String>,
+    /// Write the most recent `\explain` report as JSON to this file.
+    pub explain_out: Option<String>,
     /// One-shot SQL; when `None` the shell goes interactive.
     pub sql: Option<String>,
 }
@@ -44,6 +49,8 @@ impl Default for CliArgs {
             mode: Mode::PayLess,
             session_file: None,
             trace: false,
+            trace_out: None,
+            explain_out: None,
             sql: None,
         }
     }
@@ -67,6 +74,11 @@ OPTIONS:
     --trace                           per-query report: spend ledger, SQR
                                       hits, plan search, phase timings
                                       (alias: --report)
+    --trace-out <file>                write a chrome://tracing / Perfetto
+                                      JSON trace of every traced query on
+                                      exit (implies --trace)
+    --explain-out <file>              write the latest \\explain report as
+                                      JSON to <file>
     -h, --help                        this text
 
 Without SQL, an interactive shell starts. Shell commands:
@@ -74,7 +86,9 @@ Without SQL, an interactive shell starts. Shell commands:
     \\bill            the cumulative bill
     \\coverage        per-table semantic-store coverage
     \\history         recent queries with estimated vs actual cost
-    \\explain <SQL>   plan + estimated cost without executing
+    \\explain <SQL>   EXPLAIN ANALYZE: execute and print the plan tree with
+                     estimated vs actual rows/pages/price per operator
+    \\estimate <SQL>  plan + estimated cost without executing (free)
     \\save <file>     persist the session
     \\quit            exit (saving the session if --session was given)";
 
@@ -129,6 +143,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
             }
             "--session" => out.session_file = Some(take_value(&mut i)?),
             "--trace" | "--report" => out.trace = true,
+            "--trace-out" => {
+                out.trace_out = Some(take_value(&mut i)?);
+                out.trace = true;
+            }
+            "--explain-out" => out.explain_out = Some(take_value(&mut i)?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"))
             }
@@ -184,6 +203,22 @@ mod tests {
         assert!(parse_args(&argv(&["--trace"])).unwrap().trace);
         assert!(parse_args(&argv(&["--report"])).unwrap().trace);
         assert!(!parse_args(&[]).unwrap().trace);
+    }
+
+    #[test]
+    fn trace_out_implies_trace() {
+        let a = parse_args(&argv(&["--trace-out", "trace.json"])).unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
+        assert!(a.trace);
+        assert!(parse_args(&argv(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn explain_out_takes_a_path() {
+        let a = parse_args(&argv(&["--explain-out", "explain.json"])).unwrap();
+        assert_eq!(a.explain_out.as_deref(), Some("explain.json"));
+        assert!(!a.trace, "explain-out alone leaves tracing off");
+        assert!(parse_args(&argv(&["--explain-out"])).is_err());
     }
 
     #[test]

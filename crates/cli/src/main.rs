@@ -26,6 +26,9 @@ fn main() {
         match app.handle(sql) {
             Reply::Text(s) | Reply::Quit(s) => println!("{s}"),
         }
+        if let Some(msg) = app.finish() {
+            println!("{msg}");
+        }
         return;
     }
 
@@ -57,5 +60,8 @@ fn main() {
                 break;
             }
         }
+    }
+    if let Some(msg) = app.finish() {
+        println!("{msg}");
     }
 }

@@ -67,6 +67,51 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Render the per-operator estimate-vs-actual traces as an
+/// `EXPLAIN ANALYZE` tree (pre-order, indented by depth).
+pub fn render_explain(report: &QueryReport) -> String {
+    if report.ops.is_empty() {
+        return "(no operator traces — tracing was off for this query)\n".into();
+    }
+    let mut s = String::from("── explain analyze ──\n");
+    for op in &report.ops {
+        let pad = "  ".repeat(op.depth);
+        s.push_str(&format!("{pad}{}  [{}]\n", op.label, op.est.provenance));
+        let e = &op.est;
+        let mut line = format!(
+            "{pad}  est: rows {:.1}  pages {:.1}  price ${:.2}  calls {:.1}",
+            e.rows, e.pages, e.price, e.calls
+        );
+        if let Some(u) = e.uncovered_fraction {
+            line.push_str(&format!("  uncovered {:.0}%", u * 100.0));
+        }
+        if e.zero_price {
+            line.push_str("  zero-price");
+        }
+        s.push_str(&line);
+        s.push('\n');
+        let a = &op.actual;
+        s.push_str(&format!(
+            "{pad}  act: rows {}  pages {} (+{} wasted)  records {}  calls {}  retries {}  {}\n",
+            a.rows,
+            a.pages,
+            a.wasted_pages,
+            a.records,
+            a.calls,
+            a.retries,
+            fmt_ns(a.nanos),
+        ));
+    }
+    let est_pages: f64 = report.ops.iter().map(|o| o.est.pages).sum();
+    s.push_str(&format!(
+        "totals: est {:.1} pages -> {} billed to operators ({} on the ledger)\n",
+        est_pages,
+        report.operator_pages(),
+        report.total_pages(),
+    ));
+    s
+}
+
 /// Render a traced query's report, `EXPLAIN ANALYZE`-style.
 pub fn render_report(report: &QueryReport) -> String {
     let mut s = String::from(
@@ -180,6 +225,28 @@ pub fn render_report(report: &QueryReport) -> String {
             },
             retries.unwrap_or(0),
         ));
+    }
+    // Estimate accuracy: one line per estimator backend and per table.
+    if !report.telemetry.qerrors.is_empty() {
+        s.push_str(&format!(
+            "q-error: {} estimates scored
+",
+            report.telemetry.qerrors.len(),
+        ));
+        for (name, q) in report.q_error_by_estimator() {
+            s.push_str(&format!(
+                "  estimator {:<8} n={} geo-mean {:.2} p50 {:.2} p95 {:.2} max {:.2}
+",
+                name, q.count, q.geo_mean, q.p50, q.p95, q.max,
+            ));
+        }
+        for (name, q) in report.q_error_by_table() {
+            s.push_str(&format!(
+                "  table {:<12} n={} geo-mean {:.2} p50 {:.2} p95 {:.2} max {:.2}
+",
+                name, q.count, q.geo_mean, q.p50, q.p95, q.max,
+            ));
+        }
     }
     let by_dataset = report.spend_by_dataset();
     if !by_dataset.is_empty() {
@@ -311,6 +378,7 @@ mod tests {
                     pages: 7,
                     price: 7.0,
                     wasted: false,
+                    at_nanos: 0,
                 }],
                 sqr: SqrStats {
                     full_hits: 1,
@@ -319,6 +387,7 @@ mod tests {
                 },
                 ..Default::default()
             },
+            ..Default::default()
         };
         let s = render_report(&report);
         assert!(s.contains("analyze 1.2 µs"), "{s}");
@@ -355,6 +424,7 @@ mod tests {
             pages,
             price: pages as f64,
             wasted,
+            at_nanos: 0,
         };
         let report = QueryReport {
             paid_transactions: 9,

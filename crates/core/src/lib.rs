@@ -50,8 +50,10 @@ pub use payless_optimizer::PlanCounters;
 pub use payless_semantic::Consistency;
 pub use payless_sql::SelectStmt;
 pub use payless_stats::StatsBackend;
+pub use payless_stats::{q_error, QErrorAccumulator, QErrorSummary};
 pub use payless_telemetry::{
-    CallKind, DatasetSpend, Recorder, SqrStats, TelemetrySnapshot, TransactionRecord,
+    CallKind, ChromeTraceBuilder, DatasetSpend, OperatorActual, OperatorEstimate, OperatorTrace,
+    QErrorRecord, Recorder, SpendCell, SqrStats, TelemetrySnapshot, TransactionRecord,
 };
 pub use report::QueryReport;
 pub use session::{

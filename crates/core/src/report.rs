@@ -10,7 +10,8 @@
 
 use payless_json::{Json, ToJson};
 use payless_optimizer::PlanCounters;
-use payless_telemetry::{DatasetSpend, SqrStats, TelemetrySnapshot};
+use payless_stats::{QErrorAccumulator, QErrorSummary};
+use payless_telemetry::{DatasetSpend, OperatorTrace, SpendCell, SqrStats, TelemetrySnapshot};
 
 /// Everything observable about one executed query.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +31,15 @@ pub struct QueryReport {
     pub counters: PlanCounters,
     /// Spend ledger, SQR statistics, operator spans, counters, histograms.
     pub telemetry: TelemetrySnapshot,
+    /// Per-operator estimate-vs-actual traces, in the plan's pre-order
+    /// (`EXPLAIN ANALYZE`). Empty when introspection was off.
+    pub ops: Vec<OperatorTrace>,
+    /// What the optimizer would have estimated with SQR disabled — the
+    /// counterfactual price the store's coverage saved.
+    pub est_no_sqr_cost: Option<f64>,
+    /// The ideal Download-All price for the query's market tables (Eq. (1)
+    /// over their full cardinalities): the paper's upper-bound baseline.
+    pub download_all_cost: Option<f64>,
 }
 
 impl QueryReport {
@@ -52,6 +62,63 @@ impl QueryReport {
     /// SQR cache effectiveness for this query.
     pub fn sqr(&self) -> &SqrStats {
         &self.telemetry.sqr
+    }
+
+    /// Pages billed to operators (delivered + wasted), summed over the plan.
+    /// Reconciles with [`QueryReport::total_pages`] when every call the
+    /// query made belongs to an operator (i.e. not Download All's prefetch).
+    pub fn operator_pages(&self) -> u64 {
+        self.ops.iter().map(|o| o.actual.billed_pages()).sum()
+    }
+
+    /// Q-error summaries grouped by estimator backend, first-seen order.
+    pub fn q_error_by_estimator(&self) -> Vec<(&'static str, QErrorSummary)> {
+        let mut groups: Vec<(&'static str, QErrorAccumulator)> = Vec::new();
+        for rec in &self.telemetry.qerrors {
+            match groups.iter_mut().find(|(k, _)| *k == rec.estimator) {
+                Some((_, acc)) => acc.record(rec.q),
+                None => {
+                    let mut acc = QErrorAccumulator::new();
+                    acc.record(rec.q);
+                    groups.push((rec.estimator, acc));
+                }
+            }
+        }
+        groups.into_iter().map(|(k, a)| (k, a.summary())).collect()
+    }
+
+    /// Q-error summaries grouped by table, first-seen order.
+    pub fn q_error_by_table(&self) -> Vec<(String, QErrorSummary)> {
+        let mut groups: Vec<(String, QErrorAccumulator)> = Vec::new();
+        for rec in &self.telemetry.qerrors {
+            match groups.iter_mut().find(|(k, _)| *k == *rec.table) {
+                Some((_, acc)) => acc.record(rec.q),
+                None => {
+                    let mut acc = QErrorAccumulator::new();
+                    acc.record(rec.q);
+                    groups.push((rec.table.to_string(), acc));
+                }
+            }
+        }
+        groups.into_iter().map(|(k, a)| (k, a.summary())).collect()
+    }
+
+    /// Spend attribution: dataset × call-kind cells, first-purchase order.
+    pub fn spend_rollup(&self) -> Vec<SpendCell> {
+        self.telemetry.spend_by_dataset_kind()
+    }
+
+    /// Estimated pages SQR saved this query (no-SQR estimate minus the
+    /// chosen plan's estimate); `None` when the counterfactual wasn't costed.
+    pub fn est_sqr_savings(&self) -> Option<f64> {
+        self.est_no_sqr_cost.map(|n| n - self.est_cost)
+    }
+
+    /// Pages paid minus the ideal Download-All price: negative means the
+    /// pay-as-you-go plan beat the download-everything baseline.
+    pub fn regret_vs_download_all(&self) -> Option<f64> {
+        self.download_all_cost
+            .map(|d| self.paid_transactions as f64 - d)
     }
 
     /// Machine-readable form, consumed by the bench figure binaries and by
@@ -82,8 +149,59 @@ impl QueryReport {
                 ]),
             ),
             ("telemetry", self.telemetry.to_json()),
+            ("operators", self.ops.to_json()),
+            (
+                "q_error",
+                Json::obj([
+                    ("samples", (self.telemetry.qerrors.len() as u64).to_json()),
+                    (
+                        "by_estimator",
+                        Json::Arr(
+                            self.q_error_by_estimator()
+                                .into_iter()
+                                .map(|(k, s)| tagged_summary("estimator", k.to_string(), s))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "by_table",
+                        Json::Arr(
+                            self.q_error_by_table()
+                                .into_iter()
+                                .map(|(k, s)| tagged_summary("table", k, s))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "rollup",
+                Json::obj([
+                    ("spend", self.spend_rollup().to_json()),
+                    ("est_cost", self.est_cost.to_json()),
+                    ("est_no_sqr_cost", self.est_no_sqr_cost.to_json()),
+                    ("est_sqr_savings", self.est_sqr_savings().to_json()),
+                    ("download_all_cost", self.download_all_cost.to_json()),
+                    (
+                        "regret_vs_download_all",
+                        self.regret_vs_download_all().to_json(),
+                    ),
+                ]),
+            ),
         ])
     }
+}
+
+/// A [`QErrorSummary`] object with a `{tag: name}` discriminator merged in.
+fn tagged_summary(tag: &'static str, name: String, summary: QErrorSummary) -> Json {
+    Json::obj([
+        (tag, Json::Str(name)),
+        ("count", summary.count.to_json()),
+        ("geo_mean", summary.geo_mean.to_json()),
+        ("p50", summary.p50.to_json()),
+        ("p95", summary.p95.to_json()),
+        ("max", summary.max.to_json()),
+    ])
 }
 
 #[cfg(test)]

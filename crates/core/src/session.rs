@@ -303,6 +303,61 @@ impl PayLess {
         Ok((optimized.plan.render(&names), optimized.cost.primary))
     }
 
+    /// `EXPLAIN ANALYZE`: run `sql` with tracing forced on and return the
+    /// outcome, whose report carries per-operator estimate-vs-actual traces
+    /// ([`QueryReport::ops`]), q-error scores, and the spend rollup.
+    ///
+    /// Unlike [`PayLess::explain`] this *executes* the plan, so the market
+    /// is called and money is spent — actuals cannot exist otherwise. The
+    /// session's tracing flag is restored afterwards.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<QueryOutcome> {
+        let was_on = self.recorder.is_enabled();
+        self.recorder.set_enabled(true);
+        let out = self.query(sql);
+        self.recorder.set_enabled(was_on);
+        out
+    }
+
+    /// The optimizer's estimate for `query` with semantic rewriting
+    /// disabled: the counterfactual "what would this cost if the store's
+    /// coverage didn't exist". Skipped (None) for modes that never rewrite.
+    fn est_no_sqr_cost(&self, query: &AnalyzedQuery) -> Option<f64> {
+        let mut cfg = self.optimizer_config();
+        if !cfg.sqr {
+            return None;
+        }
+        cfg.sqr = false;
+        cfg.introspect = false;
+        optimize(
+            query,
+            &self.stats,
+            &self.store,
+            self.market.as_ref(),
+            &cfg,
+            self.now,
+        )
+        .ok()
+        .map(|o| o.cost.primary)
+    }
+
+    /// The ideal Download-All price for `query`: one full scan of every
+    /// referenced market table at its page size (Eq. (1)), ignoring what the
+    /// session has already downloaded.
+    fn query_download_all_cost(&self, query: &AnalyzedQuery) -> Option<f64> {
+        let mut total = 0u64;
+        let mut any = false;
+        for t in &query.tables {
+            if t.location != TableLocation::Market {
+                continue;
+            }
+            any = true;
+            let cardinality = self.market.cardinality(&t.name)?;
+            let page = self.market.page_size(&t.name)?;
+            total += payless_optimizer::download_all_cost(cardinality, page);
+        }
+        any.then_some(total as f64)
+    }
+
     /// Bind `params` into a template, then optimize and execute it.
     pub fn execute_template(
         &mut self,
@@ -332,10 +387,10 @@ impl PayLess {
     fn run(&mut self, query: &AnalyzedQuery) -> Result<QueryOutcome> {
         self.now += 1;
         let tracing = self.recorder.is_enabled();
-        if tracing {
-            // Discard anything a previous (untraced or failed) query left.
-            let _ = self.recorder.take();
-        }
+        // Start a fresh per-query epoch *unconditionally*: a previous query
+        // that failed mid-flight, or ran while tracing was toggled, must not
+        // leak its ledger (wasted/delivered partition) into this one.
+        self.recorder.begin_epoch();
         let paid_before = self.market.bill().transactions();
         let exec_cfg = ExecConfig {
             sqr: matches!(self.cfg.mode, Mode::PayLess | Mode::DownloadAll),
@@ -390,7 +445,8 @@ impl PayLess {
             }
         }
 
-        let opt_cfg = self.optimizer_config();
+        let mut opt_cfg = self.optimizer_config();
+        opt_cfg.introspect = tracing;
         let t0 = Instant::now();
         let optimized = optimize(
             query,
@@ -414,17 +470,31 @@ impl PayLess {
         );
         let result = executor.execute(&optimized.plan)?;
         let execute_nanos = t1.elapsed().as_nanos() as u64;
+        let actuals = executor.op_actuals().to_vec();
 
         let names = |t: usize| query.tables[t].name.to_string();
-        let report = tracing.then(|| QueryReport {
-            analyze_nanos: 0, // patched in by execute_template
-            optimize_nanos,
-            execute_nanos,
-            est_cost: optimized.cost.primary,
-            paid_transactions: self.market.bill().transactions() - paid_before,
-            counters: optimized.counters,
-            telemetry: self.recorder.take(),
-        });
+        let report = if tracing {
+            // Zip the optimizer's estimates with the executor's actuals:
+            // both sides number operators in pre-order.
+            let mut ops = optimized.ops.clone();
+            for (trace, actual) in ops.iter_mut().zip(actuals) {
+                trace.actual = actual;
+            }
+            Some(QueryReport {
+                analyze_nanos: 0, // patched in by execute_template
+                optimize_nanos,
+                execute_nanos,
+                est_cost: optimized.cost.primary,
+                paid_transactions: self.market.bill().transactions() - paid_before,
+                counters: optimized.counters,
+                telemetry: self.recorder.take(),
+                ops,
+                est_no_sqr_cost: self.est_no_sqr_cost(query),
+                download_all_cost: self.query_download_all_cost(query),
+            })
+        } else {
+            None
+        };
         Ok(QueryOutcome {
             result,
             plan: Some(render_plan(&optimized.plan, &names)),
@@ -813,6 +883,81 @@ mod tests {
         // Results come back in submission order.
         assert_eq!(out.outcomes[0].result.rows.len(), 50);
         assert_eq!(out.outcomes[1].result.rows.len(), 100);
+    }
+
+    #[test]
+    fn explain_analyze_pairs_estimates_with_actuals() {
+        let (market, mut pl, _) = session(Mode::PayLess);
+        assert!(!pl.tracing_enabled());
+        let out = pl
+            .explain_analyze(
+                "SELECT Temperature FROM Station, Weather WHERE \
+                 Station.Country = 'Country1' AND \
+                 Weather.Date >= 5 AND Weather.Date <= 9 AND \
+                 Station.StationID = Weather.StationID",
+            )
+            .unwrap();
+        // The flag is restored, the query really executed and paid.
+        assert!(!pl.tracing_enabled());
+        assert!(market.bill().transactions() > 0);
+        let report = out.report.expect("explain analyze always traces");
+        assert!(!report.ops.is_empty());
+        // Every operator carries both sides; ids are pre-order.
+        for (i, op) in report.ops.iter().enumerate() {
+            assert_eq!(op.id, i);
+            assert!(!op.label.is_empty());
+        }
+        // The plan bought pages, and they reconcile with the ledger.
+        assert!(report.operator_pages() > 0);
+        assert_eq!(report.operator_pages(), report.total_pages());
+        assert_eq!(report.paid_transactions, report.total_pages());
+        // Estimates were scored against actuals at the feedback chokepoint.
+        assert!(!report.telemetry.qerrors.is_empty());
+        for q in &report.telemetry.qerrors {
+            assert!(q.q >= 1.0 && q.q.is_finite());
+        }
+        // Counterfactuals: SQR savings and the Download-All baseline.
+        assert!(report.est_no_sqr_cost.is_some());
+        let da = report.download_all_cost.expect("market tables referenced");
+        assert!(da > 0.0);
+        // Report JSON carries the new sections.
+        let json = report.to_json();
+        assert!(!json.get("operators").unwrap().as_arr().unwrap().is_empty());
+        assert!(json.get("q_error").is_ok());
+        assert!(json.get("rollup").is_ok());
+    }
+
+    #[test]
+    fn sequential_queries_report_independent_ledgers() {
+        // Satellite regression: the second query's report must not inherit
+        // the first one's wasted/delivered partition.
+        let (_, mut pl, _) = session(Mode::PayLess);
+        pl.enable_tracing(true);
+        let first = pl
+            .query(
+                "SELECT * FROM Weather WHERE Weather.Country = 'Country1' AND \
+                 Weather.Date >= 5 AND Weather.Date <= 9",
+            )
+            .unwrap()
+            .report
+            .unwrap();
+        let second = pl
+            .query(
+                "SELECT * FROM Weather WHERE Weather.Country = 'Country2' AND \
+                 Weather.Date >= 5 AND Weather.Date <= 9",
+            )
+            .unwrap()
+            .report
+            .unwrap();
+        assert!(first.total_pages() > 0);
+        assert!(second.total_pages() > 0);
+        // Each ledger holds only its own query's lines.
+        assert_eq!(
+            first.total_pages() + second.total_pages(),
+            first.paid_transactions + second.paid_transactions
+        );
+        // The epoch reset restarts the ledger's sequence numbering.
+        assert_eq!(second.telemetry.ledger[0].seq, 0);
     }
 
     #[test]

@@ -77,6 +77,19 @@ pub fn ensure_downloaded(
         let records = resp.records();
         db.table_or_create(table).insert_all(resp.rows);
         if let Some(ts) = stats.table_mut(name) {
+            // Score the pre-feedback estimate, as the engine does for
+            // remainders and probes.
+            if let Some(rec) = recorder {
+                let estimate = ts.estimate(&piece);
+                let estimator = ts.estimator_label();
+                rec.q_error(|| payless_telemetry::QErrorRecord {
+                    table: table.table.clone(),
+                    estimator,
+                    estimate,
+                    actual: records,
+                    q: payless_stats::q_error(estimate, records as f64),
+                });
+            }
             ts.feedback(&piece, records);
         }
         store.record(name, piece, now);

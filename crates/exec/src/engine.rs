@@ -11,10 +11,10 @@ use payless_semantic::{rewrite, Consistency, CoverClass, RewriteConfig, Semantic
 use payless_sql::{AccessConstraint, AnalyzedQuery, OutputItem, ResidualPred, TableLocation};
 use payless_stats::StatsRegistry;
 use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec, Database};
-use payless_telemetry::{CallKind, Recorder};
+use payless_telemetry::{CallKind, OperatorActual, QErrorRecord, Recorder};
 use payless_types::{PaylessError, Result, Row, Value};
 
-use crate::call::{resilient_get, CallBudget, RetryPolicy};
+use crate::call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
 
 /// Execution-time configuration (mirrors the optimizer's).
 #[derive(Debug, Clone)]
@@ -64,6 +64,12 @@ pub struct Executor<'a> {
     now: u64,
     /// Per-query retry/waste accounting, shared by every call this plan makes.
     budget: CallBudget,
+    /// Per-operator actuals, indexed by the plan's pre-order operator id —
+    /// the same numbering `introspect::annotate` uses for estimates.
+    ops: Vec<OperatorActual>,
+    /// Pre-order id of the operator whose market calls are in flight;
+    /// `ensure_region` attributes pages/retries/waste to it.
+    cur_op: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -88,18 +94,29 @@ impl<'a> Executor<'a> {
             cfg,
             now,
             budget: CallBudget::default(),
+            ops: Vec::new(),
+            cur_op: 0,
         }
     }
 
     /// Run the plan and produce the final result.
     pub fn execute(&mut self, plan: &PlanNode) -> Result<QueryResult> {
-        let (rows, layout) = self.run(plan)?;
+        self.ops = vec![OperatorActual::default(); plan.node_count()];
+        let (rows, layout) = self.run(plan, 0)?;
         self.finish(rows, &layout)
     }
 
     /// Retry/waste accounting accumulated by this executor so far.
     pub fn budget(&self) -> CallBudget {
         self.budget
+    }
+
+    /// Per-operator actuals in pre-order, matching the optimizer's
+    /// `OperatorTrace` numbering. Wall time is inclusive of children
+    /// (standard `EXPLAIN ANALYZE` semantics). Partially filled if the plan
+    /// failed mid-flight — pages bought before the failure stay attributed.
+    pub fn op_actuals(&self) -> &[OperatorActual] {
+        &self.ops
     }
 
     /// The correct (empty) result of an unsatisfiable query, produced
@@ -113,7 +130,11 @@ impl<'a> Executor<'a> {
     // Plan interpretation
     // ------------------------------------------------------------------
 
-    fn run(&mut self, node: &PlanNode) -> Result<(Vec<Row>, Vec<usize>)> {
+    /// Interpret `node`, attributing actuals to pre-order operator `op`:
+    /// a node's own id comes first, then its left subtree, then its right —
+    /// the same numbering `introspect::annotate` emits estimates in.
+    fn run(&mut self, node: &PlanNode, op: usize) -> Result<(Vec<Row>, Vec<usize>)> {
+        let started = std::time::Instant::now();
         let _span = self.cfg.recorder.as_ref().map(|rec| {
             let label = match node {
                 PlanNode::Access { .. } => "exec.access",
@@ -130,11 +151,14 @@ impl<'a> Executor<'a> {
                 PlanNode::Join { .. } => None,
             })
         });
-        match node {
-            PlanNode::Access { table, method } => self.run_access(*table, *method),
+        let out = match node {
+            PlanNode::Access { table, method } => {
+                self.cur_op = op;
+                self.run_access(*table, *method)
+            }
             PlanNode::Join { left, right } => {
-                let (lrows, llay) = self.run(left)?;
-                let (rrows, rlay) = self.run(right)?;
+                let (lrows, llay) = self.run(left, op + 1)?;
+                let (rrows, rlay) = self.run(right, op + 1 + left.node_count())?;
                 let (lk, rk) = self.join_keys(&llay, &rlay);
                 let rows = hash_join(&lrows, &rrows, &lk, &rk);
                 let mut layout = llay;
@@ -142,7 +166,9 @@ impl<'a> Executor<'a> {
                 Ok((rows, layout))
             }
             PlanNode::BindJoin { left, table, binds } => {
-                let (lrows, llay) = self.run(left)?;
+                let (lrows, llay) = self.run(left, op + 1)?;
+                // The bind join is one operator; its probes bill to `op`.
+                self.cur_op = op;
                 let rrows = self.run_bind_probe(*table, binds, &lrows, &llay)?;
                 let rlay = vec![*table];
                 let (lk, rk) = self.join_keys(&llay, &rlay);
@@ -152,7 +178,14 @@ impl<'a> Executor<'a> {
                 layout.push(*table);
                 Ok((rows, layout))
             }
+        };
+        if let Some(slot) = self.ops.get_mut(op) {
+            slot.nanos = started.elapsed().as_nanos() as u64;
+            if let Ok((rows, _)) = &out {
+                slot.rows = rows.len() as u64;
+            }
         }
+        out
     }
 
     fn run_access(&mut self, tid: usize, method: AccessMethod) -> Result<(Vec<Row>, Vec<usize>)> {
@@ -233,20 +266,68 @@ impl<'a> Executor<'a> {
             // remainder is recorded in the store as soon as it is delivered,
             // so a query that ultimately fails still keeps what it paid for —
             // a re-run only buys the remainders that never arrived.
-            let resp = resilient_get(
+            let outcome = resilient_get(
                 self.market,
                 &req,
                 &self.cfg.retry,
                 &mut self.budget,
                 self.cfg.recorder.as_deref(),
-            )
-            .into_result()?;
+            );
+            let slot = self.ops.get_mut(self.cur_op);
+            let resp = match outcome {
+                CallOutcome::Delivered {
+                    response,
+                    attempts,
+                    wasted_pages,
+                } => {
+                    if let Some(slot) = slot {
+                        slot.calls += 1;
+                        slot.retries += u64::from(attempts.saturating_sub(1));
+                        slot.pages += response.transactions;
+                        slot.wasted_pages += wasted_pages;
+                        slot.records += response.records();
+                    }
+                    response
+                }
+                CallOutcome::BilledAndFailed {
+                    error,
+                    attempts,
+                    wasted_pages,
+                } => {
+                    if let Some(slot) = slot {
+                        slot.calls += 1;
+                        slot.retries += u64::from(attempts.saturating_sub(1));
+                        slot.wasted_pages += wasted_pages;
+                    }
+                    return Err(error);
+                }
+                CallOutcome::FailedFree { error, attempts } => {
+                    if let Some(slot) = slot {
+                        slot.calls += 1;
+                        slot.retries += u64::from(attempts.saturating_sub(1));
+                    }
+                    return Err(error);
+                }
+            };
             let records = resp.records();
             if let Some(rec) = &self.cfg.recorder {
                 rec.record_size("market.records_per_call", records);
             }
             self.db.table_or_create(&t.schema).insert_all(resp.rows);
             if let Some(ts) = self.stats.table_mut(&t.name) {
+                // Score the estimate the optimizer planned with *before*
+                // feedback repairs it — afterwards it would always be exact.
+                if let Some(rec) = &self.cfg.recorder {
+                    let estimate = ts.estimate(&rem);
+                    let estimator = ts.estimator_label();
+                    rec.q_error(|| QErrorRecord {
+                        table: t.name.clone(),
+                        estimator,
+                        estimate,
+                        actual: records,
+                        q: payless_stats::q_error(estimate, records as f64),
+                    });
+                }
                 ts.feedback(&rem, records);
             }
             // Coverage is only ever *read* when rewriting is on; without SQR
@@ -873,6 +954,48 @@ mod tests {
         assert_eq!(out.rows[19], row!(20, 1));
         assert_eq!(out.rows[20], row!(1, 2));
         assert_eq!(out.rows[39], row!(20, 2));
+    }
+
+    #[test]
+    fn op_actuals_attribute_pages_in_preorder() {
+        let mut f = fixture();
+        let q = analyzed(
+            &f,
+            "SELECT * FROM Users, Events WHERE city = 'A' AND \
+             Users.uid = Events.uid AND day >= 1 AND day <= 2",
+        );
+        let plan = PlanNode::bind_join(
+            PlanNode::access(0, AccessMethod::Local),
+            1,
+            vec![BindPair {
+                left: (0, 0),
+                right_col: 0,
+            }],
+        );
+        let cfg = ExecConfig::default();
+        let mut ex = Executor::new(
+            &q,
+            &f.market,
+            &mut f.db,
+            &mut f.store,
+            &mut f.stats,
+            &cfg,
+            1,
+        );
+        let out = ex.execute(&plan).unwrap();
+        assert_eq!(out.rows.len(), 20);
+        let ops = ex.op_actuals();
+        assert_eq!(ops.len(), 2, "bind join is one operator plus its left");
+        // ops[0] is the bind join: every probe bills to it.
+        assert_eq!(ops[0].calls, 10);
+        assert_eq!(ops[0].records, 20);
+        assert_eq!(ops[0].rows, 20);
+        // ops[1] is the local scan: free, but row-counted and timed.
+        assert_eq!(ops[1].pages, 0);
+        assert_eq!(ops[1].rows, 10);
+        // Per-operator billed pages reconcile with the market's meter.
+        let billed: u64 = ops.iter().map(|o| o.billed_pages()).sum();
+        assert_eq!(billed, f.market.bill().transactions());
     }
 
     #[test]

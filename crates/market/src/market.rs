@@ -281,6 +281,7 @@ impl DataMarket {
                     pages: charged,
                     price: ds.price.total(charged),
                     wasted,
+                    at_nanos: 0, // stamped by the recorder
                 }
             });
         }

@@ -143,6 +143,21 @@ impl Cost {
     }
 }
 
+/// A per-operator cost estimate in physical units, independent of the cost
+/// model's packing into [`Cost`]: billable transactions (pages), market
+/// calls, and retrieved records. Used by `EXPLAIN` introspection, where the
+/// tree must always show pages/calls regardless of the optimization
+/// objective.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EstBreakdown {
+    /// Estimated billable transactions (pages).
+    pub transactions: f64,
+    /// Estimated market calls.
+    pub calls: f64,
+    /// Estimated records retrieved.
+    pub records: f64,
+}
+
 /// Everything cost estimation needs, prepared once per query.
 pub struct CostCtx<'a> {
     /// The analyzed query.
@@ -376,9 +391,17 @@ impl<'a> CostCtx<'a> {
     /// Cost of fetching `tid`'s required regions (semantic rewriting applied
     /// when enabled). `None` when a direct fetch is infeasible.
     pub fn fetch_cost(&self, tid: usize) -> Option<Cost> {
+        self.fetch_breakdown(tid)
+            .map(|b| self.pack(b.transactions, b.calls, b.records))
+    }
+
+    /// The raw per-operator estimate behind [`CostCtx::fetch_cost`], kept in
+    /// physical units (transactions / calls / records) regardless of the
+    /// cost model, for `EXPLAIN` introspection.
+    pub fn fetch_breakdown(&self, tid: usize) -> Option<EstBreakdown> {
         let t = &self.query.tables[tid];
         if t.location == TableLocation::Local {
-            return Some(Cost::ZERO);
+            return Some(EstBreakdown::default());
         }
         if !self.fetch_feasible(tid) {
             return None;
@@ -408,7 +431,11 @@ impl<'a> CostCtx<'a> {
                 records += est;
             }
         }
-        Some(self.pack(tx, calls, records))
+        Some(EstBreakdown {
+            transactions: tx,
+            calls,
+            records,
+        })
     }
 
     /// The bind pairs available for `tid` given `left_tables` on the left,
@@ -522,6 +549,13 @@ impl<'a> CostCtx<'a> {
     /// Cost of bind-joining `tid` with binding values flowing from a left
     /// side estimated at `left_rows` rows over `left_tables`.
     pub fn bind_cost(&self, tid: usize, binds: &[BindPair], left_rows: f64) -> Cost {
+        let b = self.bind_breakdown(tid, binds, left_rows);
+        self.pack(b.transactions, b.calls, b.records)
+    }
+
+    /// The raw per-operator estimate behind [`CostCtx::bind_cost`], in
+    /// physical units for `EXPLAIN` introspection.
+    pub fn bind_breakdown(&self, tid: usize, binds: &[BindPair], left_rows: f64) -> EstBreakdown {
         let page = self.pages[tid];
         // Distinct binding combinations the left side emits.
         let d_left: f64 = binds
@@ -559,7 +593,21 @@ impl<'a> CostCtx<'a> {
         } else {
             paying * est_transactions(per_call, page)
         };
-        self.pack(tx, calls, matched)
+        EstBreakdown {
+            transactions: tx,
+            calls,
+            records: matched,
+        }
+    }
+
+    /// Fraction of `tid`'s required regions the store does *not* cover —
+    /// the SQR-coverage assumption behind the operator's estimate. `1.0`
+    /// when SQR is off or nothing usable is stored.
+    pub fn est_uncovered_fraction(&self, tid: usize) -> f64 {
+        if !self.sqr {
+            return 1.0;
+        }
+        self.uncovered_fraction(tid, self.table_rows(tid))
     }
 
     /// Fraction of `tid`'s required regions not covered by stored views

@@ -49,6 +49,12 @@ pub struct OptimizerConfig {
     /// Theorem 3 ablation: compose join-disconnected subsets from their
     /// components. Only affects the left-deep engine.
     pub partition_pruning: bool,
+    /// Produce per-operator estimate annotations ([`Optimized::ops`]) for
+    /// `EXPLAIN ANALYZE`. Off by default: the annotation walk re-costs the
+    /// chosen plan, which is wasted work when nobody introspects (it runs
+    /// on a fresh context, so search counters are never perturbed either
+    /// way).
+    pub introspect: bool,
 }
 
 impl OptimizerConfig {
@@ -62,6 +68,7 @@ impl OptimizerConfig {
             consistency: Consistency::Weak,
             zero_price_first: true,
             partition_pruning: true,
+            introspect: false,
         }
     }
 
@@ -103,6 +110,10 @@ pub struct Optimized {
     pub cost: Cost,
     /// Search-effort counters (Figures 14–15).
     pub counters: PlanCounters,
+    /// Per-operator estimate annotations in pre-order, with zeroed actuals
+    /// for the executor to fill in. Empty unless
+    /// [`OptimizerConfig::introspect`] is set.
+    pub ops: Vec<payless_telemetry::OperatorTrace>,
 }
 
 /// Optimize an analyzed query.
@@ -136,10 +147,27 @@ pub fn optimize(
         cfg.rewrite.clone(),
         cfg.model,
     )?;
-    match cfg.strategy {
+    let mut out = match cfg.strategy {
         SearchStrategy::LeftDeep => left_deep(&ctx, cfg),
         SearchStrategy::Bushy => bushy(&ctx),
+    }?;
+    if cfg.introspect {
+        // A fresh context, so re-costing the winner cannot disturb the
+        // search counters the ablation figures (and their tests) compare.
+        let actx = CostCtx::new(
+            query,
+            stats,
+            store,
+            meta,
+            cfg.consistency,
+            now,
+            cfg.sqr,
+            cfg.rewrite.clone(),
+            cfg.model,
+        )?;
+        out.ops = crate::introspect::annotate(&actx, cfg, &out.plan);
     }
+    Ok(out)
 }
 
 /// One step of a left-deep spine.
@@ -252,6 +280,7 @@ fn left_deep(ctx: &CostCtx<'_>, cfg: &OptimizerConfig) -> Result<Optimized> {
         plan,
         cost: entry.cost,
         counters: ctx.counters(),
+        ops: Vec::new(),
     })
 }
 
@@ -538,6 +567,7 @@ fn bushy(ctx: &CostCtx<'_>) -> Result<Optimized> {
         plan: materialize_bushy(&best, full)?,
         cost: entry.cost,
         counters: ctx.counters(),
+        ops: Vec::new(),
     })
 }
 
@@ -709,6 +739,58 @@ mod tests {
         );
         assert!(out.plan.is_left_deep());
         assert!(out.cost.primary < 100.0, "cost {:?}", out.cost);
+    }
+
+    #[test]
+    fn introspection_annotates_every_operator_in_preorder() {
+        let f = whw_fixture();
+        let q = q1(&f);
+        let base = optimize(
+            &q,
+            &f.stats,
+            &f.store,
+            &f.meta,
+            &OptimizerConfig::payless(),
+            0,
+        )
+        .unwrap();
+        assert!(base.ops.is_empty(), "annotations are opt-in");
+        let cfg = OptimizerConfig {
+            introspect: true,
+            ..OptimizerConfig::payless()
+        };
+        let out = optimize(&q, &f.stats, &f.store, &f.meta, &cfg, 0).unwrap();
+        // Introspection must not change the search outcome or its effort.
+        assert_eq!(out.plan, base.plan);
+        assert_eq!(out.cost.primary.to_bits(), base.cost.primary.to_bits());
+        assert_eq!(
+            out.counters.plans_considered,
+            base.counters.plans_considered
+        );
+        assert_eq!(
+            out.counters.boxes_enumerated,
+            base.counters.boxes_enumerated
+        );
+
+        assert_eq!(out.ops.len(), out.plan.node_count());
+        for (i, op) in out.ops.iter().enumerate() {
+            assert_eq!(op.id, i, "ids are the pre-order index");
+        }
+        let root = &out.ops[0];
+        assert!(root.parent.is_none());
+        assert!(root.label.contains("bind-join"), "{}", root.label);
+        assert!(root.est.pages > 0.0);
+        assert_eq!(root.est.uncovered_fraction, Some(1.0), "empty store");
+        for op in &out.ops[1..] {
+            assert!(op.parent.expect("non-root has parent") < op.id);
+        }
+        // The per-operator page estimates decompose the plan's cost.
+        let sum: f64 = out.ops.iter().map(|o| o.est.pages).sum();
+        assert!(
+            (sum - out.cost.primary).abs() < 1e-6,
+            "{sum} vs {:?}",
+            out.cost
+        );
     }
 
     #[test]

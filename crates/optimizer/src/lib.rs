@@ -27,12 +27,13 @@
 pub mod baselines;
 pub mod cost;
 pub mod dp;
+mod introspect;
 pub mod plan;
 
 #[cfg(test)]
 mod tests_cost;
 
 pub use baselines::{download_all_cost, min_calls_optimize};
-pub use cost::{CostCtx, CostModel, MarketMeta, PlanCounters};
+pub use cost::{CostCtx, CostModel, EstBreakdown, MarketMeta, PlanCounters};
 pub use dp::{optimize, Optimized, OptimizerConfig, SearchStrategy};
 pub use plan::{AccessMethod, BindPair, PlanNode};

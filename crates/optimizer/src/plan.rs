@@ -124,6 +124,18 @@ impl PlanNode {
         }
     }
 
+    /// Number of operator nodes in the subtree. A bind join is **one**
+    /// operator (its probes are the operator's own market calls, not a
+    /// child), so introspection attributes probe spend to the bind join
+    /// itself.
+    pub fn node_count(&self) -> usize {
+        match self {
+            PlanNode::Access { .. } => 1,
+            PlanNode::Join { left, right } => 1 + left.node_count() + right.node_count(),
+            PlanNode::BindJoin { left, .. } => 1 + left.node_count(),
+        }
+    }
+
     /// Render with table names resolved through `names`.
     pub fn render(&self, names: &dyn Fn(usize) -> String) -> String {
         match self {

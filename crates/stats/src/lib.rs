@@ -32,6 +32,7 @@
 pub mod independence;
 pub mod isomer;
 mod json;
+pub mod qerror;
 pub mod registry;
 pub mod table_stats;
 
@@ -76,5 +77,6 @@ impl_cardinality_model!(registry::TableModel);
 
 pub use independence::PerDimStats;
 pub use isomer::IsomerStats;
+pub use qerror::{q_error, QErrorAccumulator, QErrorSummary, Q_ERROR_CAP};
 pub use registry::{StatsBackend, StatsRegistry, TableModel};
 pub use table_stats::TableStats;

@@ -94,6 +94,17 @@ impl TableModel {
         }
     }
 
+    /// Short label naming the estimator backend, matching the registry's
+    /// JSON encoding ("multi" / "per-dim" / "isomer"); used to attribute
+    /// q-error scores to the model that produced the estimate.
+    pub fn estimator_label(&self) -> &'static str {
+        match self {
+            TableModel::Multi(_) => "multi",
+            TableModel::PerDim(_) => "per-dim",
+            TableModel::Isomer(_) => "isomer",
+        }
+    }
+
     /// Learned bucket count (zero for the per-dim backend, whose buckets
     /// live inside its 1-D models); exposed for the bench harness.
     pub fn bucket_count(&self) -> usize {

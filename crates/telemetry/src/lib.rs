@@ -15,9 +15,11 @@
 
 mod metrics;
 mod recorder;
+mod trace_export;
 
 pub use metrics::{Histogram, HistogramSummary};
 pub use recorder::{Recorder, SpanGuard};
+pub use trace_export::ChromeTraceBuilder;
 
 use payless_json::{Json, ToJson};
 use std::sync::Arc;
@@ -71,6 +73,9 @@ pub struct TransactionRecord {
     /// payload never became usable data (truncated or corrupt delivery);
     /// the resilient call layer re-buys such pages on retry.
     pub wasted: bool,
+    /// Nanoseconds since the recorder's current epoch (query start); filled
+    /// in by the recorder like `seq`.
+    pub at_nanos: u64,
 }
 
 impl ToJson for TransactionRecord {
@@ -85,6 +90,7 @@ impl ToJson for TransactionRecord {
             ("pages", self.pages.to_json()),
             ("price", self.price.to_json()),
             ("wasted", self.wasted.to_json()),
+            ("at_nanos", self.at_nanos.to_json()),
         ])
     }
 }
@@ -125,6 +131,8 @@ pub struct SpanRecord {
     pub label: &'static str,
     /// Lazily built detail string (only materialised while recording).
     pub detail: Option<String>,
+    /// Nanoseconds since the recorder's epoch when the span opened.
+    pub start_nanos: u64,
     pub nanos: u64,
 }
 
@@ -134,6 +142,7 @@ impl ToJson for SpanRecord {
             ("start_seq", self.start_seq.to_json()),
             ("label", Json::str(self.label)),
             ("detail", self.detail.to_json()),
+            ("start_nanos", self.start_nanos.to_json()),
             ("nanos", self.nanos.to_json()),
         ])
     }
@@ -144,6 +153,8 @@ impl ToJson for SpanRecord {
 pub struct EventRecord {
     pub label: &'static str,
     pub detail: String,
+    /// Nanoseconds since the recorder's epoch.
+    pub at_nanos: u64,
 }
 
 impl ToJson for EventRecord {
@@ -151,6 +162,155 @@ impl ToJson for EventRecord {
         Json::obj([
             ("label", Json::str(self.label)),
             ("detail", self.detail.to_json()),
+            ("at_nanos", self.at_nanos.to_json()),
+        ])
+    }
+}
+
+/// One scored cardinality estimate: what the statistics layer predicted for
+/// a purchased region versus the records the market actually returned.
+///
+/// Appended at the executor's feedback chokepoint *before* the actual is
+/// folded back into the histogram, so `q` measures the estimate the
+/// optimizer actually planned with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorRecord {
+    /// Table the estimate was for.
+    pub table: Arc<str>,
+    /// Statistics backend that produced the estimate ("multi", "per-dim",
+    /// "isomer").
+    pub estimator: &'static str,
+    /// Predicted cardinality.
+    pub estimate: f64,
+    /// Records the market actually delivered.
+    pub actual: u64,
+    /// The q-error: `max(est/actual, actual/est)`, clamped (see
+    /// `payless_stats::q_error`). Always `>= 1`.
+    pub q: f64,
+}
+
+impl ToJson for QErrorRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", self.table.to_json()),
+            ("estimator", Json::str(self.estimator)),
+            ("estimate", self.estimate.to_json()),
+            ("actual", self.actual.to_json()),
+            ("q", self.q.to_json()),
+        ])
+    }
+}
+
+/// The optimizer's belief about one plan operator, captured when the plan
+/// was chosen (`EXPLAIN` side of `EXPLAIN ANALYZE`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorEstimate {
+    /// Estimated rows flowing out of the operator.
+    pub rows: f64,
+    /// Estimated billable pages (transactions) the operator purchases.
+    pub pages: f64,
+    /// Estimated money, under the market's unit page price.
+    pub price: f64,
+    /// Estimated market calls the operator issues.
+    pub calls: f64,
+    /// SQR-coverage assumption: fraction of the operator's region the
+    /// semantic store does *not* cover (1.0 = nothing reusable, 0.0 = fully
+    /// covered). `None` for operators that never touch the market.
+    pub uncovered_fraction: Option<f64>,
+    /// `true` when Theorem 2 hoisted this operator into the zero-price
+    /// prefix (its inputs cost no money, so DP never enumerated it).
+    pub zero_price: bool,
+    /// Which part of the plan search produced this operator.
+    pub provenance: &'static str,
+}
+
+impl ToJson for OperatorEstimate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("pages", self.pages.to_json()),
+            ("price", self.price.to_json()),
+            ("calls", self.calls.to_json()),
+            ("uncovered_fraction", self.uncovered_fraction.to_json()),
+            ("zero_price", self.zero_price.to_json()),
+            ("provenance", Json::str(self.provenance)),
+        ])
+    }
+}
+
+/// What one plan operator actually did during execution (`ANALYZE` side).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorActual {
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Records the market delivered to this operator.
+    pub records: u64,
+    /// Billable pages of *usable* deliveries attributed to this operator.
+    pub pages: u64,
+    /// Billable pages bought but never usable (truncated/corrupt payloads
+    /// re-bought on retry).
+    pub wasted_pages: u64,
+    /// Market calls issued (successful final attempts).
+    pub calls: u64,
+    /// Extra attempts beyond the first, across all of the operator's calls.
+    pub retries: u64,
+    /// Wall time spent inside the operator (includes its children).
+    pub nanos: u64,
+}
+
+impl OperatorActual {
+    /// Everything billed on behalf of this operator: usable plus wasted.
+    pub fn billed_pages(&self) -> u64 {
+        self.pages + self.wasted_pages
+    }
+}
+
+impl ToJson for OperatorActual {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("records", self.records.to_json()),
+            ("pages", self.pages.to_json()),
+            ("wasted_pages", self.wasted_pages.to_json()),
+            ("calls", self.calls.to_json()),
+            ("retries", self.retries.to_json()),
+            ("nanos", self.nanos.to_json()),
+        ])
+    }
+}
+
+/// One node of an `EXPLAIN ANALYZE` tree: estimate and actual side by side.
+///
+/// Nodes are stored in pre-order; `id` is the pre-order index and `parent`
+/// links the tree back together for renderers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorTrace {
+    /// Pre-order index of the node in its plan.
+    pub id: usize,
+    /// Pre-order index of the parent (`None` for the root).
+    pub parent: Option<usize>,
+    /// Depth in the tree (root = 0), for indentation.
+    pub depth: usize,
+    /// Operator label, e.g. `"fetch Weather"`, `"bind-join Quote"`, `"⋈"`.
+    pub label: String,
+    /// Table the operator reads, when it reads one.
+    pub table: Option<String>,
+    /// The optimizer's belief.
+    pub est: OperatorEstimate,
+    /// What execution observed.
+    pub actual: OperatorActual,
+}
+
+impl ToJson for OperatorTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("parent", self.parent.map(|p| p as u64).to_json()),
+            ("depth", self.depth.to_json()),
+            ("label", self.label.to_json()),
+            ("table", self.table.to_json()),
+            ("est", self.est.to_json()),
+            ("actual", self.actual.to_json()),
         ])
     }
 }
@@ -162,6 +322,9 @@ pub struct TelemetrySnapshot {
     pub sqr: SqrStats,
     pub spans: Vec<SpanRecord>,
     pub events: Vec<EventRecord>,
+    /// Cardinality estimates scored against market actuals, in feedback
+    /// order.
+    pub qerrors: Vec<QErrorRecord>,
     /// Monotonic counters, sorted by name.
     pub counters: Vec<(&'static str, u64)>,
     /// Duration histograms (nanoseconds), sorted by name.
@@ -234,6 +397,66 @@ impl TelemetrySnapshot {
         }
         out
     }
+
+    /// Spend attribution at dataset × call-kind granularity, in first-seen
+    /// order: which provider got paid, and for which call shape.
+    pub fn spend_by_dataset_kind(&self) -> Vec<SpendCell> {
+        let mut out: Vec<SpendCell> = Vec::new();
+        for t in &self.ledger {
+            match out
+                .iter_mut()
+                .find(|c| c.dataset == t.dataset && c.kind == t.kind)
+            {
+                Some(c) => c.absorb(t),
+                None => {
+                    let mut c = SpendCell {
+                        dataset: t.dataset.clone(),
+                        kind: t.kind,
+                        calls: 0,
+                        records: 0,
+                        pages: 0,
+                        price: 0.0,
+                    };
+                    c.absorb(t);
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the dataset × call-kind spend-attribution rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpendCell {
+    pub dataset: Arc<str>,
+    pub kind: CallKind,
+    pub calls: u64,
+    pub records: u64,
+    pub pages: u64,
+    pub price: f64,
+}
+
+impl SpendCell {
+    fn absorb(&mut self, t: &TransactionRecord) {
+        self.calls += 1;
+        self.records += t.records;
+        self.pages += t.pages;
+        self.price += t.price;
+    }
+}
+
+impl ToJson for SpendCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("kind", Json::str(self.kind.label())),
+            ("calls", self.calls.to_json()),
+            ("records", self.records.to_json()),
+            ("pages", self.pages.to_json()),
+            ("price", self.price.to_json()),
+        ])
+    }
 }
 
 impl ToJson for TelemetrySnapshot {
@@ -243,6 +466,7 @@ impl ToJson for TelemetrySnapshot {
             ("sqr", self.sqr.to_json()),
             ("spans", self.spans.to_json()),
             ("events", self.events.to_json()),
+            ("q_errors", self.qerrors.to_json()),
             (
                 "counters",
                 Json::Obj(
@@ -330,6 +554,7 @@ mod tests {
             pages: records.div_ceil(page),
             price,
             wasted: false,
+            at_nanos: 0,
         }
     }
 
@@ -377,6 +602,75 @@ mod tests {
         assert_eq!(spend[0].pages, 5);
         assert_eq!(spend[1].dataset.as_ref(), "b");
         assert_eq!(spend[1].pages, 0);
+    }
+
+    #[test]
+    fn snapshot_rolls_up_by_dataset_and_kind() {
+        let mut probe = tx("a", 3, 4, 1.0);
+        probe.kind = CallKind::BindProbe;
+        let snap = TelemetrySnapshot {
+            ledger: vec![tx("a", 10, 4, 3.0), probe, tx("a", 5, 4, 2.0)],
+            ..Default::default()
+        };
+        let cells = snap.spend_by_dataset_kind();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].kind, CallKind::Remainder);
+        assert_eq!(cells[0].calls, 2);
+        assert_eq!(cells[0].pages, 5);
+        assert_eq!(cells[1].kind, CallKind::BindProbe);
+        assert_eq!(cells[1].pages, 1);
+        let j = cells[1].to_json();
+        assert_eq!(j.get("kind").unwrap().as_str().unwrap(), "bind-probe");
+    }
+
+    #[test]
+    fn operator_trace_serialises_est_and_actual() {
+        let op = OperatorTrace {
+            id: 1,
+            parent: Some(0),
+            depth: 1,
+            label: "fetch Weather".into(),
+            table: Some("Weather".into()),
+            est: OperatorEstimate {
+                rows: 120.0,
+                pages: 2.0,
+                price: 2.0,
+                calls: 1.0,
+                uncovered_fraction: Some(0.25),
+                zero_price: false,
+                provenance: "dp-left-deep",
+            },
+            actual: OperatorActual {
+                rows: 110,
+                records: 110,
+                pages: 2,
+                wasted_pages: 1,
+                calls: 1,
+                retries: 1,
+                nanos: 42,
+            },
+        };
+        assert_eq!(op.actual.billed_pages(), 3);
+        let j = op.to_json();
+        assert_eq!(
+            j.get("est")
+                .unwrap()
+                .get("pages")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            2.0
+        );
+        assert_eq!(
+            j.get("actual")
+                .unwrap()
+                .get("wasted_pages")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert_eq!(j.get("parent").unwrap().as_u64().unwrap(), 0);
     }
 
     #[test]

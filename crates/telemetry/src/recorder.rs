@@ -1,5 +1,7 @@
 use crate::metrics::Histogram;
-use crate::{CallKind, EventRecord, SpanRecord, SqrStats, TelemetrySnapshot, TransactionRecord};
+use crate::{
+    CallKind, EventRecord, QErrorRecord, SpanRecord, SqrStats, TelemetrySnapshot, TransactionRecord,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,17 +26,38 @@ impl std::fmt::Debug for Recorder {
     }
 }
 
-#[derive(Default)]
 struct Inner {
     ledger: Vec<TransactionRecord>,
     sqr: SqrStats,
     spans: Vec<SpanRecord>,
     span_seq: u64,
     events: Vec<EventRecord>,
+    qerrors: Vec<QErrorRecord>,
     counters: BTreeMap<&'static str, u64>,
     durations: BTreeMap<&'static str, Histogram>,
     sizes: BTreeMap<&'static str, Histogram>,
     call_kind: CallKind,
+    /// Time origin all records are stamped against; reset by
+    /// [`Recorder::begin_epoch`] so timestamps are per-query.
+    epoch: Instant,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            ledger: Vec::new(),
+            sqr: SqrStats::default(),
+            spans: Vec::new(),
+            span_seq: 0,
+            events: Vec::new(),
+            qerrors: Vec::new(),
+            counters: BTreeMap::new(),
+            durations: BTreeMap::new(),
+            sizes: BTreeMap::new(),
+            call_kind: CallKind::default(),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl Default for Recorder {
@@ -70,14 +93,22 @@ impl Recorder {
     }
 
     /// Append a market transaction to the spend ledger. The record is built
-    /// lazily; `seq` and call kind are filled in by the recorder.
+    /// lazily; `seq`, call kind, and the epoch-relative timestamp are filled
+    /// in by the recorder.
     pub fn transaction(&self, build: impl FnOnce() -> TransactionRecord) {
         self.with_inner(|inner| {
             let mut record = build();
             record.seq = inner.ledger.len() as u64;
             record.kind = inner.call_kind;
+            record.at_nanos = inner.epoch.elapsed().as_nanos() as u64;
             inner.ledger.push(record);
         });
+    }
+
+    /// Score one cardinality estimate against its actual. The record is
+    /// built lazily, like [`Recorder::transaction`].
+    pub fn q_error(&self, build: impl FnOnce() -> QErrorRecord) {
+        self.with_inner(|inner| inner.qerrors.push(build()));
     }
 
     /// Set the call shape for subsequent [`Recorder::transaction`] calls.
@@ -117,7 +148,12 @@ impl Recorder {
     pub fn event(&self, label: &'static str, detail: impl FnOnce() -> String) {
         self.with_inner(|inner| {
             let detail = detail();
-            inner.events.push(EventRecord { label, detail });
+            let at_nanos = inner.epoch.elapsed().as_nanos() as u64;
+            inner.events.push(EventRecord {
+                label,
+                detail,
+                at_nanos,
+            });
         });
     }
 
@@ -131,13 +167,14 @@ impl Recorder {
         match self.with_inner(|inner| {
             let seq = inner.span_seq;
             inner.span_seq += 1;
-            seq
+            (seq, inner.epoch.elapsed().as_nanos() as u64)
         }) {
-            Some(seq) => SpanGuard {
+            Some((seq, start_nanos)) => SpanGuard {
                 recorder: Some(self.clone()),
                 label,
                 detail: detail(),
                 start_seq: seq,
+                start_nanos,
                 start: Instant::now(),
             },
             None => SpanGuard {
@@ -145,26 +182,43 @@ impl Recorder {
                 label,
                 detail: None,
                 start_seq: 0,
+                start_nanos: 0,
                 start: Instant::now(),
             },
         }
     }
 
+    /// Start a fresh per-query epoch: drop everything recorded so far and
+    /// reset the timestamp origin. Unlike [`Recorder::take`] this drains
+    /// **even while disabled**, so records left behind by an aborted or
+    /// untraced query can never leak into the next query's snapshot (the
+    /// wasted/delivered page partition must be per-query). The call-kind
+    /// context survives.
+    pub fn begin_epoch(&self) {
+        let mut inner = self.inner.lock().expect("telemetry poisoned");
+        let kind = inner.call_kind;
+        *inner = Inner::default();
+        inner.call_kind = kind;
+    }
+
     /// Drain everything recorded so far, resetting for the next query.
-    /// The current call-kind context survives the drain.
+    /// The current call-kind context survives the drain. Draining happens
+    /// even while disabled (discarding any leftovers); the returned snapshot
+    /// is only populated when enabled.
     pub fn take(&self) -> TelemetrySnapshot {
-        if !self.is_enabled() {
-            return TelemetrySnapshot::default();
-        }
         let mut inner = self.inner.lock().expect("telemetry poisoned");
         let kind = inner.call_kind;
         let drained = std::mem::take(&mut *inner);
         inner.call_kind = kind;
+        if !self.is_enabled() {
+            return TelemetrySnapshot::default();
+        }
         TelemetrySnapshot {
             ledger: drained.ledger,
             sqr: drained.sqr,
             spans: drained.spans,
             events: drained.events,
+            qerrors: drained.qerrors,
             counters: drained.counters.into_iter().collect(),
             durations: drained
                 .durations
@@ -186,6 +240,7 @@ pub struct SpanGuard {
     label: &'static str,
     detail: Option<String>,
     start_seq: u64,
+    start_nanos: u64,
     start: Instant,
 }
 
@@ -198,6 +253,7 @@ impl Drop for SpanGuard {
                     start_seq: self.start_seq,
                     label: self.label,
                     detail: self.detail.take(),
+                    start_nanos: self.start_nanos,
                     nanos,
                 });
             });
@@ -240,6 +296,7 @@ mod tests {
             pages: 4,
             price: 4.0,
             wasted: false,
+            at_nanos: 0,
         });
         rec.count("plans", 2);
         rec.count("plans", 3);
@@ -273,8 +330,97 @@ mod tests {
             pages: 0,
             price: 0.0,
             wasted: false,
+            at_nanos: 0,
         });
         assert_eq!(rec.take().ledger[0].kind, CallKind::Download);
+    }
+
+    fn dummy_tx() -> TransactionRecord {
+        TransactionRecord {
+            seq: 0,
+            dataset: Arc::from("d"),
+            table: Arc::from("T"),
+            kind: CallKind::Remainder,
+            records: 10,
+            page_size: 5,
+            pages: 2,
+            price: 2.0,
+            wasted: true,
+            at_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn begin_epoch_discards_leftovers_even_while_disabled() {
+        // A traced query that aborts mid-flight leaves its records in the
+        // buffer; toggling tracing off must not preserve them for the next
+        // traced query.
+        let rec = Recorder::enabled();
+        rec.set_call_kind(CallKind::Download);
+        rec.transaction(dummy_tx);
+        rec.count("stale", 1);
+        rec.set_enabled(false);
+
+        rec.begin_epoch(); // what every query start does, traced or not
+        rec.set_enabled(true);
+        let snap = rec.take();
+        assert!(snap.ledger.is_empty(), "stale ledger entry leaked");
+        assert!(snap.counters.is_empty(), "stale counter leaked");
+        assert_eq!(snap.wasted_pages(), 0);
+
+        // The call-kind context survives an epoch boundary.
+        rec.transaction(dummy_tx);
+        assert_eq!(rec.take().ledger[0].kind, CallKind::Download);
+    }
+
+    #[test]
+    fn take_drains_even_while_disabled() {
+        let rec = Recorder::enabled();
+        rec.transaction(dummy_tx);
+        rec.set_enabled(false);
+        assert!(rec.take().ledger.is_empty());
+        rec.set_enabled(true);
+        assert!(
+            rec.take().ledger.is_empty(),
+            "disabled take must still drain"
+        );
+    }
+
+    #[test]
+    fn records_are_stamped_against_the_epoch() {
+        let rec = Recorder::enabled();
+        rec.begin_epoch();
+        rec.transaction(dummy_tx);
+        rec.event("e", || "detail".into());
+        {
+            let _g = rec.span("s", || None);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = rec.take();
+        // Stamps are epoch-relative and ordered.
+        assert!(snap.ledger[0].at_nanos <= snap.events[0].at_nanos);
+        assert!(snap.spans[0].start_nanos >= snap.events[0].at_nanos);
+        assert!(snap.spans[0].nanos >= 1_000_000);
+    }
+
+    #[test]
+    fn q_errors_are_recorded_and_drained() {
+        let rec = Recorder::enabled();
+        rec.q_error(|| QErrorRecord {
+            table: Arc::from("T"),
+            estimator: "per-dim",
+            estimate: 50.0,
+            actual: 100,
+            q: 2.0,
+        });
+        let snap = rec.take();
+        assert_eq!(snap.qerrors.len(), 1);
+        assert_eq!(snap.qerrors[0].estimator, "per-dim");
+        assert!(rec.take().qerrors.is_empty());
+
+        // Disabled recorders never build the record.
+        rec.set_enabled(false);
+        rec.q_error(|| panic!("must not be built while disabled"));
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Compare a fresh full-scale hot-path bench run against the committed
+# BENCH_sqr.json / BENCH_dp.json baselines at the repo root. Exits non-zero
+# when any run's median regressed by more than 25%.
+#
+# Timing on shared/virtualized CI hosts is noisy, so callers (ci.sh) treat
+# a failure here as a warning, not a gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# The bench binary's CWD is the package dir, so baselines need absolute paths.
+exec cargo bench -q --bench hotpath -- diff "$PWD/BENCH_sqr.json" "$PWD/BENCH_dp.json"
