@@ -1,51 +1,133 @@
 #!/usr/bin/env sh
-# Local CI: formatting, lints, and the tier-1 gate.
+# Local CI: formatting, lints, the tier-1 gate, and the smoke stages.
 #
 # Runs entirely offline — every dependency is an in-tree path crate
 # (see CONTRIBUTING.md), so no network access is required.
+#
+# Usage: ./ci.sh [stage]
+#   fmt | clippy | tier1 | fault-smoke | bench-smoke | explain-smoke |
+#   serve-smoke | bench-diff | smokes | all
+# With no argument, `all` runs every stage in order — exactly what the
+# staged GitHub workflow (.github/workflows/ci.yml) runs job by job.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+fmt() {
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+}
 
-echo "== cargo clippy -D warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
+clippy() {
+    echo "== cargo clippy -D warnings =="
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "== tier-1: cargo build --release && cargo test -q =="
-cargo build --release
-cargo test -q
+tier1() {
+    echo "== tier-1: cargo build --release && cargo test -q =="
+    cargo build --release
+    cargo test -q
+}
 
-echo "== fault smoke: deterministic fault matrix at a pinned seed =="
-# The fault-matrix suite injects seeded market faults (503s, stalls,
-# truncated and corrupt payloads) and checks answers + billing reconcile
-# against a clean twin run. The seed is pinned for reproducibility; vary
-# PAYLESS_FAULT_SEED locally to explore other schedules.
-PAYLESS_FAULT_SEED=48879 cargo test -q -p payless-core --test fault_matrix
+fault_smoke() {
+    echo "== fault smoke: deterministic fault matrix at a pinned seed =="
+    # The fault-matrix suite injects seeded market faults (503s, stalls,
+    # truncated and corrupt payloads) and checks answers + billing reconcile
+    # against a clean twin run. The seed is pinned for reproducibility; vary
+    # PAYLESS_FAULT_SEED locally to explore other schedules.
+    PAYLESS_FAULT_SEED=48879 cargo test -q -p payless-core --test fault_matrix
+}
 
-echo "== bench smoke: hotpath determinism + JSONL shape =="
-# Tiny-scale run of the hot-path bench (includes the parallel-vs-serial
-# determinism check), dumping JSONL which is then validated for shape.
-# The bench binary's CWD is the package dir, so the dump path is absolute.
-SMOKE_JSON="$PWD/target/hotpath-smoke.jsonl"
-rm -f "$SMOKE_JSON"
-PAYLESS_JSON="$SMOKE_JSON" cargo bench -q --bench hotpath -- smoke
-cargo bench -q --bench hotpath -- validate "$SMOKE_JSON"
+bench_smoke() {
+    echo "== bench smoke: hotpath determinism + JSONL shape =="
+    # Tiny-scale run of the hot-path bench (includes the parallel-vs-serial
+    # determinism check), dumping JSONL which is then validated for shape.
+    # The bench binary's CWD is the package dir, so the dump path is absolute.
+    SMOKE_JSON="$PWD/target/hotpath-smoke.jsonl"
+    rm -f "$SMOKE_JSON"
+    PAYLESS_JSON="$SMOKE_JSON" cargo bench -q --bench hotpath -- smoke
+    cargo bench -q --bench hotpath -- validate "$SMOKE_JSON"
+}
 
-echo "== explain smoke: one-shot EXPLAIN ANALYZE + report-shape validation =="
-# Run one EXPLAIN ANALYZE query end to end and validate the JSON dump:
-# a non-empty operators array with est + actual on every node, plus the
-# q-error section.
-EXPLAIN_JSON="$PWD/target/explain-smoke.json"
-rm -f "$EXPLAIN_JSON"
-cargo run -q -p payless-cli -- --explain-out "$EXPLAIN_JSON" \
-    '\explain SELECT * FROM Station, Weather WHERE Weather.Country = '\''Country0'\'' AND Weather.Date >= 1 AND Weather.Date <= 3 AND Station.StationID = Weather.StationID'
-cargo bench -q --bench hotpath -- validate-explain "$EXPLAIN_JSON"
+explain_smoke() {
+    echo "== explain smoke: one-shot EXPLAIN ANALYZE + report-shape validation =="
+    # Run one EXPLAIN ANALYZE query end to end and validate the JSON dump:
+    # a non-empty operators array with est + actual on every node, plus the
+    # q-error section.
+    EXPLAIN_JSON="$PWD/target/explain-smoke.json"
+    rm -f "$EXPLAIN_JSON"
+    cargo run -q -p payless-cli -- --explain-out "$EXPLAIN_JSON" \
+        '\explain SELECT * FROM Station, Weather WHERE Weather.Country = '\''Country0'\'' AND Weather.Date >= 1 AND Weather.Date <= 3 AND Station.StationID = Weather.StationID'
+    cargo bench -q --bench hotpath -- validate-explain "$EXPLAIN_JSON"
+}
 
-echo "== bench diff: fresh medians vs committed baselines (non-fatal) =="
-# Full-scale rerun compared against BENCH_sqr.json / BENCH_dp.json; timing
-# noise on shared hosts makes this advisory only.
-./scripts/bench_diff.sh || echo "warning: hot-path bench regressed vs committed baselines (non-fatal)"
+serve_smoke() {
+    echo "== serve smoke: concurrent serving vs serial replay, clean and under chaos =="
+    # Replay the same pinned multi-client mix serially (1 thread — the
+    # oracle) and concurrently (4 threads, single-flight coalescing on),
+    # then reconcile the two dumps: identical answers query by query, each
+    # run's spend ledger equal to its billing meter, and the coalesced run
+    # delivering no more pages than the serial one. Repeated with a
+    # chaos-injected market (unlimited retries) — coalescing and billing
+    # must survive faults too.
+    SERVE_DIR="$PWD/target/serve-smoke"
+    mkdir -p "$SERVE_DIR"
+    rm -f "$SERVE_DIR"/*.json
 
-echo "CI OK"
+    echo "-- clean pair --"
+    PAYLESS_THREADS=1 cargo bench -q --bench hotpath -- serve "$SERVE_DIR/serial.json"
+    PAYLESS_THREADS=4 cargo bench -q --bench hotpath -- serve "$SERVE_DIR/parallel.json"
+    cargo bench -q --bench hotpath -- validate-serve \
+        "$SERVE_DIR/serial.json" "$SERVE_DIR/parallel.json"
+
+    echo "-- chaos pair (PAYLESS_FAULT_SEED=48879) --"
+    PAYLESS_THREADS=1 PAYLESS_FAULT_SEED=48879 \
+        cargo bench -q --bench hotpath -- serve "$SERVE_DIR/serial-fault.json"
+    PAYLESS_THREADS=4 PAYLESS_FAULT_SEED=48879 \
+        cargo bench -q --bench hotpath -- serve "$SERVE_DIR/parallel-fault.json"
+    cargo bench -q --bench hotpath -- validate-serve \
+        "$SERVE_DIR/serial-fault.json" "$SERVE_DIR/parallel-fault.json"
+}
+
+bench_diff() {
+    echo "== bench diff: fresh medians vs committed baselines (non-fatal) =="
+    # Full-scale rerun compared against BENCH_sqr.json / BENCH_dp.json; timing
+    # noise on shared hosts makes this advisory only. The machine-readable
+    # delta summary lands in target/bench-diff.json either way.
+    ./scripts/bench_diff.sh || echo "warning: hot-path bench regressed vs committed baselines (non-fatal)"
+}
+
+smokes() {
+    fault_smoke
+    bench_smoke
+    explain_smoke
+    serve_smoke
+}
+
+all() {
+    fmt
+    clippy
+    tier1
+    smokes
+    bench_diff
+}
+
+stage="${1:-all}"
+case "$stage" in
+    fmt) fmt ;;
+    clippy) clippy ;;
+    tier1) tier1 ;;
+    fault-smoke) fault_smoke ;;
+    bench-smoke) bench_smoke ;;
+    explain-smoke) explain_smoke ;;
+    serve-smoke) serve_smoke ;;
+    bench-diff) bench_diff ;;
+    smokes) smokes ;;
+    all) all ;;
+    *)
+        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|bench-diff|smokes|all)" >&2
+        exit 2
+        ;;
+esac
+
+echo "CI OK ($stage)"

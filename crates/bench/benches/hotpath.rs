@@ -13,10 +13,23 @@
 //!   otherwise
 //! * `diff <baseline.json>...` — re-run the full-scale benches and compare
 //!   each median against the committed `BENCH_*.json` baselines; exits
-//!   non-zero when any run regressed by more than 25%
+//!   non-zero when any run regressed by more than 25%. When
+//!   `BENCH_DIFF_JSON` names a path, a machine-readable summary of every
+//!   per-bench delta is written there (regressions included) before the
+//!   exit status is decided
 //! * `validate-explain <file>` — check an `--explain-out` report dump: a
 //!   non-empty `operators` array where every node carries both an `est`
 //!   and an `actual` object, plus a `q_error` section
+//! * `serve <out.json>` — replay a deterministic multi-client mix through
+//!   the concurrent serving layer and dump the reconciled
+//!   [`payless_serve::ServeReport`]. Knobs: `PAYLESS_THREADS` (workers),
+//!   `PAYLESS_CLIENTS`, `PAYLESS_SERVE_QUERIES`, `PAYLESS_SERVE_SEED`,
+//!   `PAYLESS_COALESCE=0` (disable single flight), `PAYLESS_FAULT_SEED`
+//!   (chaos-inject the market; retries become unlimited)
+//! * `validate-serve <serial.json> <parallel.json>` — reconcile two serve
+//!   dumps of the same mix: identical answers query-by-query, each ledger
+//!   equal to its billing meter, and parallel delivered spend no greater
+//!   than the serial oracle's
 //!
 //! With no mode, `check`, `sqr`, and `dp` all run at full scale. Emit JSONL
 //! by setting `PAYLESS_JSON` (the `BENCH_sqr.json` / `BENCH_dp.json`
@@ -26,15 +39,20 @@
 
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::sync::Arc;
 
 use payless_bench::micro::{fmt_ns, Runner};
+use payless_core::{build_market, FaultInjector, FaultPlan, RetryPolicy};
 use payless_geometry::{region, QuerySpace, Region};
+use payless_json::{FromJson, Json, ToJson};
 use payless_optimizer::{optimize, OptimizerConfig};
 use payless_par::{max_threads, with_max_threads};
 use payless_semantic::{rewrite, Consistency, RewriteConfig, SemanticStore};
+use payless_serve::{run_mix, Serve, ServeConfig, ServeReport};
 use payless_sql::{analyze, parse, MapCatalog, TableLocation};
 use payless_stats::{StatsRegistry, TableStats};
 use payless_types::{Column, Domain, Schema};
+use payless_workload::{serve_mix, QueryWorkload, RealWorkload, WhwConfig};
 
 /// Scale knobs for one run.
 struct Scale {
@@ -393,14 +411,23 @@ fn diff(paths: &[String]) {
     );
     let mut regressions = 0;
     let mut compared = 0;
+    let mut benches: Vec<Json> = Vec::new();
     for (name, median) in &fresh {
         let Some(base) = baselines.get(name) else {
             println!("{name:<44} {:>10} (no baseline — skipped)", fmt_ns(*median));
+            benches.push(Json::obj([
+                ("name", Json::Str(name.clone())),
+                ("fresh_nanos", median.to_json()),
+                ("base_nanos", Json::Null),
+                ("ratio", Json::Null),
+                ("regressed", Json::Bool(false)),
+            ]));
             continue;
         };
         compared += 1;
         let ratio = median / base;
-        let verdict = if ratio > DIFF_TOLERANCE {
+        let regressed = ratio > DIFF_TOLERANCE;
+        let verdict = if regressed {
             regressions += 1;
             "REGRESSED"
         } else {
@@ -411,6 +438,30 @@ fn diff(paths: &[String]) {
             fmt_ns(*median),
             fmt_ns(*base),
         );
+        benches.push(Json::obj([
+            ("name", Json::Str(name.clone())),
+            ("fresh_nanos", median.to_json()),
+            ("base_nanos", base.to_json()),
+            ("ratio", ratio.to_json()),
+            ("regressed", Json::Bool(regressed)),
+        ]));
+    }
+    // The machine-readable summary is written before any exit path below,
+    // so CI gets an artifact even (especially) when a bench regressed.
+    if let Ok(out) = std::env::var("BENCH_DIFF_JSON") {
+        let summary = Json::obj([
+            ("tolerance", DIFF_TOLERANCE.to_json()),
+            ("compared", Json::Int(compared)),
+            ("regressions", Json::Int(regressions)),
+            ("benches", Json::Arr(benches)),
+        ]);
+        match std::fs::write(&out, summary.to_string_pretty()) {
+            Ok(()) => println!("diff: wrote {out}"),
+            Err(e) => {
+                eprintln!("diff: cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if compared == 0 {
         eprintln!("diff: no fresh run matched a baseline name");
@@ -470,6 +521,190 @@ fn validate_explain(path: &str) {
     );
 }
 
+/// A `u64` environment knob with a default.
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The serving driver behind the CI serve-smoke: replay a deterministic
+/// multi-client WHW mix through [`payless_serve::Serve`] and dump the
+/// reconciled report. The market runs at page size 1, where delivered pages
+/// equal delivered records and are therefore independent of thread
+/// interleaving — what lets `validate-serve` compare dumps across thread
+/// counts.
+fn serve(out: &str) {
+    let workload = RealWorkload::generate(&WhwConfig {
+        stations: 40,
+        countries: 4,
+        cities_per_country: 3,
+        days: 60,
+        zips: 60,
+        ranks: 100,
+        seed: 3,
+    });
+    let page_size = 1;
+    let clients = env_u64("PAYLESS_CLIENTS", 4) as usize;
+    let queries = env_u64("PAYLESS_SERVE_QUERIES", 24) as usize;
+    let seed = env_u64("PAYLESS_SERVE_SEED", 48879);
+    let coalesce = std::env::var("PAYLESS_COALESCE")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+    let fault_seed = std::env::var("PAYLESS_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let threads = max_threads();
+
+    let market = Arc::new(build_market(&workload, page_size));
+    if let Some(fs) = fault_seed {
+        market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(fs)));
+    }
+    let cfg = ServeConfig {
+        threads,
+        coalesce,
+        // Chaos runs must still answer every query so dumps stay
+        // comparable across thread counts.
+        retry: if fault_seed.is_some() {
+            RetryPolicy::unlimited()
+        } else {
+            RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
+    let templates: Vec<_> = QueryWorkload::templates(&workload)
+        .iter()
+        .map(|sql| layer.prepare(sql).expect("workload template parses"))
+        .collect();
+    // Both single-table WHW templates; see the serve-smoke rationale in
+    // DESIGN.md for why bind-join templates stay out of the smoke mix.
+    let mix = serve_mix(&workload, &[0, 1], clients, queries, seed);
+    let mut report = run_mix(&layer, &mix, &templates).expect("serve mix succeeds");
+    report.seed = seed;
+    report.clients = clients as u64;
+    report.page_size = page_size;
+    report.fault_seed = fault_seed;
+    if let Err(e) = std::fs::write(out, report.to_json().to_string_pretty()) {
+        eprintln!("serve: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "serve: {} queries x {} clients on {} thread(s), coalesce={}, fault={:?}: \
+         {} pages ({} wasted), {} wait(s), ~{} page(s) saved -> {out}",
+        report.queries,
+        report.clients,
+        report.threads,
+        report.coalesce,
+        report.fault_seed,
+        report.total_pages,
+        report.wasted_pages,
+        report.coalesce_waits,
+        report.saved_pages,
+    );
+}
+
+/// Read and parse one serve dump, or exit non-zero.
+fn load_serve_report(path: &str) -> ServeReport {
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate-serve: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let parsed = match payless_json::parse(&data) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("validate-serve: {path}: malformed JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match ServeReport::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate-serve: {path}: not a serve report: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reconcile a parallel serve dump against its serial oracle: same mix,
+/// identical answers, each ledger equal to its own billing meter, and
+/// parallel delivered spend no greater than serial.
+fn validate_serve(serial_path: &str, parallel_path: &str) {
+    let serial = load_serve_report(serial_path);
+    let parallel = load_serve_report(parallel_path);
+    let fail = |msg: String| {
+        eprintln!("validate-serve: {msg}");
+        std::process::exit(1);
+    };
+    if serial.threads != 1 {
+        fail(format!(
+            "{serial_path}: serial oracle ran on {} threads, expected 1",
+            serial.threads
+        ));
+    }
+    for (field, a, b) in [
+        ("seed", serial.seed, parallel.seed),
+        ("clients", serial.clients, parallel.clients),
+        ("queries", serial.queries, parallel.queries),
+        ("page_size", serial.page_size, parallel.page_size),
+    ] {
+        if a != b {
+            fail(format!("dumps replay different mixes: {field} {a} vs {b}"));
+        }
+    }
+    if serial.per_query.len() != parallel.per_query.len() {
+        fail(format!(
+            "per-query rows differ: {} vs {}",
+            serial.per_query.len(),
+            parallel.per_query.len()
+        ));
+    }
+    for (i, (s, p)) in serial.per_query.iter().zip(&parallel.per_query).enumerate() {
+        if s.client != p.client || s.template != p.template {
+            fail(format!("query {i}: submission order diverged"));
+        }
+        if s.digest != p.digest || s.rows != p.rows {
+            fail(format!(
+                "query {i}: answers differ from the serial oracle \
+                 (digest {:#x} vs {:#x}, rows {} vs {})",
+                s.digest, p.digest, s.rows, p.rows
+            ));
+        }
+    }
+    for (path, r) in [(serial_path, &serial), (parallel_path, &parallel)] {
+        if r.total_pages != r.meter_transactions {
+            fail(format!(
+                "{path}: ledger does not reconcile with the billing meter: \
+                 {} ledger pages vs {} metered transactions",
+                r.total_pages, r.meter_transactions
+            ));
+        }
+        if r.fault_seed.is_none() && r.wasted_pages != 0 {
+            fail(format!(
+                "{path}: clean run reports {} wasted pages",
+                r.wasted_pages
+            ));
+        }
+    }
+    let (dp, ds) = (parallel.delivered_pages(), serial.delivered_pages());
+    if parallel.coalesce && dp > ds {
+        fail(format!(
+            "coalesced run delivered (and paid for) more pages than the \
+             serial oracle: {dp} vs {ds}"
+        ));
+    }
+    println!(
+        "validate-serve: {} queries agree with the serial oracle; ledgers \
+         reconcile; delivered pages {dp} (parallel, {} threads) vs {ds} \
+         (serial); {} coalesce wait(s), ~{} page(s) saved",
+        parallel.queries, parallel.threads, parallel.coalesce_waits, parallel.saved_pages
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args()
         .skip(1)
@@ -489,6 +724,24 @@ fn main() {
             Some(path) => return validate_explain(path),
             None => {
                 eprintln!("validate-explain: missing file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "serve") {
+        match args.get(pos + 1) {
+            Some(path) => return serve(path),
+            None => {
+                eprintln!("serve: missing output file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "validate-serve") {
+        match (args.get(pos + 1), args.get(pos + 2)) {
+            (Some(serial), Some(parallel)) => return validate_serve(serial, parallel),
+            _ => {
+                eprintln!("validate-serve: need <serial.json> <parallel.json>");
                 std::process::exit(1);
             }
         }

@@ -3,11 +3,13 @@
 use std::sync::Arc;
 
 use payless_core::{
-    build_market, ChromeTraceBuilder, DataMarket, PayLess, PayLessConfig, QueryReport, SpendCell,
+    build_market, ChromeTraceBuilder, DataMarket, FaultInjector, FaultPlan, PayLess, PayLessConfig,
+    QueryReport, RetryPolicy, SpendCell,
 };
 use payless_json::{Json, ToJson};
+use payless_serve::{run_mix, Serve, ServeConfig};
 use payless_workload::{
-    Finance, FinanceConfig, QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig,
+    serve_mix, Finance, FinanceConfig, QueryWorkload, RealWorkload, Tpch, TpchConfig, WhwConfig,
 };
 
 use crate::args::{CliArgs, WorkloadKind};
@@ -370,6 +372,111 @@ fn truncate(s: &str, max: usize) -> String {
     } else {
         format!("{}…", &s[..max])
     }
+}
+
+/// A `u64` environment knob, if set and parseable.
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Run `--serve N`: replay a deterministic multi-client mix through the
+/// concurrent serving layer ([`payless_serve::Serve`]), reconcile every
+/// query's spend ledger against the billing meter, and render a summary.
+/// Knobs not covered by flags come from the environment: `PAYLESS_CLIENTS`
+/// (when `--clients` is absent), `PAYLESS_COALESCE=0` to disable single
+/// flight, `PAYLESS_FAULT_SEED` to chaos-inject the market.
+pub fn run_serve(args: &CliArgs) -> Result<String, String> {
+    if args.workload != WorkloadKind::Whw {
+        return Err("--serve currently supports --workload whw only".into());
+    }
+    let threads = args.serve_threads.unwrap_or(1) as usize;
+    let clients = args
+        .clients
+        .or_else(|| env_u64("PAYLESS_CLIENTS"))
+        .unwrap_or(4) as usize;
+    let queries = args.queries.unwrap_or(24) as usize;
+    let seed = args.seed.unwrap_or(48879);
+    let coalesce = std::env::var("PAYLESS_COALESCE")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+    let fault_seed = env_u64("PAYLESS_FAULT_SEED");
+
+    let w = RealWorkload::generate(&WhwConfig::scaled(args.scale));
+    let market = Arc::new(build_market(&w, args.page_size));
+    if let Some(fs) = fault_seed {
+        market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(fs)));
+    }
+    let cfg = ServeConfig {
+        threads,
+        coalesce,
+        // Chaos runs must still answer every query.
+        retry: if fault_seed.is_some() {
+            RetryPolicy::unlimited()
+        } else {
+            RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let layer = Serve::new(market, w.local_tables(), cfg);
+    let templates = w
+        .templates()
+        .iter()
+        .map(|sql| layer.prepare(sql))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("workload template: {e}"))?;
+    // The two single-table WHW templates (see DESIGN.md on the serve mix).
+    let mix = serve_mix(&w, &[0, 1], clients, queries, seed);
+    let mut report = run_mix(&layer, &mix, &templates).map_err(|e| format!("serve: {e}"))?;
+    report.seed = seed;
+    report.clients = clients as u64;
+    report.page_size = args.page_size;
+    report.fault_seed = fault_seed;
+    if let Some(path) = &args.serve_out {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} queries x {} clients on {} thread(s), seed {}, coalesce={}{}",
+        report.queries,
+        report.clients,
+        report.threads,
+        report.seed,
+        report.coalesce,
+        match report.fault_seed {
+            Some(fs) => format!(", fault seed {fs}"),
+            None => String::new(),
+        },
+    );
+    let _ = writeln!(
+        out,
+        "  spend: {} pages ({} wasted), {} records, ${:.4}",
+        report.total_pages, report.wasted_pages, report.total_records, report.total_price
+    );
+    let _ = writeln!(
+        out,
+        "  coalescing: {} wait(s), ~{} page(s) saved",
+        report.coalesce_waits, report.saved_pages
+    );
+    let _ = writeln!(
+        out,
+        "  reconciled: ledger == billing meter at {} transaction(s), {} call(s)",
+        report.meter_transactions, report.meter_calls
+    );
+    for c in &report.per_client {
+        let _ = writeln!(
+            out,
+            "  client {}: {} queries, {} pages, ${:.4}",
+            c.client, c.queries, c.pages, c.price
+        );
+    }
+    if let Some(path) = &args.serve_out {
+        let _ = writeln!(out, "  report -> {path}");
+    }
+    Ok(out.trim_end().to_string())
 }
 
 #[cfg(test)]

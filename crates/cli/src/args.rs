@@ -36,6 +36,18 @@ pub struct CliArgs {
     pub trace_out: Option<String>,
     /// Write the most recent `\explain` report as JSON to this file.
     pub explain_out: Option<String>,
+    /// Serve mode: replay a deterministic multi-client mix across this many
+    /// worker threads instead of starting a shell. `None` = normal shell.
+    pub serve_threads: Option<u64>,
+    /// Client sessions in the serve mix (`--clients`; falls back to the
+    /// `PAYLESS_CLIENTS` environment knob, then 4).
+    pub clients: Option<u64>,
+    /// Queries in the serve mix (`--queries`, default 24).
+    pub queries: Option<u64>,
+    /// Mix seed (`--seed`, default 48879).
+    pub seed: Option<u64>,
+    /// Write the serve run's reconciled JSON report to this file.
+    pub serve_out: Option<String>,
     /// One-shot SQL; when `None` the shell goes interactive.
     pub sql: Option<String>,
 }
@@ -51,6 +63,11 @@ impl Default for CliArgs {
             trace: false,
             trace_out: None,
             explain_out: None,
+            serve_threads: None,
+            clients: None,
+            queries: None,
+            seed: None,
+            serve_out: None,
             sql: None,
         }
     }
@@ -79,6 +96,19 @@ OPTIONS:
                                       exit (implies --trace)
     --explain-out <file>              write the latest \\explain report as
                                       JSON to <file>
+    --serve <threads>                 concurrent serving mode: replay a
+                                      deterministic multi-client mix across
+                                      <threads> workers over one shared
+                                      semantic store, reconcile spend
+                                      against the billing meter, and exit
+                                      (whw workload only). Env knobs:
+                                      PAYLESS_CLIENTS, PAYLESS_COALESCE=0,
+                                      PAYLESS_FAULT_SEED
+    --clients <int>                   client sessions in the serve mix
+                                      (default: PAYLESS_CLIENTS or 4)
+    --queries <int>                   queries in the serve mix (default: 24)
+    --seed <int>                      serve mix seed (default: 48879)
+    --serve-out <file>                write the serve report as JSON
     -h, --help                        this text
 
 Without SQL, an interactive shell starts. Shell commands:
@@ -148,6 +178,41 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
                 out.trace = true;
             }
             "--explain-out" => out.explain_out = Some(take_value(&mut i)?),
+            "--serve" => {
+                let threads: u64 = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --serve: {e}"))?;
+                if threads == 0 {
+                    return Err("--serve needs at least one thread".into());
+                }
+                out.serve_threads = Some(threads);
+            }
+            "--clients" => {
+                let clients: u64 = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+                if clients == 0 {
+                    return Err("--clients must be positive".into());
+                }
+                out.clients = Some(clients);
+            }
+            "--queries" => {
+                let queries: u64 = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --queries: {e}"))?;
+                if queries == 0 {
+                    return Err("--queries must be positive".into());
+                }
+                out.queries = Some(queries);
+            }
+            "--seed" => {
+                out.seed = Some(
+                    take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                );
+            }
+            "--serve-out" => out.serve_out = Some(take_value(&mut i)?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"))
             }
@@ -219,6 +284,35 @@ mod tests {
         assert_eq!(a.explain_out.as_deref(), Some("explain.json"));
         assert!(!a.trace, "explain-out alone leaves tracing off");
         assert!(parse_args(&argv(&["--explain-out"])).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let a = parse_args(&argv(&[
+            "--serve",
+            "4",
+            "--clients",
+            "3",
+            "--queries",
+            "12",
+            "--seed",
+            "7",
+            "--serve-out",
+            "serve.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.serve_threads, Some(4));
+        assert_eq!(a.clients, Some(3));
+        assert_eq!(a.queries, Some(12));
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.serve_out.as_deref(), Some("serve.json"));
+        // Serve mode is opt-in and every knob defaults to unset.
+        let d = parse_args(&[]).unwrap();
+        assert_eq!(d.serve_threads, None);
+        assert_eq!(d.clients, None);
+        assert!(parse_args(&argv(&["--serve", "0"])).is_err());
+        assert!(parse_args(&argv(&["--clients", "0"])).is_err());
+        assert!(parse_args(&argv(&["--serve"])).is_err());
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod app;
 pub mod args;
 pub mod render;
 
-pub use app::{App, Reply};
+pub use app::{run_serve, App, Reply};
 pub use args::{CliArgs, WorkloadKind};
 pub use render::{render_report, render_table};

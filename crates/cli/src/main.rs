@@ -13,6 +13,21 @@ fn main() {
             std::process::exit(if msg.contains("USAGE") { 0 } else { 2 });
         }
     };
+    // Serve mode: replay a multi-client mix, print the reconciled summary,
+    // and exit — no shell.
+    if args.serve_threads.is_some() {
+        match payless_cli::run_serve(&args) {
+            Ok(summary) => {
+                println!("{summary}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let mut app = match App::new(&args) {
         Ok(a) => a,
         Err(e) => {

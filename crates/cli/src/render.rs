@@ -144,7 +144,10 @@ pub fn render_report(report: &QueryReport) -> String {
         ));
     }
     // Semantic-store index effectiveness (absent unless the store recorded
-    // probes this query).
+    // probes this query). These counters belong to the *store's* recorder,
+    // not the query's: when several sessions share one store (serve mode),
+    // they aggregate every session's probes — tagged "store-level" so a
+    // per-query report is never misread as per-query numbers.
     let counter = |name: &str| {
         report
             .telemetry
@@ -157,7 +160,8 @@ pub fn render_report(report: &QueryReport) -> String {
     let scans = counter("store.index_full_scans");
     if hits.is_some() || scans.is_some() {
         s.push_str(&format!(
-            "store index: {} indexed probes, {} full scans
+            "store index (store-level, shared across sessions): \
+             {} indexed probes, {} full scans
 ",
             hits.unwrap_or(0),
             scans.unwrap_or(0),
@@ -402,7 +406,10 @@ mod tests {
         assert!(s.contains("remainder"), "{s}");
         assert!(s.contains("parallelism: 4 worker threads"), "{s}");
         assert!(
-            s.contains("store index: 31 indexed probes, 2 full scans"),
+            s.contains(
+                "store index (store-level, shared across sessions): \
+                 31 indexed probes, 2 full scans"
+            ),
             "{s}"
         );
         // A clean run reports neither wasted spend nor faults.

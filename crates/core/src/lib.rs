@@ -44,10 +44,12 @@
 pub mod report;
 pub mod session;
 
-pub use payless_exec::{CallBudget, CallOutcome, QueryResult, RetryPolicy};
+pub use payless_exec::{
+    CallBudget, CallCoalescer, CallOutcome, ExecState, QueryResult, RetryPolicy, SharedState,
+};
 pub use payless_market::{BillingReport, DataMarket, Dataset, FaultInjector, FaultKind, FaultPlan};
 pub use payless_optimizer::PlanCounters;
-pub use payless_semantic::Consistency;
+pub use payless_semantic::{Consistency, RewriteConfig, SharedSemanticStore};
 pub use payless_sql::SelectStmt;
 pub use payless_stats::StatsBackend;
 pub use payless_stats::{q_error, QErrorAccumulator, QErrorSummary};

@@ -398,6 +398,8 @@ impl PayLess {
             consistency: self.cfg.consistency,
             recorder: Some(self.recorder.clone()),
             retry: self.cfg.retry.clone(),
+            // The market's attached recorder writes this session's ledger.
+            synthesize_ledger: false,
         };
 
         // Unsatisfiable queries cost nothing.

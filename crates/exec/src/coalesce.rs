@@ -1,0 +1,209 @@
+//! Single-flight coalescing of overlapping market calls.
+//!
+//! When two in-flight queries are about to buy overlapping regions of the
+//! same table, paying twice is pure waste: the first delivery lands in the
+//! shared semantic store, and the second query could have rewritten against
+//! it. The [`CallCoalescer`] is the serving layer's rendezvous for exactly
+//! that: before buying, a query **claims** its remainder regions. If no
+//! in-flight purchase overlaps them, the claim is granted and the query
+//! becomes the single flight for those regions (dropping the guard
+//! releases them). Otherwise the query **waits** for any in-flight
+//! purchase to complete, then re-rewrites against the freshly grown store
+//! and claims whatever is still uncovered — usually nothing.
+//!
+//! Protocol invariants (see DESIGN.md "Concurrent serving & call
+//! coalescing"):
+//!
+//! * **No hold-and-wait.** A query holds at most one claim at a time and
+//!   never blocks while holding it, so the protocol cannot deadlock.
+//! * **No lost wake-ups.** `claim` snapshots the completion counter under
+//!   the same lock that detected the overlap; [`CallCoalescer::wait_past`]
+//!   sleeps only while the counter still has that value. A flight that
+//!   completes between the claim and the wait is therefore observed.
+//! * **Progress.** Every wake-up means some flight completed. With
+//!   rewriting on, the waiter's remainders shrink (the flight's coverage
+//!   is in the store before its guard drops); without rewriting, the
+//!   completed flight no longer blocks the claim. Either way the loop
+//!   terminates.
+//! * **Failure containment.** A flight that fails drops its guard without
+//!   recording coverage; waiters wake, find the region still uncovered,
+//!   claim it themselves, and buy. Nothing is lost but time.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use payless_geometry::Region;
+
+/// One in-flight purchase: the single flight for its regions.
+#[derive(Debug)]
+struct Flight {
+    id: u64,
+    table: String,
+    regions: Vec<Region>,
+}
+
+#[derive(Debug, Default)]
+struct FlightBoard {
+    in_flight: Vec<Flight>,
+    next_id: u64,
+    /// Total flights ever completed (guard drops). Monotonic; the condvar's
+    /// predicate.
+    completions: u64,
+}
+
+/// Rendezvous point for single-flight call coalescing. One per serving
+/// layer, shared by every in-flight query.
+#[derive(Debug, Default)]
+pub struct CallCoalescer {
+    board: Mutex<FlightBoard>,
+    done: Condvar,
+}
+
+/// Outcome of [`CallCoalescer::claim`].
+pub enum Claim<'a> {
+    /// No overlap: the caller is the single flight for its regions. Drop
+    /// the guard when the purchase (and its store bookkeeping) is done.
+    Acquired(FlightGuard<'a>),
+    /// An in-flight purchase overlaps the requested regions. Pass `seen`
+    /// to [`CallCoalescer::wait_past`], then re-rewrite and re-claim.
+    Contended {
+        /// Completion count observed while detecting the overlap.
+        seen: u64,
+    },
+}
+
+/// Releases a granted claim on drop and wakes every waiter.
+pub struct FlightGuard<'a> {
+    owner: &'a CallCoalescer,
+    id: u64,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut board = self.owner.lock_board();
+        board.in_flight.retain(|f| f.id != self.id);
+        board.completions += 1;
+        self.owner.done.notify_all();
+    }
+}
+
+impl CallCoalescer {
+    /// A coalescer with no flights in progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock_board(&self) -> MutexGuard<'_, FlightBoard> {
+        // A panicking flight still runs FlightGuard::drop, which keeps the
+        // board consistent, so a poisoned lock is safe to enter.
+        self.board.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to become the single flight for `regions` of `table`. Never
+    /// blocks; see [`Claim`] for the two outcomes.
+    pub fn claim<'a>(&'a self, table: &str, regions: &[Region]) -> Claim<'a> {
+        let mut board = self.lock_board();
+        let contended = board.in_flight.iter().any(|f| {
+            f.table == table
+                && f.regions
+                    .iter()
+                    .any(|fr| regions.iter().any(|r| fr.overlaps(r)))
+        });
+        if contended {
+            return Claim::Contended {
+                seen: board.completions,
+            };
+        }
+        let id = board.next_id;
+        board.next_id += 1;
+        board.in_flight.push(Flight {
+            id,
+            table: table.to_string(),
+            regions: regions.to_vec(),
+        });
+        Claim::Acquired(FlightGuard { owner: self, id })
+    }
+
+    /// Block until some flight completes after the [`Claim::Contended`]
+    /// observation `seen`. Returns immediately if one already has.
+    pub fn wait_past(&self, seen: u64) {
+        let board = self.lock_board();
+        let _board = self
+            .done
+            .wait_while(board, |b| b.completions <= seen)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+
+    /// Number of flights currently in progress (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.lock_board().in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_geometry::Interval;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn r(lo: i64, hi: i64) -> Region {
+        Region::new(vec![Interval::new(lo, hi)])
+    }
+
+    #[test]
+    fn disjoint_regions_do_not_contend() {
+        let c = CallCoalescer::new();
+        let g1 = match c.claim("T", &[r(0, 9)]) {
+            Claim::Acquired(g) => g,
+            Claim::Contended { .. } => panic!("first claim must win"),
+        };
+        assert!(matches!(c.claim("T", &[r(20, 29)]), Claim::Acquired(_)));
+        assert!(matches!(c.claim("U", &[r(0, 9)]), Claim::Acquired(_)));
+        drop(g1);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn overlap_contends_until_guard_drops() {
+        let c = CallCoalescer::new();
+        let g = match c.claim("T", &[r(0, 9)]) {
+            Claim::Acquired(g) => g,
+            Claim::Contended { .. } => panic!("first claim must win"),
+        };
+        let seen = match c.claim("T", &[r(5, 14)]) {
+            Claim::Contended { seen } => seen,
+            Claim::Acquired(_) => panic!("overlap must contend"),
+        };
+        drop(g);
+        // Completion already happened: wait_past must not block.
+        c.wait_past(seen);
+        assert!(matches!(c.claim("T", &[r(5, 14)]), Claim::Acquired(_)));
+    }
+
+    #[test]
+    fn completion_between_claim_and_wait_is_not_lost() {
+        // The lost-wakeup race: leader finishes after the waiter observed
+        // contention but before it sleeps. `seen` makes wait_past a no-op.
+        let c = Arc::new(CallCoalescer::new());
+        let woke = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let g = match c.claim("T", &[r(0, 9)]) {
+                Claim::Acquired(g) => g,
+                Claim::Contended { .. } => panic!("board must be empty"),
+            };
+            let seen = match c.claim("T", &[r(0, 9)]) {
+                Claim::Contended { seen } => seen,
+                Claim::Acquired(_) => panic!("overlap must contend"),
+            };
+            let cc = Arc::clone(&c);
+            let ww = Arc::clone(&woke);
+            let waiter = std::thread::spawn(move || {
+                cc.wait_past(seen);
+                ww.fetch_add(1, Ordering::SeqCst);
+            });
+            drop(g); // complete the flight, possibly before the waiter sleeps
+            waiter.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 50);
+    }
+}

@@ -11,10 +11,12 @@ use payless_semantic::{rewrite, Consistency, CoverClass, RewriteConfig, Semantic
 use payless_sql::{AccessConstraint, AnalyzedQuery, OutputItem, ResidualPred, TableLocation};
 use payless_stats::StatsRegistry;
 use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec, Database};
-use payless_telemetry::{CallKind, OperatorActual, QErrorRecord, Recorder};
+use payless_telemetry::{CallKind, OperatorActual, QErrorRecord, Recorder, TransactionRecord};
 use payless_types::{PaylessError, Result, Row, Value};
 
 use crate::call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
+use crate::coalesce::{CallCoalescer, Claim};
+use crate::state::{ExecState, SharedState};
 
 /// Execution-time configuration (mirrors the optimizer's).
 #[derive(Debug, Clone)]
@@ -30,6 +32,13 @@ pub struct ExecConfig {
     pub recorder: Option<Arc<Recorder>>,
     /// Retry/backoff/budget policy for every market call the plan issues.
     pub retry: RetryPolicy,
+    /// Have the call layer mirror each charge into the recorder's spend
+    /// ledger itself. Single-tenant sessions leave this off — the market's
+    /// attached recorder already writes the ledger. A serving layer runs
+    /// many per-query recorders over one market, whose single recorder
+    /// slot cannot attribute spend to the query that caused it, so the
+    /// executor writes the entries at the call chokepoint instead.
+    pub synthesize_ledger: bool,
 }
 
 impl Default for ExecConfig {
@@ -40,6 +49,7 @@ impl Default for ExecConfig {
             consistency: Consistency::Weak,
             recorder: None,
             retry: RetryPolicy::default(),
+            synthesize_ledger: false,
         }
     }
 }
@@ -57,11 +67,12 @@ pub struct QueryResult {
 pub struct Executor<'a> {
     query: &'a AnalyzedQuery,
     market: &'a DataMarket,
-    db: &'a mut Database,
-    store: &'a mut SemanticStore,
-    stats: &'a mut StatsRegistry,
+    state: ExecState<'a>,
     cfg: &'a ExecConfig,
     now: u64,
+    /// Single-flight rendezvous shared with concurrently executing queries;
+    /// `None` outside serve mode (and under `PAYLESS_COALESCE=0`).
+    coalescer: Option<&'a CallCoalescer>,
     /// Per-query retry/waste accounting, shared by every call this plan makes.
     budget: CallBudget,
     /// Per-operator actuals, indexed by the plan's pre-order operator id —
@@ -88,11 +99,35 @@ impl<'a> Executor<'a> {
         Executor {
             query,
             market,
-            db,
-            store,
-            stats,
+            state: ExecState::Exclusive { db, store, stats },
             cfg,
             now,
+            coalescer: None,
+            budget: CallBudget::default(),
+            ops: Vec::new(),
+            cur_op: 0,
+        }
+    }
+
+    /// Assemble an executor over a serving layer's [`SharedState`]. Passing
+    /// a [`CallCoalescer`] turns on single-flight coalescing of overlapping
+    /// market calls; `None` disables it (the `PAYLESS_COALESCE=0` escape
+    /// hatch).
+    pub fn shared(
+        query: &'a AnalyzedQuery,
+        market: &'a DataMarket,
+        state: &'a SharedState,
+        cfg: &'a ExecConfig,
+        now: u64,
+        coalescer: Option<&'a CallCoalescer>,
+    ) -> Self {
+        Executor {
+            query,
+            market,
+            state: ExecState::Shared(state),
+            cfg,
+            now,
+            coalescer,
             budget: CallBudget::default(),
             ops: Vec::new(),
             cur_op: 0,
@@ -194,13 +229,8 @@ impl<'a> Executor<'a> {
             AccessMethod::Local => {
                 debug_assert_eq!(t.location, TableLocation::Local);
                 let rows = self
-                    .db
-                    .table(&t.name)?
-                    .rows()
-                    .iter()
-                    .filter(|r| satisfies_access(r, &t.access))
-                    .cloned()
-                    .collect();
+                    .state
+                    .filtered_rows(&t.name, |r| satisfies_access(r, &t.access))?;
                 Ok((rows, vec![tid]))
             }
             AccessMethod::Fetch => {
@@ -220,42 +250,146 @@ impl<'a> Executor<'a> {
 
     /// Make `region` of table `tid` locally complete: rewrite against the
     /// store, issue the remainder calls, and do all bookkeeping.
+    ///
+    /// With a coalescer attached, the remainders are **claimed** before
+    /// buying: if another in-flight query is already purchasing an
+    /// overlapping region, this query waits for that delivery, re-rewrites
+    /// against the freshly grown store, and only buys what is still
+    /// uncovered. The claim is held (at most one per executor, never
+    /// across a wait — so no deadlock) until the purchase and its store
+    /// bookkeeping complete.
     fn ensure_region(&mut self, tid: usize, space: &QuerySpace, region: &Region) -> Result<()> {
         let t = &self.query.tables[tid];
         let page = self
             .market
             .page_size(&t.name)
             .ok_or_else(|| PaylessError::UnknownTable(t.name.clone()))?;
-        let remainders: Vec<Region> = if self.cfg.sqr {
-            if let Some(rec) = &self.cfg.recorder {
-                match self
-                    .store
-                    .classify(&t.name, region, self.cfg.consistency, self.now)
-                {
-                    CoverClass::Full => rec.sqr_full_hit(),
-                    CoverClass::Partial => rec.sqr_partial_hit(),
-                    CoverClass::Miss => rec.sqr_miss(),
+        let mut waits: u64 = 0;
+        let mut initial_est: Option<f64> = None;
+        loop {
+            let mut final_est = 0.0;
+            let remainders: Vec<Region> = if self.cfg.sqr {
+                // Hit/miss classification and rewrite-shape counters are
+                // scored once, on the pre-wait store — what this query saw
+                // when it arrived — so serial and coalesced runs count SQR
+                // hits identically.
+                if waits == 0 {
+                    if let Some(rec) = &self.cfg.recorder {
+                        match self
+                            .state
+                            .classify(&t.name, region, self.cfg.consistency, self.now)
+                        {
+                            CoverClass::Full => rec.sqr_full_hit(),
+                            CoverClass::Partial => rec.sqr_partial_hit(),
+                            CoverClass::Miss => rec.sqr_miss(),
+                        }
+                    }
                 }
+                // Only views overlapping this region can shape its rewrite,
+                // so probe the store's grid index instead of scanning every
+                // view.
+                let views =
+                    self.state
+                        .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
+                let rw = self
+                    .state
+                    .with_table_model(&t.name, |ts| {
+                        rewrite(ts, page, region, &views, &self.cfg.rewrite)
+                    })
+                    .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
+                if waits == 0 {
+                    if let Some(rec) = &self.cfg.recorder {
+                        rec.count("sqr.cover_sets", rw.cover_sets);
+                        rec.count("sqr.cover_chosen", rw.cover_chosen);
+                        rec.record_size("sqr.candidate_views", views.len() as u64);
+                    }
+                    initial_est = Some(rw.est_transactions);
+                }
+                final_est = rw.est_transactions;
+                rw.remainders
+            } else {
+                vec![region.clone()]
+            };
+            if remainders.is_empty() {
+                // Fully covered — if we waited to get here, the entire
+                // planned purchase was avoided.
+                self.note_coalesce(waits, initial_est, 0.0);
+                return Ok(());
             }
-            // Only views overlapping this region can shape its rewrite, so
-            // probe the store's grid index instead of scanning every view.
-            let views =
-                self.store
-                    .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
-            let ts = self
-                .stats
-                .table(&t.name)
-                .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
-            let rw = rewrite(ts, page, region, &views, &self.cfg.rewrite);
-            if let Some(rec) = &self.cfg.recorder {
-                rec.count("sqr.cover_sets", rw.cover_sets);
-                rec.count("sqr.cover_chosen", rw.cover_chosen);
-                rec.record_size("sqr.candidate_views", views.len() as u64);
+            // Claim the whole base region, not just the remainders: every
+            // remainder is a subset of it, so the guard soundly covers
+            // whatever the under-guard recompute below decides to buy.
+            let guard = match self.coalescer {
+                None => None,
+                Some(c) => match c.claim(&t.name, std::slice::from_ref(region)) {
+                    Claim::Acquired(g) => Some(g),
+                    Claim::Contended { seen } => {
+                        waits += 1;
+                        if let Some(rec) = &self.cfg.recorder {
+                            rec.count("coalesce.waits", 1);
+                        }
+                        c.wait_past(seen);
+                        continue;
+                    }
+                },
+            };
+            // Re-validate under the flight guard: between this query's
+            // rewrite and its claim another flight may have completed and
+            // recorded coverage. While the guard is held no in-flight
+            // purchase overlaps this region, so the recompute is the last
+            // word — without it a racing pair could buy the same region
+            // twice.
+            let remainders = if guard.is_some() && self.cfg.sqr {
+                let views =
+                    self.state
+                        .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
+                let rw = self
+                    .state
+                    .with_table_model(&t.name, |ts| {
+                        rewrite(ts, page, region, &views, &self.cfg.rewrite)
+                    })
+                    .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
+                final_est = rw.est_transactions;
+                rw.remainders
+            } else {
+                remainders
+            };
+            if remainders.is_empty() {
+                self.note_coalesce(waits, initial_est, 0.0);
+                drop(guard);
+                return Ok(());
             }
-            rw.remainders
-        } else {
-            vec![region.clone()]
-        };
+            self.note_coalesce(waits, initial_est, final_est);
+            let bought = self.buy_remainders(tid, space, remainders);
+            drop(guard);
+            return bought;
+        }
+    }
+
+    /// Book the pages a coalescing wait avoided: the estimated cost of the
+    /// purchase this query arrived wanting, minus what it still had to buy
+    /// after waiting. Estimates, not actuals — the avoided calls were never
+    /// made, so their exact size is unknowable.
+    fn note_coalesce(&self, waits: u64, initial_est: Option<f64>, final_est: f64) {
+        if waits == 0 {
+            return;
+        }
+        if let Some(rec) = &self.cfg.recorder {
+            let saved = initial_est.map_or(0.0, |e| (e - final_est).max(0.0));
+            rec.count("coalesce.saved_pages", saved.round() as u64);
+        }
+    }
+
+    /// Issue the market calls for `remainders` and do all per-delivery
+    /// bookkeeping: operator actuals, the local mirror, statistics
+    /// feedback (q-error scored first), and store coverage.
+    fn buy_remainders(
+        &mut self,
+        tid: usize,
+        space: &QuerySpace,
+        remainders: Vec<Region>,
+    ) -> Result<()> {
+        let t = &self.query.tables[tid];
         for rem in remainders {
             let mut req = Request::to(t.name.clone());
             for (col, c) in space.constraints_of(&rem) {
@@ -273,6 +407,7 @@ impl<'a> Executor<'a> {
                 &mut self.budget,
                 self.cfg.recorder.as_deref(),
             );
+            self.synthesize_ledger(&t.name, &outcome);
             let slot = self.ops.get_mut(self.cur_op);
             let resp = match outcome {
                 CallOutcome::Delivered {
@@ -313,11 +448,12 @@ impl<'a> Executor<'a> {
             if let Some(rec) = &self.cfg.recorder {
                 rec.record_size("market.records_per_call", records);
             }
-            self.db.table_or_create(&t.schema).insert_all(resp.rows);
-            if let Some(ts) = self.stats.table_mut(&t.name) {
+            self.state.insert_rows(&t.schema, resp.rows);
+            let recorder = self.cfg.recorder.clone();
+            self.state.with_table_model_mut(&t.name, |ts| {
                 // Score the estimate the optimizer planned with *before*
                 // feedback repairs it — afterwards it would always be exact.
-                if let Some(rec) = &self.cfg.recorder {
+                if let Some(rec) = &recorder {
                     let estimate = ts.estimate(&rem);
                     let estimator = ts.estimator_label();
                     rec.q_error(|| QErrorRecord {
@@ -329,15 +465,74 @@ impl<'a> Executor<'a> {
                     });
                 }
                 ts.feedback(&rem, records);
-            }
+            });
             // Coverage is only ever *read* when rewriting is on; without SQR
             // the store would grow unboundedly (one region per bind probe)
             // for nothing.
             if self.cfg.sqr {
-                self.store.record(&t.name, rem, self.now);
+                self.state.store_record(&t.name, rem, self.now);
             }
         }
         Ok(())
+    }
+
+    /// Mirror one call's charge into the recorder's spend ledger (serve
+    /// mode; see [`ExecConfig::synthesize_ledger`]). Entries are shaped
+    /// exactly like the market's own: one clean entry per delivery, plus
+    /// one `wasted` entry when billed attempts produced no usable payload.
+    /// Pages and price always reconcile with the billing meter; wasted
+    /// entries carry zero records (the meter counts a truncated attempt's
+    /// full pre-truncation records, which the client never saw).
+    fn synthesize_ledger(&self, table: &Arc<str>, outcome: &CallOutcome) {
+        if !self.cfg.synthesize_ledger {
+            return;
+        }
+        let Some(rec) = &self.cfg.recorder else {
+            return;
+        };
+        let Some(ds) = self.market.dataset_of(table) else {
+            return;
+        };
+        let (delivered, wasted_pages) = match outcome {
+            CallOutcome::Delivered {
+                response,
+                wasted_pages,
+                ..
+            } => (
+                Some((response.transactions, response.records())),
+                *wasted_pages,
+            ),
+            CallOutcome::BilledAndFailed { wasted_pages, .. } => (None, *wasted_pages),
+            CallOutcome::FailedFree { .. } => (None, 0),
+        };
+        if wasted_pages > 0 {
+            rec.transaction(|| TransactionRecord {
+                seq: 0, // assigned by the recorder
+                dataset: ds.name.clone(),
+                table: table.clone(),
+                kind: Default::default(), // stamped from the recorder's call context
+                records: 0,
+                page_size: ds.page_size,
+                pages: wasted_pages,
+                price: ds.price.total(wasted_pages),
+                wasted: true,
+                at_nanos: 0, // stamped by the recorder
+            });
+        }
+        if let Some((pages, records)) = delivered {
+            rec.transaction(|| TransactionRecord {
+                seq: 0,
+                dataset: ds.name.clone(),
+                table: table.clone(),
+                kind: Default::default(),
+                records,
+                page_size: ds.page_size,
+                pages,
+                price: ds.price.total(pages),
+                wasted: false,
+                at_nanos: 0,
+            });
+        }
     }
 
     /// Probe the market once per distinct binding combination and return the
@@ -419,19 +614,11 @@ impl<'a> Executor<'a> {
 
         // Matching rows: bind values among the probed combos, inside a base
         // region.
-        let rows = self
-            .db
-            .table(&t.name)
-            .map(|t| t.rows().to_vec())
-            .unwrap_or_default();
         let bind_cols: Vec<usize> = binds.iter().map(|b| b.right_col).collect();
-        let out = rows
-            .into_iter()
-            .filter(|row| {
-                let combo: Vec<Value> = bind_cols.iter().map(|&c| row.get(c).clone()).collect();
-                seen.contains(&combo) && base_regions.iter().any(|r| row_in_region(&space, row, r))
-            })
-            .collect();
+        let out = self.state.mirror_rows(&t.name, |row| {
+            let combo: Vec<Value> = bind_cols.iter().map(|&c| row.get(c).clone()).collect();
+            seen.contains(&combo) && base_regions.iter().any(|r| row_in_region(&space, row, r))
+        });
         Ok(out)
     }
 
@@ -443,22 +630,16 @@ impl<'a> Executor<'a> {
         regions: &[Region],
     ) -> Result<Vec<Row>> {
         let t = &self.query.tables[tid];
-        let Ok(table) = self.db.table(&t.name) else {
-            return Ok(Vec::new()); // nothing fetched (e.g. empty remainder)
-        };
-        Ok(table
-            .rows()
-            .iter()
-            .filter(|row| regions.iter().any(|r| row_in_region(space, row, r)))
-            .cloned()
-            .collect())
+        // Missing mirror == nothing fetched (e.g. empty remainder).
+        Ok(self.state.mirror_rows(&t.name, |row| {
+            regions.iter().any(|r| row_in_region(space, row, r))
+        }))
     }
 
     fn space_of(&self, tid: usize) -> Result<QuerySpace> {
         let t = &self.query.tables[tid];
-        self.stats
-            .table(&t.name)
-            .map(|s| s.space().clone())
+        self.state
+            .with_table_model(&t.name, |s| s.space().clone())
             .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))
     }
 

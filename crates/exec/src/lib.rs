@@ -22,9 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod call;
+pub mod coalesce;
 pub mod download;
 pub mod engine;
+pub mod state;
 
 pub use call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
+pub use coalesce::{CallCoalescer, Claim, FlightGuard};
 pub use download::ensure_downloaded;
 pub use engine::{ExecConfig, Executor, QueryResult};
+pub use state::{ExecState, SharedState};

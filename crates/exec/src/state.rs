@@ -1,0 +1,186 @@
+//! Buyer-side state the executor runs against, in two ownerships.
+//!
+//! A single-tenant session hands the executor exclusive `&mut` references
+//! (the original design). A serving layer instead shares one
+//! [`SharedState`] across many concurrent queries: the local mirror and the
+//! statistics registry each sit behind one reader-writer lock, and the
+//! semantic store is sharded per table
+//! ([`payless_semantic::SharedSemanticStore`]). [`ExecState`] abstracts
+//! over the two so the plan interpreter is written once.
+//!
+//! Lock discipline: every helper here acquires **at most one lock** and
+//! releases it before returning — no method calls back into another locked
+//! structure — so no lock-order cycles exist by construction. The closures
+//! passed to the `with_*` helpers run under a lock; they are pure
+//! computations (rewriting, estimation) and must not touch shared state.
+
+use std::sync::{Arc, RwLock};
+
+use payless_geometry::Region;
+use payless_semantic::{Consistency, CoverClass, SemanticStore, SharedSemanticStore};
+use payless_stats::{StatsRegistry, TableModel};
+use payless_storage::Database;
+use payless_types::{Result, Row, Schema};
+
+/// Buyer-side state shared by every in-flight query of a serving layer.
+#[derive(Debug)]
+pub struct SharedState {
+    db: RwLock<Database>,
+    store: SharedSemanticStore,
+    stats: RwLock<StatsRegistry>,
+}
+
+fn rd<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wr<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SharedState {
+    /// Wrap a session's state for concurrent use.
+    pub fn new(db: Database, store: SharedSemanticStore, stats: StatsRegistry) -> Self {
+        SharedState {
+            db: RwLock::new(db),
+            store,
+            stats: RwLock::new(stats),
+        }
+    }
+
+    /// The shared semantic store.
+    pub fn store(&self) -> &SharedSemanticStore {
+        &self.store
+    }
+
+    /// A point-in-time copy of the statistics registry (what the optimizer
+    /// plans against in serve mode).
+    pub fn stats_snapshot(&self) -> StatsRegistry {
+        rd(&self.stats).clone()
+    }
+
+    /// Run `f` against the local mirror under the read lock.
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&rd(&self.db))
+    }
+}
+
+/// The executor's view of buyer-side state: exclusive borrows from a
+/// single-tenant session, or one [`SharedState`] under locks.
+pub enum ExecState<'a> {
+    /// The single-tenant shape: the session owns everything.
+    Exclusive {
+        /// The buyer's local DBMS mirror.
+        db: &'a mut Database,
+        /// Coverage of past market purchases.
+        store: &'a mut SemanticStore,
+        /// Updatable cardinality statistics.
+        stats: &'a mut StatsRegistry,
+    },
+    /// The serving shape: state shared with other in-flight queries.
+    Shared(&'a SharedState),
+}
+
+impl ExecState<'_> {
+    /// Rows of `table` passing `pred` (cloned out). Errors if the table is
+    /// unknown to the local mirror.
+    pub fn filtered_rows(&self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<Vec<Row>> {
+        match self {
+            ExecState::Exclusive { db, .. } => Ok(db
+                .table(table)?
+                .rows()
+                .iter()
+                .filter(|r| pred(r))
+                .cloned()
+                .collect()),
+            ExecState::Shared(s) => s.with_db(|db| {
+                Ok(db
+                    .table(table)?
+                    .rows()
+                    .iter()
+                    .filter(|r| pred(r))
+                    .cloned()
+                    .collect())
+            }),
+        }
+    }
+
+    /// Rows of `table` passing `pred`; empty if the table has no mirror yet
+    /// (e.g. every remainder was empty).
+    pub fn mirror_rows(&self, table: &str, pred: impl Fn(&Row) -> bool) -> Vec<Row> {
+        self.filtered_rows(table, pred).unwrap_or_default()
+    }
+
+    /// Insert `rows` into `schema`'s mirror table, creating it if needed.
+    pub fn insert_rows(&mut self, schema: &Schema, rows: Vec<Row>) {
+        match self {
+            ExecState::Exclusive { db, .. } => {
+                db.table_or_create(schema).insert_all(rows);
+            }
+            ExecState::Shared(s) => {
+                wr(&s.db).table_or_create(schema).insert_all(rows);
+            }
+        }
+    }
+
+    /// Classify how much of `region` the store's usable views cover.
+    pub fn classify(
+        &self,
+        table: &str,
+        region: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> CoverClass {
+        match self {
+            ExecState::Exclusive { store, .. } => store.classify(table, region, consistency, now),
+            ExecState::Shared(s) => s.store.classify(table, region, consistency, now),
+        }
+    }
+
+    /// Usable views overlapping `region` (grid-index probe).
+    pub fn views_overlapping(
+        &self,
+        table: &str,
+        region: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> Vec<Arc<Region>> {
+        match self {
+            ExecState::Exclusive { store, .. } => {
+                store.views_overlapping(table, region, consistency, now)
+            }
+            ExecState::Shared(s) => s.store.views_overlapping(table, region, consistency, now),
+        }
+    }
+
+    /// Record delivered coverage in the semantic store.
+    pub fn store_record(&mut self, table: &str, region: Region, now: u64) {
+        match self {
+            ExecState::Exclusive { store, .. } => store.record(table, region, now),
+            ExecState::Shared(s) => s.store.record(table, region, now),
+        }
+    }
+
+    /// Run `f` against `table`'s statistics model (read-locked in shared
+    /// mode). `f` must be a pure computation — it runs under the lock.
+    pub fn with_table_model<R>(&self, table: &str, f: impl FnOnce(&TableModel) -> R) -> Option<R> {
+        match self {
+            ExecState::Exclusive { stats, .. } => stats.table(table).map(f),
+            ExecState::Shared(s) => rd(&s.stats).table(table).map(f),
+        }
+    }
+
+    /// Run `f` against `table`'s mutable statistics model (write-locked in
+    /// shared mode). Same purity requirement as
+    /// [`ExecState::with_table_model`].
+    pub fn with_table_model_mut<R>(
+        &mut self,
+        table: &str,
+        f: impl FnOnce(&mut TableModel) -> R,
+    ) -> Option<R> {
+        match self {
+            ExecState::Exclusive { stats, .. } => stats.table_mut(table).map(f),
+            ExecState::Shared(s) => wr(&s.stats).table_mut(table).map(f),
+        }
+    }
+}

@@ -46,6 +46,14 @@ pub struct RewriteConfig {
     /// subtraction pieces as remainders (correct, possibly suboptimal) —
     /// keeping rewriting linear in the fragmentation.
     pub max_cells: usize,
+    /// Exact mode: always issue the raw subtraction pieces, never a merged
+    /// bounding box (Algorithm 1) or a consolidated whole-region call —
+    /// remainders are guaranteed disjoint from stored coverage, so no
+    /// covered record is ever re-bought. Single-tenant sessions leave this
+    /// off (merging trades a few re-bought records for fewer calls); the
+    /// concurrent serving layer turns it on so delivered spend is
+    /// reproducible across thread interleavings.
+    pub exact: bool,
 }
 
 impl Default for RewriteConfig {
@@ -55,6 +63,7 @@ impl Default for RewriteConfig {
             price_pruning: true,
             max_candidates: 2_048,
             max_cells: 256,
+            exact: false,
         }
     }
 }
@@ -65,6 +74,14 @@ impl RewriteConfig {
         RewriteConfig {
             minimal_pruning: false,
             price_pruning: false,
+            ..Self::default()
+        }
+    }
+
+    /// Exact subtraction remainders (see [`RewriteConfig::exact`]).
+    pub fn exact() -> Self {
+        RewriteConfig {
+            exact: true,
             ..Self::default()
         }
     }
@@ -127,6 +144,34 @@ pub fn rewrite<V: Borrow<Region> + Sync>(
             fully_covered: true,
             boxes_enumerated: 0,
             boxes_kept: 0,
+            cover_sets: 0,
+            cover_chosen: 0,
+            threads_used: 1,
+        };
+    }
+
+    // --- Exact mode -------------------------------------------------------
+    // Raw subtraction pieces, nothing merged: every remainder is disjoint
+    // from stored coverage, so no covered record is re-bought regardless of
+    // what the store happens to contain. Spend becomes a function of the
+    // query set alone — the property the serving layer's cross-thread
+    // reconciliation relies on.
+    if cfg.exact {
+        let mut remainders = Vec::new();
+        for piece in query.subtract_all(views) {
+            remainders.extend(space.expressible_cover(&piece));
+        }
+        let est: f64 = remainders
+            .iter()
+            .map(|r| est_transactions(stats.estimate(r), page_size))
+            .sum();
+        let n = remainders.len() as u64;
+        return Rewrite {
+            remainders,
+            est_transactions: est,
+            fully_covered: false,
+            boxes_enumerated: n,
+            boxes_kept: n,
             cover_sets: 0,
             cover_chosen: 0,
             threads_used: 1,
@@ -786,5 +831,43 @@ mod tests {
             assert_eq!(par.boxes_kept, seq.boxes_kept);
             assert_eq!(par.cover_chosen, seq.cover_chosen);
         }
+    }
+
+    #[test]
+    fn exact_mode_never_overlaps_stored_coverage() {
+        let stats = figure6_stats();
+        let views = vec![region![(20, 40)], region![(60, 70)]];
+        let q = region![(0, 100)];
+        let out = rewrite(&stats, 10, &q, &views, &RewriteConfig::exact());
+        assert!(!out.fully_covered);
+        assert!(!out.remainders.is_empty());
+        for r in &out.remainders {
+            for v in &views {
+                assert!(
+                    !r.overlaps(v),
+                    "exact remainder {r:?} overlaps stored view {v:?}"
+                );
+            }
+        }
+        // Together with the stored views, the remainders still cover the
+        // whole query region.
+        let mut all = views.clone();
+        all.extend(out.remainders.iter().cloned());
+        assert!(q.subtract_all(&all).is_empty());
+    }
+
+    #[test]
+    fn exact_mode_is_fully_covered_aware() {
+        let stats = figure6_stats();
+        let views = vec![region![(0, 100)]];
+        let out = rewrite(
+            &stats,
+            10,
+            &region![(5, 50)],
+            &views,
+            &RewriteConfig::exact(),
+        );
+        assert!(out.fully_covered);
+        assert!(out.remainders.is_empty());
     }
 }

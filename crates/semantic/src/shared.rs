@@ -1,0 +1,220 @@
+//! Thread-safe sharing of the semantic store across concurrent sessions.
+//!
+//! A [`SharedSemanticStore`] wraps the per-table stores of a
+//! [`SemanticStore`] in one reader-writer lock *per table* (a sharded
+//! scheme): rewrites and cover probes of different tables never contend,
+//! and on one table many readers proceed in parallel while a delivery
+//! appending coverage takes the shard's write lock only briefly. The grid
+//! index each shard keeps over its views (see [`crate::store`]) is rebuilt
+//! under that same write lock, so readers always see a consistent
+//! view-set/index pair.
+//!
+//! The optimizer still wants a plain `&SemanticStore`;
+//! [`SharedSemanticStore::snapshot`] reassembles one from the shards.
+//! Views are `Arc<Region>` handles, so a snapshot clones handles and
+//! bucket indexes, not geometry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use payless_geometry::{QuerySpace, Region};
+use payless_telemetry::Recorder;
+
+use crate::store::{Consistency, CoverClass, SemanticStore};
+
+/// A semantic store shareable across threads: per-table shards behind
+/// reader-writer locks. All methods take `&self`; clone the containing
+/// `Arc` to hand the store to another session.
+#[derive(Debug, Default)]
+pub struct SharedSemanticStore {
+    shards: HashMap<Arc<str>, RwLock<SemanticStore>>,
+}
+
+/// Read a poisoned lock anyway: shard state is only ever mutated through
+/// `SemanticStore` methods that keep it structurally consistent, so a
+/// panicking reader elsewhere cannot leave torn data behind.
+fn read(l: &RwLock<SemanticStore>) -> RwLockReadGuard<'_, SemanticStore> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write(l: &RwLock<SemanticStore>) -> RwLockWriteGuard<'_, SemanticStore> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SharedSemanticStore {
+    /// Shard `store` per table. Typically called once at serve start with
+    /// the store of a warmed (or fresh) single-tenant session.
+    pub fn new(store: SemanticStore) -> Self {
+        SharedSemanticStore {
+            shards: store
+                .split_shards()
+                .into_iter()
+                .map(|(name, s)| (name, RwLock::new(s)))
+                .collect(),
+        }
+    }
+
+    /// Register a table's query space (idempotent). Takes `&mut self`:
+    /// adding tables is a setup-time operation, not a serving-time one.
+    pub fn register(&mut self, space: QuerySpace) {
+        self.shards.entry(space.table.clone()).or_insert_with(|| {
+            let mut s = SemanticStore::new();
+            s.register(space);
+            RwLock::new(s)
+        });
+    }
+
+    /// Attach a store-level telemetry recorder to every shard. Index
+    /// hit/scan counters are a property of the shared store, not of any one
+    /// session — see DESIGN.md "Concurrent serving & call coalescing".
+    pub fn attach_recorder(&self, recorder: Arc<Recorder>) {
+        for shard in self.shards.values() {
+            write(shard).attach_recorder(recorder.clone());
+        }
+    }
+
+    /// The query space of `table`, if registered (cloned out of the shard).
+    pub fn space(&self, table: &str) -> Option<QuerySpace> {
+        self.shards
+            .get(table)
+            .and_then(|s| read(s).space(table).cloned())
+    }
+
+    /// Record that `region` of `table` has been fully retrieved at `now`.
+    /// Takes the shard's write lock for the duration of the insert
+    /// (containment checks, coalescing, index rebuild).
+    pub fn record(&self, table: &str, region: Region, now: u64) {
+        let shard = self
+            .shards
+            .get(table)
+            .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
+        write(shard).record(table, region, now);
+    }
+
+    /// The usable views of `table` overlapping `probe` — a read-locked
+    /// passthrough to [`SemanticStore::views_overlapping`].
+    pub fn views_overlapping(
+        &self,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> Vec<Arc<Region>> {
+        self.shards
+            .get(table)
+            .map(|s| read(s).views_overlapping(table, probe, consistency, now))
+            .unwrap_or_default()
+    }
+
+    /// Classify how much of `region` the usable views cover.
+    pub fn classify(
+        &self,
+        table: &str,
+        region: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> CoverClass {
+        self.shards
+            .get(table)
+            .map(|s| read(s).classify(table, region, consistency, now))
+            .unwrap_or(CoverClass::Miss)
+    }
+
+    /// `true` if `region` of `table` is fully covered by usable views.
+    pub fn covers(&self, table: &str, region: &Region, consistency: Consistency, now: u64) -> bool {
+        self.shards
+            .get(table)
+            .map(|s| read(s).covers(table, region, consistency, now))
+            .unwrap_or(false)
+    }
+
+    /// Number of stored view boxes for `table` (after coalescing).
+    pub fn view_count(&self, table: &str) -> usize {
+        self.shards
+            .get(table)
+            .map(|s| read(s).view_count(table))
+            .unwrap_or(0)
+    }
+
+    /// Fraction of `table`'s whole query space covered by stored views.
+    pub fn coverage_fraction(&self, table: &str) -> f64 {
+        self.shards
+            .get(table)
+            .map(|s| read(s).coverage_fraction(table))
+            .unwrap_or(0.0)
+    }
+
+    /// A point-in-time single-tenant copy: per-table consistent (each shard
+    /// is cloned under its read lock), cheap (views are `Arc<Region>`
+    /// handles). This is what the optimizer plans against in serve mode.
+    pub fn snapshot(&self) -> SemanticStore {
+        let mut out = SemanticStore::new();
+        for shard in self.shards.values() {
+            out.absorb(read(shard).clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_geometry::Interval;
+    use payless_types::{Column, Domain, Schema};
+
+    fn space() -> QuerySpace {
+        QuerySpace::of(&Schema::new(
+            "T",
+            vec![Column::free("A", Domain::int(0, 99))],
+        ))
+    }
+
+    fn r(lo: i64, hi: i64) -> Region {
+        Region::new(vec![Interval::new(lo, hi)])
+    }
+
+    #[test]
+    fn shards_share_coverage_across_threads() {
+        let mut base = SemanticStore::new();
+        base.register(space());
+        let shared = Arc::new(SharedSemanticStore::new(base));
+        std::thread::scope(|s| {
+            for i in 0..4i64 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    shared.record("T", r(i * 10, i * 10 + 9), 1);
+                });
+            }
+        });
+        assert!(shared.covers("T", &r(0, 39), Consistency::Weak, 2));
+        assert_eq!(
+            shared.view_count("T"),
+            1,
+            "adjacent ranges coalesce to one box regardless of insert thread"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let mut base = SemanticStore::new();
+        base.register(space());
+        base.record("T", r(0, 9), 1);
+        let shared = SharedSemanticStore::new(base);
+        let snap = shared.snapshot();
+        shared.record("T", r(50, 59), 2);
+        assert!(snap.covers("T", &r(0, 9), Consistency::Weak, 3));
+        assert!(!snap.covers("T", &r(50, 59), Consistency::Weak, 3));
+        assert!(shared.covers("T", &r(50, 59), Consistency::Weak, 3));
+    }
+
+    #[test]
+    fn unregistered_table_degrades_gracefully() {
+        let shared = SharedSemanticStore::new(SemanticStore::new());
+        assert_eq!(shared.view_count("nope"), 0);
+        assert!(shared.space("nope").is_none());
+        assert_eq!(
+            shared.classify("nope", &r(0, 1), Consistency::Weak, 1),
+            CoverClass::Miss
+        );
+    }
+}

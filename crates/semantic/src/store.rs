@@ -265,6 +265,12 @@ impl SemanticStore {
     /// Attach a telemetry recorder; subsequent probes report
     /// `store.index_probe` durations and `store.index_hits` /
     /// `store.index_full_scans` counters into it.
+    ///
+    /// These counters are a property of the *store*, not of any one query:
+    /// when the store is shared across sessions (the serving layer), every
+    /// session's probes land in this recorder, so per-query recorders must
+    /// never be attached here. The `\report` renderer tags them
+    /// "store-level" for the same reason.
     pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
         self.recorder = Some(recorder);
     }
@@ -274,6 +280,35 @@ impl SemanticStore {
         self.tables
             .entry(space.table.clone())
             .or_insert_with(|| TableStore::new(space));
+    }
+
+    /// Split the store into independent single-table stores — the building
+    /// block of [`crate::shared::SharedSemanticStore`]'s per-table shards.
+    /// The recorder handle (if any) is shared by every shard.
+    pub(crate) fn split_shards(self) -> Vec<(Arc<str>, SemanticStore)> {
+        let recorder = self.recorder;
+        self.tables
+            .into_iter()
+            .map(|(name, ts)| {
+                let mut tables = HashMap::new();
+                tables.insert(name.clone(), ts);
+                (
+                    name,
+                    SemanticStore {
+                        tables,
+                        recorder: recorder.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Move every table of `other` into `self`, replacing tables already
+    /// present — reassembles a point-in-time snapshot from shared shards.
+    pub(crate) fn absorb(&mut self, other: SemanticStore) {
+        for (name, ts) in other.tables {
+            self.tables.insert(name, ts);
+        }
     }
 
     /// The query space of `table`, if registered.

@@ -1,0 +1,327 @@
+//! Concurrent multi-session serving over one shared semantic store.
+//!
+//! [`Serve`] is the middleware shape the ROADMAP's "many users" goal needs:
+//! N client sessions run queries in parallel against a single market, one
+//! shared local mirror, one shared statistics registry, and one shared
+//! (per-table sharded) semantic store — so every client benefits from every
+//! other client's purchases. Overlapping in-flight purchases are coalesced
+//! to a single flight ([`payless_exec::CallCoalescer`]); each query carries
+//! its own telemetry recorder whose spend ledger is synthesized at the call
+//! layer, attributing every shared purchase to the query that triggered it.
+//!
+//! [`run_mix`] is the deterministic multi-client workload driver behind the
+//! CI serve-smoke: it replays a seeded query mix across K worker threads
+//! (K = 1 is the serial oracle), then reconciles total spend against the
+//! market's billing meter. See DESIGN.md "Concurrent serving & call
+//! coalescing" for the invariants, and [`report`] for the JSON dump the
+//! smoke compares across thread counts.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use payless_exec::{CallCoalescer, ExecConfig, Executor, RetryPolicy, SharedState};
+use payless_geometry::QuerySpace;
+use payless_market::DataMarket;
+use payless_optimizer::{optimize, OptimizerConfig};
+use payless_semantic::{Consistency, RewriteConfig, SemanticStore, SharedSemanticStore};
+use payless_sql::{analyze, parse, MapCatalog, SelectStmt, TableLocation};
+use payless_stats::StatsRegistry;
+use payless_storage::{Database, LocalTable};
+use payless_telemetry::Recorder;
+use payless_types::{PaylessError, Result};
+use payless_workload::MixItem;
+
+pub use report::{ClientSpend, QueryRow, ServeReport};
+
+/// Serving-layer options. Everything is explicit — the library reads no
+/// environment variables; the CLI and bench map `PAYLESS_*` knobs onto
+/// these fields.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads replaying the mix. `1` is the serial oracle.
+    pub threads: usize,
+    /// Single-flight coalescing of overlapping market calls
+    /// (`PAYLESS_COALESCE=0` maps to `false`).
+    pub coalesce: bool,
+    /// Store-freshness policy shared by every client.
+    pub consistency: Consistency,
+    /// Rewrite knobs. Defaults to [`RewriteConfig::exact`]: raw subtraction
+    /// remainders never overlap stored coverage, so no record is bought
+    /// twice and delivered spend is reproducible across thread
+    /// interleavings — the property the serve-smoke's cross-thread
+    /// reconciliation asserts. Single-tenant sessions keep Algorithm 1
+    /// merging instead.
+    pub rewrite: RewriteConfig,
+    /// Retry/backoff policy for market calls. Fault-injected runs should
+    /// use [`RetryPolicy::unlimited`] so every query eventually answers
+    /// and runs stay comparable across thread counts.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 1,
+            coalesce: true,
+            consistency: Consistency::Weak,
+            rewrite: RewriteConfig::exact(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A serving layer fronting one market: shared buyer-side state plus the
+/// coalescing rendezvous. All methods take `&self`; wrap in an `Arc` to
+/// share with worker threads.
+pub struct Serve {
+    market: Arc<DataMarket>,
+    catalog: MapCatalog,
+    state: SharedState,
+    coalescer: CallCoalescer,
+    /// Logical clock: each query gets a distinct `now`, like a session's
+    /// per-query increment but shared across clients.
+    clock: AtomicU64,
+    cfg: ServeConfig,
+}
+
+impl Serve {
+    /// Assemble a serving layer over `market`, registering every market
+    /// table (like a single-tenant session does) plus the given local
+    /// tables.
+    pub fn new(market: Arc<DataMarket>, locals: &[LocalTable], cfg: ServeConfig) -> Self {
+        let mut catalog = MapCatalog::new();
+        let mut stats = StatsRegistry::new();
+        let mut store = SemanticStore::new();
+        let mut db = Database::new();
+        for name in market.table_names() {
+            let schema = market.schema(&name).expect("listed table").clone();
+            let cardinality = market.cardinality(&name).expect("listed table");
+            catalog.add(schema.clone(), TableLocation::Market);
+            stats.register(&schema, cardinality);
+            store.register(QuerySpace::of(&schema));
+        }
+        for t in locals {
+            catalog.add(t.schema.clone(), TableLocation::Local);
+            stats.register(&t.schema, t.len() as u64);
+            db.register(t.clone());
+        }
+        Serve {
+            market,
+            catalog,
+            state: SharedState::new(db, SharedSemanticStore::new(store), stats),
+            coalescer: CallCoalescer::new(),
+            clock: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// The market this layer fronts.
+    pub fn market(&self) -> &DataMarket {
+        &self.market
+    }
+
+    /// Attach a store-level recorder for the shared store's index
+    /// counters. These are a property of the shared store, not of any one
+    /// client query — which is why per-query recorders never see them.
+    pub fn attach_store_recorder(&self, recorder: Arc<Recorder>) {
+        self.state.store().attach_recorder(recorder);
+    }
+
+    /// Parse a workload template (shared across clients).
+    pub fn prepare(&self, sql: &str) -> Result<SelectStmt> {
+        parse(sql)
+    }
+
+    /// Run one client query: bind, analyze, optimize against point-in-time
+    /// snapshots of the shared store and statistics, then execute against
+    /// the shared state. Returns the query's result rows together with the
+    /// telemetry snapshot of its private recorder (ledger, coalesce
+    /// counters).
+    pub fn run_query(
+        &self,
+        template: &SelectStmt,
+        params: &[payless_types::Value],
+    ) -> Result<(
+        payless_exec::QueryResult,
+        payless_telemetry::TelemetrySnapshot,
+    )> {
+        let recorder = Recorder::enabled();
+        let now = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let bound = template.bind(params)?;
+        let query = analyze(&bound, &self.catalog)?;
+        let exec_cfg = ExecConfig {
+            sqr: true,
+            rewrite: self.cfg.rewrite.clone(),
+            consistency: self.cfg.consistency,
+            recorder: Some(recorder.clone()),
+            retry: self.cfg.retry.clone(),
+            // No recorder is attached to the shared market, so the call
+            // layer writes this query's ledger itself.
+            synthesize_ledger: true,
+        };
+        if query.unsatisfiable {
+            let executor =
+                Executor::shared(&query, &self.market, &self.state, &exec_cfg, now, None);
+            let result = executor.empty_result()?;
+            return Ok((result, recorder.take()));
+        }
+        let mut opt_cfg = OptimizerConfig::payless();
+        opt_cfg.rewrite = self.cfg.rewrite.clone();
+        opt_cfg.consistency = self.cfg.consistency;
+        // Plan against point-in-time snapshots: cheap (Arc'd views), and
+        // the executor re-rewrites against live state anyway.
+        let store_snap = self.state.store().snapshot();
+        let stats_snap = self.state.stats_snapshot();
+        let optimized = optimize(
+            &query,
+            &stats_snap,
+            &store_snap,
+            self.market.as_ref(),
+            &opt_cfg,
+            now,
+        )?;
+        let mut executor = Executor::shared(
+            &query,
+            &self.market,
+            &self.state,
+            &exec_cfg,
+            now,
+            self.cfg.coalesce.then_some(&self.coalescer),
+        );
+        let result = executor.execute(&optimized.plan)?;
+        Ok((result, recorder.take()))
+    }
+}
+
+/// Order-insensitive digest of a result: FNV-1a over the sorted rendered
+/// rows. Insensitive to mirror insertion order, which varies across
+/// interleavings; sensitive to multiplicity and every value.
+pub fn digest_rows(result: &payless_exec::QueryResult) -> u64 {
+    let mut rendered: Vec<String> = result.rows.iter().map(|r| format!("{r:?}")).collect();
+    rendered.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in &rendered {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ["ab"] and ["a","b"] differ.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Replay `mix` across `serve.cfg.threads` workers pulling from one global
+/// queue, then reconcile: the sum of every query's synthesized ledger must
+/// equal the market meter's delta, page for page — clean and under
+/// injected faults. Panics on reconciliation failure (this is the driver
+/// the CI smoke trusts); query errors are returned.
+pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Result<ServeReport> {
+    let threads = serve.cfg.threads.max(1);
+    let meter_before = serve.market.bill();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<QueryRow>>> = Mutex::new(vec![None; mix.len()]);
+    let failure: Mutex<Option<PaylessError>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(mix.len().max(1)) {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::SeqCst);
+                if idx >= mix.len() {
+                    return;
+                }
+                let item = &mix[idx];
+                match serve.run_query(&templates[item.template], &item.params) {
+                    Ok((result, snap)) => {
+                        let counter = |name: &str| {
+                            snap.counters
+                                .iter()
+                                .find(|(k, _)| *k == name)
+                                .map(|(_, v)| *v)
+                                .unwrap_or(0)
+                        };
+                        let row = QueryRow {
+                            client: item.client as u64,
+                            template: item.template as u64,
+                            digest: digest_rows(&result),
+                            rows: result.rows.len() as u64,
+                            pages: snap.total_pages(),
+                            wasted_pages: snap.wasted_pages(),
+                            records: snap.total_records(),
+                            price: snap.total_price(),
+                            coalesce_waits: counter("coalesce.waits"),
+                            saved_pages: counter("coalesce.saved_pages"),
+                        };
+                        slots.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(row);
+                    }
+                    Err(e) => {
+                        let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
+                        if f.is_none() {
+                            *f = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+    let per_query: Vec<QueryRow> = slots
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|s| s.expect("no failure recorded, so every slot is filled"))
+        .collect();
+
+    let meter_after = serve.market.bill();
+    let meter_calls = meter_after.calls() - meter_before.calls();
+    let meter_transactions = meter_after.transactions() - meter_before.transactions();
+    let meter_records = meter_after.records() - meter_before.records();
+
+    let ledger_pages: u64 = per_query.iter().map(|q| q.pages).sum();
+    assert_eq!(
+        ledger_pages, meter_transactions,
+        "spend ledger must reconcile with the billing meter: \
+         Σ per-query ledger pages = {ledger_pages}, meter delta = {meter_transactions}"
+    );
+
+    let mut per_client: Vec<ClientSpend> = Vec::new();
+    for q in &per_query {
+        match per_client.iter_mut().find(|c| c.client == q.client) {
+            Some(c) => c.absorb(q),
+            None => {
+                let mut c = ClientSpend::new(q.client);
+                c.absorb(q);
+                per_client.push(c);
+            }
+        }
+    }
+    per_client.sort_by_key(|c| c.client);
+
+    Ok(ServeReport {
+        threads: threads as u64,
+        queries: mix.len() as u64,
+        coalesce: serve.cfg.coalesce,
+        total_rows: per_query.iter().map(|q| q.rows).sum(),
+        total_pages: ledger_pages,
+        wasted_pages: per_query.iter().map(|q| q.wasted_pages).sum(),
+        total_records: per_query.iter().map(|q| q.records).sum(),
+        total_price: per_query.iter().fold(0.0, |a, q| a + q.price),
+        coalesce_waits: per_query.iter().map(|q| q.coalesce_waits).sum(),
+        saved_pages: per_query.iter().map(|q| q.saved_pages).sum(),
+        meter_calls,
+        meter_transactions,
+        meter_records,
+        per_client,
+        per_query,
+        ..ServeReport::default()
+    })
+}

@@ -1,0 +1,314 @@
+//! The serving driver's JSON report — what the CI serve-smoke dumps at
+//! each thread count and reconciles across runs.
+
+use payless_json::{FromJson, Json, JsonError, ToJson};
+
+/// One query of the mix, in global submission order. Submission order is
+//  identical across thread counts, so validators compare rows pairwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Client session that issued the query.
+    pub client: u64,
+    /// Workload template index.
+    pub template: u64,
+    /// Order-insensitive digest of the result rows
+    /// ([`crate::digest_rows`]).
+    pub digest: u64,
+    /// Result row count.
+    pub rows: u64,
+    /// Pages billed to this query (its synthesized ledger total).
+    pub pages: u64,
+    /// Pages billed without a usable delivery (injected faults).
+    pub wasted_pages: u64,
+    /// Records delivered to this query.
+    pub records: u64,
+    /// Money billed to this query.
+    pub price: f64,
+    /// Times this query waited on another query's in-flight purchase.
+    pub coalesce_waits: u64,
+    /// Estimated pages those waits avoided buying.
+    pub saved_pages: u64,
+}
+
+impl ToJson for QueryRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("client", self.client.to_json()),
+            ("template", self.template.to_json()),
+            ("digest", self.digest.to_json()),
+            ("rows", self.rows.to_json()),
+            ("pages", self.pages.to_json()),
+            ("wasted_pages", self.wasted_pages.to_json()),
+            ("records", self.records.to_json()),
+            ("price", self.price.to_json()),
+            ("coalesce_waits", self.coalesce_waits.to_json()),
+            ("saved_pages", self.saved_pages.to_json()),
+        ])
+    }
+}
+
+impl FromJson for QueryRow {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(QueryRow {
+            client: u64::from_json(j.get("client")?)?,
+            template: u64::from_json(j.get("template")?)?,
+            digest: u64::from_json(j.get("digest")?)?,
+            rows: u64::from_json(j.get("rows")?)?,
+            pages: u64::from_json(j.get("pages")?)?,
+            wasted_pages: u64::from_json(j.get("wasted_pages")?)?,
+            records: u64::from_json(j.get("records")?)?,
+            price: f64::from_json(j.get("price")?)?,
+            coalesce_waits: u64::from_json(j.get("coalesce_waits")?)?,
+            saved_pages: u64::from_json(j.get("saved_pages")?)?,
+        })
+    }
+}
+
+/// Spend attributed to one client session across the mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSpend {
+    /// Client session index.
+    pub client: u64,
+    /// Queries the client issued.
+    pub queries: u64,
+    /// Pages billed to the client's queries.
+    pub pages: u64,
+    /// Money billed to the client's queries.
+    pub price: f64,
+}
+
+impl ClientSpend {
+    /// A zeroed row for `client`.
+    pub fn new(client: u64) -> Self {
+        ClientSpend {
+            client,
+            queries: 0,
+            pages: 0,
+            price: 0.0,
+        }
+    }
+
+    /// Fold one query's spend into this client's totals.
+    pub fn absorb(&mut self, q: &QueryRow) {
+        self.queries += 1;
+        self.pages += q.pages;
+        self.price += q.price;
+    }
+}
+
+impl ToJson for ClientSpend {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("client", self.client.to_json()),
+            ("queries", self.queries.to_json()),
+            ("pages", self.pages.to_json()),
+            ("price", self.price.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClientSpend {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ClientSpend {
+            client: u64::from_json(j.get("client")?)?,
+            queries: u64::from_json(j.get("queries")?)?,
+            pages: u64::from_json(j.get("pages")?)?,
+            price: f64::from_json(j.get("price")?)?,
+        })
+    }
+}
+
+/// One serve run, reconciled: the driver asserts Σ per-query ledger pages
+/// equals the meter's transaction delta before this report exists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Mix seed (filled by the caller that built the mix).
+    pub seed: u64,
+    /// Client sessions in the mix (filled by the caller).
+    pub clients: u64,
+    /// Worker threads that replayed the mix.
+    pub threads: u64,
+    /// Queries replayed.
+    pub queries: u64,
+    /// Market page size (filled by the caller).
+    pub page_size: u64,
+    /// Was single-flight coalescing on?
+    pub coalesce: bool,
+    /// Fault-injection seed, if the market was fault-injected (caller).
+    pub fault_seed: Option<u64>,
+    /// Total result rows across queries.
+    pub total_rows: u64,
+    /// Σ per-query ledger pages (== meter transaction delta).
+    pub total_pages: u64,
+    /// Pages billed without a usable delivery.
+    pub wasted_pages: u64,
+    /// Records delivered across queries.
+    pub total_records: u64,
+    /// Money billed across queries.
+    pub total_price: f64,
+    /// Total coalescing waits.
+    pub coalesce_waits: u64,
+    /// Estimated pages avoided by coalescing waits.
+    pub saved_pages: u64,
+    /// Market calls in the meter delta.
+    pub meter_calls: u64,
+    /// Meter transaction (page) delta — the seller's view of the bill.
+    pub meter_transactions: u64,
+    /// Meter record delta. Under injected truncation the seller counts
+    /// pre-truncation records the buyer never saw, so this only equals
+    /// [`ServeReport::total_records`] on clean runs.
+    pub meter_records: u64,
+    /// Spend attribution by client.
+    pub per_client: Vec<ClientSpend>,
+    /// Every query, in global submission order.
+    pub per_query: Vec<QueryRow>,
+}
+
+impl ServeReport {
+    /// Pages billed for usable deliveries (total minus wasted). This is
+    /// the quantity that can only shrink when coalescing is on: wasted
+    /// pages depend on where injected faults land, which differs across
+    /// interleavings.
+    pub fn delivered_pages(&self) -> u64 {
+        self.total_pages - self.wasted_pages
+    }
+}
+
+impl ToJson for ServeReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", self.seed.to_json()),
+            ("clients", self.clients.to_json()),
+            ("threads", self.threads.to_json()),
+            ("queries", self.queries.to_json()),
+            ("page_size", self.page_size.to_json()),
+            ("coalesce", Json::Bool(self.coalesce)),
+            (
+                "fault_seed",
+                match self.fault_seed {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("total_rows", self.total_rows.to_json()),
+            ("total_pages", self.total_pages.to_json()),
+            ("wasted_pages", self.wasted_pages.to_json()),
+            ("total_records", self.total_records.to_json()),
+            ("total_price", self.total_price.to_json()),
+            ("coalesce_waits", self.coalesce_waits.to_json()),
+            ("saved_pages", self.saved_pages.to_json()),
+            ("meter_calls", self.meter_calls.to_json()),
+            ("meter_transactions", self.meter_transactions.to_json()),
+            ("meter_records", self.meter_records.to_json()),
+            (
+                "per_client",
+                Json::Arr(self.per_client.iter().map(|c| c.to_json()).collect()),
+            ),
+            (
+                "per_query",
+                Json::Arr(self.per_query.iter().map(|q| q.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ServeReport {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let fault_seed = match j.get("fault_seed")? {
+            Json::Null => None,
+            other => Some(u64::from_json(other)?),
+        };
+        Ok(ServeReport {
+            seed: u64::from_json(j.get("seed")?)?,
+            clients: u64::from_json(j.get("clients")?)?,
+            threads: u64::from_json(j.get("threads")?)?,
+            queries: u64::from_json(j.get("queries")?)?,
+            page_size: u64::from_json(j.get("page_size")?)?,
+            coalesce: j.get("coalesce")?.as_bool()?,
+            fault_seed,
+            total_rows: u64::from_json(j.get("total_rows")?)?,
+            total_pages: u64::from_json(j.get("total_pages")?)?,
+            wasted_pages: u64::from_json(j.get("wasted_pages")?)?,
+            total_records: u64::from_json(j.get("total_records")?)?,
+            total_price: f64::from_json(j.get("total_price")?)?,
+            coalesce_waits: u64::from_json(j.get("coalesce_waits")?)?,
+            saved_pages: u64::from_json(j.get("saved_pages")?)?,
+            meter_calls: u64::from_json(j.get("meter_calls")?)?,
+            meter_transactions: u64::from_json(j.get("meter_transactions")?)?,
+            meter_records: u64::from_json(j.get("meter_records")?)?,
+            per_client: j
+                .get("per_client")?
+                .as_arr()?
+                .iter()
+                .map(ClientSpend::from_json)
+                .collect::<Result<_, _>>()?,
+            per_query: j
+                .get("per_query")?
+                .as_arr()?
+                .iter()
+                .map(QueryRow::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = ServeReport {
+            seed: 48879,
+            clients: 4,
+            threads: 4,
+            queries: 2,
+            page_size: 1,
+            coalesce: true,
+            fault_seed: Some(7),
+            total_rows: 10,
+            total_pages: 12,
+            wasted_pages: 2,
+            total_records: 12,
+            total_price: 0.6,
+            coalesce_waits: 1,
+            saved_pages: 3,
+            meter_calls: 5,
+            meter_transactions: 12,
+            meter_records: 14,
+            per_client: vec![ClientSpend {
+                client: 0,
+                queries: 2,
+                pages: 12,
+                price: 0.6,
+            }],
+            per_query: vec![QueryRow {
+                client: 0,
+                template: 1,
+                digest: u64::MAX - 3, // exceeds i64: exercises the string fallback
+                rows: 5,
+                pages: 6,
+                wasted_pages: 1,
+                records: 6,
+                price: 0.3,
+                coalesce_waits: 1,
+                saved_pages: 3,
+            }],
+        };
+        let text = report.to_json().to_string_pretty();
+        let parsed = ServeReport::from_json(&payless_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.delivered_pages(), 10);
+    }
+
+    #[test]
+    fn missing_fault_seed_is_none() {
+        let report = ServeReport {
+            fault_seed: None,
+            ..Default::default()
+        };
+        let text = report.to_json().to_string_compact();
+        let parsed = ServeReport::from_json(&payless_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.fault_seed, None);
+    }
+}

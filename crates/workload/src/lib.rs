@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod finance;
+pub mod mix;
 pub mod tpch;
 pub mod whw;
 pub mod zipf;
@@ -34,6 +35,7 @@ use payless_types::Value;
 use rand::rngs::StdRng;
 
 pub use finance::{Finance, FinanceConfig};
+pub use mix::{serve_mix, MixItem};
 pub use tpch::{Tpch, TpchConfig};
 pub use whw::{RealWorkload, WhwConfig};
 pub use zipf::Zipf;

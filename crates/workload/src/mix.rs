@@ -1,0 +1,130 @@
+//! Seeded multi-client query mixes for the serving layer.
+//!
+//! A serve mix is a deterministic function of `(workload, templates,
+//! clients, queries, seed)`: the same inputs yield the same schedule on
+//! every machine and at every thread count, which is what lets the CI
+//! serve-smoke compare a parallel run against its serial replay.
+//!
+//! Parameters are drawn from a deliberately small pool and reused across
+//! items — repetition is what makes sharing (and thus call coalescing)
+//! possible, mirroring the hot-query skew of real serving workloads.
+
+use payless_types::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::QueryWorkload;
+
+/// One query of a serve mix: which client issues it, and what it asks.
+#[derive(Debug, Clone)]
+pub struct MixItem {
+    /// Client session the query belongs to (`0..clients`).
+    pub client: usize,
+    /// Template index into [`QueryWorkload::templates`].
+    pub template: usize,
+    /// Parameter values for the template's placeholders.
+    pub params: Vec<Value>,
+}
+
+/// Build a deterministic serve mix: `queries` items assigned round-robin
+/// to `clients`, each drawn from a small seeded pool of instances of the
+/// given `templates` (indexes into [`QueryWorkload::templates`]).
+///
+/// Items are in global submission order; a serial replay processes them
+/// `0..queries`, and a K-threaded run pulls them from the same queue.
+pub fn serve_mix(
+    workload: &dyn QueryWorkload,
+    templates: &[usize],
+    clients: usize,
+    queries: usize,
+    seed: u64,
+) -> Vec<MixItem> {
+    assert!(
+        !templates.is_empty(),
+        "serve mix needs at least one template"
+    );
+    assert!(clients > 0, "serve mix needs at least one client");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Roughly one distinct instance per three queries: enough variety to
+    // exercise the store, enough repetition to make purchases shareable.
+    let pool_size = (queries / 3).max(1);
+    let pool: Vec<(usize, Vec<Value>)> = (0..pool_size)
+        .map(|i| {
+            let t = templates[i % templates.len()];
+            (t, workload.sample_params(t, &mut rng))
+        })
+        .collect();
+    (0..queries)
+        .map(|i| {
+            let (template, params) = pool[rng.random_range(0..pool.len())].clone();
+            MixItem {
+                client: i % clients,
+                template,
+                params,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RealWorkload, WhwConfig};
+
+    fn tiny() -> RealWorkload {
+        RealWorkload::generate(&WhwConfig {
+            stations: 40,
+            countries: 4,
+            cities_per_country: 3,
+            days: 60,
+            zips: 60,
+            ranks: 100,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_round_robin() {
+        let w = tiny();
+        let a = serve_mix(&w, &[0, 1], 4, 24, 48879);
+        let b = serve_mix(&w, &[0, 1], 4, 24, 48879);
+        assert_eq!(a.len(), 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.template, y.template);
+            assert_eq!(x.params, y.params);
+        }
+        for (i, item) in a.iter().enumerate() {
+            assert_eq!(item.client, i % 4);
+        }
+    }
+
+    #[test]
+    fn mix_repeats_instances() {
+        let w = tiny();
+        let mix = serve_mix(&w, &[0], 2, 30, 7);
+        let mut distinct: Vec<&Vec<Value>> = Vec::new();
+        for item in &mix {
+            if !distinct.iter().any(|p| **p == item.params) {
+                distinct.push(&item.params);
+            }
+        }
+        assert!(
+            distinct.len() < mix.len(),
+            "a serve mix must repeat instances so purchases can be shared"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w = tiny();
+        let a = serve_mix(&w, &[0, 1], 2, 16, 1);
+        let b = serve_mix(&w, &[0, 1], 2, 16, 2);
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.params != y.params || x.template != y.template),
+            "different seeds should produce different mixes"
+        );
+    }
+}

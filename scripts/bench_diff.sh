@@ -9,5 +9,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Machine-readable per-bench deltas (fresh/base medians, ratios, verdicts)
+# land here; CI uploads the file as a workflow artifact. Written before the
+# exit status is decided, so a regressing run still produces it.
+BENCH_DIFF_JSON="${BENCH_DIFF_JSON:-$PWD/target/bench-diff.json}"
+export BENCH_DIFF_JSON
+
 # The bench binary's CWD is the package dir, so baselines need absolute paths.
 exec cargo bench -q --bench hotpath -- diff "$PWD/BENCH_sqr.json" "$PWD/BENCH_dp.json"
