@@ -6,7 +6,7 @@
 #
 # Usage: ./ci.sh [stage]
 #   fmt | clippy | tier1 | fault-smoke | bench-smoke | explain-smoke |
-#   serve-smoke | bench-diff | smokes | all
+#   serve-smoke | metrics-smoke | bench-diff | smokes | all
 # With no argument, `all` runs every stage in order — exactly what the
 # staged GitHub workflow (.github/workflows/ci.yml) runs job by job.
 set -eu
@@ -89,6 +89,35 @@ serve_smoke() {
         "$SERVE_DIR/serial-fault.json" "$SERVE_DIR/parallel-fault.json"
 }
 
+metrics_smoke() {
+    echo "== metrics smoke: live hub + reconciliation watchdog on a pinned mix =="
+    # Replay the pinned serve mix with the metrics hub attached and the
+    # exposition + windowed JSONL series dumped, then cross-check the
+    # artifacts against the serve report: billed-page counters equal to the
+    # billing meter's transaction delta, watchdog sampled mid-run with zero
+    # final drift and zero violations, and per-window deltas that sum back
+    # to the cumulative counters. A short window (25 ms) forces several
+    # ring rolls even on a fast run. Repeated under seeded chaos with the
+    # watchdog in strict mode — a mid-run reconciliation failure aborts the
+    # mix instead of passing silently.
+    METRICS_DIR="$PWD/target/metrics-smoke"
+    mkdir -p "$METRICS_DIR"
+    rm -f "$METRICS_DIR"/*
+
+    echo "-- clean run --"
+    PAYLESS_METRICS_OUT="$METRICS_DIR/clean.txt" PAYLESS_METRICS_WINDOW_MS=25 \
+        cargo bench -q --bench hotpath -- serve "$METRICS_DIR/clean.json"
+    cargo bench -q --bench hotpath -- validate-metrics \
+        "$METRICS_DIR/clean.txt" "$METRICS_DIR/clean.json"
+
+    echo "-- chaos run (PAYLESS_FAULT_SEED=48879, strict watchdog) --"
+    PAYLESS_METRICS_OUT="$METRICS_DIR/chaos.txt" PAYLESS_METRICS_WINDOW_MS=25 \
+        PAYLESS_METRICS_STRICT=1 PAYLESS_FAULT_SEED=48879 \
+        cargo bench -q --bench hotpath -- serve "$METRICS_DIR/chaos.json"
+    cargo bench -q --bench hotpath -- validate-metrics \
+        "$METRICS_DIR/chaos.txt" "$METRICS_DIR/chaos.json"
+}
+
 bench_diff() {
     echo "== bench diff: fresh medians vs committed baselines (non-fatal) =="
     # Full-scale rerun compared against BENCH_sqr.json / BENCH_dp.json; timing
@@ -102,6 +131,7 @@ smokes() {
     bench_smoke
     explain_smoke
     serve_smoke
+    metrics_smoke
 }
 
 all() {
@@ -121,11 +151,12 @@ case "$stage" in
     bench-smoke) bench_smoke ;;
     explain-smoke) explain_smoke ;;
     serve-smoke) serve_smoke ;;
+    metrics-smoke) metrics_smoke ;;
     bench-diff) bench_diff ;;
     smokes) smokes ;;
     all) all ;;
     *)
-        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|bench-diff|smokes|all)" >&2
+        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|bench-diff|smokes|all)" >&2
         exit 2
         ;;
 esac

@@ -25,11 +25,23 @@
 //!   [`payless_serve::ServeReport`]. Knobs: `PAYLESS_THREADS` (workers),
 //!   `PAYLESS_CLIENTS`, `PAYLESS_SERVE_QUERIES`, `PAYLESS_SERVE_SEED`,
 //!   `PAYLESS_COALESCE=0` (disable single flight), `PAYLESS_FAULT_SEED`
-//!   (chaos-inject the market; retries become unlimited)
+//!   (chaos-inject the market; retries become unlimited). When
+//!   `PAYLESS_METRICS_OUT` names a path, a metrics hub is attached and its
+//!   exposition (+ `.jsonl` windowed series) is dumped there on exit;
+//!   `PAYLESS_METRICS_WINDOW_MS` and `PAYLESS_METRICS_STRICT` apply
 //! * `validate-serve <serial.json> <parallel.json>` — reconcile two serve
 //!   dumps of the same mix: identical answers query-by-query, each ledger
 //!   equal to its billing meter, and parallel delivered spend no greater
 //!   than the serial oracle's
+//! * `metrics` — the serve mix with the metrics hub attached vs detached;
+//!   the `overhead/metrics_on` note is the on/off median ratio the diff
+//!   mode gates at 5%
+//! * `validate-metrics <metrics.txt> <serve.json>` — cross-check a metrics
+//!   dump against the serve report it was taken with: exposition shape,
+//!   billed pages == the report's meter delta (the reconciliation
+//!   invariant), query counts, watchdog samples with zero final drift, and
+//!   a windowed JSONL series whose per-window deltas sum to the cumulative
+//!   totals
 //!
 //! With no mode, `check`, `sqr`, and `dp` all run at full scale. Emit JSONL
 //! by setting `PAYLESS_JSON` (the `BENCH_sqr.json` / `BENCH_dp.json`
@@ -42,7 +54,9 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use payless_bench::micro::{fmt_ns, Runner};
-use payless_core::{build_market, FaultInjector, FaultPlan, RetryPolicy};
+use payless_core::{
+    build_market, FaultInjector, FaultPlan, MetricsConfig, MetricsHub, RetryPolicy,
+};
 use payless_geometry::{region, QuerySpace, Region};
 use payless_json::{FromJson, Json, ToJson};
 use payless_optimizer::{optimize, OptimizerConfig};
@@ -66,6 +80,8 @@ struct Scale {
     dp_tables: usize,
     /// Feedback rounds per DP table.
     dp_feedbacks: usize,
+    /// Queries in the metrics-overhead serve mix.
+    serve_queries: usize,
 }
 
 const FULL: Scale = Scale {
@@ -74,6 +90,7 @@ const FULL: Scale = Scale {
     buckets: 4096,
     dp_tables: 8,
     dp_feedbacks: 400,
+    serve_queries: 48,
 };
 
 const SMOKE: Scale = Scale {
@@ -82,6 +99,7 @@ const SMOKE: Scale = Scale {
     buckets: 256,
     dp_tables: 5,
     dp_feedbacks: 48,
+    serve_queries: 12,
 };
 
 /// Grid spacing and view width: views are disjoint and non-adjacent so the
@@ -348,6 +366,10 @@ fn validate(path: &str) {
 /// Maximum tolerated fresh/baseline median ratio before `diff` fails.
 const DIFF_TOLERANCE: f64 = 1.25;
 
+/// Maximum tolerated metrics_on/metrics_off ratio: instrumentation must
+/// cost no more than 5% of serve-mix wall-clock.
+const METRICS_OVERHEAD_TOLERANCE: f64 = 1.05;
+
 /// Load `name -> median_nanos` for every run in the given JSONL baselines.
 fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
     let mut medians = HashMap::new();
@@ -395,13 +417,38 @@ fn diff(paths: &[String]) {
         std::process::exit(1);
     }
     let mut fresh: Vec<(String, f64)> = Vec::new();
-    for runner in [bench_sqr(&FULL), bench_dp(&FULL)] {
+    for runner in [bench_sqr(&FULL), bench_dp(&FULL), bench_metrics(&FULL)] {
         for name in runner.run_names() {
             if let Some(median) = runner.median_of(&name) {
                 fresh.push((name, median));
             }
         }
         runner.finish();
+    }
+
+    // Instrumentation overhead gate: the metrics-on serve mix must stay
+    // within METRICS_OVERHEAD_TOLERANCE of the metrics-off twin. This
+    // compares the two fresh medians against each other (not a baseline),
+    // so the gate holds on any machine regardless of absolute speed.
+    let metric_pair = |suffix: &str| {
+        let name = format!("serve/mix/{}q/metrics_{suffix}", FULL.serve_queries);
+        fresh.iter().find(|(n, _)| *n == name).map(|(_, m)| *m)
+    };
+    match (metric_pair("off"), metric_pair("on")) {
+        (Some(off), Some(on)) if off > 0.0 => {
+            let overhead = on / off;
+            println!("diff: metrics overhead {overhead:.3}x (tolerance {METRICS_OVERHEAD_TOLERANCE:.2}x)");
+            if overhead > METRICS_OVERHEAD_TOLERANCE {
+                eprintln!(
+                    "diff: metrics instrumentation overhead {overhead:.3}x exceeds {METRICS_OVERHEAD_TOLERANCE:.2}x"
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("diff: missing metrics_on/metrics_off serve-mix runs");
+            std::process::exit(1);
+        }
     }
 
     println!();
@@ -535,8 +582,10 @@ fn env_u64(key: &str, default: u64) -> u64 {
 /// equal delivered records and are therefore independent of thread
 /// interleaving — what lets `validate-serve` compare dumps across thread
 /// counts.
-fn serve(out: &str) {
-    let workload = RealWorkload::generate(&WhwConfig {
+/// The pinned serve-smoke workload (shared with the metrics bench so the
+/// overhead numbers describe the same mix CI validates).
+fn smoke_workload() -> RealWorkload {
+    RealWorkload::generate(&WhwConfig {
         stations: 40,
         countries: 4,
         cities_per_country: 3,
@@ -544,7 +593,11 @@ fn serve(out: &str) {
         zips: 60,
         ranks: 100,
         seed: 3,
-    });
+    })
+}
+
+fn serve(out: &str) {
+    let workload = smoke_workload();
     let page_size = 1;
     let clients = env_u64("PAYLESS_CLIENTS", 4) as usize;
     let queries = env_u64("PAYLESS_SERVE_QUERIES", 24) as usize;
@@ -556,6 +609,10 @@ fn serve(out: &str) {
         .ok()
         .and_then(|v| v.parse::<u64>().ok());
     let threads = max_threads();
+    let metrics_out = std::env::var("PAYLESS_METRICS_OUT").ok();
+    let hub = metrics_out
+        .as_ref()
+        .map(|_| Arc::new(MetricsHub::new(MetricsConfig::from_env())));
 
     let market = Arc::new(build_market(&workload, page_size));
     if let Some(fs) = fault_seed {
@@ -571,6 +628,8 @@ fn serve(out: &str) {
         } else {
             RetryPolicy::default()
         },
+        metrics: hub.clone(),
+        strict_reconcile: MetricsConfig::strict_from_env(),
         ..ServeConfig::default()
     };
     let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
@@ -590,6 +649,16 @@ fn serve(out: &str) {
         eprintln!("serve: cannot write {out}: {e}");
         std::process::exit(1);
     }
+    if let (Some(hub), Some(path)) = (&hub, &metrics_out) {
+        hub.roll(); // close the tail window so the series covers the run
+        if let Err(e) = std::fs::write(path, hub.exposition())
+            .and_then(|()| std::fs::write(format!("{path}.jsonl"), hub.series_jsonl()))
+        {
+            eprintln!("serve: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("serve: metrics -> {path} (+ {path}.jsonl)");
+    }
     println!(
         "serve: {} queries x {} clients on {} thread(s), coalesce={}, fault={:?}: \
          {} pages ({} wasted), {} wait(s), ~{} page(s) saved -> {out}",
@@ -603,6 +672,44 @@ fn serve(out: &str) {
         report.coalesce_waits,
         report.saved_pages,
     );
+}
+
+/// The serve mix with the metrics hub attached vs detached — the cost of
+/// live observability on the exact workload the CI smoke replays. Each
+/// iteration stands up a fresh market and serving layer, so both arms pay
+/// identical setup and purchase costs; only the hub differs.
+fn bench_metrics(s: &Scale) -> Runner {
+    let workload = smoke_workload();
+    let queries = s.serve_queries;
+    let mix = serve_mix(&workload, &[0, 1], 4, queries, 48879);
+    let templates_sql = QueryWorkload::templates(&workload);
+    let run_once = |hub: Option<Arc<MetricsHub>>| {
+        let market = Arc::new(build_market(&workload, 1));
+        let cfg = ServeConfig {
+            threads: 1,
+            metrics: hub,
+            ..ServeConfig::default()
+        };
+        let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
+        let templates: Vec<_> = templates_sql
+            .iter()
+            .map(|sql| layer.prepare(sql).expect("workload template parses"))
+            .collect();
+        black_box(run_mix(&layer, &mix, &templates).expect("serve mix succeeds"));
+    };
+
+    let mut r = Runner::new("hotpath_metrics");
+    r.note("queries", queries as f64);
+    let off_name = format!("serve/mix/{queries}q/metrics_off");
+    r.bench(&off_name, || run_once(None));
+    let on_name = format!("serve/mix/{queries}q/metrics_on");
+    r.bench(&on_name, || {
+        run_once(Some(Arc::new(MetricsHub::new(MetricsConfig::default()))))
+    });
+    if let (Some(off), Some(on)) = (r.median_of(&off_name), r.median_of(&on_name)) {
+        r.note("overhead/metrics_on", on / off);
+    }
+    r
 }
 
 /// Read and parse one serve dump, or exit non-zero.
@@ -705,6 +812,121 @@ fn validate_serve(serial_path: &str, parallel_path: &str) {
     );
 }
 
+/// First sample value of an exposition metric (exact name match before the
+/// space), parsed as u64.
+fn expo_value(exposition: &str, name: &str) -> Option<u64> {
+    exposition.lines().find_map(|line| {
+        let (k, v) = line.split_once(' ')?;
+        (k == name).then(|| v.trim().parse().ok())?
+    })
+}
+
+/// Cross-check a metrics dump (`<path>` exposition + `<path>.jsonl`
+/// series) against the serve report it was captured with.
+fn validate_metrics(metrics_path: &str, serve_path: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("validate-metrics: {msg}");
+        std::process::exit(1);
+    };
+    let report = load_serve_report(serve_path);
+    let exposition = std::fs::read_to_string(metrics_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {metrics_path}: {e}")));
+
+    // Exposition shape: typed families with samples.
+    for ty in [
+        "# TYPE payless_market_calls_total counter",
+        "# TYPE payless_market_call_nanos histogram",
+        "# TYPE payless_serve_query_nanos histogram",
+        "# TYPE payless_watchdog_drift_pages gauge",
+    ] {
+        if !exposition.contains(ty) {
+            fail(format!("{metrics_path}: missing `{ty}`"));
+        }
+    }
+    let counter = |name: &str| -> u64 {
+        expo_value(&exposition, name)
+            .unwrap_or_else(|| fail(format!("{metrics_path}: no sample for `{name}`")))
+    };
+
+    // The reconciliation invariant, read back from the exposition: pages
+    // the call layer counted == pages the seller's meter charged.
+    let billed = counter("payless_market_pages_billed_total");
+    if billed != report.meter_transactions {
+        fail(format!(
+            "billed pages diverge from the billing meter: exposition says {billed}, \
+             serve report metered {}",
+            report.meter_transactions
+        ));
+    }
+    if counter("payless_serve_queries_total") != report.queries {
+        fail(format!(
+            "query counts diverge: exposition says {}, serve report ran {}",
+            counter("payless_serve_queries_total"),
+            report.queries
+        ));
+    }
+    if counter("payless_serve_query_nanos_count") != report.queries {
+        fail("serve latency histogram did not observe every query".into());
+    }
+    let samples = counter("payless_watchdog_samples_total");
+    if samples == 0 || samples != report.watchdog_samples {
+        fail(format!(
+            "watchdog samples: exposition {samples}, report {} (want equal and nonzero)",
+            report.watchdog_samples
+        ));
+    }
+    if counter("payless_watchdog_drift_pages") != 0 {
+        fail("watchdog drift gauge is nonzero after quiescence".into());
+    }
+    if counter("payless_watchdog_violations_total") != 0 {
+        fail("watchdog recorded reconciliation violations".into());
+    }
+
+    // Windowed series: parseable lines from window 0 on, whose per-window
+    // deltas sum back to the cumulative meter total.
+    let series_path = format!("{metrics_path}.jsonl");
+    let series = std::fs::read_to_string(&series_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {series_path}: {e}")));
+    let mut windows = 0u64;
+    let mut windowed_billed = 0u64;
+    for (i, line) in series.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let parsed = payless_json::parse(line)
+            .unwrap_or_else(|e| fail(format!("{series_path}:{}: malformed JSON: {e}", i + 1)));
+        let window = parsed
+            .get_opt("window")
+            .and_then(|w| w.as_u64().ok())
+            .unwrap_or_else(|| fail(format!("{series_path}:{}: no `window` index", i + 1)));
+        if window != i as u64 {
+            fail(format!(
+                "{series_path}:{}: window {window} out of order (ring evicted data?)",
+                i + 1
+            ));
+        }
+        windowed_billed += parsed
+            .get_opt("counters")
+            .and_then(|c| c.get_opt("payless_market_pages_billed_total"))
+            .and_then(|v| v.as_u64().ok())
+            .unwrap_or(0);
+        windows += 1;
+    }
+    if windows == 0 {
+        fail(format!("{series_path}: no windows dumped"));
+    }
+    if windowed_billed != report.meter_transactions {
+        fail(format!(
+            "windowed billed-page deltas sum to {windowed_billed}, but the meter \
+             charged {} — the series lost spend",
+            report.meter_transactions
+        ));
+    }
+    println!(
+        "validate-metrics: {metrics_path}: exposition reconciles with the meter \
+         ({billed} pages, {} queries); watchdog {samples} sample(s), zero drift; \
+         {windows} window(s) sum to the cumulative totals",
+        report.queries
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args()
         .skip(1)
@@ -746,6 +968,15 @@ fn main() {
             }
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "validate-metrics") {
+        match (args.get(pos + 1), args.get(pos + 2)) {
+            (Some(metrics), Some(report)) => return validate_metrics(metrics, report),
+            _ => {
+                eprintln!("validate-metrics: need <metrics.txt> <serve.json>");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(pos) = args.iter().position(|a| a == "diff") {
         let paths = &args[pos + 1..];
         if paths.is_empty() {
@@ -767,5 +998,8 @@ fn main() {
     }
     if wants("dp") {
         bench_dp(scale).finish();
+    }
+    if args.iter().any(|a| a == "metrics") {
+        bench_metrics(scale).finish();
     }
 }

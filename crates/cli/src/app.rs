@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use payless_core::{
-    build_market, ChromeTraceBuilder, DataMarket, FaultInjector, FaultPlan, PayLess, PayLessConfig,
-    QueryReport, RetryPolicy, SpendCell,
+    build_market, enabled_from_env, ChromeTraceBuilder, DataMarket, FaultInjector, FaultPlan,
+    MetricsConfig, MetricsHub, PayLess, PayLessConfig, QueryReport, RetryPolicy, SpendCell,
 };
 use payless_json::{Json, ToJson};
 use payless_serve::{run_mix, Serve, ServeConfig};
@@ -43,6 +43,30 @@ pub struct App {
     sqr_savings_est: f64,
     /// Summed regret vs the ideal Download-All price (negative = we won).
     regret_da: f64,
+    /// Live metrics hub (`None` when `PAYLESS_METRICS=0` and no
+    /// `--metrics-out` was given).
+    metrics: Option<Arc<MetricsHub>>,
+    /// Destination for the metrics exposition (+ `.jsonl` series) on exit.
+    metrics_out: Option<String>,
+}
+
+/// Build the session's metrics hub, honoring the `PAYLESS_METRICS*` env
+/// knobs. An explicit `--metrics-out` turns metrics on even under
+/// `PAYLESS_METRICS=0` — asking for the file is asking for the data.
+fn build_hub(metrics_out: &Option<String>) -> Option<Arc<MetricsHub>> {
+    (enabled_from_env() || metrics_out.is_some())
+        .then(|| Arc::new(MetricsHub::new(MetricsConfig::from_env())))
+}
+
+/// Write the exposition to `path` and the windowed series to
+/// `<path>.jsonl`, closing the tail window first.
+fn dump_metrics(hub: &MetricsHub, path: &str) -> Result<String, String> {
+    hub.roll();
+    std::fs::write(path, hub.exposition()).map_err(|e| format!("writing `{path}`: {e}"))?;
+    let series_path = format!("{path}.jsonl");
+    std::fs::write(&series_path, hub.series_jsonl())
+        .map_err(|e| format!("writing `{series_path}`: {e}"))?;
+    Ok(format!("metrics -> {path}, series -> {series_path}"))
 }
 
 impl App {
@@ -95,6 +119,10 @@ impl App {
             session.register_local(t);
         }
         session.enable_tracing(args.trace);
+        let metrics = build_hub(&args.metrics_out);
+        if let Some(hub) = &metrics {
+            session.attach_metrics(Arc::clone(hub));
+        }
         Ok(App {
             market,
             session,
@@ -106,6 +134,8 @@ impl App {
             spend_cells: Vec::new(),
             sqr_savings_est: 0.0,
             regret_da: 0.0,
+            metrics,
+            metrics_out: args.metrics_out.clone(),
         })
     }
 
@@ -133,9 +163,26 @@ impl App {
         self.regret_da += report.regret_vs_download_all().unwrap_or(0.0);
     }
 
-    /// Flush end-of-session artifacts (the `--trace-out` document). Returns
-    /// a message to print, if anything was written.
+    /// Flush end-of-session artifacts (the `--trace-out` document and the
+    /// `--metrics-out` exposition + series). Returns a message to print,
+    /// if anything was written.
     pub fn finish(&mut self) -> Option<String> {
+        let mut messages: Vec<String> = Vec::new();
+        if let (Some(hub), Some(path)) = (&self.metrics, &self.metrics_out) {
+            messages.push(dump_metrics(hub, path).unwrap_or_else(|e| format!("warning: {e}")));
+        }
+        match self.finish_trace() {
+            Some(msg) => messages.push(msg),
+            None => {
+                if messages.is_empty() {
+                    return None;
+                }
+            }
+        }
+        Some(messages.join("\n"))
+    }
+
+    fn finish_trace(&mut self) -> Option<String> {
         let path = self.trace_out.clone()?;
         if self.trace_builder.is_empty() {
             return Some(format!(
@@ -329,6 +376,17 @@ impl App {
                         }
                     ))
                 }
+                "metrics" => match &self.metrics {
+                    Some(hub) => {
+                        hub.roll();
+                        Reply::Text(hub.exposition())
+                    }
+                    None => Reply::Text(
+                        "metrics are off (PAYLESS_METRICS=0); restart without it or pass \
+                         --metrics-out"
+                            .into(),
+                    ),
+                },
                 "report" => match &self.last_report {
                     Some(r) => Reply::Text(r.to_json().to_string_pretty()),
                     None => Reply::Text("no traced query yet (enable with \\trace)".into()),
@@ -406,6 +464,7 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
     if let Some(fs) = fault_seed {
         market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(fs)));
     }
+    let hub = build_hub(&args.metrics_out);
     let cfg = ServeConfig {
         threads,
         coalesce,
@@ -415,6 +474,8 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         } else {
             RetryPolicy::default()
         },
+        metrics: hub.clone(),
+        strict_reconcile: MetricsConfig::strict_from_env(),
         ..ServeConfig::default()
     };
     let layer = Serve::new(market, w.local_tables(), cfg);
@@ -435,6 +496,10 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         std::fs::write(path, report.to_json().to_string_pretty())
             .map_err(|e| format!("writing `{path}`: {e}"))?;
     }
+    let metrics_note = match (&hub, &args.metrics_out) {
+        (Some(hub), Some(path)) => Some(dump_metrics(hub, path)?),
+        _ => None,
+    };
 
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -466,15 +531,29 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         "  reconciled: ledger == billing meter at {} transaction(s), {} call(s)",
         report.meter_transactions, report.meter_calls
     );
+    let _ = writeln!(
+        out,
+        "  watchdog: {} mid-run sample(s), max drift {} page(s)",
+        report.watchdog_samples, report.watchdog_max_drift_pages
+    );
     for c in &report.per_client {
         let _ = writeln!(
             out,
-            "  client {}: {} queries, {} pages, ${:.4}",
-            c.client, c.queries, c.pages, c.price
+            "  client {}: {} queries, {} pages, ${:.4}, p50/p95/p99 {:.1}/{:.1}/{:.1} ms",
+            c.client,
+            c.queries,
+            c.pages,
+            c.price,
+            c.p50_nanos as f64 / 1e6,
+            c.p95_nanos as f64 / 1e6,
+            c.p99_nanos as f64 / 1e6,
         );
     }
     if let Some(path) = &args.serve_out {
         let _ = writeln!(out, "  report -> {path}");
+    }
+    if let Some(note) = metrics_note {
+        let _ = writeln!(out, "  {note}");
     }
     Ok(out.trim_end().to_string())
 }
@@ -616,6 +695,47 @@ mod tests {
         assert!(!other.get("spend").unwrap().as_arr().unwrap().is_empty());
         assert!(other.get_opt("est_sqr_savings").is_some());
         assert!(other.get_opt("regret_vs_download_all").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_command_prints_exposition() {
+        let mut a = app();
+        a.handle("SELECT COUNT(*) FROM Station WHERE Country = 'Country0'");
+        match a.handle("\\metrics") {
+            Reply::Text(s) => {
+                assert!(
+                    s.contains("# TYPE payless_market_calls_total counter"),
+                    "{s}"
+                );
+                assert!(s.contains("payless_market_call_nanos_count"), "{s}");
+                assert!(s.contains("payless_market_pages_billed_total"), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_out_writes_exposition_and_series_on_finish() {
+        let dir = std::env::temp_dir().join(format!("payless-metrics-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.txt");
+        let mut a = App::new(&CliArgs {
+            scale: 0.01,
+            metrics_out: Some(path.to_str().unwrap().to_string()),
+            ..CliArgs::default()
+        })
+        .unwrap();
+        a.handle("SELECT COUNT(*) FROM Station WHERE Country = 'Country0'");
+        let msg = a.finish().expect("metrics-out configured");
+        assert!(msg.contains("metrics ->"), "{msg}");
+        let exposition = std::fs::read_to_string(&path).unwrap();
+        assert!(exposition.contains("payless_market_calls_total"));
+        let series = std::fs::read_to_string(dir.join("metrics.txt.jsonl")).unwrap();
+        for line in series.lines() {
+            payless_json::parse(line).expect("every series line is JSON");
+        }
+        assert!(!series.trim().is_empty(), "rolled tail window is dumped");
         std::fs::remove_dir_all(&dir).ok();
     }
 

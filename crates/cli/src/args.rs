@@ -48,6 +48,10 @@ pub struct CliArgs {
     pub seed: Option<u64>,
     /// Write the serve run's reconciled JSON report to this file.
     pub serve_out: Option<String>,
+    /// Write Prometheus-style metrics exposition to this file on exit
+    /// (plus a `<file>.jsonl` windowed time-series). Enables metrics even
+    /// if `PAYLESS_METRICS` is unset.
+    pub metrics_out: Option<String>,
     /// One-shot SQL; when `None` the shell goes interactive.
     pub sql: Option<String>,
 }
@@ -68,6 +72,7 @@ impl Default for CliArgs {
             queries: None,
             seed: None,
             serve_out: None,
+            metrics_out: None,
             sql: None,
         }
     }
@@ -109,6 +114,12 @@ OPTIONS:
     --queries <int>                   queries in the serve mix (default: 24)
     --seed <int>                      serve mix seed (default: 48879)
     --serve-out <file>                write the serve report as JSON
+    --metrics-out <file>              write Prometheus-style metrics to
+                                      <file> and the windowed time-series
+                                      to <file>.jsonl on exit. Env knobs:
+                                      PAYLESS_METRICS=0 (off),
+                                      PAYLESS_METRICS_WINDOW_MS,
+                                      PAYLESS_METRICS_STRICT=1
     -h, --help                        this text
 
 Without SQL, an interactive shell starts. Shell commands:
@@ -116,6 +127,7 @@ Without SQL, an interactive shell starts. Shell commands:
     \\bill            the cumulative bill
     \\coverage        per-table semantic-store coverage
     \\history         recent queries with estimated vs actual cost
+    \\metrics         live metrics in Prometheus exposition format
     \\explain <SQL>   EXPLAIN ANALYZE: execute and print the plan tree with
                      estimated vs actual rows/pages/price per operator
     \\estimate <SQL>  plan + estimated cost without executing (free)
@@ -213,6 +225,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
                 );
             }
             "--serve-out" => out.serve_out = Some(take_value(&mut i)?),
+            "--metrics-out" => out.metrics_out = Some(take_value(&mut i)?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"))
             }
@@ -313,6 +326,14 @@ mod tests {
         assert!(parse_args(&argv(&["--serve", "0"])).is_err());
         assert!(parse_args(&argv(&["--clients", "0"])).is_err());
         assert!(parse_args(&argv(&["--serve"])).is_err());
+    }
+
+    #[test]
+    fn metrics_out_takes_a_path() {
+        let a = parse_args(&argv(&["--metrics-out", "metrics.txt"])).unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("metrics.txt"));
+        assert_eq!(parse_args(&[]).unwrap().metrics_out, None);
+        assert!(parse_args(&argv(&["--metrics-out"])).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use payless_exec::{ensure_downloaded, ExecConfig, Executor, QueryResult, RetryPo
 use payless_geometry::QuerySpace;
 use payless_json::{FromJson, Json, ToJson};
 use payless_market::DataMarket;
+use payless_metrics::MetricsHub;
 use payless_optimizer::{optimize, OptimizerConfig, PlanCounters, PlanNode};
 use payless_semantic::{Consistency, RewriteConfig, SemanticStore};
 use payless_sql::{analyze, parse, AnalyzedQuery, Catalog, MapCatalog, SelectStmt, TableLocation};
@@ -175,6 +176,8 @@ pub struct PayLess {
     /// Telemetry sink shared with the market and executor. Disabled by
     /// default; [`PayLess::enable_tracing`] turns it on.
     recorder: Arc<Recorder>,
+    /// Live metrics hub, if one was attached ([`PayLess::attach_metrics`]).
+    metrics: Option<Arc<MetricsHub>>,
 }
 
 impl PayLess {
@@ -204,7 +207,16 @@ impl PayLess {
             now: 0,
             history: Vec::new(),
             recorder,
+            metrics: None,
         }
+    }
+
+    /// Attach a live metrics hub: every market call this session makes
+    /// reports latency, page, and retry metrics into it
+    /// (`payless_market_*`). The CLI attaches one hub to the session and
+    /// to any serve layer it starts, so `\metrics` shows both.
+    pub fn attach_metrics(&mut self, hub: Arc<MetricsHub>) {
+        self.metrics = Some(hub);
     }
 
     /// Turn per-query tracing on or off. While on, every
@@ -400,6 +412,7 @@ impl PayLess {
             retry: self.cfg.retry.clone(),
             // The market's attached recorder writes this session's ledger.
             synthesize_ledger: false,
+            metrics: self.metrics.clone(),
         };
 
         // Unsatisfiable queries cost nothing.
@@ -442,6 +455,7 @@ impl PayLess {
                         self.now,
                         Some(self.recorder.as_ref()),
                         &self.cfg.retry,
+                        self.metrics.as_deref(),
                     )?;
                 }
             }

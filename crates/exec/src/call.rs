@@ -14,9 +14,10 @@
 //!   failures, so callers (and the spend ledger) can account wasted money
 //!   separately from delivered pages.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use payless_market::{DataMarket, Request, Response};
+use payless_metrics::MetricsHub;
 use payless_telemetry::Recorder;
 use payless_types::{transactions, PaylessError, Result};
 
@@ -164,12 +165,63 @@ impl CallOutcome {
 /// justify under Eq. (1)) are treated as billed failures: the partial rows
 /// are discarded — accepting them would poison the mirror and the semantic
 /// store with an incomplete region — and the call is retried.
+///
+/// When a [`MetricsHub`] is attached, the whole call — stalls, backoff
+/// sleeps, and retries included — is timed into `payless_market_call_nanos`,
+/// and its billed/wasted/delivered pages feed the live spend counters, so
+/// `payless_market_pages_billed_total` advances in lockstep with the
+/// market's billing meter.
 pub fn resilient_get(
     market: &DataMarket,
     req: &Request,
     policy: &RetryPolicy,
     budget: &mut CallBudget,
     recorder: Option<&Recorder>,
+    metrics: Option<&MetricsHub>,
+) -> CallOutcome {
+    let started = metrics.map(|_| Instant::now());
+    let out = attempt_loop(market, req, policy, budget, recorder, metrics);
+    if let (Some(hub), Some(t0)) = (metrics, started) {
+        hub.market_calls.inc(1);
+        hub.market_call_nanos.record(t0.elapsed().as_nanos() as u64);
+        match &out {
+            CallOutcome::Delivered {
+                response,
+                attempts,
+                wasted_pages,
+            } => {
+                hub.market_retries
+                    .inc(u64::from(attempts.saturating_sub(1)));
+                hub.pages_billed.inc(response.transactions + wasted_pages);
+                hub.pages_wasted.inc(*wasted_pages);
+                hub.records_delivered.inc(response.records());
+            }
+            CallOutcome::BilledAndFailed {
+                attempts,
+                wasted_pages,
+                ..
+            } => {
+                hub.market_retries
+                    .inc(u64::from(attempts.saturating_sub(1)));
+                hub.pages_billed.inc(*wasted_pages);
+                hub.pages_wasted.inc(*wasted_pages);
+            }
+            CallOutcome::FailedFree { attempts, .. } => {
+                hub.market_retries
+                    .inc(u64::from(attempts.saturating_sub(1)));
+            }
+        }
+    }
+    out
+}
+
+fn attempt_loop(
+    market: &DataMarket,
+    req: &Request,
+    policy: &RetryPolicy,
+    budget: &mut CallBudget,
+    recorder: Option<&Recorder>,
+    metrics: Option<&MetricsHub>,
 ) -> CallOutcome {
     let page = market.page_size(&req.table).unwrap_or(1);
     let mut attempts: u32 = 0;
@@ -191,6 +243,9 @@ pub fn resilient_get(
                 budget.wasted_pages += response.transactions;
                 if let Some(rec) = recorder {
                     rec.count("resilience.truncated_deliveries", 1);
+                }
+                if let Some(hub) = metrics {
+                    hub.market_truncated.inc(1);
                 }
                 PaylessError::BilledFailure {
                     table: req.table.clone(),
@@ -294,7 +349,7 @@ mod tests {
     fn clean_market_delivers_first_attempt() {
         let m = market();
         let mut budget = CallBudget::default();
-        match resilient_get(&m, &req(), &quick(), &mut budget, None) {
+        match resilient_get(&m, &req(), &quick(), &mut budget, None, None) {
             CallOutcome::Delivered {
                 response,
                 attempts,
@@ -318,7 +373,7 @@ mod tests {
                 .at(1, FaultKind::Unavailable),
         ));
         let mut budget = CallBudget::default();
-        let out = resilient_get(&m, &req(), &quick(), &mut budget, None);
+        let out = resilient_get(&m, &req(), &quick(), &mut budget, None, None);
         let resp = out.into_result().unwrap();
         assert_eq!(resp.records(), 30);
         assert_eq!(budget.retries, 2);
@@ -333,7 +388,7 @@ mod tests {
             FaultPlan::none().at(0, FaultKind::Truncate),
         ));
         let mut budget = CallBudget::default();
-        match resilient_get(&m, &req(), &quick(), &mut budget, None) {
+        match resilient_get(&m, &req(), &quick(), &mut budget, None, None) {
             CallOutcome::Delivered {
                 response,
                 attempts,
@@ -362,7 +417,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut budget = CallBudget::default();
-        match resilient_get(&m, &req(), &policy, &mut budget, None) {
+        match resilient_get(&m, &req(), &policy, &mut budget, None, None) {
             CallOutcome::BilledAndFailed {
                 error,
                 attempts,
@@ -382,7 +437,7 @@ mod tests {
         let m = market();
         let mut budget = CallBudget::default();
         let bad = Request::download("Nope");
-        match resilient_get(&m, &bad, &quick(), &mut budget, None) {
+        match resilient_get(&m, &bad, &quick(), &mut budget, None, None) {
             CallOutcome::FailedFree { error, attempts } => {
                 assert!(matches!(error, PaylessError::UnknownTable(_)));
                 assert_eq!(attempts, 1);
@@ -405,7 +460,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut budget = CallBudget::default();
-        let out = resilient_get(&m, &req(), &policy, &mut budget, None);
+        let out = resilient_get(&m, &req(), &policy, &mut budget, None, None);
         match out.into_result() {
             Err(PaylessError::BudgetExhausted { retries, .. }) => assert_eq!(retries, 2),
             other => panic!("expected budget exhaustion, got {other:?}"),
@@ -424,7 +479,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut budget = CallBudget::default();
-        let out = resilient_get(&m, &req(), &policy, &mut budget, None);
+        let out = resilient_get(&m, &req(), &policy, &mut budget, None, None);
         match out {
             CallOutcome::BilledAndFailed {
                 error: PaylessError::BudgetExhausted { wasted_pages, .. },

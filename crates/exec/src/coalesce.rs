@@ -29,9 +29,11 @@
 //!   recording coverage; waiters wake, find the region still uncovered,
 //!   claim it themselves, and buy. Nothing is lost but time.
 
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 use payless_geometry::Region;
+use payless_metrics::MetricsHub;
 
 /// One in-flight purchase: the single flight for its regions.
 #[derive(Debug)]
@@ -56,6 +58,9 @@ struct FlightBoard {
 pub struct CallCoalescer {
     board: Mutex<FlightBoard>,
     done: Condvar,
+    /// Live instrumentation: acquired/contended claims, claim-wait
+    /// durations, and the flight/waiter gauges. `None` costs nothing.
+    metrics: Option<Arc<MetricsHub>>,
 }
 
 /// Outcome of [`CallCoalescer::claim`].
@@ -82,6 +87,9 @@ impl Drop for FlightGuard<'_> {
         let mut board = self.owner.lock_board();
         board.in_flight.retain(|f| f.id != self.id);
         board.completions += 1;
+        if let Some(hub) = &self.owner.metrics {
+            hub.coalesce_flights.set(board.in_flight.len() as u64);
+        }
         self.owner.done.notify_all();
     }
 }
@@ -90,6 +98,15 @@ impl CallCoalescer {
     /// A coalescer with no flights in progress.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A coalescer that reports claims, waits, and board occupancy to
+    /// `hub` (`payless_coalesce_*` metrics).
+    pub fn with_metrics(hub: Arc<MetricsHub>) -> Self {
+        CallCoalescer {
+            metrics: Some(hub),
+            ..Self::default()
+        }
     }
 
     fn lock_board(&self) -> MutexGuard<'_, FlightBoard> {
@@ -109,6 +126,9 @@ impl CallCoalescer {
                     .any(|fr| regions.iter().any(|r| fr.overlaps(r)))
         });
         if contended {
+            if let Some(hub) = &self.metrics {
+                hub.coalesce_contended.inc(1);
+            }
             return Claim::Contended {
                 seen: board.completions,
             };
@@ -120,17 +140,31 @@ impl CallCoalescer {
             table: table.to_string(),
             regions: regions.to_vec(),
         });
+        if let Some(hub) = &self.metrics {
+            hub.coalesce_acquired.inc(1);
+            hub.coalesce_flights.set(board.in_flight.len() as u64);
+        }
         Claim::Acquired(FlightGuard { owner: self, id })
     }
 
     /// Block until some flight completes after the [`Claim::Contended`]
     /// observation `seen`. Returns immediately if one already has.
     pub fn wait_past(&self, seen: u64) {
+        let started = self.metrics.as_ref().map(|hub| {
+            hub.coalesce_waiters.add(1);
+            Instant::now()
+        });
         let board = self.lock_board();
         let _board = self
             .done
             .wait_while(board, |b| b.completions <= seen)
             .unwrap_or_else(|e| e.into_inner());
+        drop(_board);
+        if let (Some(hub), Some(t0)) = (&self.metrics, started) {
+            hub.coalesce_waiters.sub(1);
+            hub.coalesce_claim_wait_nanos
+                .record(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Number of flights currently in progress (diagnostics).

@@ -2,6 +2,7 @@
 
 use payless_geometry::{Interval, QuerySpace, Region};
 use payless_market::{DataMarket, Request};
+use payless_metrics::MetricsHub;
 use payless_semantic::SemanticStore;
 use payless_stats::StatsRegistry;
 use payless_storage::Database;
@@ -31,6 +32,7 @@ pub fn ensure_downloaded(
     now: u64,
     recorder: Option<&Recorder>,
     policy: &RetryPolicy,
+    metrics: Option<&MetricsHub>,
 ) -> Result<()> {
     let name = &table.table;
     let space = stats
@@ -73,7 +75,8 @@ pub fn ensure_downloaded(
                 );
             }
         }
-        let resp = resilient_get(market, &req, policy, &mut budget, recorder).into_result()?;
+        let resp =
+            resilient_get(market, &req, policy, &mut budget, recorder, metrics).into_result()?;
         let records = resp.records();
         db.table_or_create(table).insert_all(resp.rows);
         if let Some(ts) = stats.table_mut(name) {
@@ -193,7 +196,7 @@ mod tests {
         now: u64,
         policy: &RetryPolicy,
     ) -> Result<()> {
-        ensure_downloaded(schema, market, db, store, stats, now, None, policy)
+        ensure_downloaded(schema, market, db, store, stats, now, None, policy, None)
     }
 
     #[test]

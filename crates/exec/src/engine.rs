@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use payless_geometry::{QuerySpace, Region};
 use payless_market::{DataMarket, Request};
+use payless_metrics::MetricsHub;
 use payless_optimizer::cost::required_regions;
 use payless_optimizer::plan::{AccessMethod, PlanNode};
 use payless_semantic::{rewrite, Consistency, CoverClass, RewriteConfig, SemanticStore};
@@ -39,6 +40,10 @@ pub struct ExecConfig {
     /// slot cannot attribute spend to the query that caused it, so the
     /// executor writes the entries at the call chokepoint instead.
     pub synthesize_ledger: bool,
+    /// Optional live metrics hub: market-call latency/spend counters and
+    /// the double-buy-averted recompute counters. Unlike `recorder` (one
+    /// per query), one hub aggregates across every query and client.
+    pub metrics: Option<Arc<MetricsHub>>,
 }
 
 impl Default for ExecConfig {
@@ -50,6 +55,7 @@ impl Default for ExecConfig {
             recorder: None,
             retry: RetryPolicy::default(),
             synthesize_ledger: false,
+            metrics: None,
         }
     }
 }
@@ -340,6 +346,7 @@ impl<'a> Executor<'a> {
             // word — without it a racing pair could buy the same region
             // twice.
             let remainders = if guard.is_some() && self.cfg.sqr {
+                let pre_guard_est = final_est;
                 let views =
                     self.state
                         .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
@@ -349,6 +356,16 @@ impl<'a> Executor<'a> {
                         rewrite(ts, page, region, &views, &self.cfg.rewrite)
                     })
                     .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
+                // A shrunken estimate means a flight landed between the
+                // pre-wait rewrite and this claim: the recompute just
+                // averted re-buying what that flight delivered.
+                if rw.est_transactions < pre_guard_est {
+                    if let Some(hub) = &self.cfg.metrics {
+                        hub.coalesce_recomputes_averted.inc(1);
+                        hub.coalesce_averted_pages
+                            .inc((pre_guard_est - rw.est_transactions).round() as u64);
+                    }
+                }
                 final_est = rw.est_transactions;
                 rw.remainders
             } else {
@@ -406,6 +423,7 @@ impl<'a> Executor<'a> {
                 &self.cfg.retry,
                 &mut self.budget,
                 self.cfg.recorder.as_deref(),
+                self.cfg.metrics.as_deref(),
             );
             self.synthesize_ledger(&t.name, &outcome);
             let slot = self.ops.get_mut(self.cur_op);

@@ -1,0 +1,100 @@
+//! Log-bucket scheme shared by [`LogHistogram`](crate::LogHistogram) and
+//! the telemetry histogram JSON dump.
+//!
+//! Values below `8` get exact singleton buckets; above that, each power of
+//! two is split into 8 sub-buckets, so a bucket's width is at most 1/8 of
+//! its magnitude (≤ 12.5 % relative error when a quantile is resolved to
+//! its bucket's upper bound). The whole `u64` range fits in [`BUCKETS`]
+//! slots (~4 KiB of atomics per histogram).
+
+/// Sub-buckets per power of two.
+const SUB: usize = 8;
+const SUB_BITS: u32 = 3;
+
+/// Total number of buckets needed to cover all of `u64`.
+pub const BUCKETS: usize = 496;
+
+/// Index of the bucket that `v` falls into. Monotone in `v`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let exp = msb - SUB_BITS;
+    (exp as usize) * SUB + (v >> exp) as usize
+}
+
+/// Inclusive upper bound of bucket `idx`: the largest `v` with
+/// `bucket_index(v) == idx`.
+pub fn bucket_le(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let exp = idx / SUB - 1;
+    let sub = (idx - exp * SUB) as u64;
+    // The very top bucket's exclusive bound is 2^64, which wraps to 0;
+    // wrapping_sub turns it into the correct inclusive bound u64::MAX.
+    ((sub + 1) << exp).wrapping_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_le(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_le_is_its_inverse_bound() {
+        let probes = [
+            8u64,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket_index must be monotone at {v}");
+            assert!(idx < BUCKETS, "{v} indexes past BUCKETS");
+            let le = bucket_le(idx);
+            assert!(v <= le, "value {v} above its bucket bound {le}");
+            assert_eq!(
+                bucket_index(le),
+                idx,
+                "upper bound {le} must land in its own bucket"
+            );
+            if le < u64::MAX {
+                assert_eq!(
+                    bucket_index(le + 1),
+                    idx + 1,
+                    "bound {le} must be tight (next value moves on)"
+                );
+            }
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for shift in 4..63u32 {
+            let v = (1u64 << shift) + (1 << (shift - 1)); // 1.5 * 2^shift
+            let le = bucket_le(bucket_index(v));
+            let err = (le - v) as f64 / v as f64;
+            assert!(err <= 0.125, "relative error {err} too large at {v}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Exporters: Prometheus-style text exposition and JSONL time series.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use payless_json::Json;
+
+use crate::atomics::HistSnapshot;
+use crate::hub::{CumSnapshot, WindowSnapshot};
+
+/// Base metric name: the part before any `{label="…"}` suffix.
+fn base(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Prometheus-style text exposition of a cumulative snapshot.
+///
+/// Counters and gauges emit one sample line each; histograms emit
+/// cumulative `_bucket{le="…"}` lines (ascending, ending in `+Inf`),
+/// `_sum`, `_count`, and convenience `_p50`/`_p95`/`_p99` gauges so the
+/// quantiles are readable without a PromQL engine.
+pub fn exposition(cum: &CumSnapshot) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let b = base(name).to_string();
+        if typed.insert(format!("{kind}:{b}")) {
+            let _ = writeln!(out, "# TYPE {b} {kind}");
+        }
+    };
+
+    for (name, v) in &cum.counters {
+        type_line(&mut out, name, "counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &cum.gauges {
+        type_line(&mut out, name, "gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &cum.histograms {
+        type_line(&mut out, name, "histogram");
+        let mut running = 0u64;
+        for &(le, c) in &h.buckets {
+            running += c;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {running}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+        for (suffix, p) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let q_name = format!("{name}_{suffix}");
+            type_line(&mut out, &q_name, "gauge");
+            let _ = writeln!(out, "{q_name} {}", h.quantile(p));
+        }
+    }
+    out
+}
+
+fn hist_json(h: &HistSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::Int(h.count as i64)),
+        ("sum", Json::Int(h.sum as i64)),
+        ("max", Json::Int(h.max as i64)),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(le, c)| Json::Arr(vec![Json::Int(le as i64), Json::Int(c as i64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn named_ints(pairs: &[(String, u64)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+            .collect(),
+    )
+}
+
+/// One JSON line per window, oldest first:
+/// `{"window":i,"span_nanos":n,"counters":{…},"gauges":{…},"histograms":{…}}`.
+///
+/// Counters and histograms hold the window's *deltas*; gauges hold the
+/// value at window close. Zero-delta counters are kept so consumers can
+/// distinguish "idle window" from "metric missing".
+pub fn series_jsonl(windows: &[WindowSnapshot]) -> String {
+    let mut out = String::new();
+    for w in windows {
+        let line = Json::obj([
+            ("window", Json::Int(w.index as i64)),
+            ("span_nanos", Json::Int(w.span_nanos as i64)),
+            ("counters", named_ints(&w.counters)),
+            ("gauges", named_ints(&w.gauges)),
+            (
+                "histograms",
+                Json::Obj(
+                    w.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist_json(h)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        out.push_str(&line.to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hub::{MetricsConfig, MetricsHub};
+
+    fn busy_hub() -> MetricsHub {
+        let hub = MetricsHub::new(MetricsConfig {
+            window_ms: 1,
+            capacity: 16,
+        });
+        hub.market_calls.inc(3);
+        hub.pages_billed.inc(120);
+        hub.coalesce_waiters.set(2);
+        hub.table_views_gauge("Weather").set(7);
+        for v in [10u64, 20, 30, 40, 1000] {
+            hub.market_call_nanos.record(v);
+        }
+        hub.roll();
+        hub
+    }
+
+    #[test]
+    fn exposition_has_types_samples_and_quantiles() {
+        let text = busy_hub().exposition();
+        assert!(text.contains("# TYPE payless_market_calls_total counter"));
+        assert!(text.contains("payless_market_calls_total 3"));
+        assert!(text.contains("# TYPE payless_market_call_nanos histogram"));
+        assert!(text.contains("payless_market_call_nanos_count 5"));
+        assert!(text.contains("payless_market_call_nanos_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("payless_market_call_nanos_p50 "));
+        assert!(text.contains("payless_store_views{table=\"Weather\"} 7"));
+        // The labelled gauge shares one TYPE line under its base name.
+        assert_eq!(text.matches("# TYPE payless_store_views gauge").count(), 1);
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_end_at_count() {
+        let text = busy_hub().exposition();
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("payless_market_call_nanos_bucket{le=\"") {
+                let (le, v) = rest.split_once("\"} ").unwrap();
+                let v: u64 = v.parse().unwrap();
+                assert!(v >= last, "bucket lines must be cumulative");
+                last = v;
+                if le == "+Inf" {
+                    inf = Some(v);
+                }
+            }
+        }
+        assert_eq!(inf, Some(5));
+    }
+
+    #[test]
+    fn series_lines_parse_and_carry_deltas() {
+        let hub = busy_hub();
+        hub.market_calls.inc(4);
+        hub.roll();
+        let dump = hub.series_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let mut total = 0u64;
+        for (i, line) in lines.iter().enumerate() {
+            let j = payless_json::parse(line).expect("series line parses");
+            assert_eq!(j.get("window").unwrap().as_u64().unwrap(), i as u64);
+            assert!(j.get("span_nanos").is_ok());
+            total += j
+                .get("counters")
+                .unwrap()
+                .get("payless_market_calls_total")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert!(j.get("histograms").is_ok());
+            assert!(j.get("gauges").is_ok());
+        }
+        assert_eq!(
+            total,
+            hub.cumulative().counter("payless_market_calls_total"),
+            "window deltas must sum to the cumulative total"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Name → metric map so exporters can walk everything that exists.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::atomics::{Counter, Gauge, LogHistogram};
+use crate::hub::CumSnapshot;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Hist(Arc<LogHistogram>),
+}
+
+/// Idempotent name → metric registry.
+///
+/// Registration takes the registry lock once and returns an `Arc` handle;
+/// all subsequent updates through the handle are lock-free. Hot paths
+/// should therefore register up front (as [`MetricsHub`](crate::MetricsHub)
+/// does) and keep the handle. Names may carry a `{label="value"}` suffix
+/// (e.g. per-table gauges); exporters split on `{` to group them.
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+/// Registry locks are recovered from poisoning: metrics are monotone
+/// aggregates, so a panicking writer leaves nothing half-updated that a
+/// reader could misinterpret.
+fn lock(m: &Mutex<BTreeMap<String, Slot>>) -> MutexGuard<'_, BTreeMap<String, Slot>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut slots = lock(&self.slots);
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::default())));
+        match slot {
+            Slot::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut slots = lock(&self.slots);
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(Gauge::default())));
+        match slot {
+            Slot::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut slots = lock(&self.slots);
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Hist(Arc::new(LogHistogram::default())));
+        match slot {
+            Slot::Hist(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Point-in-time digest of every registered metric, names sorted.
+    pub fn snapshot(&self) -> CumSnapshot {
+        let slots = lock(&self.slots);
+        let mut snap = CumSnapshot::default();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Slot::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Slot::Hist(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::default();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc(2);
+        b.inc(3);
+        assert_eq!(a.get(), 5, "same name must alias the same counter");
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("x_total".to_string(), 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_clash_panics() {
+        let r = Registry::default();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_sorts_names() {
+        let r = Registry::default();
+        r.counter("b_total");
+        r.counter("a_total");
+        r.gauge("z");
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a_total");
+        assert_eq!(snap.counters[1].0, "b_total");
+        assert_eq!(snap.gauges[0].0, "z");
+    }
+}

@@ -15,9 +15,11 @@
 //! bucket indexes, not geometry.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 use payless_geometry::{QuerySpace, Region};
+use payless_metrics::MetricsHub;
 use payless_telemetry::Recorder;
 
 use crate::store::{Consistency, CoverClass, SemanticStore};
@@ -28,6 +30,10 @@ use crate::store::{Consistency, CoverClass, SemanticStore};
 #[derive(Debug, Default)]
 pub struct SharedSemanticStore {
     shards: HashMap<Arc<str>, RwLock<SemanticStore>>,
+    /// Live instrumentation: hit/miss classification, record counts,
+    /// per-table view gauges, and shard lock-wait times. `None` costs one
+    /// `OnceLock` load per operation.
+    metrics: OnceLock<Arc<MetricsHub>>,
 }
 
 /// Read a poisoned lock anyway: shard state is only ever mutated through
@@ -51,6 +57,43 @@ impl SharedSemanticStore {
                 .into_iter()
                 .map(|(name, s)| (name, RwLock::new(s)))
                 .collect(),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Attach a metrics hub: classification hit/miss counters, recorded
+    /// coverage counts, per-table view gauges, and shard lock-wait
+    /// histograms (`payless_store_*`). First attachment wins; later calls
+    /// are ignored.
+    pub fn attach_metrics(&self, hub: Arc<MetricsHub>) {
+        let _ = self.metrics.set(hub);
+    }
+
+    /// Take a shard's read lock, reporting the wait into the hub.
+    fn timed_read<'a>(&self, l: &'a RwLock<SemanticStore>) -> RwLockReadGuard<'a, SemanticStore> {
+        match self.metrics.get() {
+            Some(hub) => {
+                let t0 = Instant::now();
+                let g = read(l);
+                hub.store_lock_wait_nanos
+                    .record(t0.elapsed().as_nanos() as u64);
+                g
+            }
+            None => read(l),
+        }
+    }
+
+    /// Take a shard's write lock, reporting the wait into the hub.
+    fn timed_write<'a>(&self, l: &'a RwLock<SemanticStore>) -> RwLockWriteGuard<'a, SemanticStore> {
+        match self.metrics.get() {
+            Some(hub) => {
+                let t0 = Instant::now();
+                let g = write(l);
+                hub.store_lock_wait_nanos
+                    .record(t0.elapsed().as_nanos() as u64);
+                g
+            }
+            None => write(l),
         }
     }
 
@@ -88,7 +131,13 @@ impl SharedSemanticStore {
             .shards
             .get(table)
             .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
-        write(shard).record(table, region, now);
+        let mut guard = self.timed_write(shard);
+        guard.record(table, region, now);
+        if let Some(hub) = self.metrics.get() {
+            hub.store_records.inc(1);
+            hub.table_views_gauge(table)
+                .set(guard.view_count(table) as u64);
+        }
     }
 
     /// The usable views of `table` overlapping `probe` — a read-locked
@@ -102,7 +151,10 @@ impl SharedSemanticStore {
     ) -> Vec<Arc<Region>> {
         self.shards
             .get(table)
-            .map(|s| read(s).views_overlapping(table, probe, consistency, now))
+            .map(|s| {
+                self.timed_read(s)
+                    .views_overlapping(table, probe, consistency, now)
+            })
             .unwrap_or_default()
     }
 
@@ -114,17 +166,26 @@ impl SharedSemanticStore {
         consistency: Consistency,
         now: u64,
     ) -> CoverClass {
-        self.shards
+        let class = self
+            .shards
             .get(table)
-            .map(|s| read(s).classify(table, region, consistency, now))
-            .unwrap_or(CoverClass::Miss)
+            .map(|s| self.timed_read(s).classify(table, region, consistency, now))
+            .unwrap_or(CoverClass::Miss);
+        if let Some(hub) = self.metrics.get() {
+            match class {
+                CoverClass::Full => hub.store_full_hits.inc(1),
+                CoverClass::Partial => hub.store_partial_hits.inc(1),
+                CoverClass::Miss => hub.store_misses.inc(1),
+            }
+        }
+        class
     }
 
     /// `true` if `region` of `table` is fully covered by usable views.
     pub fn covers(&self, table: &str, region: &Region, consistency: Consistency, now: u64) -> bool {
         self.shards
             .get(table)
-            .map(|s| read(s).covers(table, region, consistency, now))
+            .map(|s| self.timed_read(s).covers(table, region, consistency, now))
             .unwrap_or(false)
     }
 
@@ -205,6 +266,40 @@ mod tests {
         assert!(snap.covers("T", &r(0, 9), Consistency::Weak, 3));
         assert!(!snap.covers("T", &r(50, 59), Consistency::Weak, 3));
         assert!(shared.covers("T", &r(50, 59), Consistency::Weak, 3));
+    }
+
+    #[test]
+    fn metrics_observe_classification_and_recording() {
+        use payless_metrics::{MetricsConfig, MetricsHub};
+        let mut base = SemanticStore::new();
+        base.register(space());
+        let shared = SharedSemanticStore::new(base);
+        let hub = Arc::new(MetricsHub::new(MetricsConfig::default()));
+        shared.attach_metrics(Arc::clone(&hub));
+
+        assert_eq!(
+            shared.classify("T", &r(0, 9), Consistency::Weak, 1),
+            CoverClass::Miss
+        );
+        shared.record("T", r(0, 9), 1);
+        assert_eq!(
+            shared.classify("T", &r(0, 9), Consistency::Weak, 2),
+            CoverClass::Full
+        );
+        assert_eq!(
+            shared.classify("T", &r(5, 20), Consistency::Weak, 2),
+            CoverClass::Partial
+        );
+
+        assert_eq!(hub.store_misses.get(), 1);
+        assert_eq!(hub.store_full_hits.get(), 1);
+        assert_eq!(hub.store_partial_hits.get(), 1);
+        assert_eq!(hub.store_records.get(), 1);
+        assert_eq!(hub.table_views_gauge("T").get(), 1);
+        assert!(
+            hub.store_lock_wait_nanos.snapshot().count >= 4,
+            "every instrumented lock acquisition reports a wait sample"
+        );
     }
 
     #[test]

@@ -19,13 +19,16 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod watchdog;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use payless_exec::{CallCoalescer, ExecConfig, Executor, RetryPolicy, SharedState};
 use payless_geometry::QuerySpace;
 use payless_market::DataMarket;
+use payless_metrics::MetricsHub;
 use payless_optimizer::{optimize, OptimizerConfig};
 use payless_semantic::{Consistency, RewriteConfig, SemanticStore, SharedSemanticStore};
 use payless_sql::{analyze, parse, MapCatalog, SelectStmt, TableLocation};
@@ -36,6 +39,7 @@ use payless_types::{PaylessError, Result};
 use payless_workload::MixItem;
 
 pub use report::{ClientSpend, QueryRow, ServeReport};
+pub use watchdog::{Watchdog, WatchdogReport};
 
 /// Serving-layer options. Everything is explicit — the library reads no
 /// environment variables; the CLI and bench map `PAYLESS_*` knobs onto
@@ -60,6 +64,16 @@ pub struct ServeConfig {
     /// use [`RetryPolicy::unlimited`] so every query eventually answers
     /// and runs stay comparable across thread counts.
     pub retry: RetryPolicy,
+    /// Live metrics hub shared by every client session. When set, the
+    /// call layer, coalescer, shared store, and serving driver all report
+    /// into it (the CLI maps `PAYLESS_METRICS*` knobs onto this).
+    pub metrics: Option<Arc<MetricsHub>>,
+    /// The reconciliation watchdog samples the billing meter every this
+    /// many completed queries while the mix runs.
+    pub watchdog_every: u64,
+    /// Fail a mix the moment the watchdog sees a violation instead of
+    /// waiting for the exit reconciliation (`PAYLESS_METRICS_STRICT=1`).
+    pub strict_reconcile: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +84,9 @@ impl Default for ServeConfig {
             consistency: Consistency::Weak,
             rewrite: RewriteConfig::exact(),
             retry: RetryPolicy::default(),
+            metrics: None,
+            watchdog_every: 8,
+            strict_reconcile: false,
         }
     }
 }
@@ -109,11 +126,19 @@ impl Serve {
             stats.register(&t.schema, t.len() as u64);
             db.register(t.clone());
         }
+        let state = SharedState::new(db, SharedSemanticStore::new(store), stats);
+        let coalescer = match &cfg.metrics {
+            Some(hub) => {
+                state.store().attach_metrics(Arc::clone(hub));
+                CallCoalescer::with_metrics(Arc::clone(hub))
+            }
+            None => CallCoalescer::new(),
+        };
         Serve {
             market,
             catalog,
-            state: SharedState::new(db, SharedSemanticStore::new(store), stats),
-            coalescer: CallCoalescer::new(),
+            state,
+            coalescer,
             clock: AtomicU64::new(0),
             cfg,
         }
@@ -149,6 +174,24 @@ impl Serve {
         payless_exec::QueryResult,
         payless_telemetry::TelemetrySnapshot,
     )> {
+        let started = self.cfg.metrics.as_ref().map(|_| Instant::now());
+        let out = self.run_query_inner(template, params);
+        if let (Some(hub), Some(t0)) = (&self.cfg.metrics, started) {
+            hub.serve_queries.inc(1);
+            hub.serve_query_nanos.record(t0.elapsed().as_nanos() as u64);
+            hub.maybe_roll();
+        }
+        out
+    }
+
+    fn run_query_inner(
+        &self,
+        template: &SelectStmt,
+        params: &[payless_types::Value],
+    ) -> Result<(
+        payless_exec::QueryResult,
+        payless_telemetry::TelemetrySnapshot,
+    )> {
         let recorder = Recorder::enabled();
         let now = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let bound = template.bind(params)?;
@@ -162,6 +205,7 @@ impl Serve {
             // No recorder is attached to the shared market, so the call
             // layer writes this query's ledger itself.
             synthesize_ledger: true,
+            metrics: self.cfg.metrics.clone(),
         };
         if query.unsatisfiable {
             let executor =
@@ -227,6 +271,13 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<QueryRow>>> = Mutex::new(vec![None; mix.len()]);
     let failure: Mutex<Option<PaylessError>> = Mutex::new(None);
+    let dog = Watchdog::new(
+        &serve.market,
+        serve.cfg.watchdog_every,
+        serve.cfg.strict_reconcile,
+        threads,
+        serve.cfg.metrics.clone(),
+    );
 
     std::thread::scope(|s| {
         for _ in 0..threads.min(mix.len().max(1)) {
@@ -236,7 +287,14 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
                     return;
                 }
                 let item = &mix[idx];
-                match serve.run_query(&templates[item.template], &item.params) {
+                let t0 = Instant::now();
+                let outcome = serve
+                    .run_query(&templates[item.template], &item.params)
+                    .and_then(|(result, snap)| {
+                        dog.note_query(&snap)?;
+                        Ok((result, snap))
+                    });
+                match outcome {
                     Ok((result, snap)) => {
                         let counter = |name: &str| {
                             snap.counters
@@ -256,6 +314,7 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
                             price: snap.total_price(),
                             coalesce_waits: counter("coalesce.waits"),
                             saved_pages: counter("coalesce.saved_pages"),
+                            wall_nanos: t0.elapsed().as_nanos() as u64,
                         };
                         slots.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(row);
                     }
@@ -281,6 +340,9 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
         .map(|s| s.expect("no failure recorded, so every slot is filled"))
         .collect();
 
+    // Final reconciliation at quiescence: global and per-table, exact.
+    let dog_report = dog.finish();
+
     let meter_after = serve.market.bill();
     let meter_calls = meter_after.calls() - meter_before.calls();
     let meter_transactions = meter_after.transactions() - meter_before.transactions();
@@ -305,6 +367,14 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
         }
     }
     per_client.sort_by_key(|c| c.client);
+    for c in &mut per_client {
+        let mut samples: Vec<u64> = per_query
+            .iter()
+            .filter(|q| q.client == c.client)
+            .map(|q| q.wall_nanos)
+            .collect();
+        c.set_latencies(&mut samples);
+    }
 
     Ok(ServeReport {
         threads: threads as u64,
@@ -320,6 +390,8 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
         meter_calls,
         meter_transactions,
         meter_records,
+        watchdog_samples: dog_report.samples,
+        watchdog_max_drift_pages: dog_report.max_drift_pages,
         per_client,
         per_query,
         ..ServeReport::default()

@@ -3,6 +3,14 @@
 
 use payless_json::{FromJson, Json, JsonError, ToJson};
 
+/// Read an integer field that older report dumps predate, defaulting to 0.
+fn u64_or_zero(j: &Json, key: &str) -> Result<u64, JsonError> {
+    match j.get_opt(key) {
+        Some(v) => u64::from_json(v),
+        None => Ok(0),
+    }
+}
+
 /// One query of the mix, in global submission order. Submission order is
 //  identical across thread counts, so validators compare rows pairwise.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +36,8 @@ pub struct QueryRow {
     pub coalesce_waits: u64,
     /// Estimated pages those waits avoided buying.
     pub saved_pages: u64,
+    /// End-to-end wall-clock latency of the query, in nanoseconds.
+    pub wall_nanos: u64,
 }
 
 impl ToJson for QueryRow {
@@ -43,6 +53,7 @@ impl ToJson for QueryRow {
             ("price", self.price.to_json()),
             ("coalesce_waits", self.coalesce_waits.to_json()),
             ("saved_pages", self.saved_pages.to_json()),
+            ("wall_nanos", self.wall_nanos.to_json()),
         ])
     }
 }
@@ -60,6 +71,7 @@ impl FromJson for QueryRow {
             price: f64::from_json(j.get("price")?)?,
             coalesce_waits: u64::from_json(j.get("coalesce_waits")?)?,
             saved_pages: u64::from_json(j.get("saved_pages")?)?,
+            wall_nanos: u64_or_zero(j, "wall_nanos")?,
         })
     }
 }
@@ -75,6 +87,12 @@ pub struct ClientSpend {
     pub pages: u64,
     /// Money billed to the client's queries.
     pub price: f64,
+    /// Median end-to-end query latency for this client, in nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile end-to-end query latency, in nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th-percentile end-to-end query latency, in nanoseconds.
+    pub p99_nanos: u64,
 }
 
 impl ClientSpend {
@@ -85,6 +103,9 @@ impl ClientSpend {
             queries: 0,
             pages: 0,
             price: 0.0,
+            p50_nanos: 0,
+            p95_nanos: 0,
+            p99_nanos: 0,
         }
     }
 
@@ -93,6 +114,22 @@ impl ClientSpend {
         self.queries += 1;
         self.pages += q.pages;
         self.price += q.price;
+    }
+
+    /// Fill the latency percentiles from this client's per-query
+    /// wall-clock samples (exact nearest-rank over the sorted samples).
+    pub fn set_latencies(&mut self, samples: &mut [u64]) {
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| {
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
+        self.p50_nanos = rank(0.50);
+        self.p95_nanos = rank(0.95);
+        self.p99_nanos = rank(0.99);
     }
 }
 
@@ -103,6 +140,9 @@ impl ToJson for ClientSpend {
             ("queries", self.queries.to_json()),
             ("pages", self.pages.to_json()),
             ("price", self.price.to_json()),
+            ("p50_nanos", self.p50_nanos.to_json()),
+            ("p95_nanos", self.p95_nanos.to_json()),
+            ("p99_nanos", self.p99_nanos.to_json()),
         ])
     }
 }
@@ -114,6 +154,9 @@ impl FromJson for ClientSpend {
             queries: u64::from_json(j.get("queries")?)?,
             pages: u64::from_json(j.get("pages")?)?,
             price: f64::from_json(j.get("price")?)?,
+            p50_nanos: u64_or_zero(j, "p50_nanos")?,
+            p95_nanos: u64_or_zero(j, "p95_nanos")?,
+            p99_nanos: u64_or_zero(j, "p99_nanos")?,
         })
     }
 }
@@ -158,6 +201,11 @@ pub struct ServeReport {
     /// pre-truncation records the buyer never saw, so this only equals
     /// [`ServeReport::total_records`] on clean runs.
     pub meter_records: u64,
+    /// Mid-run reconciliation samples taken by the watchdog.
+    pub watchdog_samples: u64,
+    /// Largest in-flight drift (meter minus attributed pages) the
+    /// watchdog sampled; returns to 0 at quiescence.
+    pub watchdog_max_drift_pages: u64,
     /// Spend attribution by client.
     pub per_client: Vec<ClientSpend>,
     /// Every query, in global submission order.
@@ -200,6 +248,11 @@ impl ToJson for ServeReport {
             ("meter_calls", self.meter_calls.to_json()),
             ("meter_transactions", self.meter_transactions.to_json()),
             ("meter_records", self.meter_records.to_json()),
+            ("watchdog_samples", self.watchdog_samples.to_json()),
+            (
+                "watchdog_max_drift_pages",
+                self.watchdog_max_drift_pages.to_json(),
+            ),
             (
                 "per_client",
                 Json::Arr(self.per_client.iter().map(|c| c.to_json()).collect()),
@@ -236,6 +289,8 @@ impl FromJson for ServeReport {
             meter_calls: u64::from_json(j.get("meter_calls")?)?,
             meter_transactions: u64::from_json(j.get("meter_transactions")?)?,
             meter_records: u64::from_json(j.get("meter_records")?)?,
+            watchdog_samples: u64_or_zero(j, "watchdog_samples")?,
+            watchdog_max_drift_pages: u64_or_zero(j, "watchdog_max_drift_pages")?,
             per_client: j
                 .get("per_client")?
                 .as_arr()?
@@ -276,11 +331,16 @@ mod tests {
             meter_calls: 5,
             meter_transactions: 12,
             meter_records: 14,
+            watchdog_samples: 2,
+            watchdog_max_drift_pages: 4,
             per_client: vec![ClientSpend {
                 client: 0,
                 queries: 2,
                 pages: 12,
                 price: 0.6,
+                p50_nanos: 1_000,
+                p95_nanos: 9_000,
+                p99_nanos: 9_500,
             }],
             per_query: vec![QueryRow {
                 client: 0,
@@ -293,12 +353,46 @@ mod tests {
                 price: 0.3,
                 coalesce_waits: 1,
                 saved_pages: 3,
+                wall_nanos: 5_500,
             }],
         };
         let text = report.to_json().to_string_pretty();
         let parsed = ServeReport::from_json(&payless_json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, report);
         assert_eq!(parsed.delivered_pages(), 10);
+    }
+
+    #[test]
+    fn pre_metrics_dumps_still_parse() {
+        // Reports written before latency/watchdog fields existed must load
+        // with those fields zeroed, not fail.
+        let mut j = ServeReport::default().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| {
+                !matches!(k.as_str(), "watchdog_samples" | "watchdog_max_drift_pages")
+            });
+        }
+        let parsed = ServeReport::from_json(&j).unwrap();
+        assert_eq!(parsed.watchdog_samples, 0);
+        assert_eq!(parsed.watchdog_max_drift_pages, 0);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut spend = ClientSpend::new(0);
+        let mut samples: Vec<u64> = (1..=100).rev().collect();
+        spend.set_latencies(&mut samples);
+        assert_eq!(spend.p50_nanos, 51); // round(99 * .5) = 50 → samples[50]
+        assert_eq!(spend.p95_nanos, 95);
+        assert_eq!(spend.p99_nanos, 99);
+
+        let mut single = ClientSpend::new(1);
+        single.set_latencies(&mut [42]);
+        assert_eq!((single.p50_nanos, single.p99_nanos), (42, 42));
+
+        let mut empty = ClientSpend::new(2);
+        empty.set_latencies(&mut Vec::new());
+        assert_eq!(empty.p50_nanos, 0);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Continuous spend reconciliation while a mix is running.
+//!
+//! `run_mix` has always reconciled Σ per-query ledger pages against the
+//! billing meter — but only once, at exit. The [`Watchdog`] moves that
+//! cross-check into the run: every K completed queries it samples the
+//! meter and compares it against the pages attributed so far, globally and
+//! per table.
+//!
+//! **Soundness under concurrency.** A sample reads the attributed totals
+//! *before* reading the meter. Every ledger entry corresponds to a meter
+//! charge that already happened, so at that instant `meter ≥ attributed`
+//! always holds; the difference ("drift") is spend whose queries are still
+//! in flight, and it must return to zero at quiescence. `attributed >
+//! meter` can never legitimately happen — it means double-counted ledger
+//! entries — and is flagged as a violation the moment it is seen.
+//!
+//! Drift is recorded into the metrics hub (`payless_watchdog_*`); under
+//! strict mode a violation aborts the mix immediately instead of waiting
+//! for the exit reconciliation. With one worker thread there is no
+//! in-flight spend at sample time, so strict mode additionally requires
+//! exact zero drift at every sample.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use payless_market::DataMarket;
+use payless_metrics::MetricsHub;
+use payless_telemetry::TelemetrySnapshot;
+use payless_types::{PaylessError, Result};
+
+/// What the watchdog saw over one mix (folded into the serve report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Mid-run reconciliation samples taken.
+    pub samples: u64,
+    /// Largest in-flight drift (meter minus attributed pages) sampled.
+    pub max_drift_pages: u64,
+}
+
+/// Samples `Σ attributed ledger pages == billing meter` every K queries.
+pub struct Watchdog<'a> {
+    market: &'a DataMarket,
+    every: u64,
+    strict: bool,
+    /// One worker thread: no spend can be in flight at a sample, so any
+    /// nonzero drift is itself a violation.
+    exact: bool,
+    base_pages: u64,
+    base_by_table: HashMap<Arc<str>, u64>,
+    attributed: AtomicU64,
+    by_table: Mutex<HashMap<Arc<str>, u64>>,
+    completed: AtomicU64,
+    samples: AtomicU64,
+    max_drift: AtomicU64,
+    hub: Option<Arc<MetricsHub>>,
+}
+
+fn table_pages(report: &payless_market::BillingReport) -> HashMap<Arc<str>, u64> {
+    report
+        .by_table
+        .iter()
+        .map(|(t, b)| (t.clone(), b.transactions))
+        .collect()
+}
+
+impl<'a> Watchdog<'a> {
+    /// Start watching `market` from its current meter state.
+    pub fn new(
+        market: &'a DataMarket,
+        every: u64,
+        strict: bool,
+        threads: usize,
+        hub: Option<Arc<MetricsHub>>,
+    ) -> Self {
+        let base = market.bill();
+        Watchdog {
+            market,
+            every: every.max(1),
+            strict,
+            exact: threads <= 1,
+            base_pages: base.transactions(),
+            base_by_table: table_pages(&base),
+            attributed: AtomicU64::new(0),
+            by_table: Mutex::new(HashMap::new()),
+            completed: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            max_drift: AtomicU64::new(0),
+            hub,
+        }
+    }
+
+    /// Attribute one finished query's ledger; every K-th completion takes
+    /// a reconciliation sample. Errors only under strict mode.
+    pub fn note_query(&self, snap: &TelemetrySnapshot) -> Result<()> {
+        {
+            let mut per = self.by_table.lock().unwrap_or_else(|e| e.into_inner());
+            for tr in &snap.ledger {
+                *per.entry(tr.table.clone()).or_default() += tr.pages;
+            }
+        }
+        self.attributed
+            .fetch_add(snap.total_pages(), Ordering::SeqCst);
+        let done = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        if done.is_multiple_of(self.every) {
+            self.sample()?;
+        }
+        Ok(())
+    }
+
+    /// One mid-run cross-check. Ordering matters: attributed totals are
+    /// read *before* the meter, so `meter ≥ attributed` is guaranteed for
+    /// correctly-attributed spend and any excess is true drift.
+    fn sample(&self) -> Result<()> {
+        let attributed = self.attributed.load(Ordering::SeqCst);
+        let per_attr: HashMap<Arc<str>, u64> = self
+            .by_table
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let bill = self.market.bill();
+        let meter = bill.transactions() - self.base_pages;
+        let meter_by_table = table_pages(&bill);
+
+        self.samples.fetch_add(1, Ordering::SeqCst);
+        let mut violation: Option<String> = None;
+        if attributed > meter {
+            violation = Some(format!(
+                "over-attribution: Σ ledger pages {attributed} exceeds meter delta {meter}"
+            ));
+        }
+        for (table, &attr) in &per_attr {
+            let base = self.base_by_table.get(table).copied().unwrap_or(0);
+            let meter_t = meter_by_table.get(table).copied().unwrap_or(0) - base;
+            if attr > meter_t {
+                violation = Some(format!(
+                    "over-attribution on `{table}`: ledger {attr} exceeds meter delta {meter_t}"
+                ));
+                break;
+            }
+        }
+        let drift = meter.saturating_sub(attributed);
+        if violation.is_none() && self.exact && drift != 0 {
+            violation = Some(format!(
+                "single-threaded run sampled nonzero drift: meter delta {meter}, attributed {attributed}"
+            ));
+        }
+        self.max_drift.fetch_max(drift, Ordering::SeqCst);
+        if let Some(hub) = &self.hub {
+            hub.watchdog_samples.inc(1);
+            hub.watchdog_drift_pages.set(drift);
+            hub.watchdog_max_drift_pages
+                .set(self.max_drift.load(Ordering::SeqCst));
+            if violation.is_some() {
+                hub.watchdog_violations.inc(1);
+            }
+        }
+        match violation {
+            Some(v) if self.strict => Err(PaylessError::Internal(format!(
+                "reconciliation watchdog (strict): {v}"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Final reconciliation at quiescence: the meter delta must equal the
+    /// attributed pages exactly, globally and per table. Panics on
+    /// mismatch, like `run_mix`'s historical exit assert.
+    pub fn finish(&self) -> WatchdogReport {
+        let attributed = self.attributed.load(Ordering::SeqCst);
+        let per_attr = self.by_table.lock().unwrap_or_else(|e| e.into_inner());
+        let bill = self.market.bill();
+        let meter = bill.transactions() - self.base_pages;
+        assert_eq!(
+            attributed, meter,
+            "spend ledger must reconcile with the billing meter: \
+             Σ per-query ledger pages = {attributed}, meter delta = {meter}"
+        );
+        let meter_by_table = table_pages(&bill);
+        for (table, bill_pages) in &meter_by_table {
+            let base = self.base_by_table.get(table).copied().unwrap_or(0);
+            let attr = per_attr.get(table).copied().unwrap_or(0);
+            assert_eq!(
+                attr,
+                bill_pages - base,
+                "per-table reconciliation failed for `{table}`"
+            );
+        }
+        if let Some(hub) = &self.hub {
+            hub.watchdog_drift_pages.set(0);
+        }
+        WatchdogReport {
+            samples: self.samples.load(Ordering::SeqCst),
+            max_drift_pages: self.max_drift.load(Ordering::SeqCst),
+        }
+    }
+}

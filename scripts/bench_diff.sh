@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Compare a fresh full-scale hot-path bench run against the committed
-# BENCH_sqr.json / BENCH_dp.json baselines at the repo root. Exits non-zero
-# when any run's median regressed by more than 25%.
+# BENCH_sqr.json / BENCH_dp.json / BENCH_metrics.json baselines at the repo
+# root. Exits non-zero when any run's median regressed by more than 25%, or
+# when the metrics-on serve mix costs more than 5% over its metrics-off twin
+# (the two fresh medians are compared against each other, so that gate is
+# machine-independent).
 #
 # Timing on shared/virtualized CI hosts is noisy, so callers (ci.sh) treat
 # a failure here as a warning, not a gate.
@@ -16,4 +19,5 @@ BENCH_DIFF_JSON="${BENCH_DIFF_JSON:-$PWD/target/bench-diff.json}"
 export BENCH_DIFF_JSON
 
 # The bench binary's CWD is the package dir, so baselines need absolute paths.
-exec cargo bench -q --bench hotpath -- diff "$PWD/BENCH_sqr.json" "$PWD/BENCH_dp.json"
+exec cargo bench -q --bench hotpath -- diff \
+    "$PWD/BENCH_sqr.json" "$PWD/BENCH_dp.json" "$PWD/BENCH_metrics.json"

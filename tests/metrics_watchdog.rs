@@ -1,0 +1,313 @@
+//! Metrics + reconciliation-watchdog suite: a seeded serve mix runs with a
+//! live [`payless_metrics::MetricsHub`] attached, clean and under injected
+//! chaos, and the continuous watchdog must observe **zero drift** between
+//! the sum of per-query spend ledgers and the market billing meter.
+//!
+//! Invariants checked throughout (`page_size = 1`, so delivered pages equal
+//! delivered records — see DESIGN.md "Live metrics & the reconciliation
+//! watchdog"):
+//!
+//! * the watchdog samples mid-run (`watchdog_samples > 0`) and never
+//!   observes attributed spend ahead of the meter, clean or faulted —
+//!   strict mode would abort the mix otherwise;
+//! * at quiescence the cumulative `payless_market_pages_billed_total`
+//!   counter equals the billing meter's transaction delta exactly;
+//! * per-query wall-clock latencies surface as non-zero row timings and
+//!   monotone per-client percentiles;
+//! * the registry stays exact under concurrent hammering from many
+//!   threads (no lost increments, histogram count == total records).
+
+use std::sync::Arc;
+
+use payless_exec::RetryPolicy;
+use payless_market::{DataMarket, Dataset, FaultInjector, FaultKind, FaultPlan};
+use payless_metrics::{MetricsConfig, MetricsHub, Registry};
+use payless_serve::{run_mix, Serve, ServeConfig, ServeReport};
+use payless_workload::{serve_mix, MixItem, QueryWorkload, RealWorkload, WhwConfig};
+
+/// Single-table WHW templates only: at `page_size = 1` their delivered
+/// pages are interleaving-independent (same rationale as the concurrency
+/// suite).
+const TEMPLATES: [usize; 2] = [0, 1];
+
+const CHAOS_SEED: u64 = 48879;
+
+fn tiny_workload() -> RealWorkload {
+    RealWorkload::generate(&WhwConfig {
+        stations: 24,
+        countries: 4,
+        cities_per_country: 3,
+        days: 20,
+        zips: 40,
+        ranks: 100,
+        seed: 3,
+    })
+}
+
+fn build_market(w: &RealWorkload) -> Arc<DataMarket> {
+    let mut dataset = Dataset::new("market").with_page_size(1);
+    for t in QueryWorkload::market_tables(w) {
+        dataset = dataset.with_table(t.clone());
+    }
+    Arc::new(DataMarket::new(vec![dataset]))
+}
+
+/// Replay `mix` with a fresh hub attached, the watchdog sampling every
+/// `every` completions, and strict reconciliation on (any mid-run
+/// over-attribution aborts the whole mix instead of passing silently).
+fn run_with_hub(
+    w: &RealWorkload,
+    mix: &[MixItem],
+    threads: usize,
+    every: u64,
+    faults: Option<FaultPlan>,
+) -> (ServeReport, Arc<MetricsHub>, u64) {
+    let market = build_market(w);
+    let faulted = faults.is_some();
+    if let Some(plan) = faults {
+        market.attach_fault_injector(FaultInjector::new(plan));
+    }
+    let hub = Arc::new(MetricsHub::new(MetricsConfig::default()));
+    let cfg = ServeConfig {
+        threads,
+        coalesce: true,
+        retry: if faulted {
+            RetryPolicy::unlimited()
+        } else {
+            RetryPolicy::default()
+        },
+        metrics: Some(Arc::clone(&hub)),
+        watchdog_every: every,
+        strict_reconcile: true,
+        ..ServeConfig::default()
+    };
+    let meter_before = market.bill().transactions();
+    let serve = Serve::new(Arc::clone(&market), QueryWorkload::local_tables(w), cfg);
+    let templates: Vec<_> = QueryWorkload::templates(w)
+        .iter()
+        .map(|sql| serve.prepare(sql).expect("workload templates parse"))
+        .collect();
+    let report =
+        run_mix(&serve, mix, &templates).expect("serve mix succeeds under strict watchdog");
+    let meter_delta = market.bill().transactions() - meter_before;
+    (report, hub, meter_delta)
+}
+
+/// Every hub-level invariant that must hold at quiescence, regardless of
+/// thread count or injected faults.
+fn assert_hub_reconciles(report: &ServeReport, hub: &MetricsHub, meter_delta: u64) {
+    let cum = hub.cumulative();
+    assert_eq!(
+        cum.counter("payless_market_pages_billed_total"),
+        meter_delta,
+        "cumulative billed-pages counter must equal the meter's transaction delta"
+    );
+    assert_eq!(
+        cum.counter("payless_serve_queries_total"),
+        report.queries,
+        "every query in the mix must be counted"
+    );
+    assert_eq!(
+        cum.counter("payless_watchdog_violations_total"),
+        0,
+        "the watchdog must never observe attributed spend ahead of the meter"
+    );
+    assert!(
+        report.watchdog_samples > 0,
+        "the watchdog must sample mid-run, not only at the end"
+    );
+    assert_eq!(
+        cum.counter("payless_watchdog_samples_total"),
+        report.watchdog_samples
+    );
+    assert_eq!(
+        cum.gauge("payless_watchdog_drift_pages"),
+        0,
+        "drift must return to zero at quiescence"
+    );
+    let lat = cum
+        .histogram("payless_serve_query_nanos")
+        .expect("per-query latency histogram exists");
+    assert_eq!(lat.count, report.queries, "one latency sample per query");
+}
+
+/// Row timings and per-client percentiles: every query carries a non-zero
+/// wall clock, and p50 <= p95 <= p99 per client.
+fn assert_latencies(report: &ServeReport) {
+    for (i, q) in report.per_query.iter().enumerate() {
+        assert!(q.wall_nanos > 0, "query {i} has no wall-clock timing");
+    }
+    for c in &report.per_client {
+        assert!(
+            c.p50_nanos <= c.p95_nanos && c.p95_nanos <= c.p99_nanos,
+            "client {}: percentiles not monotone ({} / {} / {})",
+            c.client,
+            c.p50_nanos,
+            c.p95_nanos,
+            c.p99_nanos
+        );
+        assert!(c.queries == 0 || c.p50_nanos > 0);
+    }
+}
+
+#[test]
+fn clean_serial_mix_reconciles_with_zero_drift() {
+    let w = tiny_workload();
+    let mix = serve_mix(&w, &TEMPLATES, 4, 18, CHAOS_SEED);
+    let (report, hub, meter_delta) = run_with_hub(&w, &mix, 1, 4, None);
+
+    assert_hub_reconciles(&report, &hub, meter_delta);
+    assert_latencies(&report);
+    // One thread means no in-flight spend at any sample point, so the
+    // watchdog's running maximum is zero too, not merely the final gauge.
+    assert_eq!(
+        report.watchdog_max_drift_pages, 0,
+        "serial runs can never have in-flight spend at a sample"
+    );
+}
+
+#[test]
+fn clean_parallel_mix_reconciles_with_zero_final_drift() {
+    let w = tiny_workload();
+    let mix = serve_mix(&w, &TEMPLATES, 4, 18, 7);
+    let (report, hub, meter_delta) = run_with_hub(&w, &mix, 4, 2, None);
+    assert_hub_reconciles(&report, &hub, meter_delta);
+    assert_latencies(&report);
+}
+
+#[test]
+fn chaos_serial_mix_keeps_the_watchdog_clean() {
+    let w = tiny_workload();
+    let mix = serve_mix(&w, &TEMPLATES, 4, 16, CHAOS_SEED);
+    // Chaos alone may roll no faults on a mix this small, so pin one
+    // guaranteed outage onto the first market call: at least one retry is
+    // then certain, and its accounting must stay visible and reconciled.
+    let plan = FaultPlan::chaos(CHAOS_SEED).at(0, FaultKind::Unavailable);
+    let (report, hub, meter_delta) = run_with_hub(&w, &mix, 1, 3, Some(plan));
+
+    assert_hub_reconciles(&report, &hub, meter_delta);
+    assert_eq!(report.watchdog_max_drift_pages, 0);
+    // The pinned outage forces a retry; the call layer must report it.
+    let cum = hub.cumulative();
+    assert!(
+        cum.counter("payless_market_retries_total") > 0,
+        "a pinned Unavailable fault must surface as a counted retry"
+    );
+    assert_eq!(
+        cum.counter("payless_market_pages_wasted_total"),
+        report.wasted_pages,
+        "wasted-page counter must match the report"
+    );
+}
+
+#[test]
+fn chaos_parallel_mix_keeps_the_watchdog_clean() {
+    let w = tiny_workload();
+    let mix = serve_mix(&w, &TEMPLATES, 4, 16, CHAOS_SEED);
+    let plan = FaultPlan::chaos(CHAOS_SEED).at(0, FaultKind::Unavailable);
+    let (report, hub, meter_delta) = run_with_hub(&w, &mix, 4, 3, Some(plan));
+    assert_hub_reconciles(&report, &hub, meter_delta);
+    assert_latencies(&report);
+}
+
+#[test]
+fn windowed_series_deltas_sum_to_the_cumulative_counters() {
+    let w = tiny_workload();
+    let mix = serve_mix(&w, &TEMPLATES, 3, 15, 11);
+    let (report, hub, meter_delta) = run_with_hub(&w, &mix, 2, 4, None);
+    hub.roll();
+
+    let windows = hub.windows();
+    assert!(
+        !windows.is_empty(),
+        "rolling must close at least one window"
+    );
+    for (i, win) in windows.iter().enumerate() {
+        assert_eq!(win.index, i as u64, "window indexes must be sequential");
+    }
+    let billed: u64 = windows
+        .iter()
+        .map(|w| w.counter("payless_market_pages_billed_total"))
+        .sum();
+    assert_eq!(
+        billed, meter_delta,
+        "per-window billed-page deltas must sum to the cumulative meter delta"
+    );
+    let queries: u64 = windows
+        .iter()
+        .map(|w| w.counter("payless_serve_queries_total"))
+        .sum();
+    assert_eq!(queries, report.queries);
+    assert_eq!(
+        hub.dropped_windows(),
+        0,
+        "ring must not evict this few windows"
+    );
+}
+
+#[test]
+fn registry_is_exact_under_concurrent_hammering() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let reg = Registry::default();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = &reg;
+            s.spawn(move || {
+                // Interleave first-touch registration with increments: every
+                // thread resolves the same names, so lost registrations or
+                // increments show up as a total mismatch below.
+                let c = reg.counter("hammer_total");
+                let g = reg.gauge("hammer_last");
+                let h = reg.histogram("hammer_nanos");
+                for i in 0..PER_THREAD {
+                    c.inc(1);
+                    g.set(t as u64);
+                    h.record(i % 1024);
+                }
+            });
+        }
+    });
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("hammer_total"), THREADS as u64 * PER_THREAD);
+    assert!(snap.gauge("hammer_last") < THREADS as u64);
+    let h = snap
+        .histogram("hammer_nanos")
+        .expect("histogram registered");
+    assert_eq!(
+        h.count,
+        THREADS as u64 * PER_THREAD,
+        "no lost histogram samples"
+    );
+}
+
+#[test]
+fn hub_counters_are_exact_under_concurrent_hammering() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 25_000;
+
+    let hub = MetricsHub::new(MetricsConfig::default());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let hub = &hub;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    hub.market_calls.inc(1);
+                    hub.market_call_nanos.record(i + 1);
+                }
+            });
+        }
+    });
+    let cum = hub.cumulative();
+    let expect = THREADS as u64 * PER_THREAD;
+    assert_eq!(cum.counter("payless_market_calls_total"), expect);
+    let h = cum
+        .histogram("payless_market_call_nanos")
+        .expect("pre-registered histogram");
+    assert_eq!(h.count, expect);
+    // The exposition must agree with the snapshot it was rendered from.
+    let expo = hub.exposition();
+    assert!(expo.contains(&format!("payless_market_calls_total {expect}")));
+}
