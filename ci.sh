@@ -6,7 +6,7 @@
 #
 # Usage: ./ci.sh [stage]
 #   fmt | clippy | tier1 | fault-smoke | bench-smoke | explain-smoke |
-#   serve-smoke | metrics-smoke | bench-diff | smokes | all
+#   serve-smoke | metrics-smoke | store-scale | bench-diff | smokes | all
 # With no argument, `all` runs every stage in order — exactly what the
 # staged GitHub workflow (.github/workflows/ci.yml) runs job by job.
 set -eu
@@ -118,6 +118,20 @@ metrics_smoke() {
         "$METRICS_DIR/chaos.txt" "$METRICS_DIR/chaos.json"
 }
 
+store_scale() {
+    echo "== store-scale: 1k/10k-view stores under the old 225-view wall-clock cap =="
+    # Build 1k- and 10k-view semantic stores (compaction on, eviction cap
+    # raised so nothing is dropped), probe them through the R-tree index,
+    # and run the full cached SQR rewrite at both scales. The bench mode
+    # itself enforces the wall-clock cap — the 10k-view rewrite median must
+    # beat the old 225-view baseline median — and exits non-zero past it.
+    # The JSONL dump is then shape-validated like every other figure.
+    SCALE_JSON="$PWD/target/hotpath-store-scale.jsonl"
+    rm -f "$SCALE_JSON"
+    PAYLESS_JSON="$SCALE_JSON" cargo bench -q --bench hotpath -- store-scale
+    cargo bench -q --bench hotpath -- validate "$SCALE_JSON"
+}
+
 bench_diff() {
     echo "== bench diff: fresh medians vs committed baselines (non-fatal) =="
     # Full-scale rerun compared against BENCH_sqr.json / BENCH_dp.json; timing
@@ -132,6 +146,7 @@ smokes() {
     explain_smoke
     serve_smoke
     metrics_smoke
+    store_scale
 }
 
 all() {
@@ -152,11 +167,12 @@ case "$stage" in
     explain-smoke) explain_smoke ;;
     serve-smoke) serve_smoke ;;
     metrics-smoke) metrics_smoke ;;
+    store-scale) store_scale ;;
     bench-diff) bench_diff ;;
     smokes) smokes ;;
     all) all ;;
     *)
-        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|bench-diff|smokes|all)" >&2
+        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|store-scale|bench-diff|smokes|all)" >&2
         exit 2
         ;;
 esac

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use payless_core::{
     build_market, enabled_from_env, ChromeTraceBuilder, DataMarket, FaultInjector, FaultPlan,
     MetricsConfig, MetricsHub, PayLess, PayLessConfig, QueryReport, RetryPolicy, SpendCell,
+    StoreConfig,
 };
 use payless_json::{Json, ToJson};
 use payless_serve::{run_mix, Serve, ServeConfig};
@@ -105,7 +106,10 @@ impl App {
                     )
                 }
             };
-        let cfg = PayLessConfig::mode(args.mode);
+        let cfg = PayLessConfig {
+            store: store_config_from_env(),
+            ..PayLessConfig::mode(args.mode)
+        };
         let mut session = match &args.session_file {
             Some(path) if std::path::Path::new(path).exists() => {
                 let json = std::fs::read_to_string(path)
@@ -437,12 +441,29 @@ fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
+/// Semantic-store tuning from the environment: `PAYLESS_STORE_MAX_VIEWS`
+/// caps the per-table view count (spend-weighted eviction past it),
+/// `PAYLESS_STORE_COMPACT=0` keeps every purchased box verbatim. Applied to
+/// both single-tenant sessions and the `--serve` layer.
+fn store_config_from_env() -> StoreConfig {
+    let mut cfg = StoreConfig::default();
+    if let Some(n) = env_u64("PAYLESS_STORE_MAX_VIEWS") {
+        cfg.max_views = n.max(1) as usize;
+    }
+    if let Ok(v) = std::env::var("PAYLESS_STORE_COMPACT") {
+        cfg.compaction = v != "0";
+    }
+    cfg
+}
+
 /// Run `--serve N`: replay a deterministic multi-client mix through the
 /// concurrent serving layer ([`payless_serve::Serve`]), reconcile every
 /// query's spend ledger against the billing meter, and render a summary.
 /// Knobs not covered by flags come from the environment: `PAYLESS_CLIENTS`
 /// (when `--clients` is absent), `PAYLESS_COALESCE=0` to disable single
-/// flight, `PAYLESS_FAULT_SEED` to chaos-inject the market.
+/// flight, `PAYLESS_FAULT_SEED` to chaos-inject the market, and
+/// `PAYLESS_STORE_MAX_VIEWS` / `PAYLESS_STORE_COMPACT` to tune the shared
+/// semantic store.
 pub fn run_serve(args: &CliArgs) -> Result<String, String> {
     if args.workload != WorkloadKind::Whw {
         return Err("--serve currently supports --workload whw only".into());
@@ -476,6 +497,7 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         },
         metrics: hub.clone(),
         strict_reconcile: MetricsConfig::strict_from_env(),
+        store: store_config_from_env(),
         ..ServeConfig::default()
     };
     let layer = Serve::new(market, w.local_tables(), cfg);

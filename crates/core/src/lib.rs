@@ -50,7 +50,7 @@ pub use payless_exec::{
 pub use payless_market::{BillingReport, DataMarket, Dataset, FaultInjector, FaultKind, FaultPlan};
 pub use payless_metrics::{enabled_from_env, MetricsConfig, MetricsHub};
 pub use payless_optimizer::PlanCounters;
-pub use payless_semantic::{Consistency, RewriteConfig, SharedSemanticStore};
+pub use payless_semantic::{Consistency, RewriteConfig, SharedSemanticStore, StoreConfig};
 pub use payless_sql::SelectStmt;
 pub use payless_stats::StatsBackend;
 pub use payless_stats::{q_error, QErrorAccumulator, QErrorSummary};

@@ -10,7 +10,7 @@ use payless_json::{FromJson, Json, ToJson};
 use payless_market::DataMarket;
 use payless_metrics::MetricsHub;
 use payless_optimizer::{optimize, OptimizerConfig, PlanCounters, PlanNode};
-use payless_semantic::{Consistency, RewriteConfig, SemanticStore};
+use payless_semantic::{Consistency, RewriteConfig, SemanticStore, StoreConfig};
 use payless_sql::{analyze, parse, AnalyzedQuery, Catalog, MapCatalog, SelectStmt, TableLocation};
 use payless_stats::{StatsBackend, StatsRegistry};
 use payless_storage::{Database, LocalTable};
@@ -54,6 +54,10 @@ pub struct PayLessConfig {
     /// millisecond backoff; see [`RetryPolicy::from_env`] for the
     /// environment knobs.
     pub retry: RetryPolicy,
+    /// Semantic-store tuning: per-table view cap and compaction toggle
+    /// (the CLI maps `PAYLESS_STORE_MAX_VIEWS` / `PAYLESS_STORE_COMPACT`
+    /// here). Coverage is a cache — the cap bounds memory, never answers.
+    pub store: StoreConfig,
 }
 
 impl Default for PayLessConfig {
@@ -64,6 +68,7 @@ impl Default for PayLessConfig {
             rewrite: RewriteConfig::default(),
             stats_backend: StatsBackend::default(),
             retry: RetryPolicy::default(),
+            store: StoreConfig::default(),
         }
     }
 }
@@ -187,6 +192,7 @@ impl PayLess {
         let mut catalog = MapCatalog::new();
         let mut stats = StatsRegistry::new().with_backend(cfg.stats_backend);
         let mut store = SemanticStore::new();
+        store.set_config(cfg.store);
         for name in market.table_names() {
             let schema = market.schema(&name).expect("listed table").clone();
             let cardinality = market.cardinality(&name).expect("listed table");
@@ -613,7 +619,9 @@ impl PayLess {
         }
         pl.db = snapshot.db;
         pl.store = snapshot.store;
-        // The snapshot's store carries no recorder; re-attach this session's.
+        // The snapshot carries neither config nor recorder — both belong to
+        // the session, not the persisted coverage. Re-apply this session's.
+        pl.store.set_config(pl.cfg.store);
         pl.store.attach_recorder(pl.recorder.clone());
         pl.stats = snapshot.stats;
         pl.now = snapshot.now;

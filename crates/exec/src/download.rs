@@ -78,6 +78,7 @@ pub fn ensure_downloaded(
         let resp =
             resilient_get(market, &req, policy, &mut budget, recorder, metrics).into_result()?;
         let records = resp.records();
+        let pages = resp.transactions;
         db.table_or_create(table).insert_all(resp.rows);
         if let Some(ts) = stats.table_mut(name) {
             // Score the pre-feedback estimate, as the engine does for
@@ -95,7 +96,7 @@ pub fn ensure_downloaded(
             }
             ts.feedback(&piece, records);
         }
-        store.record(name, piece, now);
+        store.record_spend(name, piece, now, pages);
     }
     Ok(())
 }

@@ -8,7 +8,9 @@ use payless_market::{DataMarket, Request};
 use payless_metrics::MetricsHub;
 use payless_optimizer::cost::required_regions;
 use payless_optimizer::plan::{AccessMethod, PlanNode};
-use payless_semantic::{rewrite, Consistency, CoverClass, RewriteConfig, SemanticStore};
+use payless_semantic::{
+    rewrite, rewrite_cached, Consistency, CoverClass, RewriteConfig, SemanticStore,
+};
 use payless_sql::{AccessConstraint, AnalyzedQuery, OutputItem, ResidualPred, TableLocation};
 use payless_stats::StatsRegistry;
 use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec, Database};
@@ -292,15 +294,17 @@ impl<'a> Executor<'a> {
                     }
                 }
                 // Only views overlapping this region can shape its rewrite,
-                // so probe the store's grid index instead of scanning every
-                // view.
-                let views =
+                // so probe the store's R-tree instead of scanning every
+                // view — and when the store's incremental remainder cache
+                // can answer, skip the subtraction sweep entirely.
+                let (views, pieces) =
                     self.state
-                        .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
+                        .probe_rewrite(&t.name, region, self.cfg.consistency, self.now);
                 let rw = self
                     .state
-                    .with_table_model(&t.name, |ts| {
-                        rewrite(ts, page, region, &views, &self.cfg.rewrite)
+                    .with_table_model(&t.name, |ts| match &pieces {
+                        Some(p) => rewrite_cached(ts, page, region, p, &self.cfg.rewrite),
+                        None => rewrite(ts, page, region, &views, &self.cfg.rewrite),
                     })
                     .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
                 if waits == 0 {
@@ -347,13 +351,14 @@ impl<'a> Executor<'a> {
             // twice.
             let remainders = if guard.is_some() && self.cfg.sqr {
                 let pre_guard_est = final_est;
-                let views =
+                let (views, pieces) =
                     self.state
-                        .views_overlapping(&t.name, region, self.cfg.consistency, self.now);
+                        .probe_rewrite(&t.name, region, self.cfg.consistency, self.now);
                 let rw = self
                     .state
-                    .with_table_model(&t.name, |ts| {
-                        rewrite(ts, page, region, &views, &self.cfg.rewrite)
+                    .with_table_model(&t.name, |ts| match &pieces {
+                        Some(p) => rewrite_cached(ts, page, region, p, &self.cfg.rewrite),
+                        None => rewrite(ts, page, region, &views, &self.cfg.rewrite),
                     })
                     .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
                 // A shrunken estimate means a flight landed between the
@@ -463,6 +468,7 @@ impl<'a> Executor<'a> {
                 }
             };
             let records = resp.records();
+            let pages = resp.transactions;
             if let Some(rec) = &self.cfg.recorder {
                 rec.record_size("market.records_per_call", records);
             }
@@ -488,7 +494,9 @@ impl<'a> Executor<'a> {
             // the store would grow unboundedly (one region per bind probe)
             // for nothing.
             if self.cfg.sqr {
-                self.state.store_record(&t.name, rem, self.now);
+                // The pages billed become the view's eviction weight: under
+                // cap pressure the store keeps what was expensive to buy.
+                self.state.store_record_spend(&t.name, rem, self.now, pages);
             }
         }
         Ok(())

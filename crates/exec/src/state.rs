@@ -137,7 +137,7 @@ impl ExecState<'_> {
         }
     }
 
-    /// Usable views overlapping `region` (grid-index probe).
+    /// Usable views overlapping `region` (R-tree probe).
     pub fn views_overlapping(
         &self,
         table: &str,
@@ -153,11 +153,36 @@ impl ExecState<'_> {
         }
     }
 
+    /// One consistent read of the overlapping usable views and, when the
+    /// store's remainder cache can answer, the precomputed remainder pieces
+    /// of `region` — in shared mode both come from a single shard lock
+    /// acquisition, so they can never straddle an in-flight insert.
+    pub fn probe_rewrite(
+        &self,
+        table: &str,
+        region: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> (Vec<Arc<Region>>, Option<Vec<Region>>) {
+        match self {
+            ExecState::Exclusive { store, .. } => {
+                store.probe_rewrite(table, region, consistency, now)
+            }
+            ExecState::Shared(s) => s.store.probe_rewrite(table, region, consistency, now),
+        }
+    }
+
     /// Record delivered coverage in the semantic store.
     pub fn store_record(&mut self, table: &str, region: Region, now: u64) {
+        self.store_record_spend(table, region, now, 0);
+    }
+
+    /// Record delivered coverage with the pages billed to retrieve it — the
+    /// weight the store's spend-aware eviction policy uses.
+    pub fn store_record_spend(&mut self, table: &str, region: Region, now: u64, spend: u64) {
         match self {
-            ExecState::Exclusive { store, .. } => store.record(table, region, now),
-            ExecState::Shared(s) => s.store.record(table, region, now),
+            ExecState::Exclusive { store, .. } => store.record_spend(table, region, now, spend),
+            ExecState::Shared(s) => s.store.record_spend(table, region, now, spend),
         }
     }
 

@@ -70,17 +70,28 @@ pub fn decompose<V: std::borrow::Borrow<Region>>(q: &Region, views: &[V]) -> Dec
         .iter()
         .filter_map(|v| v.borrow().intersect(q))
         .collect();
-    let remainder = q.subtract_all(&clipped);
+    decompose_pieces(q.arity(), q.subtract_all(&clipped))
+}
+
+/// Decompose an already-computed remainder (a set of disjoint boxes tiling
+/// `Q ∖ ⋃Vᵢ`) into separator-aligned elementary boxes.
+///
+/// This is the entry point for the semantic store's **incremental remainder
+/// cache**: the store maintains each table's uncovered region as a
+/// persistent set of disjoint pieces updated on insert, so a query's
+/// remainder is a clipped lookup — the subtraction sweep above never runs.
+/// The separator/re-grid guarantees are identical to [`decompose`]: any box
+/// whose extents come from the separator sets contains each elementary box
+/// entirely or not at all.
+pub fn decompose_pieces(arity: usize, remainder: Vec<Region>) -> Decomposition {
     if remainder.is_empty() {
         return Decomposition {
-            separators: vec![Vec::new(); q.arity()],
+            separators: vec![Vec::new(); arity],
             elementary: Vec::new(),
         };
     }
-
     // Separator sets from the corners of the remainder boxes.
-    let d = q.arity();
-    let mut separators: Vec<Vec<i64>> = vec![Vec::new(); d];
+    let mut separators: Vec<Vec<i64>> = vec![Vec::new(); arity];
     for r in &remainder {
         for (i, iv) in r.dims().iter().enumerate() {
             separators[i].push(iv.lo);

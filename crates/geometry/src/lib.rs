@@ -29,10 +29,12 @@ pub mod enumerate;
 pub mod interval;
 mod json;
 pub mod region;
+pub mod rtree;
 pub mod space;
 
-pub use decompose::{decompose, Decomposition, ElementaryBox};
+pub use decompose::{decompose, decompose_pieces, Decomposition, ElementaryBox};
 pub use enumerate::BoundingBoxes;
 pub use interval::Interval;
 pub use region::{union_volume, Region};
+pub use rtree::RTree;
 pub use space::{DimKind, QuerySpace, SpaceDim};

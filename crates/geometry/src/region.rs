@@ -130,6 +130,20 @@ impl Region {
         remaining
     }
 
+    /// The region grown by `by` points on every side of every dimension,
+    /// saturating at the `i64` range. An inflated-by-1 box overlaps exactly
+    /// the regions that overlap *or touch* the original — the candidate set
+    /// for adjacency coalescing.
+    pub fn inflate(&self, by: i64) -> Region {
+        Region {
+            dims: self
+                .dims
+                .iter()
+                .map(|i| Interval::new(i.lo.saturating_sub(by), i.hi.saturating_add(by)))
+                .collect(),
+        }
+    }
+
     /// The tight bounding box of a non-empty set of regions.
     pub fn hull<'a>(mut regions: impl Iterator<Item = &'a Region>) -> Option<Region> {
         let first = regions.next()?;

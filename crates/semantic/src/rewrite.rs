@@ -17,7 +17,7 @@
 
 use std::borrow::Borrow;
 
-use payless_geometry::{decompose, Interval, QuerySpace, Region};
+use payless_geometry::{decompose_pieces, Interval, QuerySpace, Region};
 use payless_par::{par_map, planned_workers};
 use payless_stats::CardinalityModel;
 #[cfg(test)]
@@ -135,9 +135,33 @@ pub fn rewrite<V: Borrow<Region> + Sync>(
     views: &[V],
     cfg: &RewriteConfig,
 ) -> Rewrite {
+    let clipped: Vec<Region> = views
+        .iter()
+        .filter_map(|v| v.borrow().intersect(query))
+        .collect();
+    rewrite_cached(stats, page_size, query, &query.subtract_all(&clipped), cfg)
+}
+
+/// As [`rewrite`], but with the remainder `Q ∖ ⋃Vᵢ` already computed — the
+/// entry point for the semantic store's incremental remainder cache
+/// ([`crate::SemanticStore::remainder_pieces`]). `pieces` must be disjoint
+/// boxes inside `query` exactly tiling the uncovered space; the subtraction
+/// sweep over the view set never runs here, which is what makes rewriting
+/// cheap at 10k+ stored views.
+///
+/// The piece *boxes* may differ between a cached and a from-scratch call
+/// (decomposition order is not canonical), but they describe the same point
+/// set, so covers remain feasible and exact-mode spend at `page_size == 1`
+/// is unchanged.
+pub fn rewrite_cached(
+    stats: &(dyn CardinalityModel + Sync),
+    page_size: u64,
+    query: &Region,
+    pieces: &[Region],
+    cfg: &RewriteConfig,
+) -> Rewrite {
     let space = stats.space();
-    let d = decompose(query, views);
-    if d.fully_covered() {
+    if pieces.is_empty() {
         return Rewrite {
             remainders: Vec::new(),
             est_transactions: 0.0,
@@ -158,8 +182,8 @@ pub fn rewrite<V: Borrow<Region> + Sync>(
     // reconciliation relies on.
     if cfg.exact {
         let mut remainders = Vec::new();
-        for piece in query.subtract_all(views) {
-            remainders.extend(space.expressible_cover(&piece));
+        for piece in pieces {
+            remainders.extend(space.expressible_cover(piece));
         }
         let est: f64 = remainders
             .iter()
@@ -182,11 +206,21 @@ pub fn rewrite<V: Borrow<Region> + Sync>(
     // A store shattered into very many uncovered pieces would make the
     // candidate x cell containment work quadratic. Issue the raw
     // subtraction pieces directly (split per category where the interface
-    // demands it); the cover is exact, just not cost-minimized.
-    if d.elementary.len() > cfg.max_cells {
+    // demands it); the cover is exact, just not cost-minimized. Every piece
+    // yields at least one elementary cell, so a piece count over the cap
+    // skips the re-grid entirely — it could only confirm the overflow.
+    let d = if pieces.len() > cfg.max_cells {
+        None
+    } else {
+        Some(decompose_pieces(query.arity(), pieces.to_vec()))
+    };
+    let fragmented = d
+        .as_ref()
+        .is_none_or(|d| d.elementary.len() > cfg.max_cells);
+    if fragmented {
         let mut remainders = Vec::new();
-        for piece in query.subtract_all(views) {
-            remainders.extend(space.expressible_cover(&piece));
+        for piece in pieces {
+            remainders.extend(space.expressible_cover(piece));
         }
         let pieces_cost: f64 = remainders
             .iter()
@@ -228,6 +262,7 @@ pub fn rewrite<V: Borrow<Region> + Sync>(
     }
 
     // --- Cells, with categorical dimensions split to expressible widths ---
+    let d = d.expect("non-fragmented path always decomposed");
     let mut cells: Vec<Region> = d.elementary.iter().map(|e| e.region.clone()).collect();
     let mut extent_lists: Vec<Vec<Interval>> = Vec::with_capacity(space.arity());
     for (i, dim) in space.dims().iter().enumerate() {
@@ -559,6 +594,30 @@ mod tests {
         let mut all_views = views.to_vec();
         all_views.extend(out.remainders.iter().cloned());
         assert!(q.subtract_all(&all_views).is_empty());
+    }
+
+    #[test]
+    fn cached_pieces_reproduce_from_scratch_rewrite() {
+        // `rewrite` is now a thin wrapper that subtracts and delegates, so a
+        // caller holding the store's cached remainder pieces must get the
+        // same plan from `rewrite_cached` — including counters.
+        let stats = figure6_stats();
+        let views = [region![(10, 19)], region![(30, 59)]];
+        let q = region![(0, 100)];
+        for cfg in [
+            RewriteConfig::default(),
+            RewriteConfig::no_pruning(),
+            RewriteConfig::exact(),
+        ] {
+            let scratch = rewrite(&stats, 100, &q, &views, &cfg);
+            let pieces = q.subtract_all(&views);
+            let cached = rewrite_cached(&stats, 100, &q, &pieces, &cfg);
+            assert_eq!(cached.remainders, scratch.remainders);
+            assert_eq!(cached.est_transactions, scratch.est_transactions);
+            assert_eq!(cached.boxes_enumerated, scratch.boxes_enumerated);
+            assert_eq!(cached.boxes_kept, scratch.boxes_kept);
+            assert_eq!(cached.cover_chosen, scratch.cover_chosen);
+        }
     }
 
     /// 2-D space with one categorical dimension (Figure 8's setting).

@@ -4,10 +4,12 @@
 //! [`SemanticStore`] in one reader-writer lock *per table* (a sharded
 //! scheme): rewrites and cover probes of different tables never contend,
 //! and on one table many readers proceed in parallel while a delivery
-//! appending coverage takes the shard's write lock only briefly. The grid
-//! index each shard keeps over its views (see [`crate::store`]) is rebuilt
-//! under that same write lock, so readers always see a consistent
-//! view-set/index pair.
+//! appending coverage takes the shard's write lock only briefly. The
+//! R-tree index and incremental remainder cache each shard keeps over its
+//! views (see [`crate::store`]) are updated under that same write lock, so
+//! readers always see a consistent view-set/index/cache triple —
+//! [`SharedSemanticStore::probe_rewrite`] reads all of them under one lock
+//! acquisition.
 //!
 //! The optimizer still wants a plain `&SemanticStore`;
 //! [`SharedSemanticStore::snapshot`] reassembles one from the shards.
@@ -22,7 +24,7 @@ use payless_geometry::{QuerySpace, Region};
 use payless_metrics::MetricsHub;
 use payless_telemetry::Recorder;
 
-use crate::store::{Consistency, CoverClass, SemanticStore};
+use crate::store::{Consistency, CoverClass, SemanticStore, StoreConfig};
 
 /// A semantic store shareable across threads: per-table shards behind
 /// reader-writer locks. All methods take `&self`; clone the containing
@@ -30,6 +32,8 @@ use crate::store::{Consistency, CoverClass, SemanticStore};
 #[derive(Debug, Default)]
 pub struct SharedSemanticStore {
     shards: HashMap<Arc<str>, RwLock<SemanticStore>>,
+    /// Config handed to tables registered after construction.
+    cfg: StoreConfig,
     /// Live instrumentation: hit/miss classification, record counts,
     /// per-table view gauges, and shard lock-wait times. `None` costs one
     /// `OnceLock` load per operation.
@@ -51,13 +55,24 @@ impl SharedSemanticStore {
     /// Shard `store` per table. Typically called once at serve start with
     /// the store of a warmed (or fresh) single-tenant session.
     pub fn new(store: SemanticStore) -> Self {
+        let cfg = store.config();
         SharedSemanticStore {
             shards: store
                 .split_shards()
                 .into_iter()
                 .map(|(name, s)| (name, RwLock::new(s)))
                 .collect(),
+            cfg,
             metrics: OnceLock::new(),
+        }
+    }
+
+    /// Apply `cfg` to every shard and to tables registered later. Lowering
+    /// `max_views` evicts immediately (each shard under its write lock).
+    pub fn set_config(&mut self, cfg: StoreConfig) {
+        self.cfg = cfg;
+        for shard in self.shards.values() {
+            write(shard).set_config(cfg);
         }
     }
 
@@ -100,8 +115,10 @@ impl SharedSemanticStore {
     /// Register a table's query space (idempotent). Takes `&mut self`:
     /// adding tables is a setup-time operation, not a serving-time one.
     pub fn register(&mut self, space: QuerySpace) {
+        let cfg = self.cfg;
         self.shards.entry(space.table.clone()).or_insert_with(|| {
             let mut s = SemanticStore::new();
+            s.set_config(cfg);
             s.register(space);
             RwLock::new(s)
         });
@@ -125,18 +142,30 @@ impl SharedSemanticStore {
 
     /// Record that `region` of `table` has been fully retrieved at `now`.
     /// Takes the shard's write lock for the duration of the insert
-    /// (containment checks, coalescing, index rebuild).
+    /// (containment checks, compaction, index and remainder-cache update).
     pub fn record(&self, table: &str, region: Region, now: u64) {
+        self.record_spend(table, region, now, 0);
+    }
+
+    /// As [`SharedSemanticStore::record`], attributing the pages billed to
+    /// retrieve the region — the weight the store's eviction policy uses.
+    pub fn record_spend(&self, table: &str, region: Region, now: u64, spend: u64) {
         let shard = self
             .shards
             .get(table)
             .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
         let mut guard = self.timed_write(shard);
-        guard.record(table, region, now);
+        guard.record_spend(table, region, now, spend);
         if let Some(hub) = self.metrics.get() {
             hub.store_records.inc(1);
             hub.table_views_gauge(table)
                 .set(guard.view_count(table) as u64);
+            // Cumulative totals, not pending deltas: the store may already
+            // have drained pending events into its telemetry recorder, and
+            // setting absolute values keeps the gauges idempotent.
+            hub.table_compactions_gauge(table)
+                .set(guard.compactions(table));
+            hub.table_evictions_gauge(table).set(guard.evictions(table));
         }
     }
 
@@ -156,6 +185,57 @@ impl SharedSemanticStore {
                     .views_overlapping(table, probe, consistency, now)
             })
             .unwrap_or_default()
+    }
+
+    /// One consistent read of everything a rewrite needs — the overlapping
+    /// usable views and (when the remainder cache is valid) the precomputed
+    /// remainder pieces — under a **single** shard read-lock acquisition,
+    /// so the two can never disagree about an in-flight insert.
+    pub fn probe_rewrite(
+        &self,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> (Vec<Arc<Region>>, Option<Vec<Region>>) {
+        self.shards
+            .get(table)
+            .map(|s| {
+                self.timed_read(s)
+                    .probe_rewrite(table, probe, consistency, now)
+            })
+            .unwrap_or((Vec::new(), None))
+    }
+
+    /// The cached remainder pieces of `probe` over `table`, or `None` when
+    /// the cache cannot answer (see [`SemanticStore::remainder_pieces`]).
+    pub fn remainder_pieces(
+        &self,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> Option<Vec<Region>> {
+        self.shards.get(table).and_then(|s| {
+            self.timed_read(s)
+                .remainder_pieces(table, probe, consistency, now)
+        })
+    }
+
+    /// Total compaction events for `table` since creation.
+    pub fn compactions(&self, table: &str) -> u64 {
+        self.shards
+            .get(table)
+            .map(|s| read(s).compactions(table))
+            .unwrap_or(0)
+    }
+
+    /// Total spend-weighted evictions for `table` since creation.
+    pub fn evictions(&self, table: &str) -> u64 {
+        self.shards
+            .get(table)
+            .map(|s| read(s).evictions(table))
+            .unwrap_or(0)
     }
 
     /// Classify how much of `region` the usable views cover.

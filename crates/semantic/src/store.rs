@@ -7,16 +7,29 @@
 //! plus a timestamp per region for the consistency levels of Section 4.3.
 //!
 //! Regions are stored behind `Arc` and handed out by handle, so the hot
-//! query path never deep-copies coverage geometry. Each table additionally
-//! keeps a grid index over its first dimension (see [`TableStore`]): probes
-//! for the views overlapping one query region touch only the index buckets
-//! the region spans instead of scanning every stored view.
+//! query path never deep-copies coverage geometry. Each table keeps two
+//! multidimensional R-trees (see [`TableStore`]):
+//!
+//! * a **view index** over the stored boxes, so probes for the views
+//!   overlapping one query region touch only the tree path the region
+//!   intersects instead of scanning every stored view; and
+//! * an **incremental remainder cache** — the table's *uncovered* space
+//!   maintained as disjoint gap boxes, updated on every insert — so a
+//!   query's remainder `Q ∖ ⋃Vᵢ` is a clipped tree lookup instead of a
+//!   from-scratch subtraction sweep over all views.
+//!
+//! Inserts also **compact**: contained views are absorbed, mergeable
+//! neighbours coalesce into single boxes (tree-assisted, so coalescing no
+//! longer scans the whole table), and past the configured view cap the
+//! store evicts by spend-weighted utility — coverage is an optimization,
+//! never a correctness requirement, so evicted regions are simply
+//! re-purchasable.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use payless_geometry::{Interval, QuerySpace, Region};
+use payless_geometry::{QuerySpace, RTree, Region};
 use payless_telemetry::Recorder;
 
 /// Result-freshness policy (Section 4.3).
@@ -46,7 +59,8 @@ impl Consistency {
     }
 }
 
-/// One stored view: a retrieved region and when it was retrieved.
+/// One stored view: a retrieved region, when it was retrieved, and what it
+/// cost.
 ///
 /// The region sits behind an `Arc` so probes can hand out handles without
 /// copying the geometry.
@@ -56,163 +70,397 @@ pub struct StoredView {
     pub region: Arc<Region>,
     /// Logical retrieval time.
     pub stored_at: u64,
+    /// Pages billed to retrieve this coverage (0 when unknown). Merges and
+    /// absorptions accumulate spend, so the eviction policy can weigh how
+    /// expensive a view would be to re-buy.
+    pub spend: u64,
 }
 
-/// Cap on stored view boxes per table. Coverage is an optimization, not a
-/// correctness requirement: when a table's coverage fragments beyond this,
-/// the oldest views are forgotten (their data stays in the mirror; the
-/// affected regions may simply be re-fetched later).
+/// Default cap on stored view boxes per table (see [`StoreConfig`]).
 pub const MAX_VIEWS_PER_TABLE: usize = 256;
 
-/// Number of grid buckets in each table's dim-0 index.
-const INDEX_BUCKETS: usize = 64;
+/// Tuning knobs of the per-table store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Cap on stored view boxes per table. Coverage is an optimization, not
+    /// a correctness requirement: past the cap the store first drops
+    /// redundant views (fully covered by the others), then evicts by
+    /// spend-weighted utility down to 3/4 of the cap.
+    pub max_views: usize,
+    /// Compaction on insert: absorb contained views and coalesce mergeable
+    /// neighbours into single boxes. Disabling it keeps every purchased box
+    /// verbatim (useful for debugging coverage); the cap still bounds the
+    /// view count through eviction.
+    pub compaction: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_views: MAX_VIEWS_PER_TABLE,
+            compaction: true,
+        }
+    }
+}
 
 /// Probes against tables with fewer views than this skip the index: a short
-/// linear scan beats the bucket gather.
+/// linear scan beats the tree walk.
 const INDEX_MIN_VIEWS: usize = 8;
 
-/// Per-table coverage plus a grid index over the first dimension.
+/// Per-table coverage plus the view index and the remainder cache.
 ///
-/// `buckets[b]` lists the positions (into `views`) of the views whose dim-0
-/// interval overlaps grid bucket `b` of the table's dim-0 domain. The index
-/// is rebuilt eagerly on every mutation — mutations are rare (one per
-/// market purchase) and bounded by [`MAX_VIEWS_PER_TABLE`], while probes
-/// happen for every candidate plan the optimizer costs — so all reads stay
-/// `&self` and thread-safe.
+/// Views live in stable slots (`slots[id]`, freed ids reused LIFO) so the
+/// R-tree can address them by `u32` id across removals; probes iterate ids
+/// ascending, which reproduces the slot-order linear scan exactly. The
+/// *gap* structures mirror this for the uncovered pieces.
+///
+/// All mutation happens through [`TableStore::insert`] and eviction — one
+/// per market purchase — while probes happen for every candidate plan the
+/// optimizer costs, so reads stay `&self` and thread-safe.
 #[derive(Debug, Clone)]
 struct TableStore {
     space: QuerySpace,
-    views: Vec<StoredView>,
-    buckets: Vec<Vec<u32>>,
-    /// dim-0 domain of the space, cached for bucket arithmetic.
-    axis: Interval,
+    slots: Vec<Option<StoredView>>,
+    free: Vec<u32>,
+    live: usize,
+    tree: RTree,
+    /// Disjoint uncovered pieces exactly tiling `full ∖ ⋃ views`
+    /// (freshness-agnostic: the complement of *all* stored views).
+    gaps: Vec<Option<Region>>,
+    gap_free: Vec<u32>,
+    gap_tree: RTree,
+    /// Running Σ volume of the gap pieces (saturating).
+    uncovered_volume: u128,
+    /// Lower bound on the minimum `stored_at` among live views; never
+    /// raised on removal, so it stays a *sound* validity bound for the
+    /// remainder cache (see [`TableStore::remainder`]). `u64::MAX` when no
+    /// view has ever been inserted.
+    oldest: u64,
+    cfg: StoreConfig,
+    compactions: u64,
+    evictions: u64,
+    /// Compaction/eviction events not yet drained into a metrics hub by the
+    /// shared layer.
+    pending_compactions: u64,
+    pending_evictions: u64,
 }
 
 impl TableStore {
-    fn new(space: QuerySpace) -> Self {
-        let axis = space.full_region().dim(0);
+    fn new(space: QuerySpace, cfg: StoreConfig) -> Self {
+        let full = space.full_region();
+        let mut gap_tree = RTree::new();
+        gap_tree.insert(full.clone(), 0);
+        let uncovered_volume = full.volume();
         TableStore {
             space,
-            views: Vec::new(),
-            buckets: vec![Vec::new(); INDEX_BUCKETS],
-            axis,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            tree: RTree::new(),
+            gaps: vec![Some(full)],
+            gap_free: Vec::new(),
+            gap_tree,
+            uncovered_volume,
+            oldest: u64::MAX,
+            cfg,
+            compactions: 0,
+            evictions: 0,
+            pending_compactions: 0,
+            pending_evictions: 0,
         }
     }
 
-    /// The grid bucket containing coordinate `x`, clamping coordinates
-    /// outside the domain to the edge buckets (clamping is monotone, so two
-    /// overlapping intervals always share at least one bucket).
-    fn bucket_of(&self, x: i64) -> usize {
-        let x = x.clamp(self.axis.lo, self.axis.hi);
-        let off = (x - self.axis.lo) as u128;
-        let span = self.axis.width() as u128;
-        ((off * INDEX_BUCKETS as u128 / span) as usize).min(INDEX_BUCKETS - 1)
+    fn view(&self, id: u32) -> &StoredView {
+        self.slots[id as usize].as_ref().expect("live view slot")
     }
 
-    /// Bucket span `[first, last]` of a dim-0 interval.
-    fn bucket_range(&self, iv: Interval) -> (usize, usize) {
-        (self.bucket_of(iv.lo), self.bucket_of(iv.hi))
+    fn add_view(&mut self, v: StoredView) -> u32 {
+        let region = (*v.region).clone();
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(v);
+                id
+            }
+            None => {
+                self.slots.push(Some(v));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.tree.insert(region, id);
+        self.live += 1;
+        id
     }
 
-    fn rebuild_index(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
-        }
-        for (id, v) in self.views.iter().enumerate() {
-            let (first, last) = self.bucket_range(v.region.dim(0));
-            for b in first..=last {
-                self.buckets[b].push(id as u32);
+    fn remove_view(&mut self, id: u32) -> StoredView {
+        let v = self.slots[id as usize].take().expect("live view slot");
+        self.tree.remove(&v.region, id);
+        self.free.push(id);
+        self.live -= 1;
+        v
+    }
+
+    fn add_gap(&mut self, piece: Region) {
+        self.uncovered_volume = self.uncovered_volume.saturating_add(piece.volume());
+        let id = match self.gap_free.pop() {
+            Some(id) => {
+                self.gaps[id as usize] = Some(piece.clone());
+                id
+            }
+            None => {
+                self.gaps.push(Some(piece.clone()));
+                (self.gaps.len() - 1) as u32
+            }
+        };
+        self.gap_tree.insert(piece, id);
+    }
+
+    fn remove_gap(&mut self, id: u32) -> Region {
+        let g = self.gaps[id as usize].take().expect("live gap slot");
+        self.gap_tree.remove(&g, id);
+        self.gap_free.push(id);
+        self.uncovered_volume = self.uncovered_volume.saturating_sub(g.volume());
+        g
+    }
+
+    /// Update the remainder cache for newly covered `region`: every gap it
+    /// overlaps is replaced by `gap ∖ region`. Gap boxes are exact (leaf
+    /// entries are the pieces themselves), so every query hit truly
+    /// overlaps.
+    fn cover_gap(&mut self, region: &Region) {
+        for id in self.gap_tree.query(region) {
+            let g = self.remove_gap(id);
+            for piece in g.subtract(region) {
+                self.add_gap(piece);
             }
         }
     }
 
     /// Insert a region, dropping views it contains and coalescing mergeable
     /// neighbours (two views whose union is a single box and whose
-    /// timestamps may be conservatively merged to the older one).
-    fn insert(&mut self, region: Region, now: u64) {
+    /// timestamps may be conservatively merged to the older one). Both
+    /// steps consult only the views the R-tree finds near the new region.
+    fn insert(&mut self, region: Region, now: u64, spend: u64) {
         // Already fully covered by a newer-or-equal view: nothing to do.
-        if self
-            .views
-            .iter()
-            .any(|v| v.stored_at >= now && v.region.contains(&region))
-        {
+        // (Inflate by 1 so the same candidate set also serves adjacency
+        // coalescing below.)
+        let near = self.tree.query(&region.inflate(1));
+        if near.iter().any(|&id| {
+            let v = self.view(id);
+            v.stored_at >= now && v.region.contains(&region)
+        }) {
             return;
         }
-        // Drop older views that the new region swallows.
-        self.views
-            .retain(|v| !(region.contains(&v.region) && v.stored_at <= now));
 
         let mut current = StoredView {
-            region: Arc::new(region),
+            region: Arc::new(region.clone()),
             stored_at: now,
+            spend,
         };
-        // Coalesce until fixpoint.
-        loop {
-            let mut merged = false;
-            let mut i = 0;
-            while i < self.views.len() {
-                if let Some(union) = box_union(&self.views[i].region, &current.region) {
-                    let old = self.views.swap_remove(i);
-                    current = StoredView {
-                        region: Arc::new(union),
-                        // Conservative freshness: the union is only as fresh
-                        // as its stalest part.
-                        stored_at: old.stored_at.min(current.stored_at),
-                    };
-                    merged = true;
-                } else {
-                    i += 1;
+
+        if self.cfg.compaction {
+            // Drop older views the new region swallows; their coverage (and
+            // spend) is absorbed by `current`.
+            for &id in &near {
+                let v = self.view(id);
+                if current.region.contains(&v.region) && v.stored_at <= now {
+                    let absorbed = self.remove_view(id);
+                    current.spend = current.spend.saturating_add(absorbed.spend);
+                    self.note_compaction();
                 }
             }
-            if !merged {
-                break;
+            // Coalesce until fixpoint: each round re-queries around the
+            // (possibly grown) current box, so chains of adjacent views
+            // collapse just as the full-scan loop did.
+            loop {
+                let near = self.tree.query(&current.region.inflate(1));
+                let mut merged = false;
+                for id in near {
+                    let v = self.view(id);
+                    if let Some(union) = box_union(&v.region, &current.region) {
+                        let old = self.remove_view(id);
+                        current = StoredView {
+                            region: Arc::new(union),
+                            // Conservative freshness: the union is only as
+                            // fresh as its stalest part.
+                            stored_at: old.stored_at.min(current.stored_at),
+                            spend: old.spend.saturating_add(current.spend),
+                        };
+                        self.note_compaction();
+                        merged = true;
+                        break;
+                    }
+                }
+                if !merged {
+                    break;
+                }
             }
         }
-        self.views.push(current);
-        if self.views.len() > MAX_VIEWS_PER_TABLE {
-            // Forget the stalest views first.
-            self.views.sort_by_key(|v| std::cmp::Reverse(v.stored_at));
-            self.views.truncate(MAX_VIEWS_PER_TABLE / 2);
+
+        // The union of stored views grows by exactly the new `region`
+        // (absorptions and merges do not change the union), so the gap
+        // cache subtracts only that.
+        self.cover_gap(&region);
+        self.oldest = self.oldest.min(current.stored_at);
+        self.add_view(current);
+        if self.live > self.cfg.max_views {
+            self.evict();
         }
-        self.rebuild_index();
+    }
+
+    fn note_compaction(&mut self) {
+        self.compactions += 1;
+        self.pending_compactions += 1;
+    }
+
+    /// Bound the view count: first drop views whose coverage the remaining
+    /// views already provide (coverage-preserving), then evict by ascending
+    /// spend-weighted utility down to 3/4 of the cap, returning each
+    /// evicted view's now-uncovered part to the gap cache.
+    fn evict(&mut self) {
+        // Pass 1 — redundancy drops (only meaningful with compaction on;
+        // they are a compaction by another trigger).
+        if self.cfg.compaction {
+            let ids: Vec<u32> = self.live_ids();
+            for id in ids {
+                if self.live <= self.cfg.max_views {
+                    return;
+                }
+                let region = self.view(id).region.clone();
+                let others: Vec<Arc<Region>> = self
+                    .tree
+                    .query(&region)
+                    .into_iter()
+                    .filter(|&o| o != id)
+                    .map(|o| self.view(o).region.clone())
+                    .collect();
+                if region.subtract_all(&others).is_empty() {
+                    self.remove_view(id);
+                    self.note_compaction();
+                }
+            }
+        }
+        if self.live <= self.cfg.max_views {
+            return;
+        }
+        // Pass 2 — lossy eviction. Utility = spend (pages it would cost to
+        // re-buy; volume stands in when spend was never reported) weighted
+        // by recency, so the cheap-and-stale go first. Ties break on slot
+        // id for determinism.
+        let target = (self.cfg.max_views * 3 / 4).max(1);
+        let mut order: Vec<(u128, u32)> = self
+            .live_ids()
+            .into_iter()
+            .map(|id| {
+                let v = self.view(id);
+                let worth = if v.spend > 0 {
+                    v.spend as u128
+                } else {
+                    v.region.volume().max(1)
+                };
+                (worth.saturating_mul(v.stored_at as u128 + 1), id)
+            })
+            .collect();
+        order.sort_unstable();
+        for (_, id) in order {
+            if self.live <= target {
+                break;
+            }
+            let v = self.remove_view(id);
+            self.evictions += 1;
+            self.pending_evictions += 1;
+            // The evicted region may still be partly covered by surviving
+            // views; only the truly uncovered part returns to the cache.
+            // Gaps stay disjoint: existing gaps never intersect a view, and
+            // earlier add-backs in this pass excluded `v` (still a view at
+            // the time).
+            let survivors: Vec<Arc<Region>> = self
+                .tree
+                .query(&v.region)
+                .into_iter()
+                .map(|o| self.view(o).region.clone())
+                .collect();
+            for piece in v.region.subtract_all(&survivors) {
+                self.add_gap(piece);
+            }
+        }
+    }
+
+    fn live_ids(&self) -> Vec<u32> {
+        (0..self.slots.len() as u32)
+            .filter(|&id| self.slots[id as usize].is_some())
+            .collect()
     }
 
     fn usable_views(&self, min_stored_at: u64) -> Vec<Arc<Region>> {
-        self.views
+        self.slots
             .iter()
+            .flatten()
             .filter(|v| v.stored_at >= min_stored_at)
             .map(|v| v.region.clone())
             .collect()
     }
 
-    /// The usable views overlapping `probe`, via the grid index when it can
-    /// narrow the scan. Returns views in stored order (identical to the
-    /// linear scan) and reports whether the index was used.
+    /// The usable views overlapping `probe`, via the R-tree when the table
+    /// is big enough for the walk to pay off. Returns views in slot order
+    /// (identical to the linear scan) and reports whether the index was
+    /// used.
     fn probe(&self, probe: &Region, min_stored_at: u64) -> (Vec<Arc<Region>>, bool) {
-        let (first, last) = self.bucket_range(probe.dim(0));
-        let use_index =
-            self.views.len() >= INDEX_MIN_VIEWS && (last - first + 1) < INDEX_BUCKETS / 2;
-        if !use_index {
+        if self.live < INDEX_MIN_VIEWS {
             let out = self
-                .views
+                .slots
                 .iter()
+                .flatten()
                 .filter(|v| v.stored_at >= min_stored_at && v.region.overlaps(probe))
                 .map(|v| v.region.clone())
                 .collect();
             return (out, false);
         }
-        // Gather candidate ids over the bucket span; ascending-id iteration
-        // reproduces stored order exactly.
-        let mut ids: Vec<u32> = self.buckets[first..=last].concat();
-        ids.sort_unstable();
-        ids.dedup();
-        let out = ids
+        // Leaf entries are the exact stored boxes, so every id returned
+        // truly overlaps; ascending-id iteration reproduces slot order.
+        let out = self
+            .tree
+            .query(probe)
             .into_iter()
-            .map(|id| &self.views[id as usize])
-            .filter(|v| v.stored_at >= min_stored_at && v.region.overlaps(probe))
+            .map(|id| self.view(id))
+            .filter(|v| v.stored_at >= min_stored_at)
             .map(|v| v.region.clone())
             .collect();
         (out, true)
+    }
+
+    /// The cached remainder `probe ∖ ⋃ views` as disjoint pieces clipped to
+    /// `probe`, or `None` when the cache is not valid at `min_stored_at`.
+    ///
+    /// The cache tracks the complement of *all* stored views. That is the
+    /// correct remainder exactly when every stored view is usable — i.e.
+    /// when `min_stored_at` reaches at least as far back as the oldest
+    /// view. Staler probes (tight `Consistency::Window`s) fall back to the
+    /// subtraction sweep over the filtered view set.
+    fn remainder(&self, probe: &Region, min_stored_at: u64) -> Option<Vec<Region>> {
+        if min_stored_at > self.oldest {
+            return None;
+        }
+        Some(
+            self.gap_tree
+                .query(probe)
+                .into_iter()
+                .map(|id| {
+                    self.gaps[id as usize]
+                        .as_ref()
+                        .expect("live gap slot")
+                        .intersect(probe)
+                        .expect("gap leaf entries are exact, so every hit overlaps")
+                })
+                .collect(),
+        )
+    }
+
+    /// Drain the not-yet-reported compaction/eviction event counts.
+    fn take_pending_events(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.pending_compactions),
+            std::mem::take(&mut self.pending_evictions),
+        )
     }
 }
 
@@ -254,10 +502,13 @@ pub struct SemanticStore {
     /// Telemetry sink for probe timings and index hit/fallback counters.
     /// Shared, not serialized; a restored store starts unattached.
     recorder: Option<Arc<Recorder>>,
+    /// Config applied to tables registered from here on (existing tables
+    /// keep theirs until [`SemanticStore::set_config`]).
+    cfg: StoreConfig,
 }
 
 impl SemanticStore {
-    /// An empty store.
+    /// An empty store with the default [`StoreConfig`].
     pub fn new() -> Self {
         Self::default()
     }
@@ -275,11 +526,29 @@ impl SemanticStore {
         self.recorder = Some(recorder);
     }
 
+    /// Apply `cfg` to every registered table and to tables registered later.
+    /// Lowering `max_views` evicts immediately.
+    pub fn set_config(&mut self, cfg: StoreConfig) {
+        self.cfg = cfg;
+        for t in self.tables.values_mut() {
+            t.cfg = cfg;
+            if t.live > t.cfg.max_views {
+                t.evict();
+            }
+        }
+    }
+
+    /// The store's current config (the one new tables receive).
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
+    }
+
     /// Register a table's query space (idempotent).
     pub fn register(&mut self, space: QuerySpace) {
+        let cfg = self.cfg;
         self.tables
             .entry(space.table.clone())
-            .or_insert_with(|| TableStore::new(space));
+            .or_insert_with(|| TableStore::new(space, cfg));
     }
 
     /// Split the store into independent single-table stores — the building
@@ -287,6 +556,7 @@ impl SemanticStore {
     /// The recorder handle (if any) is shared by every shard.
     pub(crate) fn split_shards(self) -> Vec<(Arc<str>, SemanticStore)> {
         let recorder = self.recorder;
+        let cfg = self.cfg;
         self.tables
             .into_iter()
             .map(|(name, ts)| {
@@ -297,6 +567,7 @@ impl SemanticStore {
                     SemanticStore {
                         tables,
                         recorder: recorder.clone(),
+                        cfg,
                     },
                 )
             })
@@ -319,11 +590,26 @@ impl SemanticStore {
     /// Record that `region` of `table` has been fully retrieved at time
     /// `now`.
     pub fn record(&mut self, table: &str, region: Region, now: u64) {
+        self.record_spend(table, region, now, 0);
+    }
+
+    /// As [`SemanticStore::record`], attributing the pages billed to
+    /// retrieve the region — the weight the eviction policy uses.
+    pub fn record_spend(&mut self, table: &str, region: Region, now: u64, spend: u64) {
         let entry = self
             .tables
             .get_mut(table)
             .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
-        entry.insert(region, now);
+        entry.insert(region, now, spend);
+        if let Some(rec) = self.recorder.as_deref().filter(|r| r.is_enabled()) {
+            let (c, e) = entry.take_pending_events();
+            if c > 0 {
+                rec.count("store.compactions", c);
+            }
+            if e > 0 {
+                rec.count("store.evictions", e);
+            }
+        }
     }
 
     /// The stored regions of `table` usable under `consistency` at `now`.
@@ -339,10 +625,10 @@ impl SemanticStore {
     }
 
     /// The usable views of `table` that overlap `probe`, served from the
-    /// per-table grid index when it can narrow the scan. Views that do not
-    /// overlap the probe region cannot contribute to its decomposition or
-    /// remainder, so this is interchangeable with [`SemanticStore::views`]
-    /// for per-region work — and what the optimizer's hot path should call.
+    /// per-table R-tree. Views that do not overlap the probe region cannot
+    /// contribute to its decomposition or remainder, so this is
+    /// interchangeable with [`SemanticStore::views`] for per-region work —
+    /// and what the optimizer's hot path should call.
     pub fn views_overlapping(
         &self,
         table: &str,
@@ -356,6 +642,10 @@ impl SemanticStore {
         let Some(t) = self.tables.get(table) else {
             return Vec::new();
         };
+        self.timed_probe(t, probe, min).0
+    }
+
+    fn timed_probe(&self, t: &TableStore, probe: &Region, min: u64) -> (Vec<Arc<Region>>, bool) {
         let timer = self
             .recorder
             .as_deref()
@@ -374,16 +664,79 @@ impl SemanticStore {
             );
             rec.record_size("store.probe_views", out.len() as u64);
         }
-        out
+        (out, used_index)
     }
 
-    /// Number of stored view boxes for `table` (after coalescing).
+    /// The cached remainder `probe ∖ ⋃ usable views` of `table` as disjoint
+    /// pieces clipped to `probe`, or `None` when the cache cannot answer —
+    /// under `Strong` consistency, for unregistered tables, or when a
+    /// `Window` excludes stored views (the cache tracks the complement of
+    /// *all* views; see [`TableStore::remainder`]). Callers fall back to
+    /// the subtraction sweep on `None`.
+    pub fn remainder_pieces(
+        &self,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> Option<Vec<Region>> {
+        let min = consistency.min_stored_at(now)?;
+        self.tables.get(table)?.remainder(probe, min)
+    }
+
+    /// One consistent read of everything a rewrite needs: the overlapping
+    /// usable views and (when the cache is valid) the precomputed remainder
+    /// pieces. The shared store forwards this under a single shard read
+    /// lock, so views and pieces can never disagree about an in-flight
+    /// insert.
+    pub fn probe_rewrite(
+        &self,
+        table: &str,
+        probe: &Region,
+        consistency: Consistency,
+        now: u64,
+    ) -> (Vec<Arc<Region>>, Option<Vec<Region>>) {
+        let Some(min) = consistency.min_stored_at(now) else {
+            return (Vec::new(), None);
+        };
+        let Some(t) = self.tables.get(table) else {
+            return (Vec::new(), None);
+        };
+        let (views, _) = self.timed_probe(t, probe, min);
+        let pieces = t.remainder(probe, min);
+        (views, pieces)
+    }
+
+    /// Number of stored view boxes for `table` (after coalescing), read
+    /// from the live counter — no scan.
     pub fn view_count(&self, table: &str) -> usize {
-        self.tables.get(table).map(|t| t.views.len()).unwrap_or(0)
+        self.tables.get(table).map(|t| t.live).unwrap_or(0)
+    }
+
+    /// Total compaction events (absorbed, coalesced, or redundancy-dropped
+    /// views) for `table` since creation.
+    pub fn compactions(&self, table: &str) -> u64 {
+        self.tables.get(table).map(|t| t.compactions).unwrap_or(0)
+    }
+
+    /// Total spend-weighted utility evictions for `table` since creation.
+    pub fn evictions(&self, table: &str) -> u64 {
+        self.tables.get(table).map(|t| t.evictions).unwrap_or(0)
+    }
+
+    /// Drain `table`'s not-yet-reported compaction/eviction event counts —
+    /// the shared layer forwards these into the metrics hub after each
+    /// record.
+    pub fn take_store_events(&mut self, table: &str) -> (u64, u64) {
+        self.tables
+            .get_mut(table)
+            .map(|t| t.take_pending_events())
+            .unwrap_or((0, 0))
     }
 
     /// Fraction of `table`'s whole query space covered by stored views
-    /// (freshness-agnostic). Diagnostic for the shell and experiments.
+    /// (freshness-agnostic), read from the remainder cache's running
+    /// uncovered volume — no scan, no union sweep.
     pub fn coverage_fraction(&self, table: &str) -> f64 {
         let Some(t) = self.tables.get(table) else {
             return 0.0;
@@ -392,15 +745,25 @@ impl SemanticStore {
         if full == 0 {
             return 0.0;
         }
-        let views: Vec<Arc<Region>> = t.views.iter().map(|v| v.region.clone()).collect();
-        let covered = payless_geometry::union_volume(&views);
+        let covered = full.saturating_sub(t.uncovered_volume);
         (covered as f64 / full as f64).clamp(0.0, 1.0)
     }
 
     /// `true` if `region` of `table` is fully covered by usable views.
     pub fn covers(&self, table: &str, region: &Region, consistency: Consistency, now: u64) -> bool {
-        let views = self.views_overlapping(table, region, consistency, now);
-        region.subtract_all(&views).is_empty()
+        let Some(min) = consistency.min_stored_at(now) else {
+            return false;
+        };
+        let Some(t) = self.tables.get(table) else {
+            return false;
+        };
+        match t.remainder(region, min) {
+            Some(pieces) => pieces.is_empty(),
+            None => {
+                let (views, _) = self.timed_probe(t, region, min);
+                region.subtract_all(&views).is_empty()
+            }
+        }
     }
 }
 
@@ -427,11 +790,21 @@ impl SemanticStore {
     ) -> CoverClass {
         // Probe for overlapping views only: anything disjoint from the
         // region is a Miss regardless, which the empty-overlap check covers.
-        let views = self.views_overlapping(table, region, consistency, now);
+        let Some(min) = consistency.min_stored_at(now) else {
+            return CoverClass::Miss;
+        };
+        let Some(t) = self.tables.get(table) else {
+            return CoverClass::Miss;
+        };
+        let (views, _) = self.timed_probe(t, region, min);
         if views.is_empty() {
             return CoverClass::Miss;
         }
-        if region.subtract_all(&views).is_empty() {
+        let fully = match t.remainder(region, min) {
+            Some(pieces) => pieces.is_empty(),
+            None => region.subtract_all(&views).is_empty(),
+        };
+        if fully {
             CoverClass::Full
         } else {
             CoverClass::Partial
@@ -467,6 +840,7 @@ impl payless_json::ToJson for StoredView {
         Json::obj([
             ("region", self.region.to_json()),
             ("stored_at", self.stored_at.to_json()),
+            ("spend", self.spend.to_json()),
         ])
     }
 }
@@ -477,6 +851,11 @@ impl payless_json::FromJson for StoredView {
         Ok(StoredView {
             region: Arc::new(FromJson::from_json(j.get("region")?)?),
             stored_at: FromJson::from_json(j.get("stored_at")?)?,
+            // Absent in dumps from before spend tracking.
+            spend: match j.get_opt("spend") {
+                Some(v) => FromJson::from_json(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -484,9 +863,14 @@ impl payless_json::FromJson for StoredView {
 impl payless_json::ToJson for TableStore {
     fn to_json(&self) -> payless_json::Json {
         use payless_json::Json;
+        let views = Json::Arr(self.slots.iter().flatten().map(|v| v.to_json()).collect());
         Json::obj([
             ("space", self.space.to_json()),
-            ("views", self.views.to_json()),
+            ("views", views),
+            ("max_views", self.cfg.max_views.to_json()),
+            ("compaction", self.cfg.compaction.to_json()),
+            ("compactions", self.compactions.to_json()),
+            ("evictions", self.evictions.to_json()),
         ])
     }
 }
@@ -494,9 +878,34 @@ impl payless_json::ToJson for TableStore {
 impl payless_json::FromJson for TableStore {
     fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
         use payless_json::FromJson;
-        let mut t = TableStore::new(FromJson::from_json(j.get("space")?)?);
-        t.views = FromJson::from_json(j.get("views")?)?;
-        t.rebuild_index();
+        let cfg = StoreConfig {
+            // Absent in dumps from before the config existed.
+            max_views: match j.get_opt("max_views") {
+                Some(v) => FromJson::from_json(v)?,
+                None => MAX_VIEWS_PER_TABLE,
+            },
+            compaction: match j.get_opt("compaction") {
+                Some(v) => FromJson::from_json(v)?,
+                None => true,
+            },
+        };
+        let mut t = TableStore::new(FromJson::from_json(j.get("space")?)?, cfg);
+        let views: Vec<StoredView> = FromJson::from_json(j.get("views")?)?;
+        // Rebuild slots, the view tree, and the gap cache by replaying the
+        // stored boxes; they are already compacted, so insert them raw.
+        for v in views {
+            t.cover_gap(&v.region);
+            t.oldest = t.oldest.min(v.stored_at);
+            t.add_view(v);
+        }
+        t.compactions = match j.get_opt("compactions") {
+            Some(v) => FromJson::from_json(v)?,
+            None => 0,
+        };
+        t.evictions = match j.get_opt("evictions") {
+            Some(v) => FromJson::from_json(v)?,
+            None => 0,
+        };
         Ok(t)
     }
 }
@@ -514,6 +923,7 @@ impl payless_json::FromJson for SemanticStore {
         Ok(SemanticStore {
             tables: FromJson::from_json(j.get("tables")?)?,
             recorder: None,
+            cfg: StoreConfig::default(),
         })
     }
 }
@@ -568,6 +978,7 @@ mod tests {
         s.record("R", region![(0, 9)], 1);
         s.record("R", region![(10, 19)], 2);
         assert_eq!(s.view_count("R"), 1);
+        assert_eq!(s.compactions("R"), 1);
         assert!(s.covers("R", &region![(0, 19)], Consistency::Weak, 3));
         // Conservative freshness: the union carries the older timestamp
         // (1), so a window reaching back only to t=2 cannot use it.
@@ -592,6 +1003,7 @@ mod tests {
         s.record("R", region![(0, 9)], 1);
         s.record("R", region![(50, 59)], 2);
         assert_eq!(s.view_count("R"), 2);
+        assert_eq!(s.compactions("R"), 0);
     }
 
     #[test]
@@ -625,6 +1037,10 @@ mod tests {
         assert!(s.views("X", Consistency::Weak, 0).is_empty());
         assert_eq!(s.view_count("X"), 0);
         assert!(s.space("X").is_none());
+        assert_eq!(
+            s.remainder_pieces("X", &region![(0, 1)], Consistency::Weak, 0),
+            None
+        );
     }
 
     #[test]
@@ -644,6 +1060,158 @@ mod tests {
     fn recording_unregistered_table_panics() {
         let mut s = SemanticStore::new();
         s.record("X", region![(0, 1)], 0);
+    }
+
+    #[test]
+    fn remainder_pieces_clip_to_probe() {
+        let mut s = store_1d();
+        s.record("R", region![(20, 40)], 1);
+        let pieces = s
+            .remainder_pieces("R", &region![(10, 50)], Consistency::Weak, 2)
+            .expect("weak probes always use the cache");
+        // Exactly the uncovered parts of the probe, disjoint.
+        assert_eq!(
+            payless_geometry::union_volume(&pieces),
+            region![(10, 19)].volume() + region![(41, 50)].volume()
+        );
+        for p in &pieces {
+            assert!(region![(10, 50)].contains(p));
+            assert!(!p.overlaps(&region![(20, 40)]));
+        }
+        // Fully covered probe -> empty piece set, not None.
+        assert_eq!(
+            s.remainder_pieces("R", &region![(25, 35)], Consistency::Weak, 2),
+            Some(Vec::new())
+        );
+        // Strong consistency cannot use the cache.
+        assert_eq!(
+            s.remainder_pieces("R", &region![(10, 50)], Consistency::Strong, 2),
+            None
+        );
+    }
+
+    #[test]
+    fn stale_window_invalidates_remainder_cache() {
+        let mut s = store_1d();
+        s.record("R", region![(0, 30)], 1);
+        s.record("R", region![(60, 80)], 10);
+        // Window reaching both views: cache valid.
+        assert!(s
+            .remainder_pieces("R", &region![(0, 100)], Consistency::Window(100), 11)
+            .is_some());
+        // Window excluding the t=1 view: cache invalid, caller must fall
+        // back to the filtered subtraction sweep.
+        assert!(s
+            .remainder_pieces("R", &region![(0, 100)], Consistency::Window(5), 11)
+            .is_none());
+        // The fallback paths (covers/classify) still answer correctly.
+        assert!(!s.covers("R", &region![(0, 30)], Consistency::Window(5), 11));
+        assert!(s.covers("R", &region![(60, 80)], Consistency::Window(5), 11));
+    }
+
+    #[test]
+    fn probe_rewrite_is_consistent() {
+        let mut s = store_1d();
+        s.record("R", region![(20, 40)], 1);
+        let (views, pieces) = s.probe_rewrite("R", &region![(0, 100)], Consistency::Weak, 2);
+        assert_eq!(views.len(), 1);
+        let pieces = pieces.expect("weak probes always use the cache");
+        let mut all: Vec<Region> = views.iter().map(|v| (**v).clone()).collect();
+        all.extend(pieces);
+        assert!(region![(0, 100)].subtract_all(&all).is_empty());
+    }
+
+    #[test]
+    fn eviction_bounds_views_and_returns_coverage_to_gaps() {
+        let mut s = SemanticStore::new();
+        s.register(space_1d());
+        s.set_config(StoreConfig {
+            max_views: 8,
+            compaction: true,
+        });
+        // 12 disjoint slivers (gap 1 apart so nothing coalesces).
+        for i in 0..12i64 {
+            s.record("R", region![(i * 8, i * 8 + 6)], i as u64);
+        }
+        assert!(s.view_count("R") <= 8, "cap enforced");
+        assert!(s.evictions("R") > 0, "lossy evictions happened");
+        // Evicted coverage is honestly reported as uncovered again: every
+        // *stored* view is still covered, and covers() never lies.
+        for v in s.views("R", Consistency::Weak, 100) {
+            assert!(s.covers("R", &v, Consistency::Weak, 100));
+        }
+        // coverage_fraction reflects the evictions (less than the 12/8 full
+        // sliver coverage would give).
+        let frac = s.coverage_fraction("R");
+        assert!(frac > 0.0 && frac < 12.0 * 7.0 / 101.0);
+        // The remainder cache still exactly complements the views.
+        let pieces = s
+            .remainder_pieces("R", &region![(0, 100)], Consistency::Weak, 100)
+            .unwrap();
+        let views = s.views("R", Consistency::Weak, 100);
+        let mut all: Vec<Region> = views.iter().map(|v| (**v).clone()).collect();
+        all.extend(pieces.iter().cloned());
+        assert!(region![(0, 100)].subtract_all(&all).is_empty());
+        for p in &pieces {
+            for v in &views {
+                assert!(!p.overlaps(v), "gap {p} overlaps stored view {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spend_weighted_eviction_prefers_cheap_views() {
+        let mut s = SemanticStore::new();
+        s.register(space_1d());
+        s.set_config(StoreConfig {
+            max_views: 4,
+            compaction: false,
+        });
+        // Same timestamps; one expensive view among cheap ones.
+        s.record_spend("R", region![(0, 4)], 1, 1);
+        s.record_spend("R", region![(10, 14)], 1, 1000);
+        s.record_spend("R", region![(20, 24)], 1, 1);
+        s.record_spend("R", region![(30, 34)], 1, 1);
+        s.record_spend("R", region![(40, 44)], 1, 1);
+        assert!(s.view_count("R") <= 4);
+        // The expensive view survives the eviction pass.
+        assert!(s.covers("R", &region![(10, 14)], Consistency::Weak, 2));
+    }
+
+    #[test]
+    fn compaction_toggle_keeps_views_verbatim() {
+        let mut s = SemanticStore::new();
+        s.register(space_1d());
+        s.set_config(StoreConfig {
+            max_views: MAX_VIEWS_PER_TABLE,
+            compaction: false,
+        });
+        s.record("R", region![(0, 9)], 1);
+        s.record("R", region![(10, 19)], 2);
+        assert_eq!(s.view_count("R"), 2, "no coalescing with compaction off");
+        assert_eq!(s.compactions("R"), 0);
+        assert!(s.covers("R", &region![(0, 19)], Consistency::Weak, 3));
+    }
+
+    #[test]
+    fn store_json_round_trip_preserves_cache_and_counters() {
+        let mut s = store_1d();
+        s.record("R", region![(0, 9)], 1);
+        s.record("R", region![(10, 19)], 2);
+        s.record_spend("R", region![(50, 59)], 3, 7);
+        let json = payless_json::ToJson::to_json(&s);
+        let restored: SemanticStore = payless_json::FromJson::from_json(&json).expect("round trip");
+        assert_eq!(restored.view_count("R"), s.view_count("R"));
+        assert_eq!(restored.compactions("R"), s.compactions("R"));
+        assert!((restored.coverage_fraction("R") - s.coverage_fraction("R")).abs() < 1e-12);
+        assert_eq!(
+            restored.remainder_pieces("R", &region![(0, 100)], Consistency::Weak, 4),
+            s.remainder_pieces("R", &region![(0, 100)], Consistency::Weak, 4)
+        );
+        assert_eq!(
+            restored.views("R", Consistency::Weak, 4),
+            s.views("R", Consistency::Weak, 4)
+        );
     }
 
     fn space_2d() -> QuerySpace {
@@ -720,6 +1288,8 @@ mod tests {
                 })
         }
 
+        use payless_geometry::Interval;
+
         proptest! {
             /// The indexed probe returns exactly the linear scan's view set
             /// (same views, same order) for any insert/query sequence.
@@ -745,6 +1315,98 @@ mod tests {
                     let slow = linear_probe(&s, "G", probe, consistency, now);
                     prop_assert_eq!(&fast, &slow, "probe {} diverged", probe);
                 }
+            }
+
+            /// After any insert sequence, the cached remainder of a random
+            /// probe is element-identical (as a point set) to the
+            /// from-scratch subtraction the decompose-based rewrite would
+            /// compute — clean, and under staleness-induced invalidation
+            /// the cache refuses instead of lying.
+            #[test]
+            fn cached_remainder_matches_from_scratch(
+                inserts in proptest::collection::vec((arb_box(24), 0u64..16), 0..16),
+                probe in arb_box(24),
+                window in 0u64..8,
+                now in 8u64..24,
+            ) {
+                let mut s = SemanticStore::new();
+                s.register(QuerySpace::of(&Schema::new(
+                    "G",
+                    vec![
+                        Column::free("A", Domain::int(0, 23)),
+                        Column::free("B", Domain::int(0, 23)),
+                    ],
+                )));
+                for (r, t) in &inserts {
+                    s.record("G", r.clone(), *t);
+                }
+                let consistency = match window {
+                    0 => Consistency::Weak,
+                    w => Consistency::Window(w),
+                };
+                let views = s.views_overlapping("G", &probe, consistency, now);
+                let scratch = probe.subtract_all(&views);
+                match s.remainder_pieces("G", &probe, consistency, now) {
+                    None => {
+                        // Only staleness may invalidate: under Weak the
+                        // cache must always answer.
+                        prop_assert!(matches!(consistency, Consistency::Window(_)));
+                    }
+                    Some(pieces) => {
+                        // Identical point sets: disjoint piece lists with
+                        // equal volume, each side covered by the other.
+                        let pv = payless_geometry::union_volume(&pieces);
+                        let sv = payless_geometry::union_volume(&scratch);
+                        prop_assert_eq!(pv, sv, "uncovered volumes differ");
+                        for p in &pieces {
+                            prop_assert!(p.subtract_all(&scratch).is_empty(),
+                                "cache piece {} outside scratch remainder", p);
+                        }
+                        for r in &scratch {
+                            prop_assert!(r.subtract_all(&pieces).is_empty(),
+                                "scratch piece {} outside cache remainder", r);
+                        }
+                        for (i, a) in pieces.iter().enumerate() {
+                            for b in &pieces[i + 1..] {
+                                prop_assert!(!a.overlaps(b), "cache pieces overlap");
+                            }
+                        }
+                    }
+                }
+            }
+
+            /// Eviction under a tight cap keeps every invariant: the view
+            /// count is bounded, gaps exactly complement the surviving
+            /// views, and covers() answers match a subtraction oracle.
+            #[test]
+            fn eviction_keeps_cache_exact(
+                inserts in proptest::collection::vec((arb_box(24), 0u64..16), 1..32),
+                probe in arb_box(24),
+            ) {
+                let mut s = SemanticStore::new();
+                s.register(QuerySpace::of(&Schema::new(
+                    "G",
+                    vec![
+                        Column::free("A", Domain::int(0, 23)),
+                        Column::free("B", Domain::int(0, 23)),
+                    ],
+                )));
+                s.set_config(StoreConfig { max_views: 6, compaction: true });
+                for (r, t) in &inserts {
+                    s.record("G", r.clone(), *t);
+                }
+                prop_assert!(s.view_count("G") <= 6);
+                let views = s.views("G", Consistency::Weak, 100);
+                let pieces = s
+                    .remainder_pieces("G", &probe, Consistency::Weak, 100)
+                    .expect("weak probes always use the cache");
+                let scratch = probe.subtract_all(&views);
+                prop_assert_eq!(
+                    payless_geometry::union_volume(&pieces),
+                    payless_geometry::union_volume(&scratch)
+                );
+                let covered = s.covers("G", &probe, Consistency::Weak, 100);
+                prop_assert_eq!(covered, scratch.is_empty());
             }
         }
     }

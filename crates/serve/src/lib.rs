@@ -30,7 +30,9 @@ use payless_geometry::QuerySpace;
 use payless_market::DataMarket;
 use payless_metrics::MetricsHub;
 use payless_optimizer::{optimize, OptimizerConfig};
-use payless_semantic::{Consistency, RewriteConfig, SemanticStore, SharedSemanticStore};
+use payless_semantic::{
+    Consistency, RewriteConfig, SemanticStore, SharedSemanticStore, StoreConfig,
+};
 use payless_sql::{analyze, parse, MapCatalog, SelectStmt, TableLocation};
 use payless_stats::StatsRegistry;
 use payless_storage::{Database, LocalTable};
@@ -74,6 +76,10 @@ pub struct ServeConfig {
     /// Fail a mix the moment the watchdog sees a violation instead of
     /// waiting for the exit reconciliation (`PAYLESS_METRICS_STRICT=1`).
     pub strict_reconcile: bool,
+    /// Shared-store tuning: per-table view cap and compaction toggle
+    /// (`PAYLESS_STORE_MAX_VIEWS` / `PAYLESS_STORE_COMPACT` map here).
+    /// Applied to every table shard before the mix starts.
+    pub store: StoreConfig,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +93,7 @@ impl Default for ServeConfig {
             metrics: None,
             watchdog_every: 8,
             strict_reconcile: false,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -113,6 +120,7 @@ impl Serve {
         let mut catalog = MapCatalog::new();
         let mut stats = StatsRegistry::new();
         let mut store = SemanticStore::new();
+        store.set_config(cfg.store);
         let mut db = Database::new();
         for name in market.table_names() {
             let schema = market.schema(&name).expect("listed table").clone();

@@ -1,10 +1,14 @@
 //! The per-table feedback statistic.
 
-use payless_geometry::{QuerySpace, Region};
+use payless_geometry::{QuerySpace, RTree, Region};
 
 /// Default cap on buckets per table; beyond it, the least recently refreshed
 /// buckets are folded back into the uniform remainder.
 pub const DEFAULT_MAX_BUCKETS: usize = 512;
+
+/// Below this many buckets a linear scan beats the R-tree descent, so the
+/// index is left empty and [`TableStats::estimate`] scans.
+const INDEX_MIN_BUCKETS: usize = 32;
 
 /// One learned bucket: a region with a (possibly fractional) tuple count.
 #[derive(Debug, Clone)]
@@ -23,6 +27,12 @@ pub struct TableStats {
     cardinality: u64,
     full_volume: f64,
     buckets: Vec<Bucket>,
+    /// R-tree over bucket regions, ids = positions in `buckets`. Rebuilt
+    /// after every feedback (feedback rewrites the bucket list wholesale
+    /// anyway); empty below [`INDEX_MIN_BUCKETS`]. Estimates iterate matches
+    /// in ascending id order — the same order the linear scan visits
+    /// overlapping buckets — so indexed sums are bit-identical to scans.
+    index: RTree,
     known_count: f64,
     known_volume: f64,
     max_buckets: usize,
@@ -38,6 +48,7 @@ impl TableStats {
             cardinality,
             full_volume,
             buckets: Vec::new(),
+            index: RTree::new(),
             known_count: 0.0,
             known_volume: 0.0,
             max_buckets: DEFAULT_MAX_BUCKETS,
@@ -78,16 +89,31 @@ impl TableStats {
     }
 
     /// Estimated number of tuples inside `region`.
+    ///
+    /// At [`INDEX_MIN_BUCKETS`]+ learned buckets the probe walks the bucket
+    /// R-tree instead of scanning: `query` returns matching positions in
+    /// ascending order, so the float accumulation visits the same buckets in
+    /// the same order as a scan (non-overlapping buckets contribute exactly
+    /// nothing) and the result is bit-identical.
     pub fn estimate(&self, region: &Region) -> f64 {
         let mut est = 0.0;
         let mut covered = 0.0;
-        for b in &self.buckets {
+        let mut add = |b: &Bucket| {
             if let Some(overlap) = b.region.intersect(region) {
                 let v = overlap.volume() as f64;
                 covered += v;
                 if b.volume > 0.0 {
                     est += b.count * v / b.volume;
                 }
+            }
+        };
+        if self.index.is_empty() {
+            for b in &self.buckets {
+                add(b);
+            }
+        } else {
+            for id in self.index.query(region) {
+                add(&self.buckets[id as usize]);
             }
         }
         let outside = (region.volume() as f64 - covered).max(0.0);
@@ -212,11 +238,23 @@ impl TableStats {
         self.buckets.extend(inside);
         self.recompute_totals();
         self.enforce_cap();
+        self.rebuild_index();
     }
 
     fn recompute_totals(&mut self) {
         self.known_count = self.buckets.iter().map(|b| b.count).sum();
         self.known_volume = self.buckets.iter().map(|b| b.volume).sum();
+    }
+
+    /// Re-index the bucket list (positions change wholesale on feedback).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        if self.buckets.len() < INDEX_MIN_BUCKETS {
+            return;
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            self.index.insert(b.region.clone(), i as u32);
+        }
     }
 
     /// Fold least-recently-touched buckets back into the uniform remainder
@@ -280,16 +318,19 @@ impl payless_json::ToJson for TableStats {
 impl payless_json::FromJson for TableStats {
     fn from_json(j: &payless_json::Json) -> payless_json::Result<Self> {
         use payless_json::FromJson;
-        Ok(TableStats {
+        let mut s = TableStats {
             space: FromJson::from_json(j.get("space")?)?,
             cardinality: FromJson::from_json(j.get("cardinality")?)?,
             full_volume: FromJson::from_json(j.get("full_volume")?)?,
             buckets: FromJson::from_json(j.get("buckets")?)?,
+            index: RTree::new(),
             known_count: FromJson::from_json(j.get("known_count")?)?,
             known_volume: FromJson::from_json(j.get("known_volume")?)?,
             max_buckets: FromJson::from_json(j.get("max_buckets")?)?,
             tick: FromJson::from_json(j.get("tick")?)?,
-        })
+        };
+        s.rebuild_index();
+        Ok(s)
     }
 }
 
@@ -425,6 +466,47 @@ mod tests {
         assert!((s.estimate(&region![(50, 99)]) - 500.0).abs() < 1e-6);
     }
 
+    /// The reference linear-scan estimate the R-tree path must reproduce
+    /// bit-for-bit (same bucket visit order, skipped buckets add nothing).
+    fn linear_estimate(s: &TableStats, q: &Region) -> f64 {
+        let mut est = 0.0;
+        let mut covered = 0.0;
+        for b in &s.buckets {
+            if let Some(ov) = b.region.intersect(q) {
+                let v = ov.volume() as f64;
+                covered += v;
+                if b.volume > 0.0 {
+                    est += b.count * v / b.volume;
+                }
+            }
+        }
+        let outside = (q.volume() as f64 - covered).max(0.0);
+        est + outside * s.unknown_density()
+    }
+
+    #[test]
+    fn indexed_estimate_is_bit_identical_to_scan() {
+        let mut s = stats_1d().with_max_buckets(512);
+        for i in 0..60i64 {
+            let lo = (i * 7) % 90;
+            s.feedback(&region![(lo, lo + 9)], (i * 13 % 50) as u64);
+        }
+        assert!(
+            s.bucket_count() >= INDEX_MIN_BUCKETS,
+            "test must exercise the indexed path ({} buckets)",
+            s.bucket_count()
+        );
+        assert!(!s.index.is_empty());
+        for lo in (0..90).step_by(7) {
+            let q = region![(lo, lo + 10)];
+            assert_eq!(
+                s.estimate(&q).to_bits(),
+                linear_estimate(&s, &q).to_bits(),
+                "indexed estimate diverged from scan at {q}"
+            );
+        }
+    }
+
     mod property {
         use super::*;
         use proptest::prelude::*;
@@ -461,6 +543,24 @@ mod tests {
                 }
                 let est = s.estimate(&region![(qlo, qhi)]);
                 prop_assert!(est.is_finite() && est >= 0.0);
+            }
+
+            /// Indexed and scanned estimates agree bit-for-bit at any
+            /// bucket count, including across the index-on threshold.
+            #[test]
+            fn indexed_estimate_matches_scan(
+                feeds in proptest::collection::vec((arb_iv(), 0u64..2000), 0..40),
+                (qlo, qhi) in arb_iv(),
+            ) {
+                let mut s = stats_1d();
+                for ((lo, hi), n) in &feeds {
+                    s.feedback(&region![(*lo, *hi)], *n);
+                }
+                let q = region![(qlo, qhi)];
+                prop_assert_eq!(
+                    s.estimate(&q).to_bits(),
+                    linear_estimate(&s, &q).to_bits()
+                );
             }
 
             /// Buckets stay pairwise disjoint.
