@@ -6,7 +6,8 @@
 #
 # Usage: ./ci.sh [stage]
 #   fmt | clippy | tier1 | fault-smoke | bench-smoke | explain-smoke |
-#   serve-smoke | metrics-smoke | store-scale | bench-diff | smokes | all
+#   serve-smoke | metrics-smoke | store-scale | batch-smoke | bench-diff |
+#   smokes | all
 # With no argument, `all` runs every stage in order — exactly what the
 # staged GitHub workflow (.github/workflows/ci.yml) runs job by job.
 set -eu
@@ -132,6 +133,46 @@ store_scale() {
     cargo bench -q --bench hotpath -- validate "$SCALE_JSON"
 }
 
+batch_smoke() {
+    echo "== batch smoke: batched purchasing vs the unbatched twin, plus the spend curve =="
+    # Replay the pinned overlapping multi-client mix once with batching off
+    # (the oracle) and twice with the batching window on (1 and 4 threads),
+    # then reconcile each batched dump against the oracle: identical answers
+    # query by query, both ledgers equal to their billing meters, batched
+    # delivered pages never above the unbatched twin, and at least one
+    # remainder actually parked. Repeated under seeded chaos with the strict
+    # watchdog on. Finally regenerate the spend-per-query curve — the bench
+    # mode itself enforces that pages/query strictly falls as clients are
+    # added — and shape-validate its JSONL dump.
+    BATCH_DIR="$PWD/target/batch-smoke"
+    mkdir -p "$BATCH_DIR"
+    rm -f "$BATCH_DIR"/*
+
+    echo "-- clean: unbatched oracle vs batched at 1 and 4 threads --"
+    PAYLESS_THREADS=1 \
+        cargo bench -q --bench hotpath -- batch-serve "$BATCH_DIR/unbatched.json"
+    PAYLESS_THREADS=1 PAYLESS_BATCH=1 \
+        cargo bench -q --bench hotpath -- batch-serve "$BATCH_DIR/batched-1t.json"
+    PAYLESS_THREADS=4 PAYLESS_BATCH=1 \
+        cargo bench -q --bench hotpath -- batch-serve "$BATCH_DIR/batched-4t.json"
+    cargo bench -q --bench hotpath -- validate-batch \
+        "$BATCH_DIR/unbatched.json" "$BATCH_DIR/batched-1t.json"
+    cargo bench -q --bench hotpath -- validate-batch \
+        "$BATCH_DIR/unbatched.json" "$BATCH_DIR/batched-4t.json"
+
+    echo "-- chaos pair (PAYLESS_FAULT_SEED=48879, strict watchdog) --"
+    PAYLESS_THREADS=1 PAYLESS_FAULT_SEED=48879 PAYLESS_METRICS_STRICT=1 \
+        cargo bench -q --bench hotpath -- batch-serve "$BATCH_DIR/unbatched-fault.json"
+    PAYLESS_THREADS=4 PAYLESS_BATCH=1 PAYLESS_FAULT_SEED=48879 PAYLESS_METRICS_STRICT=1 \
+        cargo bench -q --bench hotpath -- batch-serve "$BATCH_DIR/batched-fault.json"
+    cargo bench -q --bench hotpath -- validate-batch \
+        "$BATCH_DIR/unbatched-fault.json" "$BATCH_DIR/batched-fault.json"
+
+    echo "-- spend-per-query curve --"
+    cargo bench -q --bench hotpath -- batch "$BATCH_DIR/BENCH_batch.json"
+    cargo bench -q --bench hotpath -- validate "$BATCH_DIR/BENCH_batch.json"
+}
+
 bench_diff() {
     echo "== bench diff: fresh medians vs committed baselines (non-fatal) =="
     # Full-scale rerun compared against BENCH_sqr.json / BENCH_dp.json; timing
@@ -147,6 +188,7 @@ smokes() {
     serve_smoke
     metrics_smoke
     store_scale
+    batch_smoke
 }
 
 all() {
@@ -168,11 +210,12 @@ case "$stage" in
     serve-smoke) serve_smoke ;;
     metrics-smoke) metrics_smoke ;;
     store-scale) store_scale ;;
+    batch-smoke) batch_smoke ;;
     bench-diff) bench_diff ;;
     smokes) smokes ;;
     all) all ;;
     *)
-        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|store-scale|bench-diff|smokes|all)" >&2
+        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|store-scale|batch-smoke|bench-diff|smokes|all)" >&2
         exit 2
         ;;
 esac

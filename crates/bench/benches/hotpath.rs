@@ -47,6 +47,21 @@
 //!   invariant), query counts, watchdog samples with zero final drift, and
 //!   a windowed JSONL series whose per-window deltas sum to the cumulative
 //!   totals
+//! * `batch <out.json>` — replay the pinned overlapping-hot-region mix
+//!   with batched purchasing on at 1/2/4/8 clients and dump the
+//!   spend-per-query curve as JSONL (the committed `BENCH_batch.json`);
+//!   exits non-zero unless spend per query *strictly* decreases as
+//!   clients are added
+//! * `batch-serve <out.json>` — one serve run of the overlapping mix,
+//!   dumped as a [`payless_serve::ServeReport`]. Same env knobs as
+//!   `serve`, plus `PAYLESS_BATCH` / `PAYLESS_BATCH_WINDOW_MS` /
+//!   `PAYLESS_BATCH_MAX` for the purchase window
+//!   (`PAYLESS_SERVE_QUERIES` counts queries *per client* here)
+//! * `validate-batch <unbatched.json> <batched.json>` — reconcile a
+//!   batched replay of the overlapping mix against its unbatched twin:
+//!   identical answers, both ledgers reconciled, batched delivered spend
+//!   no greater than unbatched, and the batched run must actually have
+//!   parked remainders in batches
 //!
 //! With no mode, `check`, `sqr`, and `dp` all run at full scale. Emit JSONL
 //! by setting `PAYLESS_JSON` (the `BENCH_sqr.json` / `BENCH_dp.json`
@@ -69,11 +84,11 @@ use payless_par::{max_threads, with_max_threads};
 use payless_semantic::{
     rewrite, rewrite_cached, Consistency, Rewrite, RewriteConfig, SemanticStore, StoreConfig,
 };
-use payless_serve::{run_mix, Serve, ServeConfig, ServeReport};
+use payless_serve::{run_mix, BatchConfig, Serve, ServeConfig, ServeReport};
 use payless_sql::{analyze, parse, MapCatalog, TableLocation};
 use payless_stats::{StatsRegistry, TableStats};
 use payless_types::{Column, Domain, Schema};
-use payless_workload::{serve_mix, QueryWorkload, RealWorkload, WhwConfig};
+use payless_workload::{overlapping_mix, serve_mix, QueryWorkload, RealWorkload, WhwConfig};
 
 /// Scale knobs for one run.
 struct Scale {
@@ -574,6 +589,12 @@ fn diff(paths: &[String]) {
         notes.extend(runner.notes().iter().cloned());
         runner.finish();
     }
+    // Batched spend-per-query points: deterministic (not timings), so any
+    // drift against the committed BENCH_batch.json curve is a real
+    // behavioural change in purchasing, not noise.
+    for r in batch_spend_runs() {
+        fresh.push((r.name, r.spend_per_query));
+    }
 
     // Speedup advisories: a `speedup/*` note below 1.0 means the optimized
     // arm ran no faster than its reference arm (parallel vs sequential, or
@@ -832,6 +853,7 @@ fn serve(out: &str) {
         metrics: hub.clone(),
         strict_reconcile: MetricsConfig::strict_from_env(),
         store: store_config_from_env(),
+        batch: BatchConfig::from_env(),
         ..ServeConfig::default()
     };
     let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
@@ -1129,6 +1151,259 @@ fn validate_metrics(metrics_path: &str, serve_path: &str) {
     );
 }
 
+/// One point of the batched spend-per-query curve.
+struct BatchSpendRun {
+    name: String,
+    clients: usize,
+    queries: u64,
+    delivered_pages: u64,
+    spend_per_query: f64,
+}
+
+/// Replay the pinned overlapping-hot-region mix with batched purchasing on
+/// at each client count. Every client issues the same 12-query stream
+/// regardless of how many other clients run, and all streams draw from one
+/// seed-pinned hot pool — so total queries grow linearly with clients while
+/// the union of purchased regions saturates. At page size 1 under the
+/// serve layer's exact rewrite profile, delivered pages are a function of
+/// that union alone (interleaving-independent), which is what lets `diff`
+/// gate on these numbers like timing medians.
+fn batch_spend_runs() -> Vec<BatchSpendRun> {
+    let workload = smoke_workload();
+    let per_client = 12;
+    let seed = 48879;
+    let mut out = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let market = Arc::new(build_market(&workload, 1));
+        let cfg = ServeConfig {
+            threads: clients.min(4),
+            batch: Some(BatchConfig::default()),
+            ..ServeConfig::default()
+        };
+        let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
+        let templates: Vec<_> = QueryWorkload::templates(&workload)
+            .iter()
+            .map(|sql| layer.prepare(sql).expect("workload template parses"))
+            .collect();
+        let mix = overlapping_mix(&workload, &[0, 1], clients, per_client, seed);
+        let report = run_mix(&layer, &mix, &templates).expect("overlapping mix succeeds");
+        let delivered = report.delivered_pages();
+        out.push(BatchSpendRun {
+            name: format!("batch/spend_per_query/{clients}c"),
+            clients,
+            queries: report.queries,
+            delivered_pages: delivered,
+            spend_per_query: delivered as f64 / report.queries as f64,
+        });
+    }
+    out
+}
+
+/// The `batch` mode: dump the spend-per-query curve as a JSONL baseline
+/// and enforce the headline claim — adding clients to the shared hot pool
+/// must *strictly* lower the pages each query pays for.
+fn bench_batch(out: &str) {
+    let runs = batch_spend_runs();
+    println!(
+        "{:<32} {:>8} {:>12} {:>12}",
+        "batched overlapping mix", "queries", "delivered", "pages/query"
+    );
+    for r in &runs {
+        println!(
+            "{:<32} {:>8} {:>12} {:>12.3}",
+            r.name, r.queries, r.delivered_pages, r.spend_per_query
+        );
+    }
+    let jsonl = Json::obj([
+        ("figure", Json::str("hotpath_batch")),
+        (
+            "runs",
+            Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::Str(r.name.clone())),
+                            // Spend per query, not a duration — named so the
+                            // generic `diff` baseline loader can gate on it.
+                            ("median_nanos", r.spend_per_query.to_json()),
+                            ("clients", Json::Int(r.clients as i64)),
+                            ("queries", r.queries.to_json()),
+                            ("delivered_pages", r.delivered_pages.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("unit", Json::str("delivered_pages_per_query")),
+    ]);
+    if let Err(e) = std::fs::write(out, format!("{}\n", jsonl.to_string_compact())) {
+        eprintln!("batch: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    for pair in runs.windows(2) {
+        if pair[1].spend_per_query >= pair[0].spend_per_query {
+            eprintln!(
+                "batch: spend per query must strictly decrease as clients are added: \
+                 {} pays {:.3} pages/query but {} pays {:.3}",
+                pair[0].name, pair[0].spend_per_query, pair[1].name, pair[1].spend_per_query
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "batch: spend per query falls {:.3} -> {:.3} pages from {} to {} clients -> {out}",
+        runs[0].spend_per_query,
+        runs[runs.len() - 1].spend_per_query,
+        runs[0].clients,
+        runs[runs.len() - 1].clients,
+    );
+}
+
+/// The `batch-serve` driver: one serve run of the overlapping mix, dumped
+/// as a report for `validate-batch`. Unlike `serve`, `PAYLESS_SERVE_QUERIES`
+/// counts queries per client, so client streams stay identical across
+/// client counts.
+fn batch_serve(out: &str) {
+    let workload = smoke_workload();
+    let page_size = 1;
+    let clients = env_u64("PAYLESS_CLIENTS", 4) as usize;
+    let per_client = env_u64("PAYLESS_SERVE_QUERIES", 12) as usize;
+    let seed = env_u64("PAYLESS_SERVE_SEED", 48879);
+    let fault_seed = std::env::var("PAYLESS_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let threads = max_threads();
+
+    let market = Arc::new(build_market(&workload, page_size));
+    if let Some(fs) = fault_seed {
+        market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(fs)));
+    }
+    let cfg = ServeConfig {
+        threads,
+        retry: if fault_seed.is_some() {
+            RetryPolicy::unlimited()
+        } else {
+            RetryPolicy::default()
+        },
+        strict_reconcile: MetricsConfig::strict_from_env(),
+        store: store_config_from_env(),
+        batch: BatchConfig::from_env(),
+        ..ServeConfig::default()
+    };
+    let batch_on = cfg.batch.is_some();
+    let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
+    let templates: Vec<_> = QueryWorkload::templates(&workload)
+        .iter()
+        .map(|sql| layer.prepare(sql).expect("workload template parses"))
+        .collect();
+    let mix = overlapping_mix(&workload, &[0, 1], clients, per_client, seed);
+    let mut report = run_mix(&layer, &mix, &templates).expect("overlapping mix succeeds");
+    report.seed = seed;
+    report.clients = clients as u64;
+    report.page_size = page_size;
+    report.fault_seed = fault_seed;
+    if let Err(e) = std::fs::write(out, report.to_json().to_string_pretty()) {
+        eprintln!("batch-serve: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "batch-serve: {} queries x {} clients on {} thread(s), batch={}, fault={:?}: \
+         {} pages ({} wasted), {} batch join(s), {} shared page(s) -> {out}",
+        report.queries,
+        report.clients,
+        report.threads,
+        batch_on,
+        report.fault_seed,
+        report.total_pages,
+        report.wasted_pages,
+        report.batch_joins,
+        report.shared_pages,
+    );
+}
+
+/// Reconcile a batched replay of the overlapping mix against its unbatched
+/// twin: batching may change who pays, never what anyone sees or the total
+/// delivered bill.
+fn validate_batch(unbatched_path: &str, batched_path: &str) {
+    let unbatched = load_serve_report(unbatched_path);
+    let batched = load_serve_report(batched_path);
+    let fail = |msg: String| {
+        eprintln!("validate-batch: {msg}");
+        std::process::exit(1);
+    };
+    if unbatched.batch {
+        fail(format!(
+            "{unbatched_path}: the unbatched twin ran with batching on"
+        ));
+    }
+    if !batched.batch {
+        fail(format!(
+            "{batched_path}: the batched run ran with batching off"
+        ));
+    }
+    for (field, a, b) in [
+        ("seed", unbatched.seed, batched.seed),
+        ("clients", unbatched.clients, batched.clients),
+        ("queries", unbatched.queries, batched.queries),
+        ("page_size", unbatched.page_size, batched.page_size),
+    ] {
+        if a != b {
+            fail(format!("dumps replay different mixes: {field} {a} vs {b}"));
+        }
+    }
+    if unbatched.per_query.len() != batched.per_query.len() {
+        fail(format!(
+            "per-query rows differ: {} vs {}",
+            unbatched.per_query.len(),
+            batched.per_query.len()
+        ));
+    }
+    for (i, (u, b)) in unbatched
+        .per_query
+        .iter()
+        .zip(&batched.per_query)
+        .enumerate()
+    {
+        if u.client != b.client || u.template != b.template {
+            fail(format!("query {i}: submission order diverged"));
+        }
+        if u.digest != b.digest || u.rows != b.rows {
+            fail(format!(
+                "query {i}: batched answer differs from the unbatched oracle \
+                 (digest {:#x} vs {:#x}, rows {} vs {})",
+                u.digest, b.digest, u.rows, b.rows
+            ));
+        }
+    }
+    for (path, r) in [(unbatched_path, &unbatched), (batched_path, &batched)] {
+        if r.total_pages != r.meter_transactions {
+            fail(format!(
+                "{path}: ledger does not reconcile with the billing meter: \
+                 {} ledger pages vs {} metered transactions",
+                r.total_pages, r.meter_transactions
+            ));
+        }
+    }
+    let (db, du) = (batched.delivered_pages(), unbatched.delivered_pages());
+    if db > du {
+        fail(format!(
+            "batching delivered (and paid for) more pages than the unbatched \
+             twin: {db} vs {du}"
+        ));
+    }
+    if batched.batch_joins == 0 {
+        fail(format!(
+            "{batched_path}: batching was on but no query ever parked a remainder"
+        ));
+    }
+    println!(
+        "validate-batch: {} queries agree with the unbatched twin; ledgers \
+         reconcile; delivered pages {db} (batched) vs {du} (unbatched); \
+         {} batch join(s), {} shared page(s)",
+        batched.queries, batched.batch_joins, batched.shared_pages
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args()
         .skip(1)
@@ -1157,6 +1432,33 @@ fn main() {
             Some(path) => return serve(path),
             None => {
                 eprintln!("serve: missing output file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "batch") {
+        match args.get(pos + 1) {
+            Some(path) => return bench_batch(path),
+            None => {
+                eprintln!("batch: missing output file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "batch-serve") {
+        match args.get(pos + 1) {
+            Some(path) => return batch_serve(path),
+            None => {
+                eprintln!("batch-serve: missing output file argument");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "validate-batch") {
+        match (args.get(pos + 1), args.get(pos + 2)) {
+            (Some(unbatched), Some(batched)) => return validate_batch(unbatched, batched),
+            _ => {
+                eprintln!("validate-batch: need <unbatched.json> <batched.json>");
                 std::process::exit(1);
             }
         }

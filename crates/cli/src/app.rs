@@ -461,9 +461,10 @@ fn store_config_from_env() -> StoreConfig {
 /// query's spend ledger against the billing meter, and render a summary.
 /// Knobs not covered by flags come from the environment: `PAYLESS_CLIENTS`
 /// (when `--clients` is absent), `PAYLESS_COALESCE=0` to disable single
-/// flight, `PAYLESS_FAULT_SEED` to chaos-inject the market, and
-/// `PAYLESS_STORE_MAX_VIEWS` / `PAYLESS_STORE_COMPACT` to tune the shared
-/// semantic store.
+/// flight, `PAYLESS_FAULT_SEED` to chaos-inject the market,
+/// `PAYLESS_BATCH` / `PAYLESS_BATCH_WINDOW_MS` / `PAYLESS_BATCH_MAX` to
+/// batch cross-query purchases, and `PAYLESS_STORE_MAX_VIEWS` /
+/// `PAYLESS_STORE_COMPACT` to tune the shared semantic store.
 pub fn run_serve(args: &CliArgs) -> Result<String, String> {
     if args.workload != WorkloadKind::Whw {
         return Err("--serve currently supports --workload whw only".into());
@@ -498,6 +499,7 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         metrics: hub.clone(),
         strict_reconcile: MetricsConfig::strict_from_env(),
         store: store_config_from_env(),
+        batch: payless_serve::BatchConfig::from_env(),
         ..ServeConfig::default()
     };
     let layer = Serve::new(market, w.local_tables(), cfg);
@@ -548,6 +550,13 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         "  coalescing: {} wait(s), ~{} page(s) saved",
         report.coalesce_waits, report.saved_pages
     );
+    if report.batch {
+        let _ = writeln!(
+            out,
+            "  batching: {} join(s), {} shared page(s) split across members",
+            report.batch_joins, report.shared_pages
+        );
+    }
     let _ = writeln!(
         out,
         "  reconciled: ledger == billing meter at {} transaction(s), {} call(s)",

@@ -108,7 +108,9 @@ OPTIONS:
                                       against the billing meter, and exit
                                       (whw workload only). Env knobs:
                                       PAYLESS_CLIENTS, PAYLESS_COALESCE=0,
-                                      PAYLESS_FAULT_SEED
+                                      PAYLESS_FAULT_SEED, PAYLESS_BATCH=1,
+                                      PAYLESS_BATCH_WINDOW_MS,
+                                      PAYLESS_BATCH_MAX
     --clients <int>                   client sessions in the serve mix
                                       (default: PAYLESS_CLIENTS or 4)
     --queries <int>                   queries in the serve mix (default: 24)

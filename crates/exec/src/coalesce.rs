@@ -73,6 +73,13 @@ pub enum Claim<'a> {
     Contended {
         /// Completion count observed while detecting the overlap.
         seen: u64,
+        /// Every requested region is **contained** in one in-flight
+        /// purchase's region set (not merely overlapped): that flight's
+        /// delivery alone will satisfy this claim, so after the wait the
+        /// re-rewrite is expected to find nothing left to buy. Batch
+        /// leaders claim whole merged region sets, which is what makes
+        /// this subset case common.
+        satisfied: bool,
     },
 }
 
@@ -126,11 +133,25 @@ impl CallCoalescer {
                     .any(|fr| regions.iter().any(|r| fr.overlaps(r)))
         });
         if contended {
+            // Subset satisfaction: some single flight's region set contains
+            // *every* requested region, so its delivery alone covers this
+            // claim. Checked under the same lock as the overlap, so the two
+            // observations cannot disagree.
+            let satisfied = board.in_flight.iter().any(|f| {
+                f.table == table
+                    && regions
+                        .iter()
+                        .all(|r| f.regions.iter().any(|fr| fr.contains(r)))
+            });
             if let Some(hub) = &self.metrics {
                 hub.coalesce_contended.inc(1);
+                if satisfied {
+                    hub.coalesce_subset_satisfied.inc(1);
+                }
             }
             return Claim::Contended {
                 seen: board.completions,
+                satisfied,
             };
         }
         let id = board.next_id;
@@ -205,13 +226,35 @@ mod tests {
             Claim::Contended { .. } => panic!("first claim must win"),
         };
         let seen = match c.claim("T", &[r(5, 14)]) {
-            Claim::Contended { seen } => seen,
+            Claim::Contended { seen, satisfied } => {
+                assert!(!satisfied, "partial overlap is not subset-satisfied");
+                seen
+            }
             Claim::Acquired(_) => panic!("overlap must contend"),
         };
         drop(g);
         // Completion already happened: wait_past must not block.
         c.wait_past(seen);
         assert!(matches!(c.claim("T", &[r(5, 14)]), Claim::Acquired(_)));
+    }
+
+    #[test]
+    fn containment_reports_subset_satisfaction() {
+        let c = CallCoalescer::new();
+        let _g = match c.claim("T", &[r(0, 9), r(20, 29)]) {
+            Claim::Acquired(g) => g,
+            Claim::Contended { .. } => panic!("first claim must win"),
+        };
+        // Every requested region inside the in-flight set: satisfied.
+        match c.claim("T", &[r(2, 5), r(22, 29)]) {
+            Claim::Contended { satisfied, .. } => assert!(satisfied),
+            Claim::Acquired(_) => panic!("overlap must contend"),
+        }
+        // Sticking out of the flight's coverage: contended but not satisfied.
+        match c.claim("T", &[r(2, 12)]) {
+            Claim::Contended { satisfied, .. } => assert!(!satisfied),
+            Claim::Acquired(_) => panic!("overlap must contend"),
+        };
     }
 
     #[test]
@@ -226,7 +269,7 @@ mod tests {
                 Claim::Contended { .. } => panic!("board must be empty"),
             };
             let seen = match c.claim("T", &[r(0, 9)]) {
-                Claim::Contended { seen } => seen,
+                Claim::Contended { seen, .. } => seen,
                 Claim::Acquired(_) => panic!("overlap must contend"),
             };
             let cc = Arc::clone(&c);

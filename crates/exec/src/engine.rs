@@ -17,6 +17,7 @@ use payless_storage::{aggregate, distinct, hash_join, project, sort_by, AggSpec,
 use payless_telemetry::{CallKind, OperatorActual, QErrorRecord, Recorder, TransactionRecord};
 use payless_types::{PaylessError, Result, Row, Value};
 
+use crate::batch::{split_pages, BatchPlanner, BatchRole, MemberShare, SealedBatch};
 use crate::call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
 use crate::coalesce::{CallCoalescer, Claim};
 use crate::state::{ExecState, SharedState};
@@ -81,6 +82,10 @@ pub struct Executor<'a> {
     /// Single-flight rendezvous shared with concurrently executing queries;
     /// `None` outside serve mode (and under `PAYLESS_COALESCE=0`).
     coalescer: Option<&'a CallCoalescer>,
+    /// Cross-query batching rendezvous: when attached, uncovered
+    /// remainders park here for shared purchasing instead of buying
+    /// immediately. `None` outside serve mode and under `PAYLESS_BATCH=0`.
+    batcher: Option<&'a BatchPlanner>,
     /// Per-query retry/waste accounting, shared by every call this plan makes.
     budget: CallBudget,
     /// Per-operator actuals, indexed by the plan's pre-order operator id —
@@ -111,6 +116,7 @@ impl<'a> Executor<'a> {
             cfg,
             now,
             coalescer: None,
+            batcher: None,
             budget: CallBudget::default(),
             ops: Vec::new(),
             cur_op: 0,
@@ -136,10 +142,22 @@ impl<'a> Executor<'a> {
             cfg,
             now,
             coalescer,
+            batcher: None,
             budget: CallBudget::default(),
             ops: Vec::new(),
             cur_op: 0,
         }
+    }
+
+    /// Attach a cross-query batch planner: this executor's uncovered
+    /// remainders park with it for shared purchasing (see
+    /// [`crate::batch`]). Serve mode only — the caller must bracket the
+    /// query with [`BatchPlanner::begin_query`]/[`BatchPlanner::end_query`]
+    /// (or [`BatchPlanner::activity`]) so the planner's quiescence seal
+    /// trigger sees it.
+    pub fn with_batcher(mut self, planner: Option<&'a BatchPlanner>) -> Self {
+        self.batcher = planner;
+        self
     }
 
     /// Run the plan and produce the final result.
@@ -326,6 +344,15 @@ impl<'a> Executor<'a> {
                 self.note_coalesce(waits, initial_est, 0.0);
                 return Ok(());
             }
+            // Batched purchasing: park the uncovered remainders with the
+            // serve layer's planner instead of buying them here. The sealed
+            // batch's leader claims, re-rewrites, and buys the merged
+            // remainder once; this query then applies its exact share. With
+            // a batcher attached this executor never loops (the leader
+            // handles coalescer contention itself), so `waits == 0` here.
+            if let Some(planner) = self.batcher {
+                return self.batched_purchase(planner, tid, space, region, remainders, page);
+            }
             // Claim the whole base region, not just the remainders: every
             // remainder is a subset of it, so the guard soundly covers
             // whatever the under-guard recompute below decides to buy.
@@ -333,7 +360,7 @@ impl<'a> Executor<'a> {
                 None => None,
                 Some(c) => match c.claim(&t.name, std::slice::from_ref(region)) {
                     Claim::Acquired(g) => Some(g),
-                    Claim::Contended { seen } => {
+                    Claim::Contended { seen, .. } => {
                         waits += 1;
                         if let Some(rec) = &self.cfg.recorder {
                             rec.count("coalesce.waits", 1);
@@ -500,6 +527,297 @@ impl<'a> Executor<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Park `remainders` with the batch planner and resolve the query's
+    /// role: the member that seals the batch leads the merged purchase
+    /// ([`Executor::lead_batch`]); every other member blocks until its
+    /// settled share arrives and then applies it.
+    fn batched_purchase(
+        &mut self,
+        planner: &BatchPlanner,
+        tid: usize,
+        space: &QuerySpace,
+        region: &Region,
+        remainders: Vec<Region>,
+        page: u64,
+    ) -> Result<()> {
+        let table = self.query.tables[tid].name.clone();
+        let t0 = std::time::Instant::now();
+        let role = planner.join(&table, region.clone(), remainders);
+        if let Some(hub) = &self.cfg.metrics {
+            hub.batch_window_wait_nanos
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+        match role {
+            BatchRole::Leader(batch) => self.lead_batch(planner, tid, space, page, batch),
+            BatchRole::Served(share) => self.apply_member_share(tid, share, false),
+        }
+    }
+
+    /// Purchase a sealed batch's merged remainder and settle every
+    /// member's exact share.
+    ///
+    /// The members' parked pieces are disjointified in join order
+    /// ([`payless_semantic::merge_remainders`]), the union of base regions
+    /// is claimed on the coalescer (the same TOCTOU guard as
+    /// [`Executor::ensure_region`]), each merged piece is re-rewritten
+    /// under the guard against one consistent store state, and the final
+    /// remainders are bought through the resilient chokepoint. Delivered
+    /// rows are partitioned **first-match in join order** across the
+    /// members' pieces; the per-member row counts are both the attributed
+    /// records and the [`split_pages`] weights, so every call's share
+    /// vector sums exactly to its billed pages. A failed call splits its
+    /// billed waste equally and fails every member.
+    fn lead_batch(
+        &mut self,
+        planner: &BatchPlanner,
+        tid: usize,
+        space: &QuerySpace,
+        page: u64,
+        batch: SealedBatch,
+    ) -> Result<()> {
+        let t = &self.query.tables[tid];
+        // Unwind safety: if anything below returns early or panics before
+        // the settle, the guard fails the other members instead of
+        // stranding them on the planner's condvar.
+        let mut settle_guard = planner.settle_guard(&batch);
+        let n = batch.members.len();
+        let merged =
+            payless_semantic::merge_remainders(batch.members.iter().map(|m| m.pieces.as_slice()));
+        let bases: Vec<Region> = batch.members.iter().map(|m| m.base.clone()).collect();
+        let flight = loop {
+            match self.coalescer {
+                None => break None,
+                Some(c) => match c.claim(&t.name, &bases) {
+                    Claim::Acquired(g) => break Some(g),
+                    Claim::Contended { seen, satisfied } => {
+                        if let Some(rec) = &self.cfg.recorder {
+                            rec.count("coalesce.waits", 1);
+                            if satisfied {
+                                rec.count("coalesce.subset_satisfied", 1);
+                            }
+                        }
+                        c.wait_past(seen);
+                    }
+                },
+            }
+        };
+        // Re-validate the merged pieces under the guard: one multi-probe,
+        // one shard lock, one consistent store state across all of them.
+        let final_rems: Vec<Region> = if self.cfg.sqr {
+            let probes =
+                self.state
+                    .probe_rewrite_multi(&t.name, &merged, self.cfg.consistency, self.now);
+            let mut rems = Vec::new();
+            for (piece, (views, pieces)) in merged.iter().zip(&probes) {
+                let rw = self
+                    .state
+                    .with_table_model(&t.name, |ts| match pieces {
+                        Some(p) => rewrite_cached(ts, page, piece, p, &self.cfg.rewrite),
+                        None => rewrite(ts, page, piece, views, &self.cfg.rewrite),
+                    })
+                    .ok_or_else(|| PaylessError::Internal(format!("no stats for `{}`", t.name)))?;
+                rems.extend(rw.remainders);
+            }
+            rems
+        } else {
+            merged
+        };
+        let mut delivered = vec![0u64; n];
+        let mut wasted = vec![0u64; n];
+        let mut records = vec![0u64; n];
+        let mut calls: u64 = 0;
+        let mut failure: Option<PaylessError> = None;
+        for rem in final_rems {
+            let mut req = Request::to(t.name.clone());
+            for (col, c) in space.constraints_of(&rem) {
+                req = req.with(t.schema.columns[col].name.clone(), c);
+            }
+            let outcome = resilient_get(
+                self.market,
+                &req,
+                &self.cfg.retry,
+                &mut self.budget,
+                self.cfg.recorder.as_deref(),
+                self.cfg.metrics.as_deref(),
+            );
+            calls += 1;
+            match outcome {
+                CallOutcome::Delivered {
+                    response,
+                    wasted_pages,
+                    ..
+                } => {
+                    // First-match partition in join order: each delivered
+                    // row is attributed to exactly one member, so Σ member
+                    // records == delivered records and the weights are the
+                    // members' exclusive row counts.
+                    let mut weights = vec![0u64; n];
+                    for row in &response.rows {
+                        if let Some(i) = batch
+                            .members
+                            .iter()
+                            .position(|m| m.pieces.iter().any(|p| row_in_region(space, row, p)))
+                        {
+                            weights[i] += 1;
+                        }
+                    }
+                    let dp = split_pages(response.transactions, &weights);
+                    let wp = split_pages(wasted_pages, &weights);
+                    delivered.iter_mut().zip(&dp).for_each(|(d, x)| *d += x);
+                    wasted.iter_mut().zip(&wp).for_each(|(w, x)| *w += x);
+                    records.iter_mut().zip(&weights).for_each(|(r, x)| *r += x);
+                    let recs = response.records();
+                    let pages = response.transactions;
+                    if let Some(rec) = &self.cfg.recorder {
+                        rec.record_size("market.records_per_call", recs);
+                    }
+                    self.state.insert_rows(&t.schema, response.rows);
+                    let recorder = self.cfg.recorder.clone();
+                    self.state.with_table_model_mut(&t.name, |ts| {
+                        if let Some(rec) = &recorder {
+                            let estimate = ts.estimate(&rem);
+                            let estimator = ts.estimator_label();
+                            rec.q_error(|| QErrorRecord {
+                                table: t.name.clone(),
+                                estimator,
+                                estimate,
+                                actual: recs,
+                                q: payless_stats::q_error(estimate, recs as f64),
+                            });
+                        }
+                        ts.feedback(&rem, recs);
+                    });
+                    if self.cfg.sqr {
+                        self.state.store_record_spend(&t.name, rem, self.now, pages);
+                    }
+                }
+                CallOutcome::BilledAndFailed {
+                    error,
+                    wasted_pages,
+                    ..
+                } => {
+                    // No delivered rows to weight the split: the billed
+                    // failure's waste divides equally across the members.
+                    let zeros = vec![0u64; n];
+                    let wp = split_pages(wasted_pages, &zeros);
+                    wasted.iter_mut().zip(&wp).for_each(|(w, x)| *w += x);
+                    failure = Some(error);
+                    break;
+                }
+                CallOutcome::FailedFree { error, .. } => {
+                    failure = Some(error);
+                    break;
+                }
+            }
+        }
+        drop(flight);
+        // Settle: calls are attributed to the leader; on failure every
+        // member's share (the leader's included) reverts to wasted-spend
+        // accounting and every member's query fails.
+        let err_msg = failure.as_ref().map(|e| e.to_string());
+        let shares: Vec<MemberShare> = batch
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| MemberShare {
+                delivered_pages: delivered[i],
+                wasted_pages: wasted[i],
+                records: records[i],
+                calls: if m.token == batch.leader { calls } else { 0 },
+                batch_members: n as u64,
+                error: err_msg.clone(),
+            })
+            .collect();
+        let leader_share = planner.settle(&batch, shares);
+        settle_guard.disarm();
+        let applied = self.apply_member_share(tid, leader_share, true);
+        // The leader reports the original market error, not the wrapper
+        // its own share carries.
+        match failure {
+            Some(e) => Err(e),
+            None => applied,
+        }
+    }
+
+    /// Apply one settled batch share to this query's accounting: ledger
+    /// entries shaped exactly like [`Executor::synthesize_ledger`]'s (so Σ
+    /// per-query ledgers still reconcile with the meter after an N-way
+    /// split), operator actuals, and the batch counters the serve report
+    /// and watchdog consume. Errors when the batch's purchase failed.
+    fn apply_member_share(&mut self, tid: usize, share: MemberShare, leader: bool) -> Result<()> {
+        let t = &self.query.tables[tid];
+        if self.cfg.synthesize_ledger {
+            if let (Some(rec), Some(ds)) = (&self.cfg.recorder, self.market.dataset_of(&t.name)) {
+                if share.wasted_pages > 0 {
+                    rec.transaction(|| TransactionRecord {
+                        seq: 0,
+                        dataset: ds.name.clone(),
+                        table: t.name.clone(),
+                        kind: Default::default(),
+                        records: 0,
+                        page_size: ds.page_size,
+                        pages: share.wasted_pages,
+                        price: ds.price.total(share.wasted_pages),
+                        wasted: true,
+                        at_nanos: 0,
+                    });
+                }
+                if share.delivered_pages > 0 || share.records > 0 {
+                    rec.transaction(|| TransactionRecord {
+                        seq: 0,
+                        dataset: ds.name.clone(),
+                        table: t.name.clone(),
+                        kind: Default::default(),
+                        records: share.records,
+                        page_size: ds.page_size,
+                        pages: share.delivered_pages,
+                        price: ds.price.total(share.delivered_pages),
+                        wasted: false,
+                        at_nanos: 0,
+                    });
+                }
+            }
+        }
+        if let Some(slot) = self.ops.get_mut(self.cur_op) {
+            slot.calls += share.calls;
+            slot.pages += share.delivered_pages;
+            slot.wasted_pages += share.wasted_pages;
+            slot.records += share.records;
+        }
+        if let Some(rec) = &self.cfg.recorder {
+            rec.count("batch.joins", 1);
+            if share.batch_members >= 2 && share.delivered_pages > 0 {
+                rec.count("batch.shared_pages", share.delivered_pages);
+            }
+            // Non-leader shares sit in the planner's deferred register
+            // until this query completes; the watchdog drains them off
+            // this counter.
+            if !leader && share.delivered_pages + share.wasted_pages > 0 {
+                rec.count(
+                    "batch.settled_pages",
+                    share.delivered_pages + share.wasted_pages,
+                );
+            }
+            if share.error.is_some() && share.wasted_pages > 0 {
+                rec.count("batch.wasted_share_pages", share.wasted_pages);
+            }
+        }
+        if let Some(hub) = &self.cfg.metrics {
+            if share.batch_members >= 2 && share.delivered_pages > 0 {
+                hub.batch_shared_pages.inc(share.delivered_pages);
+            }
+            if share.error.is_some() && share.wasted_pages > 0 {
+                hub.batch_wasted_share_pages.inc(share.wasted_pages);
+            }
+        }
+        match share.error {
+            Some(msg) => Err(PaylessError::Internal(format!(
+                "batch purchase failed: {msg}"
+            ))),
+            None => Ok(()),
+        }
     }
 
     /// Mirror one call's charge into the recorder's spend ledger (serve

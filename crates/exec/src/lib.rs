@@ -21,12 +21,14 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod call;
 pub mod coalesce;
 pub mod download;
 pub mod engine;
 pub mod state;
 
+pub use batch::{split_pages, BatchConfig, BatchPlanner, BatchRole, MemberShare, SealedBatch};
 pub use call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
 pub use coalesce::{CallCoalescer, Claim, FlightGuard};
 pub use download::ensure_downloaded;

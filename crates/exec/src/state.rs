@@ -17,7 +17,7 @@
 use std::sync::{Arc, RwLock};
 
 use payless_geometry::Region;
-use payless_semantic::{Consistency, CoverClass, SemanticStore, SharedSemanticStore};
+use payless_semantic::{Consistency, CoverClass, RewriteProbe, SemanticStore, SharedSemanticStore};
 use payless_stats::{StatsRegistry, TableModel};
 use payless_storage::Database;
 use payless_types::{Result, Row, Schema};
@@ -169,6 +169,29 @@ impl ExecState<'_> {
                 store.probe_rewrite(table, region, consistency, now)
             }
             ExecState::Shared(s) => s.store.probe_rewrite(table, region, consistency, now),
+        }
+    }
+
+    /// [`ExecState::probe_rewrite`] over several regions of one table. In
+    /// shared mode all probes run under a **single** shard lock
+    /// acquisition ([`SharedSemanticStore::probe_rewrite_multi`]), so a
+    /// batch leader re-validating its members' merged pieces sees one
+    /// store state across all of them.
+    pub fn probe_rewrite_multi(
+        &self,
+        table: &str,
+        regions: &[Region],
+        consistency: Consistency,
+        now: u64,
+    ) -> Vec<RewriteProbe> {
+        match self {
+            ExecState::Exclusive { store, .. } => regions
+                .iter()
+                .map(|r| store.probe_rewrite(table, r, consistency, now))
+                .collect(),
+            ExecState::Shared(s) => s
+                .store
+                .probe_rewrite_multi(table, regions, consistency, now),
         }
     }
 

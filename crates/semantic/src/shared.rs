@@ -26,6 +26,12 @@ use payless_telemetry::Recorder;
 
 use crate::store::{Consistency, CoverClass, SemanticStore, StoreConfig};
 
+/// What one rewrite probe reads in a single consistent look at a shard:
+/// the overlapping usable views, plus the cached remainder pieces when the
+/// incremental cache could answer (`None` falls back to scratch
+/// subtraction).
+pub type RewriteProbe = (Vec<Arc<Region>>, Option<Vec<Region>>);
+
 /// A semantic store shareable across threads: per-table shards behind
 /// reader-writer locks. All methods take `&self`; clone the containing
 /// `Arc` to hand the store to another session.
@@ -197,7 +203,7 @@ impl SharedSemanticStore {
         probe: &Region,
         consistency: Consistency,
         now: u64,
-    ) -> (Vec<Arc<Region>>, Option<Vec<Region>>) {
+    ) -> RewriteProbe {
         self.shards
             .get(table)
             .map(|s| {
@@ -205,6 +211,30 @@ impl SharedSemanticStore {
                     .probe_rewrite(table, probe, consistency, now)
             })
             .unwrap_or((Vec::new(), None))
+    }
+
+    /// [`SharedSemanticStore::probe_rewrite`] over several probes of the
+    /// same table under **one** shard read-lock acquisition: a batch
+    /// leader re-validating the merged remainder pieces of its members
+    /// sees one consistent store state across all of them, so no piece can
+    /// be probed against coverage another piece's probe did not see.
+    pub fn probe_rewrite_multi(
+        &self,
+        table: &str,
+        probes: &[Region],
+        consistency: Consistency,
+        now: u64,
+    ) -> Vec<RewriteProbe> {
+        match self.shards.get(table) {
+            Some(s) => {
+                let guard = self.timed_read(s);
+                probes
+                    .iter()
+                    .map(|p| guard.probe_rewrite(table, p, consistency, now))
+                    .collect()
+            }
+            None => probes.iter().map(|_| (Vec::new(), None)).collect(),
+        }
     }
 
     /// The cached remainder pieces of `probe` over `table`, or `None` when

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use payless_exec::{CallCoalescer, ExecConfig, Executor, RetryPolicy, SharedState};
+use payless_exec::{BatchPlanner, CallCoalescer, ExecConfig, Executor, RetryPolicy, SharedState};
 use payless_geometry::QuerySpace;
 use payless_market::DataMarket;
 use payless_metrics::MetricsHub;
@@ -40,6 +40,7 @@ use payless_telemetry::Recorder;
 use payless_types::{PaylessError, Result};
 use payless_workload::MixItem;
 
+pub use payless_exec::BatchConfig;
 pub use report::{ClientSpend, QueryRow, ServeReport};
 pub use watchdog::{Watchdog, WatchdogReport};
 
@@ -80,6 +81,12 @@ pub struct ServeConfig {
     /// (`PAYLESS_STORE_MAX_VIEWS` / `PAYLESS_STORE_COMPACT` map here).
     /// Applied to every table shard before the mix starts.
     pub store: StoreConfig,
+    /// Cross-query batched purchasing: queries arriving within the window
+    /// park their uncovered remainders with a shared [`BatchPlanner`]; one
+    /// leader buys the merged remainder and the cost splits exactly across
+    /// the members (`PAYLESS_BATCH_WINDOW_MS` / `PAYLESS_BATCH_MAX` map
+    /// here). `None` (the default) buys per query, as before.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +101,7 @@ impl Default for ServeConfig {
             watchdog_every: 8,
             strict_reconcile: false,
             store: StoreConfig::default(),
+            batch: None,
         }
     }
 }
@@ -106,6 +114,8 @@ pub struct Serve {
     catalog: MapCatalog,
     state: SharedState,
     coalescer: CallCoalescer,
+    /// Cross-query batching rendezvous; `Some` iff `cfg.batch` is set.
+    batcher: Option<BatchPlanner>,
     /// Logical clock: each query gets a distinct `now`, like a session's
     /// per-query increment but shared across clients.
     clock: AtomicU64,
@@ -142,11 +152,16 @@ impl Serve {
             }
             None => CallCoalescer::new(),
         };
+        let batcher = cfg.batch.map(|b| match &cfg.metrics {
+            Some(hub) => BatchPlanner::with_metrics(b, Arc::clone(hub)),
+            None => BatchPlanner::new(b),
+        });
         Serve {
             market,
             catalog,
             state,
             coalescer,
+            batcher,
             clock: AtomicU64::new(0),
             cfg,
         }
@@ -236,6 +251,10 @@ impl Serve {
             &opt_cfg,
             now,
         )?;
+        // The activity bracket lets the planner's quiescence trigger see
+        // this query: when every active query is parked, batches seal
+        // immediately instead of waiting out the window.
+        let _activity = self.batcher.as_ref().map(|b| b.activity());
         let mut executor = Executor::shared(
             &query,
             &self.market,
@@ -243,7 +262,8 @@ impl Serve {
             &exec_cfg,
             now,
             self.cfg.coalesce.then_some(&self.coalescer),
-        );
+        )
+        .with_batcher(self.batcher.as_ref());
         let result = executor.execute(&optimized.plan)?;
         Ok((result, recorder.take()))
     }
@@ -279,13 +299,19 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<QueryRow>>> = Mutex::new(vec![None; mix.len()]);
     let failure: Mutex<Option<PaylessError>> = Mutex::new(None);
-    let dog = Watchdog::new(
+    let mut dog = Watchdog::new(
         &serve.market,
         serve.cfg.watchdog_every,
         serve.cfg.strict_reconcile,
         threads,
         serve.cfg.metrics.clone(),
     );
+    if let Some(b) = &serve.batcher {
+        // Batch settlements attribute pages to queries that have not
+        // completed yet; the watchdog's drift bound must allow exactly
+        // that much (see `watchdog.rs`).
+        dog = dog.with_deferred(b.deferred_handle());
+    }
 
     std::thread::scope(|s| {
         for _ in 0..threads.min(mix.len().max(1)) {
@@ -322,6 +348,8 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
                             price: snap.total_price(),
                             coalesce_waits: counter("coalesce.waits"),
                             saved_pages: counter("coalesce.saved_pages"),
+                            batch_joins: counter("batch.joins"),
+                            shared_pages: counter("batch.shared_pages"),
                             wall_nanos: t0.elapsed().as_nanos() as u64,
                         };
                         slots.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(row);
@@ -395,6 +423,9 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
         total_price: per_query.iter().fold(0.0, |a, q| a + q.price),
         coalesce_waits: per_query.iter().map(|q| q.coalesce_waits).sum(),
         saved_pages: per_query.iter().map(|q| q.saved_pages).sum(),
+        batch: serve.cfg.batch.is_some(),
+        batch_joins: per_query.iter().map(|q| q.batch_joins).sum(),
+        shared_pages: per_query.iter().map(|q| q.shared_pages).sum(),
         meter_calls,
         meter_transactions,
         meter_records,

@@ -11,6 +11,14 @@ fn u64_or_zero(j: &Json, key: &str) -> Result<u64, JsonError> {
     }
 }
 
+/// Read a flag field that older report dumps predate, defaulting to false.
+fn bool_or_false(j: &Json, key: &str) -> Result<bool, JsonError> {
+    match j.get_opt(key) {
+        Some(v) => v.as_bool(),
+        None => Ok(false),
+    }
+}
+
 /// One query of the mix, in global submission order. Submission order is
 //  identical across thread counts, so validators compare rows pairwise.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +44,11 @@ pub struct QueryRow {
     pub coalesce_waits: u64,
     /// Estimated pages those waits avoided buying.
     pub saved_pages: u64,
+    /// Times this query parked a remainder in a purchase batch.
+    pub batch_joins: u64,
+    /// Pages of this query's spend that came from a shared (≥2-member)
+    /// batch purchase — its exact attribution share, not the batch total.
+    pub shared_pages: u64,
     /// End-to-end wall-clock latency of the query, in nanoseconds.
     pub wall_nanos: u64,
 }
@@ -53,6 +66,8 @@ impl ToJson for QueryRow {
             ("price", self.price.to_json()),
             ("coalesce_waits", self.coalesce_waits.to_json()),
             ("saved_pages", self.saved_pages.to_json()),
+            ("batch_joins", self.batch_joins.to_json()),
+            ("shared_pages", self.shared_pages.to_json()),
             ("wall_nanos", self.wall_nanos.to_json()),
         ])
     }
@@ -71,6 +86,8 @@ impl FromJson for QueryRow {
             price: f64::from_json(j.get("price")?)?,
             coalesce_waits: u64::from_json(j.get("coalesce_waits")?)?,
             saved_pages: u64::from_json(j.get("saved_pages")?)?,
+            batch_joins: u64_or_zero(j, "batch_joins")?,
+            shared_pages: u64_or_zero(j, "shared_pages")?,
             wall_nanos: u64_or_zero(j, "wall_nanos")?,
         })
     }
@@ -177,6 +194,8 @@ pub struct ServeReport {
     pub page_size: u64,
     /// Was single-flight coalescing on?
     pub coalesce: bool,
+    /// Was batched cross-query purchasing on?
+    pub batch: bool,
     /// Fault-injection seed, if the market was fault-injected (caller).
     pub fault_seed: Option<u64>,
     /// Total result rows across queries.
@@ -193,6 +212,10 @@ pub struct ServeReport {
     pub coalesce_waits: u64,
     /// Estimated pages avoided by coalescing waits.
     pub saved_pages: u64,
+    /// Total batch joins across queries.
+    pub batch_joins: u64,
+    /// Σ per-query shared-batch attribution shares.
+    pub shared_pages: u64,
     /// Market calls in the meter delta.
     pub meter_calls: u64,
     /// Meter transaction (page) delta — the seller's view of the bill.
@@ -231,6 +254,7 @@ impl ToJson for ServeReport {
             ("queries", self.queries.to_json()),
             ("page_size", self.page_size.to_json()),
             ("coalesce", Json::Bool(self.coalesce)),
+            ("batch", Json::Bool(self.batch)),
             (
                 "fault_seed",
                 match self.fault_seed {
@@ -245,6 +269,8 @@ impl ToJson for ServeReport {
             ("total_price", self.total_price.to_json()),
             ("coalesce_waits", self.coalesce_waits.to_json()),
             ("saved_pages", self.saved_pages.to_json()),
+            ("batch_joins", self.batch_joins.to_json()),
+            ("shared_pages", self.shared_pages.to_json()),
             ("meter_calls", self.meter_calls.to_json()),
             ("meter_transactions", self.meter_transactions.to_json()),
             ("meter_records", self.meter_records.to_json()),
@@ -278,6 +304,7 @@ impl FromJson for ServeReport {
             queries: u64::from_json(j.get("queries")?)?,
             page_size: u64::from_json(j.get("page_size")?)?,
             coalesce: j.get("coalesce")?.as_bool()?,
+            batch: bool_or_false(j, "batch")?,
             fault_seed,
             total_rows: u64::from_json(j.get("total_rows")?)?,
             total_pages: u64::from_json(j.get("total_pages")?)?,
@@ -286,6 +313,8 @@ impl FromJson for ServeReport {
             total_price: f64::from_json(j.get("total_price")?)?,
             coalesce_waits: u64::from_json(j.get("coalesce_waits")?)?,
             saved_pages: u64::from_json(j.get("saved_pages")?)?,
+            batch_joins: u64_or_zero(j, "batch_joins")?,
+            shared_pages: u64_or_zero(j, "shared_pages")?,
             meter_calls: u64::from_json(j.get("meter_calls")?)?,
             meter_transactions: u64::from_json(j.get("meter_transactions")?)?,
             meter_records: u64::from_json(j.get("meter_records")?)?,
@@ -320,6 +349,7 @@ mod tests {
             queries: 2,
             page_size: 1,
             coalesce: true,
+            batch: true,
             fault_seed: Some(7),
             total_rows: 10,
             total_pages: 12,
@@ -328,6 +358,8 @@ mod tests {
             total_price: 0.6,
             coalesce_waits: 1,
             saved_pages: 3,
+            batch_joins: 2,
+            shared_pages: 4,
             meter_calls: 5,
             meter_transactions: 12,
             meter_records: 14,
@@ -353,6 +385,8 @@ mod tests {
                 price: 0.3,
                 coalesce_waits: 1,
                 saved_pages: 3,
+                batch_joins: 2,
+                shared_pages: 4,
                 wall_nanos: 5_500,
             }],
         };
@@ -369,12 +403,22 @@ mod tests {
         let mut j = ServeReport::default().to_json();
         if let Json::Obj(fields) = &mut j {
             fields.retain(|(k, _)| {
-                !matches!(k.as_str(), "watchdog_samples" | "watchdog_max_drift_pages")
+                !matches!(
+                    k.as_str(),
+                    "watchdog_samples"
+                        | "watchdog_max_drift_pages"
+                        | "batch"
+                        | "batch_joins"
+                        | "shared_pages"
+                )
             });
         }
         let parsed = ServeReport::from_json(&j).unwrap();
         assert_eq!(parsed.watchdog_samples, 0);
         assert_eq!(parsed.watchdog_max_drift_pages, 0);
+        assert!(!parsed.batch);
+        assert_eq!(parsed.batch_joins, 0);
+        assert_eq!(parsed.shared_pages, 0);
     }
 
     #[test]

@@ -19,6 +19,19 @@
 //! for the exit reconciliation. With one worker thread there is no
 //! in-flight spend at sample time, so strict mode additionally requires
 //! exact zero drift at every sample.
+//!
+//! **Batched purchasing.** A batch leader charges the meter once and
+//! settles shares onto members whose queries have *not completed yet* —
+//! spend that is neither in flight nor attributed, and that would trip the
+//! exact-mode zero-drift check even single-threaded. The planner tracks
+//! exactly those pages in a deferred register
+//! ([`payless_exec::BatchPlanner::deferred_handle`], incremented *before*
+//! any member share becomes visible); [`Watchdog::with_deferred`] attaches
+//! it, the exact-mode check then permits `drift ≤ deferred`, and
+//! [`Watchdog::note_query`] drains each completed member's settled pages
+//! (`batch.settled_pages`) back off the register. The over-attribution
+//! checks are untouched: a share is distributed only after its meter
+//! charge, so `attributed ≤ meter` still always holds.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +66,9 @@ pub struct Watchdog<'a> {
     completed: AtomicU64,
     samples: AtomicU64,
     max_drift: AtomicU64,
+    /// Pages settled onto batch members that have not completed yet —
+    /// drift the exact-mode check must allow (see module docs).
+    deferred: Option<Arc<AtomicU64>>,
     hub: Option<Arc<MetricsHub>>,
 }
 
@@ -86,8 +102,18 @@ impl<'a> Watchdog<'a> {
             completed: AtomicU64::new(0),
             samples: AtomicU64::new(0),
             max_drift: AtomicU64::new(0),
+            deferred: None,
             hub,
         }
+    }
+
+    /// Attach a batch planner's deferred-pages register: spend settled
+    /// onto still-running batch members, which the exact-mode drift check
+    /// must tolerate and which each completing member drains via its
+    /// `batch.settled_pages` counter.
+    pub fn with_deferred(mut self, deferred: Arc<AtomicU64>) -> Self {
+        self.deferred = Some(deferred);
+        self
     }
 
     /// Attribute one finished query's ledger; every K-th completion takes
@@ -101,6 +127,28 @@ impl<'a> Watchdog<'a> {
         }
         self.attributed
             .fetch_add(snap.total_pages(), Ordering::SeqCst);
+        // A completing batch member's settled pages are attributed now, so
+        // they stop being deferred. The order matters: attribute first,
+        // then drain — a sample in between sees the pages double-counted
+        // on the tolerance side (drift ≤ deferred stays safe), never
+        // missing from both.
+        if let Some(deferred) = &self.deferred {
+            let settled = snap
+                .counters
+                .iter()
+                .find(|(k, _)| *k == "batch.settled_pages")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            if settled > 0 {
+                let _ = deferred.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
+                    Some(d.saturating_sub(settled))
+                });
+                if let Some(hub) = &self.hub {
+                    hub.batch_deferred_pages
+                        .set(deferred.load(Ordering::SeqCst));
+                }
+            }
+        }
         let done = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
         if done.is_multiple_of(self.every) {
             self.sample()?;
@@ -140,9 +188,18 @@ impl<'a> Watchdog<'a> {
             }
         }
         let drift = meter.saturating_sub(attributed);
-        if violation.is_none() && self.exact && drift != 0 {
+        // Pages settled onto batch members whose queries are still running
+        // are legitimately unattributed; only drift beyond that register is
+        // a violation in exact mode.
+        let deferred = self
+            .deferred
+            .as_ref()
+            .map(|d| d.load(Ordering::SeqCst))
+            .unwrap_or(0);
+        if violation.is_none() && self.exact && drift > deferred {
             violation = Some(format!(
-                "single-threaded run sampled nonzero drift: meter delta {meter}, attributed {attributed}"
+                "single-threaded run sampled drift beyond the batch-deferred register: \
+                 meter delta {meter}, attributed {attributed}, deferred {deferred}"
             ));
         }
         self.max_drift.fetch_max(drift, Ordering::SeqCst);
@@ -193,5 +250,87 @@ impl<'a> Watchdog<'a> {
             samples: self.samples.load(Ordering::SeqCst),
             max_drift_pages: self.max_drift.load(Ordering::SeqCst),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payless_market::Dataset;
+    use payless_telemetry::{CallKind, TransactionRecord};
+
+    fn market() -> DataMarket {
+        DataMarket::new(vec![Dataset::new("d")])
+    }
+
+    /// A completed query's snapshot: `pages` attributed to table `T`, and
+    /// (for batch members) `settled` pages counted as `batch.settled_pages`.
+    fn snap(pages: u64, settled: u64) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::default();
+        if pages > 0 {
+            s.ledger.push(TransactionRecord {
+                seq: 0,
+                dataset: "d".into(),
+                table: "T".into(),
+                kind: CallKind::Remainder,
+                records: pages,
+                page_size: 1,
+                pages,
+                price: pages as f64,
+                wasted: false,
+                at_nanos: 0,
+            });
+        }
+        if settled > 0 {
+            s.counters.push(("batch.settled_pages", settled));
+        }
+        s
+    }
+
+    /// Regression (batched purchasing): a leader charges the meter for the
+    /// whole batch but members' shares are attributed only when *their*
+    /// queries complete. Strict exact mode must tolerate exactly that much
+    /// drift — no more — and the register must drain as members finish.
+    #[test]
+    fn deferred_share_pages_are_tolerated_then_drained() {
+        let market = market();
+        let deferred = Arc::new(AtomicU64::new(0));
+        let dog = Watchdog::new(&market, 1, true, 1, None).with_deferred(deferred.clone());
+
+        // Leader buys 10 pages for the batch: 4 its own, 6 settled onto a
+        // still-running sibling (registered before any share is visible).
+        market.meter().charge(&"T".into(), 10, 10);
+        deferred.store(6, Ordering::SeqCst);
+        dog.note_query(&snap(4, 0))
+            .expect("drift equal to the deferred register must pass exact mode");
+
+        // The sibling completes, attributing its 6-page share and draining
+        // the register; drift returns to zero and the run reconciles.
+        dog.note_query(&snap(6, 6)).expect("drained sample");
+        assert_eq!(deferred.load(Ordering::SeqCst), 0);
+        let report = dog.finish();
+        assert_eq!(report.samples, 2);
+        assert_eq!(report.max_drift_pages, 6);
+    }
+
+    #[test]
+    fn drift_beyond_deferred_register_still_flags() {
+        let market = market();
+        let deferred = Arc::new(AtomicU64::new(2));
+        let dog = Watchdog::new(&market, 1, true, 1, None).with_deferred(deferred);
+        market.meter().charge(&"T".into(), 10, 10);
+        let err = dog.note_query(&snap(4, 0)).unwrap_err();
+        assert!(
+            err.to_string().contains("deferred"),
+            "exact mode must flag drift beyond the register: {err}"
+        );
+    }
+
+    #[test]
+    fn exact_mode_without_register_flags_any_drift() {
+        let market = market();
+        let dog = Watchdog::new(&market, 1, true, 1, None);
+        market.meter().charge(&"T".into(), 5, 5);
+        assert!(dog.note_query(&snap(2, 0)).is_err());
     }
 }

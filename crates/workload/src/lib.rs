@@ -35,7 +35,7 @@ use payless_types::Value;
 use rand::rngs::StdRng;
 
 pub use finance::{Finance, FinanceConfig};
-pub use mix::{serve_mix, MixItem};
+pub use mix::{overlapping_mix, serve_mix, MixItem};
 pub use tpch::{Tpch, TpchConfig};
 pub use whw::{RealWorkload, WhwConfig};
 pub use zipf::Zipf;

@@ -66,6 +66,67 @@ pub fn serve_mix(
         .collect()
 }
 
+/// Build a mix whose clients hammer one shared hot pool — the shape that
+/// rewards batched cross-query purchasing.
+///
+/// Unlike [`serve_mix`], the schedule is parameterised by queries *per
+/// client*, and two properties hold by construction:
+///
+/// * the hot pool is drawn from the seed alone, and client `c`'s stream
+///   depends only on `(seed, c)` — so raising the client count *adds*
+///   streams without changing existing ones;
+/// * every client draws from the same pool, so the union of regions the
+///   mix touches saturates while total queries grow linearly with the
+///   client count. Spend per query therefore falls as clients are added —
+///   the curve `BENCH_batch.json` pins.
+///
+/// Items are round-robin interleaved into global submission order, so
+/// neighbouring queries belong to different clients and a batching window
+/// sees cross-client remainders together.
+pub fn overlapping_mix(
+    workload: &dyn QueryWorkload,
+    templates: &[usize],
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> Vec<MixItem> {
+    assert!(
+        !templates.is_empty(),
+        "overlapping mix needs at least one template"
+    );
+    assert!(clients > 0, "overlapping mix needs at least one client");
+    assert!(per_client > 0, "overlapping mix needs queries per client");
+    // One pool slot per query a single client issues: a lone client
+    // already revisits instances, and every added client mostly re-treads
+    // pool entries some other client has paid for.
+    let mut pool_rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<(usize, Vec<Value>)> = (0..per_client)
+        .map(|i| {
+            let t = templates[i % templates.len()];
+            (t, workload.sample_params(t, &mut pool_rng))
+        })
+        .collect();
+    let streams: Vec<Vec<MixItem>> = (0..clients)
+        .map(|c| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1));
+            (0..per_client)
+                .map(|_| {
+                    let (template, params) = pool[rng.random_range(0..pool.len())].clone();
+                    MixItem {
+                        client: c,
+                        template,
+                        params,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (0..clients * per_client)
+        .map(|i| streams[i % clients][i / clients].clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +173,50 @@ mod tests {
         assert!(
             distinct.len() < mix.len(),
             "a serve mix must repeat instances so purchases can be shared"
+        );
+    }
+
+    #[test]
+    fn overlapping_mix_streams_are_stable_across_client_counts() {
+        let w = tiny();
+        let small = overlapping_mix(&w, &[0, 1], 2, 12, 48879);
+        let big = overlapping_mix(&w, &[0, 1], 8, 12, 48879);
+        // Client 0 and 1 issue exactly the same queries (in the same
+        // per-client order) whether 2 or 8 clients are running.
+        for c in 0..2 {
+            let from = |mix: &[MixItem]| -> Vec<(usize, Vec<Value>)> {
+                mix.iter()
+                    .filter(|m| m.client == c)
+                    .map(|m| (m.template, m.params.clone()))
+                    .collect()
+            };
+            assert_eq!(from(&small), from(&big), "client {c} stream changed");
+        }
+    }
+
+    #[test]
+    fn overlapping_mix_shares_instances_across_clients() {
+        let w = tiny();
+        let mix = overlapping_mix(&w, &[0, 1], 8, 12, 48879);
+        assert_eq!(mix.len(), 96);
+        for (i, item) in mix.iter().enumerate() {
+            assert_eq!(item.client, i % 8, "round-robin interleave");
+        }
+        let mut distinct: Vec<(usize, &Vec<Value>)> = Vec::new();
+        for item in &mix {
+            if !distinct
+                .iter()
+                .any(|(t, p)| *t == item.template && **p == item.params)
+            {
+                distinct.push((item.template, &item.params));
+            }
+        }
+        // The whole 8-client mix touches at most the pool (one slot per
+        // per-client query) — purchases are overwhelmingly shareable.
+        assert!(
+            distinct.len() <= 12,
+            "8 clients must draw from one shared hot pool, saw {} distinct",
+            distinct.len()
         );
     }
 
