@@ -6,8 +6,8 @@
 #
 # Usage: ./ci.sh [stage]
 #   fmt | clippy | tier1 | fault-smoke | bench-smoke | explain-smoke |
-#   serve-smoke | metrics-smoke | store-scale | batch-smoke | bench-diff |
-#   smokes | all
+#   serve-smoke | metrics-smoke | events-smoke | store-scale | batch-smoke |
+#   bench-diff | smokes | all
 # With no argument, `all` runs every stage in order — exactly what the
 # staged GitHub workflow (.github/workflows/ci.yml) runs job by job.
 set -eu
@@ -119,6 +119,35 @@ metrics_smoke() {
         "$METRICS_DIR/chaos.txt" "$METRICS_DIR/chaos.json"
 }
 
+events_smoke() {
+    echo "== events smoke: flight recorder, spend provenance, and the black box =="
+    # Three legs. First the provenance-exactness suite: per-query provenance
+    # trees reconstructed from the journal must bill exactly what the ledger
+    # and billing meter say, clean and under the pinned chaos seed, serial
+    # and 4-thread, batching on and off. Then a CLI run with --events-out:
+    # the dumped journal must be well-formed JSONL and \why must render.
+    # Finally the post-mortem path: deliberately break reconciliation
+    # mid-run (one unattributed charge onto the billing meter) under the
+    # strict per-query watchdog at the pinned chaos seed — the mix must
+    # abort and the journal's black-box JSONL dump must land and validate,
+    # violation event included.
+    EVENTS_DIR="$PWD/target/events-smoke"
+    mkdir -p "$EVENTS_DIR"
+    rm -f "$EVENTS_DIR"/*
+
+    echo "-- provenance exactness (clean + chaos, serial + parallel, batch on/off) --"
+    cargo test -q -p payless-serve --test provenance
+
+    echo "-- CLI journal dump --"
+    cargo run -q -p payless-cli -- --events-out "$EVENTS_DIR/cli.jsonl" \
+        "SELECT * FROM Weather WHERE Weather.Country = 'Country0' AND Weather.Date >= 1 AND Weather.Date <= 3"
+    cargo bench -q --bench hotpath -- validate-events "$EVENTS_DIR/cli.jsonl"
+
+    echo "-- induced strict violation -> black box (chaos seed 48879) --"
+    cargo bench -q --bench hotpath -- events-abort "$EVENTS_DIR/blackbox.jsonl"
+    cargo bench -q --bench hotpath -- validate-events "$EVENTS_DIR/blackbox.jsonl" expect-violation
+}
+
 store_scale() {
     echo "== store-scale: 1k/10k-view stores under the old 225-view wall-clock cap =="
     # Build 1k- and 10k-view semantic stores (compaction on, eviction cap
@@ -187,6 +216,7 @@ smokes() {
     explain_smoke
     serve_smoke
     metrics_smoke
+    events_smoke
     store_scale
     batch_smoke
 }
@@ -209,13 +239,14 @@ case "$stage" in
     explain-smoke) explain_smoke ;;
     serve-smoke) serve_smoke ;;
     metrics-smoke) metrics_smoke ;;
+    events-smoke) events_smoke ;;
     store-scale) store_scale ;;
     batch-smoke) batch_smoke ;;
     bench-diff) bench_diff ;;
     smokes) smokes ;;
     all) all ;;
     *)
-        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|store-scale|batch-smoke|bench-diff|smokes|all)" >&2
+        echo "ci.sh: unknown stage \`$stage\` (fmt|clippy|tier1|fault-smoke|bench-smoke|explain-smoke|serve-smoke|metrics-smoke|events-smoke|store-scale|batch-smoke|bench-diff|smokes|all)" >&2
         exit 2
         ;;
 esac

@@ -41,6 +41,20 @@
 //! * `metrics` — the serve mix with the metrics hub attached vs detached;
 //!   the `overhead/metrics_on` note is the on/off median ratio the diff
 //!   mode gates at 5%
+//! * `events` — the serve mix with the flight recorder attached vs
+//!   detached; the `overhead/events_on` note is the on/off ratio the diff
+//!   mode gates at 5% (the committed `BENCH_events.json` is this mode's
+//!   `PAYLESS_JSON` dump)
+//! * `validate-events <file> [expect-violation]` — check a flight-recorder
+//!   JSONL dump (an `--events-out` journal or a black box): every line one
+//!   JSON event with strictly increasing `seq`, a known `severity`, a
+//!   `kind`, and an `at_nanos` timestamp. With `expect-violation`, the
+//!   dump must be a real post-mortem: a `watchdog_violation` event plus
+//!   the `blackbox` marker
+//! * `events-abort <blackbox.jsonl>` — deliberately break reconciliation
+//!   mid-run (one unattributed charge straight onto the billing meter)
+//!   under the strict per-query watchdog; exits non-zero unless the mix
+//!   aborts *and* the journal's black box lands at the given path
 //! * `validate-metrics <metrics.txt> <serve.json>` — cross-check a metrics
 //!   dump against the serve report it was taken with: exposition shape,
 //!   billed pages == the report's meter delta (the reconciliation
@@ -75,7 +89,7 @@ use std::sync::Arc;
 
 use payless_bench::micro::{fmt_ns, Runner};
 use payless_core::{
-    build_market, FaultInjector, FaultPlan, MetricsConfig, MetricsHub, RetryPolicy,
+    build_market, EventJournal, FaultInjector, FaultPlan, MetricsConfig, MetricsHub, RetryPolicy,
 };
 use payless_geometry::{region, QuerySpace, Region};
 use payless_json::{FromJson, Json, ToJson};
@@ -527,6 +541,10 @@ const DIFF_TOLERANCE: f64 = 1.25;
 /// cost no more than 5% of serve-mix wall-clock.
 const METRICS_OVERHEAD_TOLERANCE: f64 = 1.05;
 
+/// Maximum tolerated events_on/events_off ratio: the flight recorder must
+/// cost no more than 5% of serve-mix wall-clock.
+const EVENTS_OVERHEAD_TOLERANCE: f64 = 1.05;
+
 /// Load `name -> median_nanos` for every run in the given JSONL baselines.
 fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
     let mut medians = HashMap::new();
@@ -563,6 +581,51 @@ fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
     medians
 }
 
+/// One instrumentation-overhead gate (see the comment at its call sites):
+/// `serve/mix/{q}q/{label}_on` must stay within `tolerance` of its `_off`
+/// twin, re-measuring a breach up to twice before failing.
+fn gate_overhead(
+    label: &str,
+    tolerance: f64,
+    fresh: &[(String, f64)],
+    remeasure: impl Fn() -> Runner,
+) {
+    let name = |suffix: &str| format!("serve/mix/{}q/{label}_{suffix}", FULL.serve_queries);
+    let pair = |suffix: &str| {
+        let name = name(suffix);
+        fresh.iter().find(|(n, _)| *n == name).map(|(_, m)| *m)
+    };
+    let mut overhead = match (pair("off"), pair("on")) {
+        (Some(off), Some(on)) if off > 0.0 => on / off,
+        _ => {
+            eprintln!("diff: missing {label}_on/{label}_off serve-mix runs");
+            std::process::exit(1);
+        }
+    };
+    let mut attempt = 0;
+    while overhead > tolerance && attempt < 2 {
+        attempt += 1;
+        eprintln!(
+            "diff: {label} overhead {overhead:.3}x exceeds {tolerance:.2}x — \
+             re-measuring (attempt {attempt}/2)"
+        );
+        let runner = remeasure();
+        if let (Some(off), Some(on)) = (
+            runner.median_of(&name("off")),
+            runner.median_of(&name("on")),
+        ) {
+            if off > 0.0 {
+                overhead = on / off;
+            }
+        }
+    }
+    println!("diff: {label} overhead {overhead:.3}x (tolerance {tolerance:.2}x)");
+    if overhead > tolerance {
+        eprintln!("diff: {label} instrumentation overhead {overhead:.3}x exceeds {tolerance:.2}x");
+        std::process::exit(1);
+    }
+}
+
 /// Re-run the full-scale benches and compare each median against the
 /// committed baselines. Run names embed the scale (`225v`, `8t`), so only a
 /// full-scale rerun produces comparable keys; a fresh median more than
@@ -580,6 +643,7 @@ fn diff(paths: &[String]) {
         bench_store_scale(),
         bench_dp(&FULL),
         bench_metrics(&FULL),
+        bench_events(&FULL),
     ] {
         for name in runner.run_names() {
             if let Some(median) = runner.median_of(&name) {
@@ -611,52 +675,21 @@ fn diff(paths: &[String]) {
         }
     }
 
-    // Instrumentation overhead gate: the metrics-on serve mix must stay
-    // within METRICS_OVERHEAD_TOLERANCE of the metrics-off twin. This
-    // compares the two fresh medians against each other (not a baseline),
-    // so the gate holds on any machine regardless of absolute speed. On a
-    // loaded shared host one ~5 ms serve-mix median can swing far past the
-    // tolerance on noise alone, so a breach is re-measured before it fails:
-    // only overhead that persists across every attempt counts as real.
-    let overhead_of = |runner: &Runner| {
-        let name = |suffix: &str| format!("serve/mix/{}q/metrics_{suffix}", FULL.serve_queries);
-        match (
-            runner.median_of(&name("off")),
-            runner.median_of(&name("on")),
-        ) {
-            (Some(off), Some(on)) if off > 0.0 => Some(on / off),
-            _ => None,
-        }
-    };
-    let metric_pair = |suffix: &str| {
-        let name = format!("serve/mix/{}q/metrics_{suffix}", FULL.serve_queries);
-        fresh.iter().find(|(n, _)| *n == name).map(|(_, m)| *m)
-    };
-    let mut overhead = match (metric_pair("off"), metric_pair("on")) {
-        (Some(off), Some(on)) if off > 0.0 => on / off,
-        _ => {
-            eprintln!("diff: missing metrics_on/metrics_off serve-mix runs");
-            std::process::exit(1);
-        }
-    };
-    let mut attempt = 0;
-    while overhead > METRICS_OVERHEAD_TOLERANCE && attempt < 2 {
-        attempt += 1;
-        eprintln!(
-            "diff: metrics overhead {overhead:.3}x exceeds {METRICS_OVERHEAD_TOLERANCE:.2}x — \
-             re-measuring (attempt {attempt}/2)"
-        );
-        if let Some(o) = overhead_of(&bench_metrics(&FULL)) {
-            overhead = o;
-        }
-    }
-    println!("diff: metrics overhead {overhead:.3}x (tolerance {METRICS_OVERHEAD_TOLERANCE:.2}x)");
-    if overhead > METRICS_OVERHEAD_TOLERANCE {
-        eprintln!(
-            "diff: metrics instrumentation overhead {overhead:.3}x exceeds {METRICS_OVERHEAD_TOLERANCE:.2}x"
-        );
-        std::process::exit(1);
-    }
+    // Instrumentation overhead gates: the metrics-on serve mix must stay
+    // within METRICS_OVERHEAD_TOLERANCE of the metrics-off twin, and the
+    // events-on mix within EVENTS_OVERHEAD_TOLERANCE of its events-off
+    // twin. Each gate compares two fresh medians against each other (not a
+    // baseline), so it holds on any machine regardless of absolute speed.
+    // On a loaded shared host one ~5 ms serve-mix median can swing far past
+    // the tolerance on noise alone, so a breach is re-measured before it
+    // fails: only overhead that persists across every attempt counts as
+    // real.
+    gate_overhead("metrics", METRICS_OVERHEAD_TOLERANCE, &fresh, || {
+        bench_metrics(&FULL)
+    });
+    gate_overhead("events", EVENTS_OVERHEAD_TOLERANCE, &fresh, || {
+        bench_events(&FULL)
+    });
 
     println!();
     println!(
@@ -934,6 +967,194 @@ fn bench_metrics(s: &Scale) -> Runner {
         r.note("overhead/metrics_on", on / off);
     }
     r
+}
+
+/// The serve mix with the flight recorder attached vs detached — the cost
+/// of the structured event journal on the exact workload the CI smoke
+/// replays. Mirrors `bench_metrics`: each iteration stands up a fresh
+/// market and serving layer, so both arms pay identical setup and purchase
+/// costs; only the journal differs.
+fn bench_events(s: &Scale) -> Runner {
+    let workload = smoke_workload();
+    let queries = s.serve_queries;
+    let mix = serve_mix(&workload, &[0, 1], 4, queries, 48879);
+    let templates_sql = QueryWorkload::templates(&workload);
+    let run_once = |journal: Option<Arc<EventJournal>>| {
+        let market = Arc::new(build_market(&workload, 1));
+        let cfg = ServeConfig {
+            threads: 1,
+            events: journal,
+            ..ServeConfig::default()
+        };
+        let layer = Serve::new(market, QueryWorkload::local_tables(&workload), cfg);
+        let templates: Vec<_> = templates_sql
+            .iter()
+            .map(|sql| layer.prepare(sql).expect("workload template parses"))
+            .collect();
+        black_box(run_mix(&layer, &mix, &templates).expect("serve mix succeeds"));
+    };
+
+    let mut r = Runner::new("hotpath_events");
+    r.note("queries", queries as f64);
+    let off_name = format!("serve/mix/{queries}q/events_off");
+    r.bench(&off_name, || run_once(None));
+    let on_name = format!("serve/mix/{queries}q/events_on");
+    r.bench(&on_name, || {
+        run_once(Some(Arc::new(EventJournal::default())))
+    });
+    if let (Some(off), Some(on)) = (r.median_of(&off_name), r.median_of(&on_name)) {
+        r.note("overhead/events_on", on / off);
+    }
+    r
+}
+
+/// Validate a flight-recorder JSONL dump (an `--events-out` journal or a
+/// black-box post-mortem): every line must parse as one JSON event with a
+/// strictly increasing `seq`, an `at_nanos` timestamp, a known `severity`,
+/// and a `kind` name. With `expect_violation`, the dump must be a real
+/// post-mortem: at least one `watchdog_violation` event plus the `blackbox`
+/// marker the dumper appends.
+fn validate_events(path: &str, expect_violation: bool) {
+    let fail = |msg: String| -> ! {
+        eprintln!("validate-events: {msg}");
+        std::process::exit(1);
+    };
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let mut last_seq: Option<u64> = None;
+    let mut events = 0u64;
+    let mut saw_violation = false;
+    let mut saw_blackbox = false;
+    for (i, line) in data.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let parsed = payless_json::parse(line)
+            .unwrap_or_else(|e| fail(format!("{path}:{}: malformed JSON: {e}", i + 1)));
+        let seq = parsed
+            .get_opt("seq")
+            .and_then(|s| s.as_u64().ok())
+            .unwrap_or_else(|| fail(format!("{path}:{}: no `seq`", i + 1)));
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                fail(format!(
+                    "{path}:{}: seq {seq} not strictly increasing (follows {prev})",
+                    i + 1
+                ));
+            }
+        }
+        last_seq = Some(seq);
+        if parsed
+            .get_opt("at_nanos")
+            .and_then(|v| v.as_u64().ok())
+            .is_none()
+        {
+            fail(format!("{path}:{}: no `at_nanos` timestamp", i + 1));
+        }
+        let severity = parsed
+            .get_opt("severity")
+            .and_then(|s| s.as_str().ok())
+            .unwrap_or_else(|| fail(format!("{path}:{}: no `severity`", i + 1)));
+        if !matches!(severity, "debug" | "info" | "warn" | "error") {
+            fail(format!("{path}:{}: unknown severity `{severity}`", i + 1));
+        }
+        let kind = parsed
+            .get_opt("kind")
+            .and_then(|k| k.as_str().ok())
+            .unwrap_or_else(|| fail(format!("{path}:{}: no `kind`", i + 1)));
+        saw_violation |= kind == "watchdog_violation";
+        saw_blackbox |= kind == "blackbox";
+        events += 1;
+    }
+    if events == 0 {
+        fail(format!("{path}: no events"));
+    }
+    if expect_violation {
+        if !saw_violation {
+            fail(format!(
+                "{path}: expected a `watchdog_violation` event in the black box"
+            ));
+        }
+        if !saw_blackbox {
+            fail(format!("{path}: expected the `blackbox` marker event"));
+        }
+    }
+    println!(
+        "validate-events: {path}: {events} well-formed event(s){}",
+        if expect_violation {
+            "; violation + black-box marker present"
+        } else {
+            ""
+        }
+    );
+}
+
+/// The events-smoke abort harness: replay the pinned chaos mix under the
+/// strict watchdog sampling after every query, then slip one unattributed
+/// charge straight onto the billing meter mid-run — spend no query's ledger
+/// can account for. The next watchdog sample sees meter > ledger, strict
+/// mode aborts the mix, and the journal's black box must land at `out`
+/// covering the violating sample. Exits non-zero unless the run fails *and*
+/// the dump exists.
+fn events_abort(out: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("events-abort: {msg}");
+        std::process::exit(1);
+    };
+    let _ = std::fs::remove_file(out);
+    let workload = smoke_workload();
+    let market = Arc::new(build_market(&workload, 1));
+    market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(48879)));
+    let journal = Arc::new(EventJournal::new(1 << 14));
+    journal.set_blackbox(Some(out.to_string()));
+    let cfg = ServeConfig {
+        threads: 1,
+        retry: RetryPolicy::unlimited(),
+        strict_reconcile: true,
+        watchdog_every: 1,
+        events: Some(Arc::clone(&journal)),
+        ..ServeConfig::default()
+    };
+    let layer = Serve::new(
+        Arc::clone(&market),
+        QueryWorkload::local_tables(&workload),
+        cfg,
+    );
+    let templates: Vec<_> = QueryWorkload::templates(&workload)
+        .iter()
+        .map(|sql| layer.prepare(sql).expect("workload template parses"))
+        .collect();
+    let mix = serve_mix(&workload, &[0, 1], 4, 24, 48879);
+
+    // The saboteur waits for the first real purchase (which is necessarily
+    // after the watchdog's base snapshot), then charges the meter directly.
+    let sab_market = Arc::clone(&market);
+    let table = market.table_names()[0].clone();
+    let base = market.bill().transactions();
+    let saboteur = std::thread::spawn(move || {
+        while sab_market.bill().transactions() <= base {
+            std::thread::yield_now();
+        }
+        sab_market.meter().charge(&table, 97, 97);
+    });
+    // The violation normally surfaces as a mid-run strict Err; if the
+    // charge races past the last sample it panics out of the finish-time
+    // reconciliation instead. Both paths dump the black box first.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_mix(&layer, &mix, &templates)
+    }));
+    saboteur.join().expect("saboteur thread");
+    match result {
+        Ok(Ok(_)) => fail("the sabotaged run reconciled — no violation was detected".into()),
+        Ok(Err(e)) => println!("events-abort: mix aborted as expected: {e}"),
+        Err(_) => println!("events-abort: finish-time strict reconciliation panicked as expected"),
+    }
+    match std::fs::metadata(out) {
+        Ok(m) if m.len() > 0 => println!(
+            "events-abort: black box ({} bytes, {} event(s) recorded) -> {out}",
+            m.len(),
+            journal.recorded()
+        ),
+        Ok(_) => fail(format!("black box {out} is empty")),
+        Err(e) => fail(format!("black box {out} was not written: {e}")),
+    }
 }
 
 /// Read and parse one serve dump, or exit non-zero.
@@ -1463,6 +1684,28 @@ fn main() {
             }
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "validate-events") {
+        match args.get(pos + 1) {
+            Some(path) => {
+                let expect_violation =
+                    args.get(pos + 2).map(String::as_str) == Some("expect-violation");
+                return validate_events(path, expect_violation);
+            }
+            None => {
+                eprintln!("validate-events: need <events.jsonl> [expect-violation]");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "events-abort") {
+        match args.get(pos + 1) {
+            Some(path) => return events_abort(path),
+            None => {
+                eprintln!("events-abort: missing black-box output file argument");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(pos) = args.iter().position(|a| a == "validate-serve") {
         match (args.get(pos + 1), args.get(pos + 2)) {
             (Some(serial), Some(parallel)) => return validate_serve(serial, parallel),
@@ -1508,5 +1751,8 @@ fn main() {
     }
     if args.iter().any(|a| a == "metrics") {
         bench_metrics(scale).finish();
+    }
+    if args.iter().any(|a| a == "events") {
+        bench_events(scale).finish();
     }
 }

@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use payless_core::{
-    build_market, enabled_from_env, ChromeTraceBuilder, DataMarket, FaultInjector, FaultPlan,
-    MetricsConfig, MetricsHub, PayLess, PayLessConfig, QueryReport, RetryPolicy, SpendCell,
-    StoreConfig,
+    build_market, enabled_from_env, known_queries, render_provenance, ChromeTraceBuilder,
+    DataMarket, EventJournal, EventsConfig, FaultInjector, FaultPlan, MetricsConfig, MetricsHub,
+    PayLess, PayLessConfig, QueryReport, RetryPolicy, SpendCell, StoreConfig,
 };
 use payless_json::{Json, ToJson};
 use payless_serve::{run_mix, Serve, ServeConfig};
@@ -49,6 +49,42 @@ pub struct App {
     metrics: Option<Arc<MetricsHub>>,
     /// Destination for the metrics exposition (+ `.jsonl` series) on exit.
     metrics_out: Option<String>,
+    /// Flight recorder (`None` unless `--events-out` or `PAYLESS_EVENTS`
+    /// asked for one).
+    events: Option<Arc<EventJournal>>,
+    /// Destination for the event journal's JSONL dump on exit.
+    events_out: Option<String>,
+}
+
+/// Write an artifact file, creating missing parent directories and turning
+/// I/O failures into a clean message instead of a panic. Every `--*-out`
+/// flag and `\save` funnels through here so they all behave the same way.
+fn write_artifact(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating directory for `{path}`: {e}"))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("writing `{path}`: {e}"))
+}
+
+/// Build the session's flight recorder, honoring the `PAYLESS_EVENTS*`
+/// knobs. As with metrics, an explicit `--events-out` turns recording on
+/// even under `PAYLESS_EVENTS=0`, and the flag's path wins over
+/// `PAYLESS_EVENTS_OUT` as the dump / black-box destination.
+fn events_config(events_out: &Option<String>) -> Option<EventsConfig> {
+    let mut cfg = match EventsConfig::from_env() {
+        Some(cfg) => cfg,
+        None => {
+            events_out.as_ref()?;
+            EventsConfig::default()
+        }
+    };
+    if events_out.is_some() {
+        cfg.blackbox = events_out.clone();
+    }
+    Some(cfg)
 }
 
 /// Build the session's metrics hub, honoring the `PAYLESS_METRICS*` env
@@ -63,10 +99,9 @@ fn build_hub(metrics_out: &Option<String>) -> Option<Arc<MetricsHub>> {
 /// `<path>.jsonl`, closing the tail window first.
 fn dump_metrics(hub: &MetricsHub, path: &str) -> Result<String, String> {
     hub.roll();
-    std::fs::write(path, hub.exposition()).map_err(|e| format!("writing `{path}`: {e}"))?;
+    write_artifact(path, &hub.exposition())?;
     let series_path = format!("{path}.jsonl");
-    std::fs::write(&series_path, hub.series_jsonl())
-        .map_err(|e| format!("writing `{series_path}`: {e}"))?;
+    write_artifact(&series_path, &hub.series_jsonl())?;
     Ok(format!("metrics -> {path}, series -> {series_path}"))
 }
 
@@ -127,6 +162,12 @@ impl App {
         if let Some(hub) = &metrics {
             session.attach_metrics(Arc::clone(hub));
         }
+        let events_cfg = events_config(&args.events_out);
+        let events = events_cfg.as_ref().map(EventJournal::from_config);
+        let events_out = events_cfg.and_then(|cfg| cfg.blackbox);
+        if let Some(journal) = &events {
+            session.attach_events(Arc::clone(journal));
+        }
         Ok(App {
             market,
             session,
@@ -140,6 +181,8 @@ impl App {
             regret_da: 0.0,
             metrics,
             metrics_out: args.metrics_out.clone(),
+            events,
+            events_out,
         })
     }
 
@@ -167,13 +210,23 @@ impl App {
         self.regret_da += report.regret_vs_download_all().unwrap_or(0.0);
     }
 
-    /// Flush end-of-session artifacts (the `--trace-out` document and the
-    /// `--metrics-out` exposition + series). Returns a message to print,
-    /// if anything was written.
+    /// Flush end-of-session artifacts (the `--trace-out` document, the
+    /// `--metrics-out` exposition + series, and the `--events-out` event
+    /// journal). Returns a message to print, if anything was written.
     pub fn finish(&mut self) -> Option<String> {
         let mut messages: Vec<String> = Vec::new();
         if let (Some(hub), Some(path)) = (&self.metrics, &self.metrics_out) {
             messages.push(dump_metrics(hub, path).unwrap_or_else(|e| format!("warning: {e}")));
+        }
+        if let (Some(journal), Some(path)) = (&self.events, &self.events_out) {
+            messages.push(match write_artifact(path, &journal.dump_jsonl()) {
+                Ok(()) => format!(
+                    "events -> {path} ({} recorded, {} dropped by the ring)",
+                    journal.recorded(),
+                    journal.dropped()
+                ),
+                Err(e) => format!("warning: {e}"),
+            });
         }
         match self.finish_trace() {
             Some(msg) => messages.push(msg),
@@ -204,11 +257,11 @@ impl App {
             ("regret_vs_download_all", self.regret_da.to_json()),
         ]);
         let doc = std::mem::take(&mut self.trace_builder).finish(other);
-        match std::fs::write(&path, doc.to_string_pretty()) {
+        match write_artifact(&path, &doc.to_string_pretty()) {
             Ok(()) => Some(format!(
                 "trace written to {path} (open in chrome://tracing or ui.perfetto.dev)"
             )),
-            Err(e) => Some(format!("warning: writing trace `{path}`: {e}")),
+            Err(e) => Some(format!("warning: {e}")),
         }
     }
 
@@ -260,7 +313,7 @@ impl App {
             .session
             .to_json()
             .map_err(|e| format!("serializing session: {e}"))?;
-        std::fs::write(path, &json).map_err(|e| format!("writing `{path}`: {e}"))?;
+        write_artifact(path, &json)?;
         Ok(format!("session saved to {path} ({} bytes)", json.len()))
     }
 
@@ -332,13 +385,11 @@ impl App {
                             ));
                             if let Some(path) = self.explain_out.clone() {
                                 let json = report.to_json().to_string_pretty();
-                                match std::fs::write(&path, json) {
+                                match write_artifact(&path, &json) {
                                     Ok(()) => {
                                         s.push_str(&format!("explain report written to {path}\n"))
                                     }
-                                    Err(e) => {
-                                        s.push_str(&format!("warning: writing `{path}`: {e}\n"))
-                                    }
+                                    Err(e) => s.push_str(&format!("warning: {e}\n")),
                                 }
                             }
                             self.note_report(rest, &report);
@@ -388,6 +439,31 @@ impl App {
                     None => Reply::Text(
                         "metrics are off (PAYLESS_METRICS=0); restart without it or pass \
                          --metrics-out"
+                            .into(),
+                    ),
+                },
+                "why" => match &self.events {
+                    Some(journal) => {
+                        let events = journal.snapshot();
+                        let query = if rest.is_empty() {
+                            known_queries(&events).last().copied()
+                        } else {
+                            match rest.parse::<u64>() {
+                                Ok(q) => Some(q),
+                                Err(_) => {
+                                    return Reply::Text(format!(
+                                        "usage: \\why [query-id] (got `{rest}`)"
+                                    ))
+                                }
+                            }
+                        };
+                        match query {
+                            Some(q) => Reply::Text(render_provenance(&events, q)),
+                            None => Reply::Text("no journaled queries yet".into()),
+                        }
+                    }
+                    None => Reply::Text(
+                        "the flight recorder is off; pass --events-out or set PAYLESS_EVENTS=1"
                             .into(),
                     ),
                 },
@@ -463,8 +539,10 @@ fn store_config_from_env() -> StoreConfig {
 /// (when `--clients` is absent), `PAYLESS_COALESCE=0` to disable single
 /// flight, `PAYLESS_FAULT_SEED` to chaos-inject the market,
 /// `PAYLESS_BATCH` / `PAYLESS_BATCH_WINDOW_MS` / `PAYLESS_BATCH_MAX` to
-/// batch cross-query purchases, and `PAYLESS_STORE_MAX_VIEWS` /
-/// `PAYLESS_STORE_COMPACT` to tune the shared semantic store.
+/// batch cross-query purchases, `PAYLESS_STORE_MAX_VIEWS` /
+/// `PAYLESS_STORE_COMPACT` to tune the shared semantic store, and
+/// `PAYLESS_EVENTS` / `PAYLESS_EVENTS_CAP` / `PAYLESS_EVENTS_OUT` (or
+/// `--events-out`) to attach the flight recorder.
 pub fn run_serve(args: &CliArgs) -> Result<String, String> {
     if args.workload != WorkloadKind::Whw {
         return Err("--serve currently supports --workload whw only".into());
@@ -487,6 +565,9 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(fs)));
     }
     let hub = build_hub(&args.metrics_out);
+    let events_cfg = events_config(&args.events_out);
+    let journal = events_cfg.as_ref().map(EventJournal::from_config);
+    let events_out = events_cfg.and_then(|cfg| cfg.blackbox);
     let cfg = ServeConfig {
         threads,
         coalesce,
@@ -497,6 +578,7 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
             RetryPolicy::default()
         },
         metrics: hub.clone(),
+        events: journal.clone(),
         strict_reconcile: MetricsConfig::strict_from_env(),
         store: store_config_from_env(),
         batch: payless_serve::BatchConfig::from_env(),
@@ -511,17 +593,31 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         .map_err(|e| format!("workload template: {e}"))?;
     // The two single-table WHW templates (see DESIGN.md on the serve mix).
     let mix = serve_mix(&w, &[0, 1], clients, queries, seed);
-    let mut report = run_mix(&layer, &mix, &templates).map_err(|e| format!("serve: {e}"))?;
+    let mut report = run_mix(&layer, &mix, &templates).map_err(|e| match &events_out {
+        // run_mix dumps the journal's black box before surfacing the error.
+        Some(path) => format!("serve: {e} (flight-recorder black box -> {path})"),
+        None => format!("serve: {e}"),
+    })?;
     report.seed = seed;
     report.clients = clients as u64;
     report.page_size = args.page_size;
     report.fault_seed = fault_seed;
     if let Some(path) = &args.serve_out {
-        std::fs::write(path, report.to_json().to_string_pretty())
-            .map_err(|e| format!("writing `{path}`: {e}"))?;
+        write_artifact(path, &report.to_json().to_string_pretty())?;
     }
     let metrics_note = match (&hub, &args.metrics_out) {
         (Some(hub), Some(path)) => Some(dump_metrics(hub, path)?),
+        _ => None,
+    };
+    let events_note = match (&journal, &events_out) {
+        (Some(journal), Some(path)) => {
+            write_artifact(path, &journal.dump_jsonl())?;
+            Some(format!(
+                "events -> {path} ({} recorded, {} dropped by the ring)",
+                journal.recorded(),
+                journal.dropped()
+            ))
+        }
         _ => None,
     };
 
@@ -584,6 +680,9 @@ pub fn run_serve(args: &CliArgs) -> Result<String, String> {
         let _ = writeln!(out, "  report -> {path}");
     }
     if let Some(note) = metrics_note {
+        let _ = writeln!(out, "  {note}");
+    }
+    if let Some(note) = events_note {
         let _ = writeln!(out, "  {note}");
     }
     Ok(out.trim_end().to_string())
@@ -767,6 +866,75 @@ mod tests {
             payless_json::parse(line).expect("every series line is JSON");
         }
         assert!(!series.trim().is_empty(), "rolled tail window is dumped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_out_writes_journal_and_why_renders_provenance() {
+        let dir = std::env::temp_dir().join(format!("payless-events-test-{}", std::process::id()));
+        // Deliberately nested, uncreated path: write_artifact must mkdir -p.
+        let path = dir.join("deep/nested/events.jsonl");
+        let mut a = App::new(&CliArgs {
+            scale: 0.01,
+            events_out: Some(path.to_str().unwrap().to_string()),
+            ..CliArgs::default()
+        })
+        .unwrap();
+        a.handle(
+            "SELECT * FROM Weather WHERE Weather.Country = 'Country0' \
+             AND Weather.Date >= 1 AND Weather.Date <= 3",
+        );
+        match a.handle("\\why") {
+            Reply::Text(s) => {
+                assert!(s.contains("query"), "{s}");
+                assert!(s.contains("billed"), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            a.handle("\\why not-a-number"),
+            Reply::Text(ref s) if s.contains("usage")
+        ));
+        let msg = a.finish().expect("events-out configured");
+        assert!(msg.contains("events ->"), "{msg}");
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(!dump.trim().is_empty());
+        let mut saw_query_start = false;
+        for line in dump.lines() {
+            let json = payless_json::parse(line).expect("every journal line is JSON");
+            if json.get("kind").unwrap().as_str().unwrap() == "query_start" {
+                saw_query_start = true;
+            }
+        }
+        assert!(saw_query_start, "journal covers the query lifecycle");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn why_without_recorder_points_at_the_knobs() {
+        let mut a = app();
+        match a.handle("\\why") {
+            Reply::Text(s) => assert!(s.contains("--events-out"), "{s}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_artifact_reports_unwritable_paths_cleanly() {
+        let dir =
+            std::env::temp_dir().join(format!("payless-artifact-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A file where a directory is needed: create_dir_all must fail with
+        // a message, not a panic.
+        let file = dir.join("occupied");
+        std::fs::write(&file, "x").unwrap();
+        let target = file.join("child.json");
+        let err = write_artifact(target.to_str().unwrap(), "{}").unwrap_err();
+        assert!(err.contains("creating directory"), "{err}");
+        // Bare filenames (no parent) write without touching mkdir.
+        let plain = dir.join("plain.txt");
+        write_artifact(plain.to_str().unwrap(), "ok").unwrap();
+        assert_eq!(std::fs::read_to_string(&plain).unwrap(), "ok");
         std::fs::remove_dir_all(&dir).ok();
     }
 

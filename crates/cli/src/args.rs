@@ -52,6 +52,10 @@ pub struct CliArgs {
     /// (plus a `<file>.jsonl` windowed time-series). Enables metrics even
     /// if `PAYLESS_METRICS` is unset.
     pub metrics_out: Option<String>,
+    /// Write the flight recorder's JSONL event journal to this file on
+    /// exit (the same path doubles as the black-box dump target on abort
+    /// or panic). Enables the recorder even if `PAYLESS_EVENTS` is unset.
+    pub events_out: Option<String>,
     /// One-shot SQL; when `None` the shell goes interactive.
     pub sql: Option<String>,
 }
@@ -73,6 +77,7 @@ impl Default for CliArgs {
             seed: None,
             serve_out: None,
             metrics_out: None,
+            events_out: None,
             sql: None,
         }
     }
@@ -122,6 +127,15 @@ OPTIONS:
                                       PAYLESS_METRICS=0 (off),
                                       PAYLESS_METRICS_WINDOW_MS,
                                       PAYLESS_METRICS_STRICT=1
+    --events-out <file>               write the flight recorder's JSONL
+                                      event journal to <file> on exit;
+                                      black-box dumps on abort/panic land
+                                      at the same path. Env knobs:
+                                      PAYLESS_EVENTS=1 (record, no file),
+                                      PAYLESS_EVENTS=0 (force off),
+                                      PAYLESS_EVENTS_CAP (ring capacity,
+                                      default 8192),
+                                      PAYLESS_EVENTS_OUT (dump path)
     -h, --help                        this text
 
 Without SQL, an interactive shell starts. Shell commands:
@@ -133,6 +147,9 @@ Without SQL, an interactive shell starts. Shell commands:
     \\explain <SQL>   EXPLAIN ANALYZE: execute and print the plan tree with
                      estimated vs actual rows/pages/price per operator
     \\estimate <SQL>  plan + estimated cost without executing (free)
+    \\why [query-id]  spend provenance: the calls, retries, faults, and
+                     batch shares that billed the query (default: the
+                     most recent journaled query)
     \\save <file>     persist the session
     \\quit            exit (saving the session if --session was given)";
 
@@ -228,6 +245,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
             }
             "--serve-out" => out.serve_out = Some(take_value(&mut i)?),
             "--metrics-out" => out.metrics_out = Some(take_value(&mut i)?),
+            "--events-out" => out.events_out = Some(take_value(&mut i)?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"))
             }
@@ -336,6 +354,14 @@ mod tests {
         assert_eq!(a.metrics_out.as_deref(), Some("metrics.txt"));
         assert_eq!(parse_args(&[]).unwrap().metrics_out, None);
         assert!(parse_args(&argv(&["--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn events_out_takes_a_path() {
+        let a = parse_args(&argv(&["--events-out", "events.jsonl"])).unwrap();
+        assert_eq!(a.events_out.as_deref(), Some("events.jsonl"));
+        assert_eq!(parse_args(&[]).unwrap().events_out, None);
+        assert!(parse_args(&argv(&["--events-out"])).is_err());
     }
 
     #[test]

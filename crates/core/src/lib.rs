@@ -44,6 +44,10 @@
 pub mod report;
 pub mod session;
 
+pub use payless_events::{
+    known_queries, provenance, render_provenance, Event, EventJournal, EventKind, EventsConfig,
+    Provenance, Severity,
+};
 pub use payless_exec::{
     CallBudget, CallCoalescer, CallOutcome, ExecState, QueryResult, RetryPolicy, SharedState,
 };

@@ -183,6 +183,8 @@ pub struct PayLess {
     recorder: Arc<Recorder>,
     /// Live metrics hub, if one was attached ([`PayLess::attach_metrics`]).
     metrics: Option<Arc<MetricsHub>>,
+    /// Flight recorder, if one was attached ([`PayLess::attach_events`]).
+    events: Option<Arc<payless_events::EventJournal>>,
 }
 
 impl PayLess {
@@ -214,6 +216,7 @@ impl PayLess {
             history: Vec::new(),
             recorder,
             metrics: None,
+            events: None,
         }
     }
 
@@ -223,6 +226,21 @@ impl PayLess {
     /// to any serve layer it starts, so `\metrics` shows both.
     pub fn attach_metrics(&mut self, hub: Arc<MetricsHub>) {
         self.metrics = Some(hub);
+    }
+
+    /// Attach a flight-recorder journal: every query this session runs
+    /// journals its lifecycle, call attempts/faults/retries, and store
+    /// events with the query's causal id (its logical-clock tick). The CLI
+    /// maps the `PAYLESS_EVENTS*` knobs onto this; the library itself
+    /// never reads the environment.
+    pub fn attach_events(&mut self, journal: Arc<payless_events::EventJournal>) {
+        self.store.attach_events(journal.clone());
+        self.events = Some(journal);
+    }
+
+    /// The attached flight-recorder journal, if any (`\why` reads it).
+    pub fn events_journal(&self) -> Option<&Arc<payless_events::EventJournal>> {
+        self.events.as_ref()
     }
 
     /// Turn per-query tracing on or off. While on, every
@@ -404,6 +422,34 @@ impl PayLess {
 
     fn run(&mut self, query: &AnalyzedQuery) -> Result<QueryOutcome> {
         self.now += 1;
+        let qid = self.now;
+        if let Some(j) = &self.events {
+            j.emit(Some(qid), payless_events::Severity::Info, || {
+                payless_events::EventKind::QueryStart
+            });
+        }
+        let billed_before = self.market.bill().transactions();
+        let out = self.run_inner(query);
+        if let Some(j) = &self.events {
+            let ok = out.is_ok();
+            // Billed pages from the meter delta: a session attributes every
+            // charge in this window to the one query it is running.
+            let pages = self.market.bill().transactions() - billed_before;
+            let sev = if ok {
+                payless_events::Severity::Info
+            } else {
+                payless_events::Severity::Warn
+            };
+            j.emit(Some(qid), sev, || payless_events::EventKind::QueryDone {
+                ok,
+                pages,
+                wasted_pages: 0,
+            });
+        }
+        out
+    }
+
+    fn run_inner(&mut self, query: &AnalyzedQuery) -> Result<QueryOutcome> {
         let tracing = self.recorder.is_enabled();
         // Start a fresh per-query epoch *unconditionally*: a previous query
         // that failed mid-flight, or ran while tracing was toggled, must not
@@ -419,6 +465,7 @@ impl PayLess {
             // The market's attached recorder writes this session's ledger.
             synthesize_ledger: false,
             metrics: self.metrics.clone(),
+            events: self.events.clone(),
         };
 
         // Unsatisfiable queries cost nothing.
@@ -450,6 +497,10 @@ impl PayLess {
         // first; the optimizer then finds a zero-cost plan.
         if self.cfg.mode == Mode::DownloadAll {
             let _span = self.recorder.span("phase.download-all", || None);
+            let scope = self
+                .events
+                .as_deref()
+                .map(|j| payless_events::EventScope::new(j, self.now));
             for t in &query.tables {
                 if t.location == TableLocation::Market {
                     ensure_downloaded(
@@ -462,6 +513,7 @@ impl PayLess {
                         Some(self.recorder.as_ref()),
                         &self.cfg.retry,
                         self.metrics.as_deref(),
+                        scope.as_ref(),
                     )?;
                 }
             }

@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use payless_events::{EventJournal, EventKind, Severity};
 use payless_geometry::Region;
 use payless_metrics::MetricsHub;
 
@@ -96,6 +97,9 @@ impl BatchConfig {
 /// first-match row count, so Σ member records == delivered records too.
 #[derive(Debug, Clone, Default)]
 pub struct MemberShare {
+    /// Id of the batch this share came from (the flight recorder's
+    /// `BatchId`).
+    pub batch: u64,
     /// Pages of delivered payload attributed to this member.
     pub delivered_pages: u64,
     /// Pages billed but wasted (failed/truncated attempts) attributed to
@@ -127,6 +131,8 @@ pub struct ParkedMember {
 /// A sealed batch handed to its leader: members in join order.
 #[derive(Debug)]
 pub struct SealedBatch {
+    /// Planner-assigned batch id (the flight recorder's `BatchId`).
+    pub id: u64,
     /// Table all members park against (batches never span tables).
     pub table: String,
     /// Members in join order; attribution partitions rows in this order.
@@ -184,6 +190,9 @@ pub struct BatchPlanner {
     state: Mutex<PlannerState>,
     cv: Condvar,
     metrics: Option<Arc<MetricsHub>>,
+    /// Flight recorder: park/seal/leader-election events. `None` costs
+    /// nothing.
+    events: Option<Arc<EventJournal>>,
 }
 
 impl BatchPlanner {
@@ -197,6 +206,7 @@ impl BatchPlanner {
             state: Mutex::new(PlannerState::default()),
             cv: Condvar::new(),
             metrics: None,
+            events: None,
         }
     }
 
@@ -207,6 +217,13 @@ impl BatchPlanner {
             metrics: Some(hub),
             ..Self::new(cfg)
         }
+    }
+
+    /// Journal park/seal/leader-election events into `journal` (the
+    /// flight recorder's `batch_*` events).
+    pub fn with_events(mut self, journal: Arc<EventJournal>) -> Self {
+        self.events = Some(journal);
+        self
     }
 
     fn lock(&self) -> MutexGuard<'_, PlannerState> {
@@ -241,8 +258,10 @@ impl BatchPlanner {
 
     /// Park `pieces` (the uncovered remainders of `base` over `table`) and
     /// block until this query either leads the sealed batch or receives its
-    /// settled share from another leader.
-    pub fn join(&self, table: &str, base: Region, pieces: Vec<Region>) -> BatchRole {
+    /// settled share from another leader. `query` is the joining query's
+    /// logical id, used only for flight-recorder attribution.
+    pub fn join(&self, table: &str, base: Region, pieces: Vec<Region>, query: u64) -> BatchRole {
+        let npieces = pieces.len() as u64;
         let mut st = self.lock();
         let token = st.next_token;
         st.next_token += 1;
@@ -276,13 +295,20 @@ impl BatchPlanner {
         if let Some(hub) = &self.metrics {
             hub.batch_members.inc(1);
         }
+        if let Some(j) = &self.events {
+            j.emit(Some(query), Severity::Debug, || EventKind::BatchParked {
+                batch: bid,
+                table: table.to_string(),
+                pieces: npieces,
+            });
+        }
         if full {
-            Self::seal(&mut st, bid, token);
+            self.seal(&mut st, bid, token, "cap", query);
         }
         // Every active query is parked: nobody is left to join any open
         // batch, so waiting out the window would only add latency.
         if st.parked >= self.active.load(Ordering::SeqCst) {
-            self.seal_all(&mut st);
+            self.seal_all(&mut st, query);
         }
         self.cv.notify_all();
 
@@ -299,7 +325,15 @@ impl BatchPlanner {
                         if let Some(hub) = &self.metrics {
                             hub.batch_batches.inc(1);
                         }
+                        if let Some(j) = &self.events {
+                            j.emit(Some(query), Severity::Info, || EventKind::BatchLeader {
+                                batch: bid,
+                                table: b.table.clone(),
+                                members: b.members.len() as u64,
+                            });
+                        }
                         return BatchRole::Leader(SealedBatch {
+                            id: bid,
                             table: b.table,
                             members: b.members,
                             leader: token,
@@ -312,7 +346,7 @@ impl BatchPlanner {
                 Some(b) => {
                     let elapsed = b.opened.elapsed();
                     if elapsed >= self.window {
-                        Self::seal(&mut st, bid, token);
+                        self.seal(&mut st, bid, token, "window", query);
                         self.cv.notify_all();
                         continue;
                     }
@@ -329,23 +363,34 @@ impl BatchPlanner {
         }
     }
 
-    fn seal(st: &mut PlannerState, bid: u64, leader: u64) {
+    fn seal(&self, st: &mut PlannerState, bid: u64, leader: u64, reason: &str, query: u64) {
         if let Some(b) = st.batches.get_mut(&bid) {
             if !b.sealed {
                 b.sealed = true;
                 b.leader = leader;
-                st.open.remove(&b.table);
+                let table = b.table.clone();
+                let members = b.members.len() as u64;
+                st.open.remove(&table);
+                if let Some(j) = &self.events {
+                    j.emit(Some(query), Severity::Info, || EventKind::BatchSealed {
+                        batch: bid,
+                        table,
+                        members,
+                        reason: reason.to_string(),
+                    });
+                }
             }
         }
     }
 
     /// Seal every open batch, each led by its first (longest-waiting)
-    /// member.
-    fn seal_all(&self, st: &mut PlannerState) {
+    /// member. `query` is the quiescence-detecting joiner, for event
+    /// attribution.
+    fn seal_all(&self, st: &mut PlannerState, query: u64) {
         let ids: Vec<u64> = st.open.values().copied().collect();
         for bid in ids {
             let leader = st.batches[&bid].members[0].token;
-            Self::seal(st, bid, leader);
+            self.seal(st, bid, leader, "quiescence", query);
         }
     }
 
@@ -388,6 +433,7 @@ impl BatchPlanner {
     pub fn settle_guard<'a>(&'a self, batch: &SealedBatch) -> SettleGuard<'a> {
         SettleGuard {
             planner: self,
+            batch: batch.id,
             tokens: batch
                 .members
                 .iter()
@@ -414,6 +460,7 @@ impl Drop for ActivityGuard<'_> {
 /// See [`BatchPlanner::settle_guard`].
 pub struct SettleGuard<'a> {
     planner: &'a BatchPlanner,
+    batch: u64,
     tokens: Vec<u64>,
     members: u64,
     settled: bool,
@@ -434,6 +481,7 @@ impl Drop for SettleGuard<'_> {
         let mut st = self.planner.lock();
         for &t in &self.tokens {
             st.results.entry(t).or_insert_with(|| MemberShare {
+                batch: self.batch,
                 batch_members: self.members,
                 error: Some("batch leader aborted before settling".to_string()),
                 ..MemberShare::default()
@@ -565,7 +613,7 @@ mod tests {
             max_members: 8,
         });
         let _a = p.activity();
-        match p.join("T", r(0, 9), vec![r(0, 9)]) {
+        match p.join("T", r(0, 9), vec![r(0, 9)], 1) {
             BatchRole::Leader(b) => {
                 assert_eq!(b.members.len(), 1);
                 assert_eq!(b.leader, b.members[0].token);
@@ -596,7 +644,7 @@ mod tests {
         p.begin_query(); // third active query keeps parked < active at join 1
         let pm = Arc::clone(&p);
         let member = std::thread::spawn(move || {
-            let role = pm.join("T", r(0, 4), vec![r(0, 4)]);
+            let role = pm.join("T", r(0, 4), vec![r(0, 4)], 1);
             pm.end_query();
             match role {
                 BatchRole::Served(s) => s,
@@ -607,7 +655,7 @@ mod tests {
         while p.lock().parked == 0 {
             std::thread::yield_now();
         }
-        let role = p.join("T", r(5, 9), vec![r(5, 9)]);
+        let role = p.join("T", r(5, 9), vec![r(5, 9)], 1);
         let batch = match role {
             BatchRole::Leader(b) => b,
             BatchRole::Served(_) => panic!("cap-sealing joiner leads"),
@@ -651,7 +699,7 @@ mod tests {
         p.begin_query();
         let pm = Arc::clone(&p);
         let member = std::thread::spawn(move || {
-            let role = pm.join("T", r(0, 4), vec![r(0, 4)]);
+            let role = pm.join("T", r(0, 4), vec![r(0, 4)], 1);
             pm.end_query();
             match role {
                 BatchRole::Served(s) => s,
@@ -661,7 +709,7 @@ mod tests {
         while p.lock().parked == 0 {
             std::thread::yield_now();
         }
-        let batch = match p.join("T", r(5, 9), vec![r(5, 9)]) {
+        let batch = match p.join("T", r(5, 9), vec![r(5, 9)], 1) {
             BatchRole::Leader(b) => b,
             BatchRole::Served(_) => panic!("cap-sealing joiner leads"),
         };
@@ -682,7 +730,7 @@ mod tests {
         }));
         p.begin_query();
         p.begin_query(); // a second active query that never parks
-        let role = p.join("T", r(0, 9), vec![r(0, 9)]);
+        let role = p.join("T", r(0, 9), vec![r(0, 9)], 1);
         match role {
             BatchRole::Leader(b) => assert_eq!(b.members.len(), 1),
             BatchRole::Served(_) => panic!("timeout seals with the waiter as leader"),

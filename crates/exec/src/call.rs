@@ -16,6 +16,7 @@
 
 use std::time::{Duration, Instant};
 
+use payless_events::{CallId, EventKind, EventScope, Severity};
 use payless_market::{DataMarket, Request, Response};
 use payless_metrics::MetricsHub;
 use payless_telemetry::Recorder;
@@ -171,6 +172,13 @@ impl CallOutcome {
 /// and its billed/wasted/delivered pages feed the live spend counters, so
 /// `payless_market_pages_billed_total` advances in lockstep with the
 /// market's billing meter.
+///
+/// When an [`EventScope`] is attached, the whole attempt loop is journaled
+/// into the flight recorder under a fresh [`CallId`]: one `call_attempt`
+/// per wire hit, `call_truncated` / `call_fault` for billed or free
+/// failures, `call_retry` before each backoff, and a final
+/// `call_delivered` / `call_failed` whose page totals mirror the
+/// [`CallOutcome`] exactly — the links spend provenance walks.
 pub fn resilient_get(
     market: &DataMarket,
     req: &Request,
@@ -178,9 +186,52 @@ pub fn resilient_get(
     budget: &mut CallBudget,
     recorder: Option<&Recorder>,
     metrics: Option<&MetricsHub>,
+    events: Option<&EventScope>,
 ) -> CallOutcome {
     let started = metrics.map(|_| Instant::now());
-    let out = attempt_loop(market, req, policy, budget, recorder, metrics);
+    let call = events.map(|_| CallId::next());
+    let out = attempt_loop(market, req, policy, budget, recorder, metrics, events, call);
+    if let (Some(scope), Some(CallId(call))) = (events, call) {
+        match &out {
+            CallOutcome::Delivered {
+                response,
+                attempts,
+                wasted_pages,
+            } => scope.emit(Severity::Info, || EventKind::CallDelivered {
+                call,
+                table: req.table.to_string(),
+                pages: response.transactions,
+                wasted_pages: *wasted_pages,
+                records: response.records(),
+                attempts: u64::from(*attempts),
+                batch: scope.batch(),
+            }),
+            CallOutcome::BilledAndFailed {
+                error,
+                attempts,
+                wasted_pages,
+            } => scope.emit(Severity::Error, || EventKind::CallFailed {
+                call,
+                table: req.table.to_string(),
+                wasted_pages: *wasted_pages,
+                attempts: u64::from(*attempts),
+                billed: true,
+                error: error.to_string(),
+                batch: scope.batch(),
+            }),
+            CallOutcome::FailedFree { error, attempts } => {
+                scope.emit(Severity::Error, || EventKind::CallFailed {
+                    call,
+                    table: req.table.to_string(),
+                    wasted_pages: 0,
+                    attempts: u64::from(*attempts),
+                    billed: false,
+                    error: error.to_string(),
+                    batch: scope.batch(),
+                })
+            }
+        }
+    }
     if let (Some(hub), Some(t0)) = (metrics, started) {
         hub.market_calls.inc(1);
         hub.market_call_nanos.record(t0.elapsed().as_nanos() as u64);
@@ -215,6 +266,7 @@ pub fn resilient_get(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn attempt_loop(
     market: &DataMarket,
     req: &Request,
@@ -222,12 +274,22 @@ fn attempt_loop(
     budget: &mut CallBudget,
     recorder: Option<&Recorder>,
     metrics: Option<&MetricsHub>,
+    events: Option<&EventScope>,
+    call: Option<CallId>,
 ) -> CallOutcome {
     let page = market.page_size(&req.table).unwrap_or(1);
+    let call = call.map(|c| c.0).unwrap_or(0);
     let mut attempts: u32 = 0;
     let mut wasted: u64 = 0;
     loop {
         attempts += 1;
+        if let Some(scope) = events {
+            scope.emit(Severity::Debug, || EventKind::CallAttempt {
+                call,
+                table: req.table.to_string(),
+                attempt: u64::from(attempts),
+            });
+        }
         let err = match market.get(req) {
             Ok(response) => {
                 if response.transactions <= transactions(response.records(), page) {
@@ -247,6 +309,13 @@ fn attempt_loop(
                 if let Some(hub) = metrics {
                     hub.market_truncated.inc(1);
                 }
+                if let Some(scope) = events {
+                    scope.emit(Severity::Warn, || EventKind::CallTruncated {
+                        call,
+                        table: req.table.to_string(),
+                        wasted_pages: response.transactions,
+                    });
+                }
                 PaylessError::BilledFailure {
                     table: req.table.clone(),
                     pages: response.transactions,
@@ -259,9 +328,19 @@ fn attempt_loop(
                 }
             }
             Err(e) => {
+                let mut billed_pages = 0;
                 if let PaylessError::BilledFailure { pages, .. } = &e {
                     wasted += *pages;
                     budget.wasted_pages += *pages;
+                    billed_pages = *pages;
+                }
+                if let Some(scope) = events {
+                    scope.emit(Severity::Warn, || EventKind::CallFault {
+                        call,
+                        table: req.table.to_string(),
+                        billed_pages,
+                        error: e.to_string(),
+                    });
                 }
                 if !e.is_transient() {
                     // Caller bug or terminal market error: no retry.
@@ -288,6 +367,14 @@ fn attempt_loop(
             rec.count("resilience.retries", 1);
         }
         let millis = policy.backoff_millis(attempts);
+        if let Some(scope) = events {
+            scope.emit(Severity::Info, || EventKind::CallRetry {
+                call,
+                table: req.table.to_string(),
+                next_attempt: u64::from(attempts) + 1,
+                backoff_ms: millis,
+            });
+        }
         if millis > 0 {
             std::thread::sleep(Duration::from_millis(millis));
         }
@@ -349,7 +436,7 @@ mod tests {
     fn clean_market_delivers_first_attempt() {
         let m = market();
         let mut budget = CallBudget::default();
-        match resilient_get(&m, &req(), &quick(), &mut budget, None, None) {
+        match resilient_get(&m, &req(), &quick(), &mut budget, None, None, None) {
             CallOutcome::Delivered {
                 response,
                 attempts,
@@ -373,7 +460,7 @@ mod tests {
                 .at(1, FaultKind::Unavailable),
         ));
         let mut budget = CallBudget::default();
-        let out = resilient_get(&m, &req(), &quick(), &mut budget, None, None);
+        let out = resilient_get(&m, &req(), &quick(), &mut budget, None, None, None);
         let resp = out.into_result().unwrap();
         assert_eq!(resp.records(), 30);
         assert_eq!(budget.retries, 2);
@@ -388,7 +475,7 @@ mod tests {
             FaultPlan::none().at(0, FaultKind::Truncate),
         ));
         let mut budget = CallBudget::default();
-        match resilient_get(&m, &req(), &quick(), &mut budget, None, None) {
+        match resilient_get(&m, &req(), &quick(), &mut budget, None, None, None) {
             CallOutcome::Delivered {
                 response,
                 attempts,
@@ -417,7 +504,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut budget = CallBudget::default();
-        match resilient_get(&m, &req(), &policy, &mut budget, None, None) {
+        match resilient_get(&m, &req(), &policy, &mut budget, None, None, None) {
             CallOutcome::BilledAndFailed {
                 error,
                 attempts,
@@ -437,7 +524,7 @@ mod tests {
         let m = market();
         let mut budget = CallBudget::default();
         let bad = Request::download("Nope");
-        match resilient_get(&m, &bad, &quick(), &mut budget, None, None) {
+        match resilient_get(&m, &bad, &quick(), &mut budget, None, None, None) {
             CallOutcome::FailedFree { error, attempts } => {
                 assert!(matches!(error, PaylessError::UnknownTable(_)));
                 assert_eq!(attempts, 1);
@@ -460,7 +547,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut budget = CallBudget::default();
-        let out = resilient_get(&m, &req(), &policy, &mut budget, None, None);
+        let out = resilient_get(&m, &req(), &policy, &mut budget, None, None, None);
         match out.into_result() {
             Err(PaylessError::BudgetExhausted { retries, .. }) => assert_eq!(retries, 2),
             other => panic!("expected budget exhaustion, got {other:?}"),
@@ -479,7 +566,7 @@ mod tests {
             ..RetryPolicy::default()
         };
         let mut budget = CallBudget::default();
-        let out = resilient_get(&m, &req(), &policy, &mut budget, None, None);
+        let out = resilient_get(&m, &req(), &policy, &mut budget, None, None, None);
         match out {
             CallOutcome::BilledAndFailed {
                 error: PaylessError::BudgetExhausted { wasted_pages, .. },

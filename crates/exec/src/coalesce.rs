@@ -89,6 +89,14 @@ pub struct FlightGuard<'a> {
     id: u64,
 }
 
+impl FlightGuard<'_> {
+    /// The flight's stable id — the `FlightId` the flight recorder journals
+    /// so a claim can be correlated with the purchases made under it.
+    pub fn flight_id(&self) -> u64 {
+        self.id
+    }
+}
+
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
         let mut board = self.owner.lock_board();

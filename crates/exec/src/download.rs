@@ -33,6 +33,7 @@ pub fn ensure_downloaded(
     recorder: Option<&Recorder>,
     policy: &RetryPolicy,
     metrics: Option<&MetricsHub>,
+    events: Option<&payless_events::EventScope>,
 ) -> Result<()> {
     let name = &table.table;
     let space = stats
@@ -75,8 +76,8 @@ pub fn ensure_downloaded(
                 );
             }
         }
-        let resp =
-            resilient_get(market, &req, policy, &mut budget, recorder, metrics).into_result()?;
+        let resp = resilient_get(market, &req, policy, &mut budget, recorder, metrics, events)
+            .into_result()?;
         let records = resp.records();
         let pages = resp.transactions;
         db.table_or_create(table).insert_all(resp.rows);
@@ -197,7 +198,9 @@ mod tests {
         now: u64,
         policy: &RetryPolicy,
     ) -> Result<()> {
-        ensure_downloaded(schema, market, db, store, stats, now, None, policy, None)
+        ensure_downloaded(
+            schema, market, db, store, stats, now, None, policy, None, None,
+        )
     }
 
     #[test]

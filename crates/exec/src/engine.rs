@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use payless_events::{EventJournal, EventKind, EventScope, Severity};
 use payless_geometry::{QuerySpace, Region};
 use payless_market::{DataMarket, Request};
 use payless_metrics::MetricsHub;
@@ -47,6 +48,10 @@ pub struct ExecConfig {
     /// the double-buy-averted recompute counters. Unlike `recorder` (one
     /// per query), one hub aggregates across every query and client.
     pub metrics: Option<Arc<MetricsHub>>,
+    /// Optional flight recorder: every call attempt, fault, retry,
+    /// coalescer claim, and batch share this executor produces is
+    /// journaled with the query's causal id. `None` costs nothing.
+    pub events: Option<Arc<EventJournal>>,
 }
 
 impl Default for ExecConfig {
@@ -59,6 +64,7 @@ impl Default for ExecConfig {
             retry: RetryPolicy::default(),
             synthesize_ledger: false,
             metrics: None,
+            events: None,
         }
     }
 }
@@ -158,6 +164,16 @@ impl<'a> Executor<'a> {
     pub fn with_batcher(mut self, planner: Option<&'a BatchPlanner>) -> Self {
         self.batcher = planner;
         self
+    }
+
+    /// Flight-recorder scope for this query: every event it emits carries
+    /// the query's causal id. `None` when no journal is attached. Borrowed
+    /// from the config (not `self`) so it can live across `&mut self` calls.
+    fn scope(&self) -> Option<EventScope<'a>> {
+        self.cfg
+            .events
+            .as_deref()
+            .map(|j| EventScope::new(j, self.now))
     }
 
     /// Run the plan and produce the final result.
@@ -359,11 +375,26 @@ impl<'a> Executor<'a> {
             let guard = match self.coalescer {
                 None => None,
                 Some(c) => match c.claim(&t.name, std::slice::from_ref(region)) {
-                    Claim::Acquired(g) => Some(g),
-                    Claim::Contended { seen, .. } => {
+                    Claim::Acquired(g) => {
+                        if let Some(scope) = self.scope() {
+                            scope.emit(Severity::Debug, || EventKind::FlightClaimed {
+                                flight: g.flight_id(),
+                                table: t.name.to_string(),
+                                regions: 1,
+                            });
+                        }
+                        Some(g)
+                    }
+                    Claim::Contended { seen, satisfied } => {
                         waits += 1;
                         if let Some(rec) = &self.cfg.recorder {
                             rec.count("coalesce.waits", 1);
+                        }
+                        if let Some(scope) = self.scope() {
+                            scope.emit(Severity::Debug, || EventKind::FlightWait {
+                                table: t.name.to_string(),
+                                satisfied,
+                            });
                         }
                         c.wait_past(seen);
                         continue;
@@ -396,6 +427,12 @@ impl<'a> Executor<'a> {
                         hub.coalesce_recomputes_averted.inc(1);
                         hub.coalesce_averted_pages
                             .inc((pre_guard_est - rw.est_transactions).round() as u64);
+                    }
+                    if let Some(scope) = self.scope() {
+                        scope.emit(Severity::Info, || EventKind::FlightRecomputeAverted {
+                            table: t.name.to_string(),
+                            pages: (pre_guard_est - rw.est_transactions).round() as u64,
+                        });
                     }
                 }
                 final_est = rw.est_transactions;
@@ -449,6 +486,7 @@ impl<'a> Executor<'a> {
             // remainder is recorded in the store as soon as it is delivered,
             // so a query that ultimately fails still keeps what it paid for —
             // a re-run only buys the remainders that never arrived.
+            let scope = self.scope();
             let outcome = resilient_get(
                 self.market,
                 &req,
@@ -456,6 +494,7 @@ impl<'a> Executor<'a> {
                 &mut self.budget,
                 self.cfg.recorder.as_deref(),
                 self.cfg.metrics.as_deref(),
+                scope.as_ref(),
             );
             self.synthesize_ledger(&t.name, &outcome);
             let slot = self.ops.get_mut(self.cur_op);
@@ -544,7 +583,7 @@ impl<'a> Executor<'a> {
     ) -> Result<()> {
         let table = self.query.tables[tid].name.clone();
         let t0 = std::time::Instant::now();
-        let role = planner.join(&table, region.clone(), remainders);
+        let role = planner.join(&table, region.clone(), remainders, self.now);
         if let Some(hub) = &self.cfg.metrics {
             hub.batch_window_wait_nanos
                 .record(t0.elapsed().as_nanos() as u64);
@@ -586,17 +625,33 @@ impl<'a> Executor<'a> {
         let merged =
             payless_semantic::merge_remainders(batch.members.iter().map(|m| m.pieces.as_slice()));
         let bases: Vec<Region> = batch.members.iter().map(|m| m.base.clone()).collect();
+        let scope = self.scope().map(|s| s.with_batch(batch.id));
         let flight = loop {
             match self.coalescer {
                 None => break None,
                 Some(c) => match c.claim(&t.name, &bases) {
-                    Claim::Acquired(g) => break Some(g),
+                    Claim::Acquired(g) => {
+                        if let Some(scope) = &scope {
+                            scope.emit(Severity::Debug, || EventKind::FlightClaimed {
+                                flight: g.flight_id(),
+                                table: t.name.to_string(),
+                                regions: bases.len() as u64,
+                            });
+                        }
+                        break Some(g);
+                    }
                     Claim::Contended { seen, satisfied } => {
                         if let Some(rec) = &self.cfg.recorder {
                             rec.count("coalesce.waits", 1);
                             if satisfied {
                                 rec.count("coalesce.subset_satisfied", 1);
                             }
+                        }
+                        if let Some(scope) = &scope {
+                            scope.emit(Severity::Debug, || EventKind::FlightWait {
+                                table: t.name.to_string(),
+                                satisfied,
+                            });
                         }
                         c.wait_past(seen);
                     }
@@ -641,6 +696,7 @@ impl<'a> Executor<'a> {
                 &mut self.budget,
                 self.cfg.recorder.as_deref(),
                 self.cfg.metrics.as_deref(),
+                scope.as_ref(),
             );
             calls += 1;
             match outcome {
@@ -722,6 +778,7 @@ impl<'a> Executor<'a> {
             .iter()
             .enumerate()
             .map(|(i, m)| MemberShare {
+                batch: batch.id,
                 delivered_pages: delivered[i],
                 wasted_pages: wasted[i],
                 records: records[i],
@@ -748,6 +805,22 @@ impl<'a> Executor<'a> {
     /// and watchdog consume. Errors when the batch's purchase failed.
     fn apply_member_share(&mut self, tid: usize, share: MemberShare, leader: bool) -> Result<()> {
         let t = &self.query.tables[tid];
+        // The provenance event the flight recorder sums for batched spend:
+        // this query's exact slice of the merged purchase. The leader's raw
+        // calls are journaled batch-tagged and excluded from per-query
+        // totals, so shares never double-count.
+        if let Some(scope) = self.scope() {
+            scope.emit(Severity::Info, || EventKind::BatchShare {
+                batch: share.batch,
+                table: t.name.to_string(),
+                delivered_pages: share.delivered_pages,
+                wasted_pages: share.wasted_pages,
+                records: share.records,
+                members: share.batch_members,
+                leader,
+                failed: share.error.is_some(),
+            });
+        }
         if self.cfg.synthesize_ledger {
             if let (Some(rec), Some(ds)) = (&self.cfg.recorder, self.market.dataset_of(&t.name)) {
                 if share.wasted_pages > 0 {

@@ -139,6 +139,15 @@ impl SharedSemanticStore {
         }
     }
 
+    /// Attach a flight-recorder journal to every shard (store-level, like
+    /// [`SharedSemanticStore::attach_recorder`]: store lifecycle events
+    /// carry no query id).
+    pub fn attach_events(&self, journal: Arc<payless_events::EventJournal>) {
+        for shard in self.shards.values() {
+            write(shard).attach_events(journal.clone());
+        }
+    }
+
     /// The query space of `table`, if registered (cloned out of the shard).
     pub fn space(&self, table: &str) -> Option<QuerySpace> {
         self.shards

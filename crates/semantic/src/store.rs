@@ -502,6 +502,9 @@ pub struct SemanticStore {
     /// Telemetry sink for probe timings and index hit/fallback counters.
     /// Shared, not serialized; a restored store starts unattached.
     recorder: Option<Arc<Recorder>>,
+    /// Flight recorder for store lifecycle events (inserts, compactions,
+    /// evictions). Store-level, like `recorder`: events carry no query id.
+    events: Option<Arc<payless_events::EventJournal>>,
     /// Config applied to tables registered from here on (existing tables
     /// keep theirs until [`SemanticStore::set_config`]).
     cfg: StoreConfig,
@@ -524,6 +527,16 @@ impl SemanticStore {
     /// "store-level" for the same reason.
     pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
         self.recorder = Some(recorder);
+    }
+
+    /// Attach a flight-recorder journal; subsequent [`record_spend`]
+    /// calls journal `store_insert` / `store_compact` / `store_evict`
+    /// events. Store-level like [`SemanticStore::attach_recorder`]: the
+    /// store is shared across queries, so events carry no query id.
+    ///
+    /// [`record_spend`]: SemanticStore::record_spend
+    pub fn attach_events(&mut self, journal: Arc<payless_events::EventJournal>) {
+        self.events = Some(journal);
     }
 
     /// Apply `cfg` to every registered table and to tables registered later.
@@ -556,6 +569,7 @@ impl SemanticStore {
     /// The recorder handle (if any) is shared by every shard.
     pub(crate) fn split_shards(self) -> Vec<(Arc<str>, SemanticStore)> {
         let recorder = self.recorder;
+        let events = self.events;
         let cfg = self.cfg;
         self.tables
             .into_iter()
@@ -567,6 +581,7 @@ impl SemanticStore {
                     SemanticStore {
                         tables,
                         recorder: recorder.clone(),
+                        events: events.clone(),
                         cfg,
                     },
                 )
@@ -601,13 +616,39 @@ impl SemanticStore {
             .get_mut(table)
             .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
         entry.insert(region, now, spend);
-        if let Some(rec) = self.recorder.as_deref().filter(|r| r.is_enabled()) {
-            let (c, e) = entry.take_pending_events();
+        let rec = self.recorder.as_deref().filter(|r| r.is_enabled());
+        let journal = self.events.as_deref().filter(|j| j.is_enabled());
+        if rec.is_none() && journal.is_none() {
+            return;
+        }
+        let (c, e) = entry.take_pending_events();
+        if let Some(rec) = rec {
             if c > 0 {
                 rec.count("store.compactions", c);
             }
             if e > 0 {
                 rec.count("store.evictions", e);
+            }
+        }
+        if let Some(j) = journal {
+            use payless_events::{EventKind, Severity};
+            let views = entry.live as u64;
+            j.emit(None, Severity::Debug, || EventKind::StoreInsert {
+                table: table.to_string(),
+                spend_pages: spend,
+                views,
+            });
+            if c > 0 {
+                j.emit(None, Severity::Info, || EventKind::StoreCompact {
+                    table: table.to_string(),
+                    compactions: c,
+                });
+            }
+            if e > 0 {
+                j.emit(None, Severity::Info, || EventKind::StoreEvict {
+                    table: table.to_string(),
+                    evictions: e,
+                });
             }
         }
     }
@@ -923,6 +964,7 @@ impl payless_json::FromJson for SemanticStore {
         Ok(SemanticStore {
             tables: FromJson::from_json(j.get("tables")?)?,
             recorder: None,
+            events: None,
             cfg: StoreConfig::default(),
         })
     }

@@ -40,9 +40,11 @@ use payless_telemetry::Recorder;
 use payless_types::{PaylessError, Result};
 use payless_workload::MixItem;
 
+use payless_events::{EventJournal, EventKind, Severity};
+
 pub use payless_exec::BatchConfig;
 pub use report::{ClientSpend, QueryRow, ServeReport};
-pub use watchdog::{Watchdog, WatchdogReport};
+pub use watchdog::{TableDrift, Watchdog, WatchdogReport};
 
 /// Serving-layer options. Everything is explicit — the library reads no
 /// environment variables; the CLI and bench map `PAYLESS_*` knobs onto
@@ -87,6 +89,11 @@ pub struct ServeConfig {
     /// the members (`PAYLESS_BATCH_WINDOW_MS` / `PAYLESS_BATCH_MAX` map
     /// here). `None` (the default) buys per query, as before.
     pub batch: Option<BatchConfig>,
+    /// Flight recorder shared by every client session: query lifecycle,
+    /// call attempts/faults, coalescer claims, batch shares, store
+    /// lifecycle, and watchdog samples all journal here (the CLI maps
+    /// `PAYLESS_EVENTS*` knobs onto this). `None` costs nothing.
+    pub events: Option<Arc<EventJournal>>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +109,7 @@ impl Default for ServeConfig {
             strict_reconcile: false,
             store: StoreConfig::default(),
             batch: None,
+            events: None,
         }
     }
 }
@@ -152,9 +160,18 @@ impl Serve {
             }
             None => CallCoalescer::new(),
         };
-        let batcher = cfg.batch.map(|b| match &cfg.metrics {
-            Some(hub) => BatchPlanner::with_metrics(b, Arc::clone(hub)),
-            None => BatchPlanner::new(b),
+        if let Some(j) = &cfg.events {
+            state.store().attach_events(Arc::clone(j));
+        }
+        let batcher = cfg.batch.map(|b| {
+            let planner = match &cfg.metrics {
+                Some(hub) => BatchPlanner::with_metrics(b, Arc::clone(hub)),
+                None => BatchPlanner::new(b),
+            };
+            match &cfg.events {
+                Some(j) => planner.with_events(Arc::clone(j)),
+                None => planner,
+            }
         });
         Serve {
             market,
@@ -197,26 +214,59 @@ impl Serve {
         payless_exec::QueryResult,
         payless_telemetry::TelemetrySnapshot,
     )> {
+        self.run_query_traced(template, params).1
+    }
+
+    /// As [`Serve::run_query`], also returning the query's causal id (its
+    /// logical-clock tick) — the id every flight-recorder event for this
+    /// query carries, and the argument `\why` takes.
+    pub fn run_query_traced(
+        &self,
+        template: &SelectStmt,
+        params: &[payless_types::Value],
+    ) -> (
+        u64,
+        Result<(
+            payless_exec::QueryResult,
+            payless_telemetry::TelemetrySnapshot,
+        )>,
+    ) {
         let started = self.cfg.metrics.as_ref().map(|_| Instant::now());
-        let out = self.run_query_inner(template, params);
+        let now = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(j) = &self.cfg.events {
+            j.emit(Some(now), Severity::Info, || EventKind::QueryStart);
+        }
+        let out = self.run_query_inner(template, params, now);
+        if let Some(j) = &self.cfg.events {
+            let (ok, pages, wasted_pages) = match &out {
+                Ok((_, snap)) => (true, snap.total_pages(), snap.wasted_pages()),
+                Err(_) => (false, 0, 0),
+            };
+            let sev = if ok { Severity::Info } else { Severity::Warn };
+            j.emit(Some(now), sev, || EventKind::QueryDone {
+                ok,
+                pages,
+                wasted_pages,
+            });
+        }
         if let (Some(hub), Some(t0)) = (&self.cfg.metrics, started) {
             hub.serve_queries.inc(1);
             hub.serve_query_nanos.record(t0.elapsed().as_nanos() as u64);
             hub.maybe_roll();
         }
-        out
+        (now, out)
     }
 
     fn run_query_inner(
         &self,
         template: &SelectStmt,
         params: &[payless_types::Value],
+        now: u64,
     ) -> Result<(
         payless_exec::QueryResult,
         payless_telemetry::TelemetrySnapshot,
     )> {
         let recorder = Recorder::enabled();
-        let now = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let bound = template.bind(params)?;
         let query = analyze(&bound, &self.catalog)?;
         let exec_cfg = ExecConfig {
@@ -229,6 +279,7 @@ impl Serve {
             // layer writes this query's ledger itself.
             synthesize_ledger: true,
             metrics: self.cfg.metrics.clone(),
+            events: self.cfg.events.clone(),
         };
         if query.unsatisfiable {
             let executor =
@@ -288,13 +339,33 @@ pub fn digest_rows(result: &payless_exec::QueryResult) -> u64 {
     h
 }
 
+/// Dumps the flight recorder's black box when the enclosing scope unwinds
+/// (a watchdog `finish` assert, or any panic that escapes a worker): the
+/// journal's last events land on disk before the process dies.
+struct BlackBoxOnPanic<'a>(Option<&'a EventJournal>);
+
+impl Drop for BlackBoxOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(j) = self.0 {
+                let _ = j.dump_blackbox("panic during run_mix");
+            }
+        }
+    }
+}
+
 /// Replay `mix` across `serve.cfg.threads` workers pulling from one global
 /// queue, then reconcile: the sum of every query's synthesized ledger must
 /// equal the market meter's delta, page for page — clean and under
 /// injected faults. Panics on reconciliation failure (this is the driver
 /// the CI smoke trusts); query errors are returned.
+///
+/// Post-mortem: when the journal has a black-box path configured, a strict
+/// watchdog abort, a failed query, or a panicking reconciliation dumps the
+/// last events as JSONL before this function returns or unwinds.
 pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Result<ServeReport> {
     let threads = serve.cfg.threads.max(1);
+    let _blackbox_guard = BlackBoxOnPanic(serve.cfg.events.as_deref());
     let meter_before = serve.market.bill();
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<QueryRow>>> = Mutex::new(vec![None; mix.len()]);
@@ -312,6 +383,9 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
         // that much (see `watchdog.rs`).
         dog = dog.with_deferred(b.deferred_handle());
     }
+    if let Some(j) = &serve.cfg.events {
+        dog = dog.with_events(Arc::clone(j));
+    }
 
     std::thread::scope(|s| {
         for _ in 0..threads.min(mix.len().max(1)) {
@@ -322,12 +396,12 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
                 }
                 let item = &mix[idx];
                 let t0 = Instant::now();
-                let outcome = serve
-                    .run_query(&templates[item.template], &item.params)
-                    .and_then(|(result, snap)| {
-                        dog.note_query(&snap)?;
-                        Ok((result, snap))
-                    });
+                let (query_id, outcome) =
+                    serve.run_query_traced(&templates[item.template], &item.params);
+                let outcome = outcome.and_then(|(result, snap)| {
+                    dog.note_query(&snap)?;
+                    Ok((result, snap))
+                });
                 match outcome {
                     Ok((result, snap)) => {
                         let counter = |name: &str| {
@@ -338,6 +412,7 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
                                 .unwrap_or(0)
                         };
                         let row = QueryRow {
+                            query_id,
                             client: item.client as u64,
                             template: item.template as u64,
                             digest: digest_rows(&result),
@@ -367,6 +442,12 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
     });
 
     if let Some(e) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        // Post-mortem dump: a strict watchdog abort (or any failing query)
+        // leaves the journal's last events on disk for `\why`-style
+        // analysis. First dump wins; errors writing it never mask `e`.
+        if let Some(j) = &serve.cfg.events {
+            let _ = j.dump_blackbox(&format!("run_mix aborted: {e}"));
+        }
         return Err(e);
     }
     let per_query: Vec<QueryRow> = slots
@@ -431,6 +512,7 @@ pub fn run_mix(serve: &Serve, mix: &[MixItem], templates: &[SelectStmt]) -> Resu
         meter_records,
         watchdog_samples: dog_report.samples,
         watchdog_max_drift_pages: dog_report.max_drift_pages,
+        watchdog_tables: dog_report.last_sample,
         per_client,
         per_query,
         ..ServeReport::default()

@@ -3,6 +3,8 @@
 
 use payless_json::{FromJson, Json, JsonError, ToJson};
 
+use crate::watchdog::TableDrift;
+
 /// Read an integer field that older report dumps predate, defaulting to 0.
 fn u64_or_zero(j: &Json, key: &str) -> Result<u64, JsonError> {
     match j.get_opt(key) {
@@ -23,6 +25,10 @@ fn bool_or_false(j: &Json, key: &str) -> Result<bool, JsonError> {
 //  identical across thread counts, so validators compare rows pairwise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRow {
+    /// The query's causal id (the serving layer's logical-clock tick) —
+    /// the id its flight-recorder events carry and `\why` takes. Zero in
+    /// dumps written before the flight recorder existed.
+    pub query_id: u64,
     /// Client session that issued the query.
     pub client: u64,
     /// Workload template index.
@@ -56,6 +62,7 @@ pub struct QueryRow {
 impl ToJson for QueryRow {
     fn to_json(&self) -> Json {
         Json::obj([
+            ("query_id", self.query_id.to_json()),
             ("client", self.client.to_json()),
             ("template", self.template.to_json()),
             ("digest", self.digest.to_json()),
@@ -76,6 +83,7 @@ impl ToJson for QueryRow {
 impl FromJson for QueryRow {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
         Ok(QueryRow {
+            query_id: u64_or_zero(j, "query_id")?,
             client: u64::from_json(j.get("client")?)?,
             template: u64::from_json(j.get("template")?)?,
             digest: u64::from_json(j.get("digest")?)?,
@@ -89,6 +97,26 @@ impl FromJson for QueryRow {
             batch_joins: u64_or_zero(j, "batch_joins")?,
             shared_pages: u64_or_zero(j, "shared_pages")?,
             wall_nanos: u64_or_zero(j, "wall_nanos")?,
+        })
+    }
+}
+
+impl ToJson for TableDrift {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", self.table.to_json()),
+            ("attributed_pages", self.attributed_pages.to_json()),
+            ("meter_pages", self.meter_pages.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TableDrift {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TableDrift {
+            table: String::from_json(j.get("table")?)?,
+            attributed_pages: u64::from_json(j.get("attributed_pages")?)?,
+            meter_pages: u64::from_json(j.get("meter_pages")?)?,
         })
     }
 }
@@ -229,6 +257,10 @@ pub struct ServeReport {
     /// Largest in-flight drift (meter minus attributed pages) the
     /// watchdog sampled; returns to 0 at quiescence.
     pub watchdog_max_drift_pages: u64,
+    /// Per-table breakdown from the watchdog's last reconciliation (the
+    /// exit reconciliation on a completed mix): attributed vs metered
+    /// pages for every table the run touched.
+    pub watchdog_tables: Vec<TableDrift>,
     /// Spend attribution by client.
     pub per_client: Vec<ClientSpend>,
     /// Every query, in global submission order.
@@ -280,6 +312,10 @@ impl ToJson for ServeReport {
                 self.watchdog_max_drift_pages.to_json(),
             ),
             (
+                "watchdog_tables",
+                Json::Arr(self.watchdog_tables.iter().map(|t| t.to_json()).collect()),
+            ),
+            (
                 "per_client",
                 Json::Arr(self.per_client.iter().map(|c| c.to_json()).collect()),
             ),
@@ -320,6 +356,14 @@ impl FromJson for ServeReport {
             meter_records: u64::from_json(j.get("meter_records")?)?,
             watchdog_samples: u64_or_zero(j, "watchdog_samples")?,
             watchdog_max_drift_pages: u64_or_zero(j, "watchdog_max_drift_pages")?,
+            watchdog_tables: match j.get_opt("watchdog_tables") {
+                Some(v) => v
+                    .as_arr()?
+                    .iter()
+                    .map(TableDrift::from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
             per_client: j
                 .get("per_client")?
                 .as_arr()?
@@ -365,6 +409,11 @@ mod tests {
             meter_records: 14,
             watchdog_samples: 2,
             watchdog_max_drift_pages: 4,
+            watchdog_tables: vec![TableDrift {
+                table: "T".into(),
+                attributed_pages: 12,
+                meter_pages: 12,
+            }],
             per_client: vec![ClientSpend {
                 client: 0,
                 queries: 2,
@@ -375,6 +424,7 @@ mod tests {
                 p99_nanos: 9_500,
             }],
             per_query: vec![QueryRow {
+                query_id: 2,
                 client: 0,
                 template: 1,
                 digest: u64::MAX - 3, // exceeds i64: exercises the string fallback
@@ -407,6 +457,7 @@ mod tests {
                     k.as_str(),
                     "watchdog_samples"
                         | "watchdog_max_drift_pages"
+                        | "watchdog_tables"
                         | "batch"
                         | "batch_joins"
                         | "shared_pages"
@@ -416,9 +467,43 @@ mod tests {
         let parsed = ServeReport::from_json(&j).unwrap();
         assert_eq!(parsed.watchdog_samples, 0);
         assert_eq!(parsed.watchdog_max_drift_pages, 0);
+        assert!(parsed.watchdog_tables.is_empty());
         assert!(!parsed.batch);
         assert_eq!(parsed.batch_joins, 0);
         assert_eq!(parsed.shared_pages, 0);
+
+        // Per-query rows from before the flight recorder lack query_id.
+        let mut j = ServeReport {
+            per_query: vec![QueryRow {
+                query_id: 7,
+                client: 0,
+                template: 0,
+                digest: 0,
+                rows: 0,
+                pages: 0,
+                wasted_pages: 0,
+                records: 0,
+                price: 0.0,
+                coalesce_waits: 0,
+                saved_pages: 0,
+                batch_joins: 0,
+                shared_pages: 0,
+                wall_nanos: 0,
+            }],
+            ..Default::default()
+        }
+        .to_json();
+        if let Json::Obj(fields) = &mut j {
+            if let Some((_, Json::Arr(rows))) = fields.iter_mut().find(|(k, _)| k == "per_query") {
+                for row in rows {
+                    if let Json::Obj(row_fields) = row {
+                        row_fields.retain(|(k, _)| k != "query_id");
+                    }
+                }
+            }
+        }
+        let parsed = ServeReport::from_json(&j).unwrap();
+        assert_eq!(parsed.per_query[0].query_id, 0);
     }
 
     #[test]

@@ -37,18 +37,64 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use payless_events::{EventJournal, EventKind, Severity};
 use payless_market::DataMarket;
 use payless_metrics::MetricsHub;
 use payless_telemetry::TelemetrySnapshot;
 use payless_types::{PaylessError, Result};
 
+/// One table's figures from a reconciliation sample: pages the completed
+/// queries' ledgers attribute to it versus the billing meter's delta.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableDrift {
+    /// Market table name.
+    pub table: String,
+    /// Pages attributed by completed queries' ledgers.
+    pub attributed_pages: u64,
+    /// The meter's page delta for the table since the watchdog started.
+    pub meter_pages: u64,
+}
+
+impl TableDrift {
+    /// Pages billed but not yet attributed (in-flight or deferred spend).
+    pub fn drift_pages(&self) -> u64 {
+        self.meter_pages.saturating_sub(self.attributed_pages)
+    }
+}
+
+/// Render a per-table breakdown for violation messages: only tables with
+/// nonzero drift, worst first.
+fn render_breakdown(rows: &[TableDrift]) -> String {
+    let mut drifting: Vec<&TableDrift> = rows
+        .iter()
+        .filter(|r| r.attributed_pages != r.meter_pages)
+        .collect();
+    drifting.sort_by_key(|r| std::cmp::Reverse(r.drift_pages()));
+    if drifting.is_empty() {
+        return "all tables reconciled".into();
+    }
+    drifting
+        .iter()
+        .map(|r| {
+            format!(
+                "`{}` ledger {} vs meter {}",
+                r.table, r.attributed_pages, r.meter_pages
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// What the watchdog saw over one mix (folded into the serve report).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WatchdogReport {
     /// Mid-run reconciliation samples taken.
     pub samples: u64,
     /// Largest in-flight drift (meter minus attributed pages) sampled.
     pub max_drift_pages: u64,
+    /// Per-table breakdown from the last reconciliation sample (the exit
+    /// reconciliation when the mix ran to completion), sorted by table.
+    pub last_sample: Vec<TableDrift>,
 }
 
 /// Samples `Σ attributed ledger pages == billing meter` every K queries.
@@ -70,6 +116,12 @@ pub struct Watchdog<'a> {
     /// drift the exact-mode check must allow (see module docs).
     deferred: Option<Arc<AtomicU64>>,
     hub: Option<Arc<MetricsHub>>,
+    /// Flight recorder: every sample is journaled, and a violation becomes
+    /// an error event before it aborts anything.
+    events: Option<Arc<EventJournal>>,
+    /// Per-table breakdown of the most recent sample (see
+    /// [`WatchdogReport::last_sample`]).
+    last_sample: Mutex<Vec<TableDrift>>,
 }
 
 fn table_pages(report: &payless_market::BillingReport) -> HashMap<Arc<str>, u64> {
@@ -104,6 +156,8 @@ impl<'a> Watchdog<'a> {
             max_drift: AtomicU64::new(0),
             deferred: None,
             hub,
+            events: None,
+            last_sample: Mutex::new(Vec::new()),
         }
     }
 
@@ -113,6 +167,15 @@ impl<'a> Watchdog<'a> {
     /// `batch.settled_pages` counter.
     pub fn with_deferred(mut self, deferred: Arc<AtomicU64>) -> Self {
         self.deferred = Some(deferred);
+        self
+    }
+
+    /// Attach a flight-recorder journal: every reconciliation sample is
+    /// journaled (`watchdog_sample`), and any violation is journaled as an
+    /// error event before strict mode aborts or `finish` panics — so the
+    /// black-box dump always covers the violating sample.
+    pub fn with_events(mut self, journal: Arc<EventJournal>) -> Self {
+        self.events = Some(journal);
         self
     }
 
@@ -156,6 +219,40 @@ impl<'a> Watchdog<'a> {
         Ok(())
     }
 
+    /// Per-table breakdown of one sample: every table the meter or the
+    /// ledgers have touched, sorted by name.
+    fn breakdown(
+        &self,
+        per_attr: &HashMap<Arc<str>, u64>,
+        meter_by_table: &HashMap<Arc<str>, u64>,
+    ) -> Vec<TableDrift> {
+        let mut rows: Vec<TableDrift> = meter_by_table
+            .iter()
+            .map(|(t, &pages)| {
+                let base = self.base_by_table.get(t).copied().unwrap_or(0);
+                TableDrift {
+                    table: t.to_string(),
+                    attributed_pages: per_attr.get(t).copied().unwrap_or(0),
+                    meter_pages: pages.saturating_sub(base),
+                }
+            })
+            .filter(|r| r.attributed_pages > 0 || r.meter_pages > 0)
+            .collect();
+        // A table attributed but never metered is pure over-attribution;
+        // it must show up in the breakdown too.
+        for (t, &attr) in per_attr {
+            if attr > 0 && !meter_by_table.contains_key(t) {
+                rows.push(TableDrift {
+                    table: t.to_string(),
+                    attributed_pages: attr,
+                    meter_pages: 0,
+                });
+            }
+        }
+        rows.sort_by(|a, b| a.table.cmp(&b.table));
+        rows
+    }
+
     /// One mid-run cross-check. Ordering matters: attributed totals are
     /// read *before* the meter, so `meter ≥ attributed` is guaranteed for
     /// correctly-attributed spend and any excess is true drift.
@@ -169,12 +266,16 @@ impl<'a> Watchdog<'a> {
         let bill = self.market.bill();
         let meter = bill.transactions() - self.base_pages;
         let meter_by_table = table_pages(&bill);
+        let rows = self.breakdown(&per_attr, &meter_by_table);
+        *self.last_sample.lock().unwrap_or_else(|e| e.into_inner()) = rows.clone();
 
-        self.samples.fetch_add(1, Ordering::SeqCst);
+        let sample_no = self.samples.fetch_add(1, Ordering::SeqCst) + 1;
         let mut violation: Option<String> = None;
         if attributed > meter {
             violation = Some(format!(
-                "over-attribution: Σ ledger pages {attributed} exceeds meter delta {meter}"
+                "over-attribution: Σ ledger pages {attributed} exceeds meter delta {meter} \
+                 ({})",
+                render_breakdown(&rows)
             ));
         }
         for (table, &attr) in &per_attr {
@@ -199,10 +300,26 @@ impl<'a> Watchdog<'a> {
         if violation.is_none() && self.exact && drift > deferred {
             violation = Some(format!(
                 "single-threaded run sampled drift beyond the batch-deferred register: \
-                 meter delta {meter}, attributed {attributed}, deferred {deferred}"
+                 meter delta {meter}, attributed {attributed}, deferred {deferred} \
+                 ({})",
+                render_breakdown(&rows)
             ));
         }
         self.max_drift.fetch_max(drift, Ordering::SeqCst);
+        if let Some(j) = &self.events {
+            j.emit(None, Severity::Debug, || EventKind::WatchdogSample {
+                sample: sample_no,
+                attributed_pages: attributed,
+                meter_pages: meter,
+                deferred_pages: deferred,
+                exact: self.exact,
+            });
+            if let Some(v) = &violation {
+                j.emit(None, Severity::Error, || EventKind::WatchdogViolation {
+                    detail: v.clone(),
+                });
+            }
+        }
         if let Some(hub) = &self.hub {
             hub.watchdog_samples.inc(1);
             hub.watchdog_drift_pages.set(drift);
@@ -222,26 +339,47 @@ impl<'a> Watchdog<'a> {
 
     /// Final reconciliation at quiescence: the meter delta must equal the
     /// attributed pages exactly, globally and per table. Panics on
-    /// mismatch, like `run_mix`'s historical exit assert.
+    /// mismatch, like `run_mix`'s historical exit assert — with the
+    /// per-table breakdown in the message, and an error event journaled
+    /// first so the black-box dump covers the violating reconciliation.
     pub fn finish(&self) -> WatchdogReport {
         let attributed = self.attributed.load(Ordering::SeqCst);
-        let per_attr = self.by_table.lock().unwrap_or_else(|e| e.into_inner());
+        let per_attr = self
+            .by_table
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         let bill = self.market.bill();
         let meter = bill.transactions() - self.base_pages;
-        assert_eq!(
-            attributed, meter,
-            "spend ledger must reconcile with the billing meter: \
-             Σ per-query ledger pages = {attributed}, meter delta = {meter}"
-        );
         let meter_by_table = table_pages(&bill);
-        for (table, bill_pages) in &meter_by_table {
-            let base = self.base_by_table.get(table).copied().unwrap_or(0);
-            let attr = per_attr.get(table).copied().unwrap_or(0);
-            assert_eq!(
-                attr,
-                bill_pages - base,
-                "per-table reconciliation failed for `{table}`"
-            );
+        let rows = self.breakdown(&per_attr, &meter_by_table);
+        *self.last_sample.lock().unwrap_or_else(|e| e.into_inner()) = rows.clone();
+
+        let mut violation: Option<String> = None;
+        if attributed != meter {
+            violation = Some(format!(
+                "spend ledger must reconcile with the billing meter: \
+                 Σ per-query ledger pages = {attributed}, meter delta = {meter} \
+                 ({})",
+                render_breakdown(&rows)
+            ));
+        } else if let Some(r) = rows.iter().find(|r| r.attributed_pages != r.meter_pages) {
+            violation = Some(format!(
+                "per-table reconciliation failed for `{}`: ledger {} vs meter {} \
+                 ({})",
+                r.table,
+                r.attributed_pages,
+                r.meter_pages,
+                render_breakdown(&rows)
+            ));
+        }
+        if let Some(v) = violation {
+            if let Some(j) = &self.events {
+                j.emit(None, Severity::Error, || EventKind::WatchdogViolation {
+                    detail: v.clone(),
+                });
+            }
+            panic!("{v}");
         }
         if let Some(hub) = &self.hub {
             hub.watchdog_drift_pages.set(0);
@@ -249,6 +387,7 @@ impl<'a> Watchdog<'a> {
         WatchdogReport {
             samples: self.samples.load(Ordering::SeqCst),
             max_drift_pages: self.max_drift.load(Ordering::SeqCst),
+            last_sample: rows,
         }
     }
 }

@@ -1,12 +1,13 @@
 #!/usr/bin/env sh
 # Compare a fresh full-scale hot-path bench run against the committed
-# BENCH_sqr.json / BENCH_dp.json / BENCH_metrics.json / BENCH_batch.json
-# baselines at the repo root. Exits non-zero when any run's median regressed
-# by more than 25%, or when the metrics-on serve mix costs more than 5% over
-# its metrics-off twin (the two fresh medians are compared against each
-# other, so that gate is machine-independent). The batch baseline's
-# "medians" are deterministic delivered-pages-per-query figures, so any
-# drift there is a real behavior change, not timing noise.
+# BENCH_sqr.json / BENCH_dp.json / BENCH_metrics.json / BENCH_batch.json /
+# BENCH_events.json baselines at the repo root. Exits non-zero when any
+# run's median regressed by more than 25%, or when the metrics-on (or
+# events-on) serve mix costs more than 5% over its instrumentation-off twin
+# (each pair of fresh medians is compared against each other, so those
+# gates are machine-independent). The batch baseline's "medians" are
+# deterministic delivered-pages-per-query figures, so any drift there is a
+# real behavior change, not timing noise.
 #
 # Timing on shared/virtualized CI hosts is noisy, so callers (ci.sh) treat
 # a failure here as a warning, not a gate.
@@ -23,4 +24,4 @@ export BENCH_DIFF_JSON
 # The bench binary's CWD is the package dir, so baselines need absolute paths.
 exec cargo bench -q --bench hotpath -- diff \
     "$PWD/BENCH_sqr.json" "$PWD/BENCH_dp.json" "$PWD/BENCH_metrics.json" \
-    "$PWD/BENCH_batch.json"
+    "$PWD/BENCH_batch.json" "$PWD/BENCH_events.json"
