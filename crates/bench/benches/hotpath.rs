@@ -546,6 +546,10 @@ const METRICS_OVERHEAD_TOLERANCE: f64 = 1.05;
 const EVENTS_OVERHEAD_TOLERANCE: f64 = 1.05;
 
 /// Load `name -> median_nanos` for every run in the given JSONL baselines.
+///
+/// A baseline that reads fine but contributes **zero** runs is as useless
+/// as a missing one — the diff would silently gate nothing — so each file
+/// must yield at least one `(name, median_nanos)` pair or we exit loudly.
 fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
     let mut medians = HashMap::new();
     for path in paths {
@@ -556,6 +560,7 @@ fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
                 std::process::exit(1);
             }
         };
+        let before = medians.len();
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
             let parsed = match payless_json::parse(line) {
                 Ok(p) => p,
@@ -577,8 +582,82 @@ fn load_baselines(paths: &[String]) -> HashMap<String, f64> {
                 }
             }
         }
+        if medians.len() == before {
+            eprintln!(
+                "diff: baseline {path} contains no usable runs (every record \
+                 lacks `runs[].name`/`runs[].median_nanos`) — refusing to \
+                 diff against nothing"
+            );
+            std::process::exit(1);
+        }
     }
     medians
+}
+
+/// Shape-check the committed baselines without re-running anything: every
+/// file must be non-empty JSONL where each record carries a `figure` string
+/// and a `runs` array, and the file as a whole yields at least one named
+/// median. This is cheap enough for the `fmt` stage, so a truncated or
+/// hand-mangled baseline fails CI in seconds instead of surfacing as a
+/// mysterious "no baseline runs" half an hour later in `bench-diff`.
+fn validate_baselines(paths: &[String]) {
+    let fail = |msg: String| -> ! {
+        eprintln!("validate-baselines: {msg}");
+        std::process::exit(1);
+    };
+    if paths.is_empty() {
+        fail("no baseline files given".into());
+    }
+    for path in paths {
+        let data = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+        let mut records = 0usize;
+        let mut runs_seen = 0usize;
+        for (i, line) in data
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+        {
+            let parsed = payless_json::parse(line)
+                .unwrap_or_else(|e| fail(format!("{path}:{}: malformed JSON: {e}", i + 1)));
+            if parsed
+                .get_opt("figure")
+                .and_then(|f| f.as_str().ok())
+                .is_none()
+            {
+                fail(format!("{path}:{}: record lacks a `figure` string", i + 1));
+            }
+            let runs = parsed
+                .get_opt("runs")
+                .and_then(|r| r.as_arr().ok())
+                .unwrap_or_else(|| fail(format!("{path}:{}: record lacks a `runs` array", i + 1)));
+            for (j, run) in runs.iter().enumerate() {
+                if run.get_opt("name").and_then(|n| n.as_str().ok()).is_none() {
+                    fail(format!("{path}:{}: runs[{j}] lacks a `name`", i + 1));
+                }
+                if run
+                    .get_opt("median_nanos")
+                    .and_then(|m| m.as_f64().ok())
+                    .is_none()
+                {
+                    fail(format!("{path}:{}: runs[{j}] lacks `median_nanos`", i + 1));
+                }
+                runs_seen += 1;
+            }
+            records += 1;
+        }
+        if records == 0 {
+            fail(format!("{path}: no JSONL records"));
+        }
+        if runs_seen == 0 {
+            fail(format!("{path}: {records} record(s) but zero runs"));
+        }
+        println!("validate-baselines: {path}: {records} record(s), {runs_seen} run(s)");
+    }
+    println!(
+        "validate-baselines: {} baseline(s) well-formed",
+        paths.len()
+    );
 }
 
 /// One instrumentation-overhead gate (see the comment at its call sites):
@@ -1257,6 +1336,152 @@ fn validate_serve(serial_path: &str, parallel_path: &str) {
     );
 }
 
+/// One durable-store status dump (`/v1/store`), reduced to what recovery
+/// validation needs: the per-table ledger/meter pairs.
+struct StoreStatus {
+    /// Σ per-table ledger pages.
+    ledger_total: u64,
+    /// `(table, ledger_pages, meter_pages)` rows.
+    tables: Vec<(String, u64, u64)>,
+}
+
+/// Read and parse one `/v1/store` status dump, or exit non-zero.
+fn load_store_status(path: &str) -> StoreStatus {
+    let fail = |msg: String| -> ! {
+        eprintln!("validate-recovery: {msg}");
+        std::process::exit(1);
+    };
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let parsed =
+        payless_json::parse(&data).unwrap_or_else(|e| fail(format!("{path}: malformed JSON: {e}")));
+    if parsed.get_opt("durable").and_then(|d| d.as_bool().ok()) != Some(true) {
+        fail(format!("{path}: server was not running durable"));
+    }
+    let rows = parsed
+        .get_opt("tables")
+        .and_then(|t| t.as_arr().ok())
+        .unwrap_or_else(|| fail(format!("{path}: missing `tables` array")));
+    let mut tables = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let table = row
+            .get_opt("table")
+            .and_then(|t| t.as_str().ok())
+            .unwrap_or_else(|| fail(format!("{path}: tables[{i}] lacks `table`")));
+        let ledger = row
+            .get_opt("ledger_pages")
+            .and_then(|v| v.as_u64().ok())
+            .unwrap_or_else(|| fail(format!("{path}: tables[{i}] lacks `ledger_pages`")));
+        let meter = row
+            .get_opt("meter_pages")
+            .and_then(|v| v.as_u64().ok())
+            .unwrap_or_else(|| fail(format!("{path}: tables[{i}] lacks `meter_pages`")));
+        tables.push((table.to_string(), ledger, meter));
+    }
+    StoreStatus {
+        ledger_total: tables.iter().map(|(_, l, _)| *l).sum(),
+        tables,
+    }
+}
+
+/// The crash-recovery gate: a run that was killed partway through, then
+/// restarted and re-driven, must end exactly where an uninterrupted run
+/// ends — and nothing may be billed twice along the way.
+///
+/// Inputs: `oracle` — a clean serial run of the pinned mix on a fresh
+/// store; `run2` — the post-crash re-drive of the same mix against the
+/// recovered server; `recovered` — `/v1/store` right after restart (before
+/// run2); `fin` — `/v1/store` after run2.
+///
+/// Gates, in order: both store dumps reconcile per table (ledger == the
+/// WAL's recorded absolute meter); run2's own ledger matches its meter
+/// delta; mixes match; run2's answers equal the oracle's; and the no-
+/// double-billing equation `recovered + run2 == oracle` — pages surviving
+/// the crash plus pages bought on the re-drive must cover the mix exactly,
+/// so a page that survived recovery is never bought again and a page lost
+/// to the torn tail is bought exactly once more. Finally the recovered
+/// store's ending ledger equals the oracle's total spend.
+fn validate_recovery(oracle_path: &str, run2_path: &str, recovered_path: &str, final_path: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("validate-recovery: {msg}");
+        std::process::exit(1);
+    };
+    let oracle = load_serve_report(oracle_path);
+    let run2 = load_serve_report(run2_path);
+    let recovered = load_store_status(recovered_path);
+    let fin = load_store_status(final_path);
+
+    for (path, store) in [(recovered_path, &recovered), (final_path, &fin)] {
+        for (table, ledger, meter) in &store.tables {
+            if ledger != meter {
+                fail(format!(
+                    "{path}: table {table} does not reconcile: {ledger} ledger \
+                     pages vs {meter} metered (a page was double-counted or lost)"
+                ));
+            }
+        }
+    }
+    for (path, r) in [(oracle_path, &oracle), (run2_path, &run2)] {
+        if r.total_pages != r.meter_transactions {
+            fail(format!(
+                "{path}: ledger does not reconcile with the billing meter: \
+                 {} ledger pages vs {} metered transactions",
+                r.total_pages, r.meter_transactions
+            ));
+        }
+    }
+    for (field, a, b) in [
+        ("seed", oracle.seed, run2.seed),
+        ("clients", oracle.clients, run2.clients),
+        ("queries", oracle.queries, run2.queries),
+        ("page_size", oracle.page_size, run2.page_size),
+    ] {
+        if a != b {
+            fail(format!("dumps replay different mixes: {field} {a} vs {b}"));
+        }
+    }
+    if oracle.per_query.len() != run2.per_query.len() {
+        fail(format!(
+            "per-query rows differ: {} vs {}",
+            oracle.per_query.len(),
+            run2.per_query.len()
+        ));
+    }
+    for (i, (s, p)) in oracle.per_query.iter().zip(&run2.per_query).enumerate() {
+        if s.digest != p.digest || s.rows != p.rows {
+            fail(format!(
+                "query {i}: post-recovery answers differ from the oracle \
+                 (digest {:#x} vs {:#x}, rows {} vs {})",
+                s.digest, p.digest, s.rows, p.rows
+            ));
+        }
+    }
+    if recovered.ledger_total + run2.total_pages != oracle.total_pages {
+        fail(format!(
+            "double-billing check failed: {} page(s) survived the crash + {} \
+             bought on the re-drive != {} an uninterrupted run buys (over-buy \
+             means a recovered page was billed twice; under-buy means the \
+             recovered store claims coverage it never paid for)",
+            recovered.ledger_total, run2.total_pages, oracle.total_pages
+        ));
+    }
+    if fin.ledger_total != oracle.total_pages {
+        fail(format!(
+            "final recovered ledger {} != oracle total spend {}",
+            fin.ledger_total, oracle.total_pages
+        ));
+    }
+    println!(
+        "validate-recovery: {} page(s) survived the crash, {} re-bought, {} \
+         total — matches the uninterrupted oracle exactly; {} table(s) \
+         reconcile; answers agree",
+        recovered.ledger_total,
+        run2.total_pages,
+        fin.ledger_total,
+        fin.tables.len()
+    );
+}
+
 /// First sample value of an exposition metric (exact name match before the
 /// space), parsed as u64.
 fn expo_value(exposition: &str, name: &str) -> Option<u64> {
@@ -1714,6 +1939,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "validate-recovery") {
+        match (
+            args.get(pos + 1),
+            args.get(pos + 2),
+            args.get(pos + 3),
+            args.get(pos + 4),
+        ) {
+            (Some(oracle), Some(run2), Some(recovered), Some(fin)) => {
+                return validate_recovery(oracle, run2, recovered, fin)
+            }
+            _ => {
+                eprintln!(
+                    "validate-recovery: need <oracle.json> <run2.json> \
+                     <store-recovered.json> <store-final.json>"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "validate-baselines") {
+        let paths = args[pos + 1..].to_vec();
+        return validate_baselines(&paths);
     }
     if let Some(pos) = args.iter().position(|a| a == "validate-metrics") {
         match (args.get(pos + 1), args.get(pos + 2)) {

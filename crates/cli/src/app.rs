@@ -59,7 +59,7 @@ pub struct App {
 /// Write an artifact file, creating missing parent directories and turning
 /// I/O failures into a clean message instead of a panic. Every `--*-out`
 /// flag and `\save` funnels through here so they all behave the same way.
-fn write_artifact(path: &str, contents: &str) -> Result<(), String> {
+pub(crate) fn write_artifact(path: &str, contents: &str) -> Result<(), String> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
@@ -513,7 +513,7 @@ fn truncate(s: &str, max: usize) -> String {
 }
 
 /// A `u64` environment knob, if set and parseable.
-fn env_u64(key: &str) -> Option<u64> {
+pub(crate) fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 

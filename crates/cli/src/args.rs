@@ -48,6 +48,17 @@ pub struct CliArgs {
     pub seed: Option<u64>,
     /// Write the serve run's reconciled JSON report to this file.
     pub serve_out: Option<String>,
+    /// Remote-client mode: drive the deterministic serve mix against a
+    /// running `payless-server` at this address instead of serving
+    /// in-process. `--serve <threads>` sets the client thread count.
+    pub connect: Option<String>,
+    /// Write the remote server's `/v1/store` durability status as JSON
+    /// (connect mode only).
+    pub store_out: Option<String>,
+    /// Connect mode: only fetch `/v1/report` + `/v1/store` (no queries).
+    pub probe: bool,
+    /// Connect mode: POST `/v1/shutdown` after the drive (or probe).
+    pub shutdown_after: bool,
     /// Write Prometheus-style metrics exposition to this file on exit
     /// (plus a `<file>.jsonl` windowed time-series). Enables metrics even
     /// if `PAYLESS_METRICS` is unset.
@@ -76,6 +87,10 @@ impl Default for CliArgs {
             queries: None,
             seed: None,
             serve_out: None,
+            connect: None,
+            store_out: None,
+            probe: false,
+            shutdown_after: false,
             metrics_out: None,
             events_out: None,
             sql: None,
@@ -121,6 +136,17 @@ OPTIONS:
     --queries <int>                   queries in the serve mix (default: 24)
     --seed <int>                      serve mix seed (default: 48879)
     --serve-out <file>                write the serve report as JSON
+    --connect <host:port>             drive the serve mix against a running
+                                      payless-server over real sockets
+                                      instead of in-process; --serve sets
+                                      the client thread count, --serve-out
+                                      writes the reconciled report
+    --store-out <file>                connect mode: write the server's
+                                      /v1/store durability status as JSON
+    --probe                           connect mode: fetch /v1/report and
+                                      /v1/store without running queries
+    --shutdown-after                  connect mode: gracefully shut the
+                                      server down afterwards
     --metrics-out <file>              write Prometheus-style metrics to
                                       <file> and the windowed time-series
                                       to <file>.jsonl on exit. Env knobs:
@@ -244,6 +270,16 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, String> {
                 );
             }
             "--serve-out" => out.serve_out = Some(take_value(&mut i)?),
+            "--connect" => {
+                let addr = take_value(&mut i)?;
+                if !addr.contains(':') {
+                    return Err(format!("--connect needs host:port, got `{addr}`"));
+                }
+                out.connect = Some(addr);
+            }
+            "--store-out" => out.store_out = Some(take_value(&mut i)?),
+            "--probe" => out.probe = true,
+            "--shutdown-after" => out.shutdown_after = true,
             "--metrics-out" => out.metrics_out = Some(take_value(&mut i)?),
             "--events-out" => out.events_out = Some(take_value(&mut i)?),
             other if other.starts_with('-') => {
@@ -346,6 +382,32 @@ mod tests {
         assert!(parse_args(&argv(&["--serve", "0"])).is_err());
         assert!(parse_args(&argv(&["--clients", "0"])).is_err());
         assert!(parse_args(&argv(&["--serve"])).is_err());
+    }
+
+    #[test]
+    fn connect_flags() {
+        let a = parse_args(&argv(&[
+            "--connect",
+            "127.0.0.1:7878",
+            "--serve",
+            "4",
+            "--store-out",
+            "store.json",
+            "--shutdown-after",
+        ]))
+        .unwrap();
+        assert_eq!(a.connect.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(a.serve_threads, Some(4));
+        assert_eq!(a.store_out.as_deref(), Some("store.json"));
+        assert!(a.shutdown_after);
+        assert!(!a.probe);
+        assert!(parse_args(&argv(&["--probe"])).unwrap().probe);
+        // host:port shape is validated at parse time.
+        assert!(parse_args(&argv(&["--connect", "nocolon"])).is_err());
+        assert!(parse_args(&argv(&["--connect"])).is_err());
+        let d = parse_args(&[]).unwrap();
+        assert_eq!(d.connect, None);
+        assert!(!d.shutdown_after);
     }
 
     #[test]

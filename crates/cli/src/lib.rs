@@ -15,8 +15,10 @@
 
 pub mod app;
 pub mod args;
+pub mod connect;
 pub mod render;
 
 pub use app::{run_serve, App, Reply};
 pub use args::{CliArgs, WorkloadKind};
+pub use connect::run_connect;
 pub use render::{render_report, render_table};

@@ -13,6 +13,20 @@ fn main() {
             std::process::exit(if msg.contains("USAGE") { 0 } else { 2 });
         }
     };
+    // Connect mode: drive a running payless-server over sockets, print the
+    // reconciled summary, and exit — no shell.
+    if args.connect.is_some() {
+        match payless_cli::run_connect(&args) {
+            Ok(summary) => {
+                println!("{summary}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // Serve mode: replay a multi-client mix, print the reconciled summary,
     // and exit — no shell.
     if args.serve_threads.is_some() {

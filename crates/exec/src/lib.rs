@@ -33,4 +33,4 @@ pub use call::{resilient_get, CallBudget, CallOutcome, RetryPolicy};
 pub use coalesce::{CallCoalescer, Claim, FlightGuard};
 pub use download::ensure_downloaded;
 pub use engine::{ExecConfig, Executor, QueryResult};
-pub use state::{ExecState, SharedState};
+pub use state::{ExecState, RowObserver, SharedState};

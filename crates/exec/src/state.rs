@@ -14,7 +14,7 @@
 //! passed to the `with_*` helpers run under a lock; they are pure
 //! computations (rewriting, estimation) and must not touch shared state.
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use payless_geometry::Region;
 use payless_semantic::{Consistency, CoverClass, RewriteProbe, SemanticStore, SharedSemanticStore};
@@ -22,12 +22,29 @@ use payless_stats::{StatsRegistry, TableModel};
 use payless_storage::Database;
 use payless_types::{Result, Row, Schema};
 
+/// Observer invoked after a market delivery lands in the shared mirror:
+/// `(table, delivered rows)`. Runs with **no** lock held, so it may do I/O
+/// (a durability layer appending the rows to its log) without stalling
+/// concurrent queries.
+pub type RowObserver = dyn Fn(&str, &[Row]) + Send + Sync;
+
 /// Buyer-side state shared by every in-flight query of a serving layer.
-#[derive(Debug)]
 pub struct SharedState {
     db: RwLock<Database>,
     store: SharedSemanticStore,
     stats: RwLock<StatsRegistry>,
+    row_observer: OnceLock<Arc<RowObserver>>,
+}
+
+impl std::fmt::Debug for SharedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedState")
+            .field("db", &self.db)
+            .field("store", &self.store)
+            .field("stats", &self.stats)
+            .field("row_observer", &self.row_observer.get().is_some())
+            .finish()
+    }
 }
 
 fn rd<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -45,7 +62,22 @@ impl SharedState {
             db: RwLock::new(db),
             store,
             stats: RwLock::new(stats),
+            row_observer: OnceLock::new(),
         }
+    }
+
+    /// Attach the delivered-rows observer. First caller wins; later calls
+    /// are ignored, mirroring
+    /// [`SharedSemanticStore::attach_observer`](payless_semantic::SharedSemanticStore).
+    pub fn attach_row_observer(&self, observer: Arc<RowObserver>) {
+        let _ = self.row_observer.set(observer);
+    }
+
+    /// Insert a market delivery into the mirror directly (recovery seeding
+    /// and the serving layer's own inserts). The observer is **not**
+    /// notified — recovered rows are already durable.
+    pub fn seed_mirror(&self, schema: &Schema, rows: Vec<Row>) {
+        wr(&self.db).table_or_create(schema).insert_all(rows);
     }
 
     /// The shared semantic store.
@@ -112,13 +144,24 @@ impl ExecState<'_> {
     }
 
     /// Insert `rows` into `schema`'s mirror table, creating it if needed.
+    /// In shared mode an attached [`RowObserver`] sees the delivery after
+    /// the insert, outside the mirror lock — insert-before-notify is what
+    /// lets a durability layer treat its row log as always trailing the
+    /// mirror (never ahead of it).
     pub fn insert_rows(&mut self, schema: &Schema, rows: Vec<Row>) {
         match self {
             ExecState::Exclusive { db, .. } => {
                 db.table_or_create(schema).insert_all(rows);
             }
             ExecState::Shared(s) => {
+                let observed = s
+                    .row_observer
+                    .get()
+                    .map(|obs| (Arc::clone(obs), rows.clone()));
                 wr(&s.db).table_or_create(schema).insert_all(rows);
+                if let Some((obs, rows)) = observed {
+                    obs(&schema.table, &rows);
+                }
             }
         }
     }

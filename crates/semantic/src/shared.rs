@@ -26,6 +26,12 @@ use payless_telemetry::Recorder;
 
 use crate::store::{Consistency, CoverClass, SemanticStore, StoreConfig};
 
+/// Callback invoked after every settled purchase lands in the store:
+/// `(table, region, now, spend)`. Durability layers hang a write-ahead-log
+/// appender here; the hook runs *outside* the shard's write lock so it may
+/// take its own locks (or do I/O) without ordering against shard guards.
+pub type SpendObserver = dyn Fn(&str, &Region, u64, u64) + Send + Sync;
+
 /// What one rewrite probe reads in a single consistent look at a shard:
 /// the overlapping usable views, plus the cached remainder pieces when the
 /// incremental cache could answer (`None` falls back to scratch
@@ -35,7 +41,7 @@ pub type RewriteProbe = (Vec<Arc<Region>>, Option<Vec<Region>>);
 /// A semantic store shareable across threads: per-table shards behind
 /// reader-writer locks. All methods take `&self`; clone the containing
 /// `Arc` to hand the store to another session.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SharedSemanticStore {
     shards: HashMap<Arc<str>, RwLock<SemanticStore>>,
     /// Config handed to tables registered after construction.
@@ -44,11 +50,26 @@ pub struct SharedSemanticStore {
     /// per-table view gauges, and shard lock-wait times. `None` costs one
     /// `OnceLock` load per operation.
     metrics: OnceLock<Arc<MetricsHub>>,
+    /// Spend observer notified after every `record_spend`, outside the
+    /// shard write lock (so the store may momentarily be ahead of a
+    /// durability log — safe, because coverage re-insert is idempotent).
+    observer: OnceLock<Arc<SpendObserver>>,
 }
 
 /// Read a poisoned lock anyway: shard state is only ever mutated through
 /// `SemanticStore` methods that keep it structurally consistent, so a
 /// panicking reader elsewhere cannot leave torn data behind.
+impl std::fmt::Debug for SharedSemanticStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSemanticStore")
+            .field("shards", &self.shards)
+            .field("cfg", &self.cfg)
+            .field("metrics", &self.metrics.get().is_some())
+            .field("observer", &self.observer.get().is_some())
+            .finish()
+    }
+}
+
 fn read(l: &RwLock<SemanticStore>) -> RwLockReadGuard<'_, SemanticStore> {
     l.read().unwrap_or_else(|e| e.into_inner())
 }
@@ -70,6 +91,7 @@ impl SharedSemanticStore {
                 .collect(),
             cfg,
             metrics: OnceLock::new(),
+            observer: OnceLock::new(),
         }
     }
 
@@ -88,6 +110,14 @@ impl SharedSemanticStore {
     /// are ignored.
     pub fn attach_metrics(&self, hub: Arc<MetricsHub>) {
         let _ = self.metrics.set(hub);
+    }
+
+    /// Attach a spend observer, notified after every settled purchase is
+    /// inserted (see [`SpendObserver`]). First attachment wins; later calls
+    /// are ignored. The observer runs with no shard lock held, in the
+    /// thread that recorded the spend.
+    pub fn attach_observer(&self, observer: Arc<SpendObserver>) {
+        let _ = self.observer.set(observer);
     }
 
     /// Take a shard's read lock, reporting the wait into the hub.
@@ -169,6 +199,11 @@ impl SharedSemanticStore {
             .shards
             .get(table)
             .unwrap_or_else(|| panic!("table `{table}` not registered in semantic store"));
+        // Clone only when someone is listening: the insert consumes `region`.
+        let observed = self
+            .observer
+            .get()
+            .map(|obs| (Arc::clone(obs), region.clone()));
         let mut guard = self.timed_write(shard);
         guard.record_spend(table, region, now, spend);
         if let Some(hub) = self.metrics.get() {
@@ -181,6 +216,13 @@ impl SharedSemanticStore {
             hub.table_compactions_gauge(table)
                 .set(guard.compactions(table));
             hub.table_evictions_gauge(table).set(guard.evictions(table));
+        }
+        // Release the shard before notifying: the observer may take its own
+        // locks (e.g. a durability log mutex whose snapshotter reads shards),
+        // and holding the write guard across it would invert that order.
+        drop(guard);
+        if let Some((obs, region)) = observed {
+            obs(table, &region, now, spend);
         }
     }
 
@@ -418,6 +460,39 @@ mod tests {
         assert!(
             hub.store_lock_wait_nanos.snapshot().count >= 4,
             "every instrumented lock acquisition reports a wait sample"
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_spend_outside_the_shard_lock() {
+        use std::sync::Mutex;
+        let mut base = SemanticStore::new();
+        base.register(space());
+        let shared = Arc::new(SharedSemanticStore::new(base));
+        let seen: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = Arc::clone(&seen);
+            let probe = Arc::clone(&shared);
+            shared.attach_observer(Arc::new(move |table: &str, region, now, spend| {
+                // Re-entering the store here would deadlock if the shard
+                // write lock were still held when the observer fires.
+                assert!(probe.covers(table, region, Consistency::Weak, now));
+                seen.lock().unwrap().push((table.to_string(), spend));
+            }));
+        }
+        shared.record_spend("T", r(0, 9), 1, 10);
+        shared.record_spend("T", r(20, 29), 2, 7);
+        // Second attachment is ignored (first wins), so counts stay exact.
+        shared.attach_observer(Arc::new(|_, _, _, _| panic!("must never fire")));
+        shared.record("T", r(40, 49), 3);
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            *seen,
+            vec![
+                ("T".to_string(), 10),
+                ("T".to_string(), 7),
+                ("T".to_string(), 0)
+            ]
         );
     }
 

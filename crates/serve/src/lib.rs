@@ -135,9 +135,21 @@ impl Serve {
     /// table (like a single-tenant session does) plus the given local
     /// tables.
     pub fn new(market: Arc<DataMarket>, locals: &[LocalTable], cfg: ServeConfig) -> Self {
+        Self::with_store(market, locals, cfg, SemanticStore::new())
+    }
+
+    /// As [`Serve::new`], but seeding the shared store from `store` — a
+    /// warm store recovered from disk, whose coverage the serving layer
+    /// keeps honoring so already-purchased regions are never re-bought.
+    /// Market tables missing from `store` are registered fresh.
+    pub fn with_store(
+        market: Arc<DataMarket>,
+        locals: &[LocalTable],
+        cfg: ServeConfig,
+        mut store: SemanticStore,
+    ) -> Self {
         let mut catalog = MapCatalog::new();
         let mut stats = StatsRegistry::new();
-        let mut store = SemanticStore::new();
         store.set_config(cfg.store);
         let mut db = Database::new();
         for name in market.table_names() {
@@ -187,6 +199,48 @@ impl Serve {
     /// The market this layer fronts.
     pub fn market(&self) -> &DataMarket {
         &self.market
+    }
+
+    /// The shared semantic store behind this layer — what a durability
+    /// layer observes (spend log) and snapshots.
+    pub fn shared_store(&self) -> &SharedSemanticStore {
+        self.state.store()
+    }
+
+    /// Attach an observer for market deliveries landing in the local
+    /// mirror ([`payless_exec::RowObserver`]) — the durability layer's row
+    /// log. First caller wins, like every other attach hook.
+    pub fn attach_row_observer(&self, observer: Arc<payless_exec::RowObserver>) {
+        self.state.attach_row_observer(observer);
+    }
+
+    /// Insert recovered market rows into the local mirror without
+    /// notifying the row observer (they are already durable). Unknown
+    /// tables are an error — recovered data must match the market.
+    pub fn seed_mirror(&self, table: &str, rows: Vec<payless_types::Row>) -> Result<()> {
+        let schema = self
+            .market
+            .schema(table)
+            .ok_or_else(|| payless_types::PaylessError::UnknownTable(table.into()))?
+            .clone();
+        self.state.seed_mirror(&schema, rows);
+        Ok(())
+    }
+
+    /// A point-in-time copy of every market table's mirror rows — what the
+    /// durability layer folds into its snapshot so recovered coverage
+    /// always has its data.
+    pub fn mirror_dump(&self) -> Vec<(String, Vec<payless_types::Row>)> {
+        self.state.with_db(|db| {
+            self.market
+                .table_names()
+                .into_iter()
+                .filter_map(|name| {
+                    let rows = db.table(&name).ok()?.rows().to_vec();
+                    (!rows.is_empty()).then_some((name.to_string(), rows))
+                })
+                .collect()
+        })
     }
 
     /// Attach a store-level recorder for the shared store's index
@@ -324,7 +378,13 @@ impl Serve {
 /// rows. Insensitive to mirror insertion order, which varies across
 /// interleavings; sensitive to multiplicity and every value.
 pub fn digest_rows(result: &payless_exec::QueryResult) -> u64 {
-    let mut rendered: Vec<String> = result.rows.iter().map(|r| format!("{r:?}")).collect();
+    digest_row_slice(&result.rows)
+}
+
+/// [`digest_rows`] over a bare row slice — what a network client computes
+/// from decoded wire rows to compare against the in-process oracle.
+pub fn digest_row_slice(rows: &[payless_types::Row]) -> u64 {
+    let mut rendered: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
     rendered.sort_unstable();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for s in &rendered {

@@ -1,0 +1,533 @@
+//! Network serving front end: a std-only HTTP/1.1 listener over the
+//! concurrent serve layer, plus snapshot + append-log durability of the
+//! shared semantic store.
+//!
+//! The REST surface mirrors the CLI's session commands:
+//!
+//! | endpoint            | maps to                                        |
+//! |---------------------|------------------------------------------------|
+//! | `POST /v1/query`    | query submit (binary rows + `X-Payless-*` spend headers) |
+//! | `GET /v1/report`    | `\report` — billing meter + server config      |
+//! | `GET /v1/metrics`   | `\metrics` — exposition text                   |
+//! | `GET /v1/why?query=N` | `\why N` — flight-recorder provenance        |
+//! | `GET /v1/store`     | durability status (ledger vs meter, recovery)  |
+//! | `GET /v1/health`    | liveness probe                                 |
+//! | `POST /v1/shutdown` | graceful drain + final snapshot                |
+//!
+//! Query results ride the existing market wire codec
+//! ([`payless_market::encode_rows`]); spend telemetry rides response
+//! headers, so a driver can reconcile Σ ledger == meter without a second
+//! round trip. Every settled purchase is appended to the write-ahead log
+//! before the server answers more traffic (see [`persist`]).
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod persist;
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use payless_core::{
+    build_market, known_queries, render_provenance, DataMarket, EventJournal, EventsConfig,
+    FaultInjector, FaultPlan, MetricsConfig, MetricsHub, RetryPolicy, SelectStmt,
+};
+use payless_geometry::QuerySpace;
+use payless_json::{Json, ToJson};
+use payless_serve::{Serve, ServeConfig};
+use payless_types::Value;
+use payless_workload::{QueryWorkload, RealWorkload, WhwConfig};
+
+use http::{read_request, write_response, Request};
+use persist::{DurableStore, PersistConfig};
+
+/// Everything the server needs to boot. Libraries never read the
+/// environment — `main.rs` maps `PAYLESS_*` knobs onto this struct.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (tests, CI).
+    pub listen: String,
+    /// Market page size in records (spend granularity).
+    pub page_size: u64,
+    /// WHW generator scale (must match the oracle's for digest parity).
+    pub scale: f64,
+    /// Single-flight call coalescing across concurrent clients.
+    pub coalesce: bool,
+    /// Chaos-inject the market at this seed (retries become unlimited).
+    pub fault_seed: Option<u64>,
+    /// Cross-query batch purchasing, if enabled.
+    pub batch: Option<payless_serve::BatchConfig>,
+    /// Data directory for WAL + snapshot; `None` serves memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Durability tuning + crash injection (ignored without `data_dir`).
+    pub persist: PersistConfig,
+    /// How often the background snapshotter polls the append count.
+    pub snapshot_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            page_size: 1,
+            scale: 0.02,
+            coalesce: true,
+            fault_seed: None,
+            batch: None,
+            data_dir: None,
+            persist: PersistConfig::default(),
+            snapshot_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+struct Shared {
+    serve: Serve,
+    market: Arc<DataMarket>,
+    templates: Vec<SelectStmt>,
+    durable: Option<Arc<DurableStore>>,
+    hub: Arc<MetricsHub>,
+    journal: Arc<EventJournal>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    queries_served: AtomicU64,
+    active_conns: AtomicU64,
+}
+
+/// A running server: listener bound, store recovered, snapshotter armed.
+/// Call [`Server::run`] to serve until a graceful shutdown is requested.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    snapshotter: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build the market + serve layer (recovering the semantic store from
+    /// `cfg.data_dir` when set) and bind the listener. Fails loudly on an
+    /// unrecoverable store — never serve from corrupt money math.
+    pub fn start(cfg: ServerConfig) -> Result<Server, String> {
+        let w = RealWorkload::generate(&WhwConfig::scaled(cfg.scale));
+        let market = Arc::new(build_market(&w, cfg.page_size));
+        if let Some(fs) = cfg.fault_seed {
+            market.attach_fault_injector(FaultInjector::new(FaultPlan::chaos(fs)));
+        }
+        let hub = Arc::new(MetricsHub::new(MetricsConfig::default()));
+        let journal = EventJournal::from_config(&EventsConfig::default());
+
+        let (durable, warm_store, warm_mirror) = match &cfg.data_dir {
+            Some(dir) => {
+                let spaces: Vec<QuerySpace> = market
+                    .table_names()
+                    .iter()
+                    .map(|name| QuerySpace::of(market.schema(name).expect("listed table")))
+                    .collect();
+                let (durable, store, mirror) = DurableStore::open(dir, cfg.persist, &spaces)?;
+                let status = durable.status();
+                if !status.reconciles() {
+                    return Err("recovered store does not reconcile".into());
+                }
+                (Some(Arc::new(durable)), store, mirror)
+            }
+            None => (None, payless_semantic::SemanticStore::new(), Vec::new()),
+        };
+
+        let serve_cfg = ServeConfig {
+            coalesce: cfg.coalesce,
+            retry: if cfg.fault_seed.is_some() {
+                RetryPolicy::unlimited()
+            } else {
+                RetryPolicy::default()
+            },
+            metrics: Some(Arc::clone(&hub)),
+            events: Some(Arc::clone(&journal)),
+            batch: cfg.batch,
+            ..ServeConfig::default()
+        };
+        let serve = Serve::with_store(Arc::clone(&market), w.local_tables(), serve_cfg, warm_store);
+        // Seed the recovered mirror rows before any traffic: a store that
+        // claims coverage must also have the data behind it.
+        for (table, rows) in warm_mirror {
+            serve
+                .seed_mirror(&table, rows)
+                .map_err(|e| format!("seed recovered mirror for {table}: {e}"))?;
+        }
+        if let Some(d) = &durable {
+            d.attach(serve.shared_store());
+            let me = Arc::clone(d);
+            serve.attach_row_observer(Arc::new(move |table, rows| me.append_rows(table, rows)));
+        }
+        let templates = w
+            .templates()
+            .iter()
+            .map(|sql| serve.prepare(sql))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("workload template: {e}"))?;
+
+        let listener =
+            TcpListener::bind(&cfg.listen).map_err(|e| format!("bind {}: {e}", cfg.listen))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?;
+
+        let shared = Arc::new(Shared {
+            serve,
+            market,
+            templates,
+            durable,
+            hub,
+            journal,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            queries_served: AtomicU64::new(0),
+            active_conns: AtomicU64::new(0),
+        });
+
+        // Background snapshotter: compacts the log whenever the append
+        // threshold is crossed, then one final snapshot at shutdown.
+        let snapshotter = shared.durable.as_ref().map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let durable = shared.durable.as_ref().expect("spawned only when durable");
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    let dump = || shared.serve.mirror_dump();
+                    if let Err(e) = durable.maybe_snapshot(shared.serve.shared_store(), &dump) {
+                        eprintln!("payless-server: snapshot failed: {e}");
+                    }
+                    std::thread::park_timeout(shared.cfg.snapshot_poll);
+                }
+            })
+        });
+
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            snapshotter,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept and serve connections until `POST /v1/shutdown` (one thread
+    /// per connection; the serve layer is built for exactly this kind of
+    /// concurrency). Drains in-flight connections, stops the snapshotter,
+    /// and takes a final snapshot before returning.
+    pub fn run(self) -> Result<(), String> {
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("payless-server: accept failed: {e}");
+                    continue;
+                }
+            };
+            let shared = Arc::clone(&self.shared);
+            shared.active_conns.fetch_add(1, Ordering::SeqCst);
+            workers.push(std::thread::spawn(move || {
+                let peer = stream.peer_addr().ok();
+                if let Err(e) = serve_connection(&shared, stream) {
+                    eprintln!(
+                        "payless-server: connection {} dropped: {e}",
+                        peer.map(|p| p.to_string()).unwrap_or_default()
+                    );
+                }
+                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            }));
+            // Reap finished workers so a long-lived server does not
+            // accumulate join handles.
+            workers.retain(|h| !h.is_finished());
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        if let Some(h) = self.snapshotter {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+        if let Some(d) = &self.shared.durable {
+            d.snapshot(self.shared.serve.shared_store(), &|| {
+                self.shared.serve.mirror_dump()
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Handle one connection: parse requests until the peer closes or asks to,
+/// answering parse failures with their mapped status before giving up.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                let (status, reason) = e.status();
+                let body = format!("{e}\n");
+                let _ = write_response(
+                    &mut writer,
+                    status,
+                    reason,
+                    &[],
+                    "text/plain",
+                    body.as_bytes(),
+                    false,
+                );
+                return Err(e.to_string());
+            }
+        };
+        let keep_alive = req.keep_alive();
+        let shutdown_after = req.method == "POST" && req.path == "/v1/shutdown";
+        let resp = route(shared, &req);
+        write_response(
+            &mut writer,
+            resp.status,
+            resp.reason,
+            &resp.headers,
+            resp.content_type,
+            &resp.body,
+            keep_alive && !shutdown_after,
+        )
+        .map_err(|e| e.to_string())?;
+        if shutdown_after {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // The accept loop blocks in `incoming()`; poke it awake so it
+            // observes the flag without waiting for outside traffic.
+            let _ = TcpStream::connect(writer.local_addr().map_err(|e| e.to_string())?);
+            return Ok(());
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+struct Response {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(String, String)>,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            reason,
+            headers: Vec::new(),
+            content_type: "text/plain",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn json(j: &Json) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: j.to_string_pretty().into_bytes(),
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/health") => Response::text(200, "OK", "ok\n"),
+        ("POST", "/v1/query") => run_query(shared, req),
+        ("GET", "/v1/report") => report(shared),
+        ("GET", "/v1/metrics") => {
+            shared.hub.roll();
+            Response::text(200, "OK", shared.hub.exposition())
+        }
+        ("GET", "/v1/why") => why(shared, req),
+        ("GET", "/v1/store") => store_status(shared),
+        ("POST", "/v1/shutdown") => Response::text(200, "OK", "shutting down\n"),
+        _ => Response::text(
+            404,
+            "Not Found",
+            format!("no route {} {}\n", req.method, req.path),
+        ),
+    }
+}
+
+/// `POST /v1/query`: body `{"template": N, "params": [...]}`, answer is
+/// the binary row codec plus per-query spend telemetry in headers — the
+/// same numbers the in-process driver reads off its recorder snapshot.
+fn run_query(shared: &Arc<Shared>, req: &Request) -> Response {
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|e| format!("body not UTF-8: {e}"))
+        .and_then(|text| payless_json::parse(text).map_err(|e| format!("body not JSON: {e}")));
+    let j = match parsed {
+        Ok(j) => j,
+        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+    };
+    let template = match j.get("template").and_then(|v| v.as_u64()) {
+        Ok(t) => t as usize,
+        Err(e) => return Response::text(400, "Bad Request", format!("template: {e}\n")),
+    };
+    if template >= shared.templates.len() {
+        return Response::text(
+            400,
+            "Bad Request",
+            format!(
+                "template {template} out of range ({} templates)\n",
+                shared.templates.len()
+            ),
+        );
+    }
+    let params: Vec<Value> = match j
+        .get("params")
+        .map_err(|e| format!("params: {e}"))
+        .and_then(|v| payless_json::FromJson::from_json(v).map_err(|e| format!("params: {e}")))
+    {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, "Bad Request", format!("{e}\n")),
+    };
+
+    let (query_id, outcome) = shared
+        .serve
+        .run_query_traced(&shared.templates[template], &params);
+    let (result, snap) = match outcome {
+        Ok(ok) => ok,
+        Err(e) => return Response::text(500, "Internal Server Error", format!("query: {e}\n")),
+    };
+    shared.queries_served.fetch_add(1, Ordering::SeqCst);
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let headers = vec![
+        ("X-Payless-Query-Id".to_string(), query_id.to_string()),
+        (
+            "X-Payless-Pages".to_string(),
+            snap.total_pages().to_string(),
+        ),
+        (
+            "X-Payless-Wasted-Pages".to_string(),
+            snap.wasted_pages().to_string(),
+        ),
+        (
+            "X-Payless-Records".to_string(),
+            snap.total_records().to_string(),
+        ),
+        (
+            "X-Payless-Price".to_string(),
+            format!("{}", snap.total_price()),
+        ),
+        (
+            "X-Payless-Coalesce-Waits".to_string(),
+            counter("coalesce.waits").to_string(),
+        ),
+        (
+            "X-Payless-Saved-Pages".to_string(),
+            counter("coalesce.saved_pages").to_string(),
+        ),
+        (
+            "X-Payless-Batch-Joins".to_string(),
+            counter("batch.joins").to_string(),
+        ),
+        (
+            "X-Payless-Shared-Pages".to_string(),
+            counter("batch.shared_pages").to_string(),
+        ),
+        ("X-Payless-Rows".to_string(), result.rows.len().to_string()),
+        ("X-Payless-Columns".to_string(), result.columns.join(",")),
+    ];
+    Response {
+        status: 200,
+        reason: "OK",
+        headers,
+        content_type: "application/octet-stream",
+        body: payless_market::encode_rows(&result.rows),
+    }
+}
+
+/// `GET /v1/report`: the billing meter plus enough server config for a
+/// remote driver to fill a [`payless_serve::ServeReport`] it can validate
+/// against the in-process oracle.
+fn report(shared: &Arc<Shared>) -> Response {
+    let bill = shared.market.bill();
+    let mut by_table: Vec<Json> = Vec::new();
+    let mut names: Vec<_> = bill.by_table.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let t = &bill.by_table[&name];
+        by_table.push(Json::obj([
+            ("table", Json::Str(name.to_string())),
+            ("calls", Json::Int(t.calls as i64)),
+            ("transactions", Json::Int(t.transactions as i64)),
+            ("records", Json::Int(t.records as i64)),
+        ]));
+    }
+    Response::json(&Json::obj([
+        ("page_size", Json::Int(shared.cfg.page_size as i64)),
+        ("coalesce", Json::Bool(shared.cfg.coalesce)),
+        ("batch", Json::Bool(shared.cfg.batch.is_some())),
+        (
+            "fault_seed",
+            match shared.cfg.fault_seed {
+                Some(fs) => Json::Int(fs as i64),
+                None => Json::Null,
+            },
+        ),
+        ("templates", Json::Int(shared.templates.len() as i64)),
+        (
+            "queries_served",
+            Json::Int(shared.queries_served.load(Ordering::SeqCst) as i64),
+        ),
+        ("meter_calls", Json::Int(bill.calls() as i64)),
+        ("meter_transactions", Json::Int(bill.transactions() as i64)),
+        ("meter_records", Json::Int(bill.records() as i64)),
+        ("by_table", Json::Arr(by_table)),
+    ]))
+}
+
+/// `GET /v1/why?query=N`: the flight recorder's provenance tree; without
+/// the parameter, the query ids the journal still remembers.
+fn why(shared: &Arc<Shared>, req: &Request) -> Response {
+    let events = shared.journal.snapshot();
+    match req.query_param("query") {
+        Some(q) => match q.parse::<u64>() {
+            Ok(id) => Response::text(200, "OK", render_provenance(&events, id)),
+            Err(_) => Response::text(400, "Bad Request", format!("bad query id {q:?}\n")),
+        },
+        None => {
+            let known = known_queries(&events);
+            let list = known
+                .iter()
+                .map(|q| q.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            Response::text(200, "OK", format!("queries with recorded events: {list}\n"))
+        }
+    }
+}
+
+/// `GET /v1/store`: durability status — per-table ledger vs meter, what
+/// recovery found, snapshot progress. `{"durable": false}` without a data
+/// directory.
+fn store_status(shared: &Arc<Shared>) -> Response {
+    match &shared.durable {
+        Some(d) => Response::json(&d.status().to_json()),
+        None => Response::json(&Json::obj([("durable", Json::Bool(false))])),
+    }
+}

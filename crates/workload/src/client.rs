@@ -1,0 +1,247 @@
+//! Remote query driver: the client half of the `payless-server` REST
+//! protocol.
+//!
+//! A deliberately dumb HTTP/1.1 client — one connection per request,
+//! `Connection: close` — so every request exercises the server's full
+//! accept/parse/respond path, the way independent external clients would.
+//! [`drive_mix`] replays the same deterministic mix
+//! ([`crate::mix::serve_mix`]) that the in-process driver replays, K
+//! client threads pulling from one global queue, and returns per-query
+//! outcomes in mix order so a report built from them is comparable
+//! slot-for-slot with the in-process oracle's.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use payless_json::{Json, ToJson};
+use payless_types::{Row, Value};
+
+use crate::mix::MixItem;
+
+/// One query's remote outcome: decoded rows plus the spend telemetry the
+/// server reported in its `X-Payless-*` headers.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    /// Server-side causal id (the argument `/v1/why` takes).
+    pub query_id: u64,
+    /// Decoded result rows.
+    pub rows: Vec<Row>,
+    /// Pages billed to this query.
+    pub pages: u64,
+    /// Pages bought but not delivered (fault retries).
+    pub wasted_pages: u64,
+    /// Records delivered.
+    pub records: u64,
+    /// Price paid, in dollars.
+    pub price: f64,
+    /// Times this query waited on another's in-flight market call.
+    pub coalesce_waits: u64,
+    /// Pages coalescing saved this query.
+    pub saved_pages: u64,
+    /// Batch rendezvous this query joined.
+    pub batch_joins: u64,
+    /// Pages attributed to this query from shared batch purchases.
+    pub shared_pages: u64,
+    /// Client-side wall clock for the whole round trip, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// A minimal HTTP/1.1 response: status, headers (names lowercased), body.
+#[derive(Debug)]
+pub struct HttpReply {
+    /// Numeric status code.
+    pub status: u16,
+    /// Header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length` delimited).
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// First value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn header_u64(&self, name: &str) -> u64 {
+        self.header(name).and_then(|v| v.parse().ok()).unwrap_or(0)
+    }
+
+    /// Body as UTF-8 (lossy — for error messages and text endpoints).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn read_reply(stream: TcpStream) -> Result<HttpReply, String> {
+    let mut r = BufReader::new(stream);
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)
+        .map_err(|e| format!("read status line: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or("response without content-length")?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| format!("read body ({len} bytes): {e}"))?;
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// One HTTP request over a fresh connection (`Connection: close`).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<HttpReply, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body))
+        .and_then(|_| stream.flush())
+        .map_err(|e| format!("send {method} {path}: {e}"))?;
+    read_reply(stream)
+}
+
+/// GET a text endpoint, failing on any non-200.
+pub fn get_text(addr: &str, path: &str) -> Result<String, String> {
+    let reply = request(addr, "GET", path, None)?;
+    if reply.status != 200 {
+        return Err(format!(
+            "GET {path}: status {} ({})",
+            reply.status,
+            reply.text().trim()
+        ));
+    }
+    Ok(reply.text())
+}
+
+/// Submit one query: `POST /v1/query` with the template index and
+/// parameters, decode the binary rows, and collect the spend headers.
+pub fn submit(addr: &str, template: usize, params: &[Value]) -> Result<RemoteOutcome, String> {
+    let t0 = Instant::now();
+    let body = Json::obj([
+        ("template", Json::Int(template as i64)),
+        (
+            "params",
+            Json::Arr(params.iter().map(|p| p.to_json()).collect()),
+        ),
+    ])
+    .to_string_compact();
+    let reply = request(addr, "POST", "/v1/query", Some(body.as_bytes()))?;
+    if reply.status != 200 {
+        return Err(format!(
+            "query template {template}: status {} ({})",
+            reply.status,
+            reply.text().trim()
+        ));
+    }
+    let rows = payless_market::decode_rows(&reply.body).map_err(|e| format!("decode rows: {e}"))?;
+    Ok(RemoteOutcome {
+        query_id: reply.header_u64("x-payless-query-id"),
+        pages: reply.header_u64("x-payless-pages"),
+        wasted_pages: reply.header_u64("x-payless-wasted-pages"),
+        records: reply.header_u64("x-payless-records"),
+        price: reply
+            .header("x-payless-price")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
+        coalesce_waits: reply.header_u64("x-payless-coalesce-waits"),
+        saved_pages: reply.header_u64("x-payless-saved-pages"),
+        batch_joins: reply.header_u64("x-payless-batch-joins"),
+        shared_pages: reply.header_u64("x-payless-shared-pages"),
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        rows,
+    })
+}
+
+/// Ask the server to drain and shut down gracefully.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let reply = request(addr, "POST", "/v1/shutdown", None)?;
+    if reply.status != 200 {
+        return Err(format!("shutdown: status {}", reply.status));
+    }
+    Ok(())
+}
+
+/// Replay `mix` against a remote server with `threads` concurrent client
+/// workers pulling from one shared queue — the socket-level twin of the
+/// in-process `run_mix` driver. Outcomes come back in mix order; the
+/// first failed query aborts the drive.
+pub fn drive_mix(
+    addr: &str,
+    mix: &[MixItem],
+    threads: usize,
+) -> Result<Vec<RemoteOutcome>, String> {
+    let threads = threads.max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RemoteOutcome>>> = Mutex::new(vec![None; mix.len()]);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(mix.len().max(1)) {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::SeqCst);
+                if idx >= mix.len() {
+                    return;
+                }
+                let item = &mix[idx];
+                match submit(addr, item.template, &item.params) {
+                    Ok(outcome) => {
+                        slots.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(outcome);
+                    }
+                    Err(e) => {
+                        let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
+                        if f.is_none() {
+                            *f = Some(format!("mix item {idx}: {e}"));
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+    Ok(slots
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|o| o.expect("no failure, so every slot filled"))
+        .collect())
+}

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod finance;
 pub mod mix;
 pub mod tpch;
@@ -34,6 +35,7 @@ use payless_storage::LocalTable;
 use payless_types::Value;
 use rand::rngs::StdRng;
 
+pub use client::{drive_mix, submit, RemoteOutcome};
 pub use finance::{Finance, FinanceConfig};
 pub use mix::{overlapping_mix, serve_mix, MixItem};
 pub use tpch::{Tpch, TpchConfig};

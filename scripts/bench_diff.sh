@@ -21,6 +21,20 @@ cd "$(dirname "$0")/.."
 BENCH_DIFF_JSON="${BENCH_DIFF_JSON:-$PWD/target/bench-diff.json}"
 export BENCH_DIFF_JSON
 
+# Baselines must exist and be well-formed BEFORE the (advisory) timing
+# diff: callers downgrade this script's exit status to a warning, so a
+# missing or mangled baseline would otherwise vanish into the noise. The
+# shape check runs in a separate process that exits non-zero loudly — and
+# ci.sh also runs it in the hard-failing fmt stage.
+for baseline in BENCH_sqr.json BENCH_dp.json BENCH_metrics.json \
+    BENCH_batch.json BENCH_events.json; do
+    if [ ! -s "$PWD/$baseline" ]; then
+        echo "bench_diff: baseline $baseline is missing or empty" >&2
+        exit 1
+    fi
+done
+./scripts/check_baselines.sh
+
 # The bench binary's CWD is the package dir, so baselines need absolute paths.
 exec cargo bench -q --bench hotpath -- diff \
     "$PWD/BENCH_sqr.json" "$PWD/BENCH_dp.json" "$PWD/BENCH_metrics.json" \

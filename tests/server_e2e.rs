@@ -1,0 +1,205 @@
+//! True client/server end-to-end suite: a [`payless_server::Server`] bound
+//! to a real socket (port 0), driven by the socket-level mix driver from
+//! `payless_workload::client`, validated against a serial in-process
+//! oracle running the identical seeded mix.
+//!
+//! The market runs exact rewrite at `page_size = 1`, so delivered pages
+//! and answers are independent of client interleaving — which is what
+//! makes the cross-process comparison exact rather than statistical:
+//!
+//! * every remote query returns the same rows as the serial oracle;
+//! * Σ client-observed pages == the server's billing-meter delta == the
+//!   oracle's total spend;
+//! * after a graceful shutdown, a restart on the same data directory
+//!   recovers a reconciling store (ledger == meter per table) **with** its
+//!   mirror rows, and re-running the identical mix buys zero pages while
+//!   still answering exactly like the oracle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use payless_core::build_market;
+use payless_json::Json;
+use payless_serve::{digest_row_slice, Serve, ServeConfig};
+use payless_server::persist::PersistConfig;
+use payless_server::{Server, ServerConfig};
+use payless_workload::client::{drive_mix, get_text, shutdown, RemoteOutcome};
+use payless_workload::{serve_mix, MixItem, QueryWorkload, RealWorkload, WhwConfig};
+
+/// Must match [`ServerConfig::default`]'s scale: oracle and server have to
+/// generate byte-identical WHW data for digest parity.
+const SCALE: f64 = 0.02;
+
+/// The two single-table WHW templates (see tests/serve_concurrency.rs for
+/// why these make spend interleaving-independent at page size 1).
+const TEMPLATES: [usize; 2] = [0, 1];
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "payless-e2e-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn report(addr: &str) -> Json {
+    let text = get_text(addr, "/v1/report").expect("GET /v1/report");
+    payless_json::parse(&text).expect("report is JSON")
+}
+
+fn meter_transactions(addr: &str) -> u64 {
+    report(addr)
+        .get("meter_transactions")
+        .and_then(|v| v.as_u64())
+        .expect("meter_transactions")
+}
+
+fn store_json(addr: &str) -> Json {
+    let text = get_text(addr, "/v1/store").expect("GET /v1/store");
+    payless_json::parse(&text).expect("store status is JSON")
+}
+
+/// Boot a server and hand back its address plus the join handle running
+/// the accept loop.
+fn boot(cfg: ServerConfig) -> (String, std::thread::JoinHandle<Result<(), String>>) {
+    let server = Server::start(cfg).expect("server boots");
+    let addr = server.addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+struct Oracle {
+    digests: Vec<u64>,
+    total_pages: u64,
+}
+
+/// Run `mix` serially, in submission order, on a fresh in-process serve
+/// layer over an identical market — the ground truth for both answers and
+/// total spend.
+fn serial_oracle(mix: &[MixItem]) -> Oracle {
+    let w = RealWorkload::generate(&WhwConfig::scaled(SCALE));
+    let market = Arc::new(build_market(&w, 1));
+    let serve = Serve::new(
+        Arc::clone(&market),
+        QueryWorkload::local_tables(&w),
+        ServeConfig::default(),
+    );
+    let templates: Vec<_> = QueryWorkload::templates(&w)
+        .iter()
+        .map(|sql| serve.prepare(sql).expect("workload templates parse"))
+        .collect();
+    let digests = mix
+        .iter()
+        .map(|item| {
+            let (result, _) = serve
+                .run_query(&templates[item.template], &item.params)
+                .expect("oracle query answers");
+            digest_row_slice(&result.rows)
+        })
+        .collect();
+    Oracle {
+        digests,
+        total_pages: market.bill().transactions(),
+    }
+}
+
+fn seeded_mix(clients: usize, queries: usize, seed: u64) -> Vec<MixItem> {
+    let w = RealWorkload::generate(&WhwConfig::scaled(SCALE));
+    serve_mix(&w, &TEMPLATES, clients, queries, seed)
+}
+
+fn assert_matches_oracle(outcomes: &[RemoteOutcome], oracle: &Oracle) {
+    assert_eq!(outcomes.len(), oracle.digests.len());
+    for (i, (o, want)) in outcomes.iter().zip(&oracle.digests).enumerate() {
+        assert_eq!(
+            digest_row_slice(&o.rows),
+            *want,
+            "query {i}: remote rows differ from the serial oracle"
+        );
+    }
+}
+
+#[test]
+fn concurrent_remote_mix_matches_serial_oracle_and_reconciles() {
+    let (addr, handle) = boot(ServerConfig::default());
+    let mix = seeded_mix(3, 12, 7);
+
+    let before = meter_transactions(&addr);
+    assert_eq!(before, 0, "fresh server has an untouched meter");
+    let outcomes = drive_mix(&addr, &mix, 4).expect("remote drive succeeds");
+    let delta = meter_transactions(&addr) - before;
+
+    let client_pages: u64 = outcomes.iter().map(|o| o.pages + o.wasted_pages).sum();
+    assert_eq!(
+        client_pages, delta,
+        "Σ client-observed pages must equal the server's meter delta"
+    );
+
+    let oracle = serial_oracle(&mix);
+    assert_matches_oracle(&outcomes, &oracle);
+    assert_eq!(
+        delta, oracle.total_pages,
+        "remote total spend must equal the serial oracle's"
+    );
+
+    shutdown(&addr).expect("graceful shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn durable_restart_recovers_store_and_rebuys_nothing() {
+    let dir = tmpdir("restart");
+    let durable_cfg = || ServerConfig {
+        data_dir: Some(dir.clone()),
+        persist: PersistConfig {
+            // Force mid-run snapshots so the restart exercises
+            // snapshot + log replay together, not just one of them.
+            snapshot_every: 4,
+            ..PersistConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let mix = seeded_mix(3, 12, 11);
+    let oracle = serial_oracle(&mix);
+
+    let (addr, handle) = boot(durable_cfg());
+    let first = drive_mix(&addr, &mix, 4).expect("first drive succeeds");
+    let spent = meter_transactions(&addr);
+    assert_matches_oracle(&first, &oracle);
+    assert_eq!(spent, oracle.total_pages);
+    shutdown(&addr).expect("graceful shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+
+    // Restart on the same data directory: a *fresh* market (meter at 0)
+    // but the recovered store + mirror. Re-running the identical mix must
+    // answer correctly from local state without buying a single page.
+    let (addr, handle) = boot(durable_cfg());
+    let status = store_json(&addr);
+    assert!(status.get("durable").and_then(|v| v.as_bool()).unwrap());
+    let recovered_rows = status
+        .get("recovery")
+        .and_then(|r| r.get("mirror_rows"))
+        .and_then(|v| v.as_u64())
+        .expect("recovery.mirror_rows");
+    assert!(recovered_rows > 0, "restart must recover the mirror rows");
+    for t in status.get("tables").and_then(|v| v.as_arr()).unwrap() {
+        let ledger = t.get("ledger_pages").and_then(|v| v.as_u64()).unwrap();
+        let meter = t.get("meter_pages").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(ledger, meter, "recovered table must reconcile");
+    }
+
+    let again = drive_mix(&addr, &mix, 4).expect("re-drive succeeds");
+    assert_matches_oracle(&again, &oracle);
+    assert_eq!(
+        meter_transactions(&addr),
+        0,
+        "every page was already purchased before the restart"
+    );
+    shutdown(&addr).expect("graceful shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
